@@ -1,0 +1,28 @@
+//! Figure 10 microbenchmark: effect of dimensionality on PGBJ and H-BRJ.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{forest_like, ForestConfig};
+use geom::DistanceMetric;
+use knnjoin::algorithms::{Hbrj, HbrjConfig, KnnJoinAlgorithm, Pgbj, PgbjConfig};
+
+fn bench_dimensionality(c: &mut Criterion) {
+    let metric = DistanceMetric::Euclidean;
+    let pgbj = Pgbj::new(PgbjConfig { pivot_count: 32, reducers: 9, ..Default::default() });
+    let hbrj = Hbrj::new(HbrjConfig { reducers: 9, ..Default::default() });
+
+    let mut group = c.benchmark_group("dimensionality");
+    group.sample_size(10);
+    for dims in [2usize, 6, 10] {
+        let data = forest_like(&ForestConfig { n_points: 600, dims, n_clusters: 7 }, 1);
+        group.bench_with_input(BenchmarkId::new("PGBJ", dims), &data, |b, d| {
+            b.iter(|| pgbj.join(d, d, 10, metric).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("H-BRJ", dims), &data, |b, d| {
+            b.iter(|| hbrj.join(d, d, 10, metric).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dimensionality);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 8/9 microbenchmark: how PGBJ and H-BRJ running time responds to k.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{forest_like, ForestConfig};
+use geom::DistanceMetric;
+use knnjoin::algorithms::{Hbrj, HbrjConfig, KnnJoinAlgorithm, Pgbj, PgbjConfig};
+
+fn bench_effect_of_k(c: &mut Criterion) {
+    let data = forest_like(&ForestConfig { n_points: 800, dims: 10, n_clusters: 7 }, 1);
+    let metric = DistanceMetric::Euclidean;
+    let pgbj = Pgbj::new(PgbjConfig { pivot_count: 32, reducers: 9, ..Default::default() });
+    let hbrj = Hbrj::new(HbrjConfig { reducers: 9, ..Default::default() });
+
+    let mut group = c.benchmark_group("effect_of_k");
+    group.sample_size(10);
+    for k in [10usize, 30, 50] {
+        group.bench_with_input(BenchmarkId::new("PGBJ", k), &k, |b, &k| {
+            b.iter(|| pgbj.join(&data, &data, k, metric).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("H-BRJ", k), &k, |b, &k| {
+            b.iter(|| hbrj.join(&data, &data, k, metric).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_effect_of_k);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Microbenchmark: geometric vs greedy grouping (Section 5.2, supports the
+//! grouping-strategy comparison of Figure 6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{forest_like, ForestConfig};
+use geom::DistanceMetric;
+use knnjoin::bounds::PartitionBounds;
+use knnjoin::grouping::{build_grouping, GroupingStrategy};
+use knnjoin::partition::VoronoiPartitioner;
+use knnjoin::pivots::{select_pivots, PivotSelectionStrategy};
+use knnjoin::summary::SummaryTables;
+
+fn bench_grouping(c: &mut Criterion) {
+    let data = forest_like(&ForestConfig { n_points: 3000, dims: 10, n_clusters: 7 }, 1);
+    let pivots = select_pivots(
+        &data,
+        96,
+        PivotSelectionStrategy::Random { candidate_sets: 3 },
+        1000,
+        DistanceMetric::Euclidean,
+        5,
+    );
+    let partitioner = VoronoiPartitioner::new(pivots.clone(), DistanceMetric::Euclidean);
+    let partitioned = partitioner.partition(&data);
+    let tables = SummaryTables::build(pivots, DistanceMetric::Euclidean, &partitioned, &partitioned, 10);
+    let bounds = PartitionBounds::compute(&tables, 10);
+
+    let mut group = c.benchmark_group("partition_grouping");
+    group.sample_size(10);
+    for (name, strategy) in [
+        ("geometric", GroupingStrategy::Geometric),
+        ("greedy", GroupingStrategy::Greedy),
+    ] {
+        group.bench_with_input(BenchmarkId::new("strategy", name), &strategy, |b, s| {
+            b.iter(|| build_grouping(*s, &tables, &bounds, 16));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grouping);
+criterion_main!(benches);

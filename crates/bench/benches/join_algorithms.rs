@@ -1,0 +1,33 @@
+//! End-to-end comparison of PGBJ, PBJ, H-BRJ and the centralized nested-loop
+//! join on the default workload (supports the "who wins" headline of
+//! Figures 8–12).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::{forest_like, ForestConfig};
+use geom::DistanceMetric;
+use knnjoin::algorithms::{Hbrj, HbrjConfig, KnnJoinAlgorithm, Pbj, PbjConfig, Pgbj, PgbjConfig};
+use knnjoin::NestedLoopJoin;
+
+fn bench_join_algorithms(c: &mut Criterion) {
+    let data = forest_like(&ForestConfig { n_points: 800, dims: 10, n_clusters: 7 }, 1);
+    let k = 10;
+    let metric = DistanceMetric::Euclidean;
+
+    let mut group = c.benchmark_group("join_algorithms");
+    group.sample_size(10);
+    let algorithms: Vec<(&str, Box<dyn KnnJoinAlgorithm>)> = vec![
+        ("NestedLoop", Box::new(NestedLoopJoin)),
+        ("H-BRJ", Box::new(Hbrj::new(HbrjConfig { reducers: 9, ..Default::default() }))),
+        ("PBJ", Box::new(Pbj::new(PbjConfig { pivot_count: 32, reducers: 9, ..Default::default() }))),
+        ("PGBJ", Box::new(Pgbj::new(PgbjConfig { pivot_count: 32, reducers: 9, ..Default::default() }))),
+    ];
+    for (name, alg) in &algorithms {
+        group.bench_function(*name, |b| {
+            b.iter(|| alg.join(&data, &data, k, metric).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_join_algorithms);
+criterion_main!(benches);

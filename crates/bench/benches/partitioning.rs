@@ -1,0 +1,32 @@
+//! Microbenchmark: Voronoi partitioning (the map side of the first MapReduce
+//! job) for increasing pivot counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{forest_like, ForestConfig};
+use geom::DistanceMetric;
+use knnjoin::partition::VoronoiPartitioner;
+use knnjoin::pivots::{select_pivots, PivotSelectionStrategy};
+
+fn bench_partitioning(c: &mut Criterion) {
+    let data = forest_like(&ForestConfig { n_points: 3000, dims: 10, n_clusters: 7 }, 1);
+    let mut group = c.benchmark_group("voronoi_partitioning");
+    group.sample_size(10);
+    for pivots in [16usize, 64, 128] {
+        let pivot_points = select_pivots(
+            &data,
+            pivots,
+            PivotSelectionStrategy::Random { candidate_sets: 3 },
+            1000,
+            DistanceMetric::Euclidean,
+            5,
+        );
+        let partitioner = VoronoiPartitioner::new(pivot_points, DistanceMetric::Euclidean);
+        group.bench_with_input(BenchmarkId::new("pivots", pivots), &partitioner, |b, p| {
+            b.iter(|| p.partition(&data));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioning);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Microbenchmark: the three pivot selection strategies of Section 4.1
+//! (supports the strategy comparison of Table 2 / Figure 6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{forest_like, ForestConfig};
+use geom::DistanceMetric;
+use knnjoin::pivots::{select_pivots, PivotSelectionStrategy};
+
+fn bench_pivot_selection(c: &mut Criterion) {
+    let data = forest_like(&ForestConfig { n_points: 2000, dims: 10, n_clusters: 7 }, 1);
+    let mut group = c.benchmark_group("pivot_selection");
+    group.sample_size(10);
+    for (name, strategy) in [
+        ("random", PivotSelectionStrategy::Random { candidate_sets: 5 }),
+        ("farthest", PivotSelectionStrategy::Farthest),
+        ("k-means", PivotSelectionStrategy::KMeans { iterations: 5 }),
+    ] {
+        group.bench_with_input(BenchmarkId::new("strategy", name), &strategy, |b, s| {
+            b.iter(|| select_pivots(&data, 64, *s, 1000, DistanceMetric::Euclidean, 7));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pivot_selection);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Microbenchmark: the R-tree used by H-BRJ reducers versus a linear scan,
+//! for bulk loading and kNN queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{gaussian_clusters, ClusterConfig};
+use geom::{DistanceMetric, Point};
+use spatial::{BruteForceIndex, RTree};
+
+fn bench_rtree(c: &mut Criterion) {
+    let data = gaussian_clusters(
+        &ClusterConfig { n_points: 5000, dims: 4, n_clusters: 10, std_dev: 3.0, extent: 500.0, skew: 0.5 },
+        3,
+    );
+    let points: Vec<Point> = data.points().to_vec();
+    let query = Point::new(u64::MAX, vec![250.0, 250.0, 250.0, 250.0]);
+
+    let mut group = c.benchmark_group("rtree");
+    group.sample_size(10);
+    group.bench_function("bulk_load_5000", |b| {
+        b.iter(|| RTree::bulk_load(points.clone(), DistanceMetric::Euclidean));
+    });
+    let tree = RTree::bulk_load(points.clone(), DistanceMetric::Euclidean);
+    let brute = BruteForceIndex::new(points, DistanceMetric::Euclidean);
+    for k in [10usize, 50] {
+        group.bench_with_input(BenchmarkId::new("rtree_knn", k), &k, |b, &k| {
+            b.iter(|| tree.knn(&query, k));
+        });
+        group.bench_with_input(BenchmarkId::new("bruteforce_knn", k), &k, |b, &k| {
+            b.iter(|| brute.knn(&query, k));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rtree);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 11 microbenchmark: running time versus data size (×t expansion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{expand_dataset, forest_like, ForestConfig};
+use geom::DistanceMetric;
+use knnjoin::algorithms::{Hbrj, HbrjConfig, KnnJoinAlgorithm, Pgbj, PgbjConfig};
+
+fn bench_scalability(c: &mut Criterion) {
+    let base = forest_like(&ForestConfig { n_points: 250, dims: 10, n_clusters: 7 }, 1);
+    let metric = DistanceMetric::Euclidean;
+    let pgbj = Pgbj::new(PgbjConfig { pivot_count: 32, reducers: 9, ..Default::default() });
+    let hbrj = Hbrj::new(HbrjConfig { reducers: 9, ..Default::default() });
+
+    let mut group = c.benchmark_group("scalability");
+    group.sample_size(10);
+    for factor in [1usize, 3, 5] {
+        let data = expand_dataset(&base, factor);
+        group.bench_with_input(BenchmarkId::new("PGBJ", factor), &data, |b, d| {
+            b.iter(|| pgbj.join(d, d, 10, metric).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("H-BRJ", factor), &data, |b, d| {
+            b.iter(|| hbrj.join(d, d, 10, metric).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Command-line harness regenerating the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments <id|all> [--quick] [--markdown <path>] [--json <path>]
+//! ```
+//!
+//! where `<id>` is one of `table2 table3 fig6 fig7 fig8 fig9 fig10 fig11
+//! fig12`.  Without `--quick` the full (report) scale is used; with it, a
+//! much smaller smoke-test scale.  Tables are always printed to stdout;
+//! `--markdown`/`--json` additionally write them to files.
+
+use bench::experiments::{run_by_id, ExperimentOutput, ALL_EXPERIMENTS};
+use bench::ExperimentScale;
+use std::io::Write;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        print_usage();
+        return ExitCode::SUCCESS;
+    }
+
+    let target = args[0].clone();
+    let mut scale = ExperimentScale::Full;
+    let mut markdown_path: Option<String> = None;
+    let mut json_path: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => scale = ExperimentScale::Quick,
+            "--markdown" => {
+                i += 1;
+                markdown_path = args.get(i).cloned();
+                if markdown_path.is_none() {
+                    eprintln!("--markdown requires a path");
+                    return ExitCode::FAILURE;
+                }
+            }
+            "--json" => {
+                i += 1;
+                json_path = args.get(i).cloned();
+                if json_path.is_none() {
+                    eprintln!("--json requires a path");
+                    return ExitCode::FAILURE;
+                }
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                print_usage();
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    let ids: Vec<&str> = if target == "all" {
+        ALL_EXPERIMENTS.to_vec()
+    } else if ALL_EXPERIMENTS.contains(&target.as_str()) {
+        vec![target.as_str()]
+    } else {
+        eprintln!("unknown experiment id: {target}");
+        print_usage();
+        return ExitCode::FAILURE;
+    };
+
+    let mut outputs: Vec<ExperimentOutput> = Vec::new();
+    for id in ids {
+        eprintln!("running {id} ({:?} scale)...", scale);
+        let started = std::time::Instant::now();
+        let output = run_by_id(id, scale).expect("id validated above");
+        eprintln!("  done in {:.1}s", started.elapsed().as_secs_f64());
+        println!("{}", output.to_markdown());
+        outputs.push(output);
+    }
+
+    if let Some(path) = markdown_path {
+        let mut content = String::new();
+        for o in &outputs {
+            content.push_str(&o.to_markdown());
+            content.push('\n');
+        }
+        if let Err(e) = write_file(&path, content.as_bytes()) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = json_path {
+        let combined: serde_json::Value = outputs
+            .iter()
+            .map(|o| (o.id.clone(), o.json.clone()))
+            .collect::<serde_json::Map<String, serde_json::Value>>()
+            .into();
+        let rendered = serde_json::to_string_pretty(&combined).expect("serializable outputs");
+        if let Err(e) = write_file(&path, rendered.as_bytes()) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn write_file(path: &str, contents: &[u8]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(contents)
+}
+
+fn print_usage() {
+    eprintln!("usage: experiments <id|all> [--quick] [--markdown <path>] [--json <path>]");
+    eprintln!("  ids: {}", ALL_EXPERIMENTS.join(" "));
+}

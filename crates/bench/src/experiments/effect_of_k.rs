@@ -1,0 +1,106 @@
+//! Section 6.2 — effect of `k` on the three algorithms (Figures 8 and 9).
+
+use super::{run_three_algorithms, three_metric_tables, AlgorithmRow, ExperimentOutput};
+use crate::workloads::{ExperimentScale, Workloads};
+use geom::PointSet;
+use serde::Serialize;
+
+#[derive(Debug, Clone, Serialize)]
+struct KRow {
+    k: usize,
+    #[serde(flatten)]
+    row: AlgorithmRow,
+}
+
+fn effect_of_k(
+    id: &str,
+    paper_artifact: &str,
+    title: &str,
+    data: &PointSet,
+    scale: ExperimentScale,
+) -> ExperimentOutput {
+    let workloads = Workloads::new(scale);
+    let reducers = workloads.default_reducers();
+    let mut sweep_rows = Vec::new();
+    let mut json_rows = Vec::new();
+    for &k in &workloads.k_sweep() {
+        let rows = run_three_algorithms(&workloads, data, data, k, reducers);
+        for row in &rows {
+            json_rows.push(KRow { k, row: row.clone() });
+        }
+        sweep_rows.push((k.to_string(), rows));
+    }
+    ExperimentOutput {
+        id: id.into(),
+        paper_artifact: paper_artifact.into(),
+        tables: three_metric_tables(title, "k", &sweep_rows),
+        json: serde_json::to_value(json_rows).expect("serializable rows"),
+    }
+}
+
+/// Figure 8: effect of `k` on the Forest-like (×10) self-join.
+pub fn fig8(scale: ExperimentScale) -> ExperimentOutput {
+    let data = Workloads::new(scale).forest_default();
+    effect_of_k(
+        "fig8",
+        "Figure 8 (effect of k over Forest ×10)",
+        "Figure 8: effect of k over Forest-like data",
+        &data,
+        scale,
+    )
+}
+
+/// Figure 9: effect of `k` on the OSM-like self-join.
+pub fn fig9(scale: ExperimentScale) -> ExperimentOutput {
+    let data = Workloads::new(scale).osm_default();
+    effect_of_k(
+        "fig9",
+        "Figure 9 (effect of k over OSM)",
+        "Figure 9: effect of k over OSM-like data",
+        &data,
+        scale,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_produces_three_tables_with_rows_per_k() {
+        let out = fig8(ExperimentScale::Quick);
+        let w = Workloads::new(ExperimentScale::Quick);
+        assert_eq!(out.tables.len(), 3);
+        for t in &out.tables {
+            assert_eq!(t.row_count(), w.k_sweep().len());
+        }
+        assert_eq!(
+            out.json.as_array().unwrap().len(),
+            w.k_sweep().len() * 3
+        );
+    }
+
+    #[test]
+    fn fig9_runs_on_two_dimensional_osm_data() {
+        let out = fig9(ExperimentScale::Quick);
+        assert_eq!(out.tables.len(), 3);
+        assert!(!out.json.as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn pgbj_selectivity_is_lowest_of_the_three() {
+        // The paper's qualitative result (Figure 8b): PGBJ computes fewer
+        // distances than PBJ and H-BRJ on clustered data.
+        let out = fig8(ExperimentScale::Quick);
+        let rows = out.json.as_array().unwrap();
+        let max_k = rows.iter().map(|r| r["k"].as_u64().unwrap()).max().unwrap();
+        let sel = |alg: &str| {
+            rows.iter()
+                .find(|r| r["k"].as_u64().unwrap() == max_k && r["algorithm"] == alg)
+                .unwrap()["selectivity_per_thousand"]
+                .as_f64()
+                .unwrap()
+        };
+        assert!(sel("PGBJ") <= sel("H-BRJ") * 1.2, "PGBJ {} vs H-BRJ {}", sel("PGBJ"), sel("H-BRJ"));
+    }
+}

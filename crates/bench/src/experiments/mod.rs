@@ -1,0 +1,214 @@
+//! One module per experiment family, each regenerating a table or figure of
+//! the paper.  Every experiment returns an [`ExperimentOutput`] holding both
+//! human-readable markdown tables and machine-readable JSON rows.
+
+mod effect_of_k;
+mod parameter_study;
+mod sweeps;
+
+pub use effect_of_k::{fig8, fig9};
+pub use parameter_study::{fig6, fig7, table2, table3};
+pub use sweeps::{fig10, fig11, fig12};
+
+use crate::report::{fmt_f64, Table};
+use crate::workloads::{ExperimentScale, Workloads};
+use geom::{DistanceMetric, PointSet};
+use knnjoin::algorithms::{Hbrj, HbrjConfig, KnnJoinAlgorithm, Pbj, PbjConfig, Pgbj, PgbjConfig};
+use serde::Serialize;
+
+/// The result of running one experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutput {
+    /// Experiment id, e.g. `"table2"` or `"fig8"`.
+    pub id: String,
+    /// Which paper artifact this reproduces.
+    pub paper_artifact: String,
+    /// Rendered tables (one or more per experiment).
+    pub tables: Vec<Table>,
+    /// The raw rows as JSON for downstream plotting.
+    pub json: serde_json::Value,
+}
+
+impl ExperimentOutput {
+    /// Renders every table of the experiment as markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("## {} — {}\n\n", self.id, self.paper_artifact);
+        for t in &self.tables {
+            out.push_str(&t.to_markdown());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// All experiment ids, in paper order.
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "table2", "table3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+];
+
+/// Runs one experiment by id.  Returns `None` for an unknown id.
+pub fn run_by_id(id: &str, scale: ExperimentScale) -> Option<ExperimentOutput> {
+    let out = match id {
+        "table2" => table2(scale),
+        "table3" => table3(scale),
+        "fig6" => fig6(scale),
+        "fig7" => fig7(scale),
+        "fig8" => fig8(scale),
+        "fig9" => fig9(scale),
+        "fig10" => fig10(scale),
+        "fig11" => fig11(scale),
+        "fig12" => fig12(scale),
+        _ => return None,
+    };
+    Some(out)
+}
+
+/// One measured algorithm run, as reported in Figures 8–12 of the paper
+/// (running time, computation selectivity, shuffling cost).
+#[derive(Debug, Clone, Serialize)]
+pub struct AlgorithmRow {
+    /// Algorithm name ("PGBJ", "PBJ", "H-BRJ").
+    pub algorithm: String,
+    /// Total running time in seconds.
+    pub running_time_s: f64,
+    /// Computation selectivity in "per thousand" units, as plotted by the
+    /// paper.
+    pub selectivity_per_thousand: f64,
+    /// Shuffling cost in MiB.
+    pub shuffle_mib: f64,
+    /// Average replication of `S` objects.
+    pub avg_replication: f64,
+}
+
+/// Runs PGBJ, PBJ and H-BRJ on the same self-join workload and reports one
+/// row per algorithm.  This is the comparison core of Figures 8–12.
+pub(crate) fn run_three_algorithms(
+    workloads: &Workloads,
+    r: &PointSet,
+    s: &PointSet,
+    k: usize,
+    reducers: usize,
+) -> Vec<AlgorithmRow> {
+    let metric = DistanceMetric::Euclidean;
+    let pivots = workloads.default_pivots();
+    let algorithms: Vec<Box<dyn KnnJoinAlgorithm>> = vec![
+        Box::new(Hbrj::new(HbrjConfig { reducers, ..Default::default() })),
+        Box::new(Pbj::new(PbjConfig { pivot_count: pivots, reducers, ..Default::default() })),
+        Box::new(Pgbj::new(PgbjConfig { pivot_count: pivots, reducers, ..Default::default() })),
+    ];
+    algorithms
+        .iter()
+        .map(|alg| {
+            let result = alg
+                .join(r, s, k, metric)
+                .expect("experiment join must succeed");
+            let m = &result.metrics;
+            AlgorithmRow {
+                algorithm: alg.name().to_string(),
+                running_time_s: m.total_time().as_secs_f64(),
+                selectivity_per_thousand: m.computation_selectivity() * 1000.0,
+                shuffle_mib: m.shuffle_mib(),
+                avg_replication: m.average_replication(),
+            }
+        })
+        .collect()
+}
+
+/// Builds the standard three-metric tables (running time, selectivity,
+/// shuffling cost) from rows keyed by a sweep variable; shared by the
+/// Figure 8–12 experiments.
+pub(crate) fn three_metric_tables(
+    title_prefix: &str,
+    sweep_name: &str,
+    rows: &[(String, Vec<AlgorithmRow>)],
+) -> Vec<Table> {
+    let algorithms: Vec<String> = rows
+        .first()
+        .map(|(_, algs)| algs.iter().map(|a| a.algorithm.clone()).collect())
+        .unwrap_or_default();
+    let mut header: Vec<&str> = vec![sweep_name];
+    let alg_names: Vec<&str> = algorithms.iter().map(String::as_str).collect();
+    header.extend(&alg_names);
+
+    let mut time = Table::new(format!("{title_prefix} (a) running time [s]"), &header);
+    let mut selectivity = Table::new(
+        format!("{title_prefix} (b) computation selectivity [per thousand]"),
+        &header,
+    );
+    let mut shuffle = Table::new(format!("{title_prefix} (c) shuffling cost [MiB]"), &header);
+    for (sweep_value, algs) in rows {
+        let mut time_row = vec![sweep_value.clone()];
+        let mut sel_row = vec![sweep_value.clone()];
+        let mut shuf_row = vec![sweep_value.clone()];
+        for a in algs {
+            time_row.push(fmt_f64(a.running_time_s));
+            sel_row.push(fmt_f64(a.selectivity_per_thousand));
+            shuf_row.push(fmt_f64(a.shuffle_mib));
+        }
+        time.add_row(time_row);
+        selectivity.add_row(sel_row);
+        shuffle.add_row(shuf_row);
+    }
+    vec![time, selectivity, shuffle]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_by_id_recognises_all_ids() {
+        for id in ALL_EXPERIMENTS {
+            // Only check dispatch for cheap experiments here; heavy ones are
+            // covered by their own module tests in quick scale.
+            if *id == "table2" {
+                assert!(run_by_id(id, ExperimentScale::Quick).is_some());
+            }
+        }
+        assert!(run_by_id("nonsense", ExperimentScale::Quick).is_none());
+    }
+
+    #[test]
+    fn three_algorithm_comparison_produces_all_rows() {
+        let w = Workloads::new(ExperimentScale::Quick);
+        let data = w.forest_default();
+        let rows = run_three_algorithms(&w, &data, &data, 5, 4);
+        assert_eq!(rows.len(), 3);
+        let names: Vec<&str> = rows.iter().map(|r| r.algorithm.as_str()).collect();
+        assert_eq!(names, vec!["H-BRJ", "PBJ", "PGBJ"]);
+        for row in &rows {
+            assert!(row.running_time_s >= 0.0);
+            assert!(row.selectivity_per_thousand > 0.0);
+            assert!(row.shuffle_mib > 0.0);
+            assert!(row.avg_replication >= 1.0);
+        }
+    }
+
+    #[test]
+    fn three_metric_tables_have_one_row_per_sweep_value() {
+        let w = Workloads::new(ExperimentScale::Quick);
+        let data = w.forest_default();
+        let rows = vec![
+            ("5".to_string(), run_three_algorithms(&w, &data, &data, 5, 4)),
+            ("10".to_string(), run_three_algorithms(&w, &data, &data, 10, 4)),
+        ];
+        let tables = three_metric_tables("Figure X", "k", &rows);
+        assert_eq!(tables.len(), 3);
+        for t in &tables {
+            assert_eq!(t.row_count(), 2);
+        }
+    }
+
+    #[test]
+    fn experiment_output_markdown_contains_tables() {
+        let out = ExperimentOutput {
+            id: "demo".into(),
+            paper_artifact: "Demo artifact".into(),
+            tables: vec![Table::new("T", &["a"])],
+            json: serde_json::json!([]),
+        };
+        let md = out.to_markdown();
+        assert!(md.contains("## demo"));
+        assert!(md.contains("### T"));
+    }
+}

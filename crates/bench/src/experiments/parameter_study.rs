@@ -1,0 +1,323 @@
+//! Section 6.1 — the parameter study of PGBJ: pivot selection strategies,
+//! pivot counts and grouping strategies (Tables 2–3, Figures 6–7).
+
+use super::ExperimentOutput;
+use crate::report::{fmt_f64, fmt_secs, Table};
+use crate::workloads::{ExperimentScale, Workloads};
+use geom::{DistanceMetric, PointSet};
+use knnjoin::algorithms::{KnnJoinAlgorithm, Pgbj, PgbjConfig};
+use knnjoin::bounds::PartitionBounds;
+use knnjoin::grouping::{build_grouping, GroupingStrategy};
+use knnjoin::metrics::phases;
+use knnjoin::partition::VoronoiPartitioner;
+use knnjoin::pivots::{select_pivots, PivotSelectionStrategy};
+use knnjoin::summary::SummaryTables;
+use serde::Serialize;
+
+const METRIC: DistanceMetric = DistanceMetric::Euclidean;
+
+/// The pivot selection strategies compared in Tables 2 and 3.
+fn selection_strategies() -> Vec<(&'static str, PivotSelectionStrategy)> {
+    vec![
+        ("random", PivotSelectionStrategy::Random { candidate_sets: 5 }),
+        ("farthest", PivotSelectionStrategy::Farthest),
+        ("k-means", PivotSelectionStrategy::KMeans { iterations: 5 }),
+    ]
+}
+
+/// The four strategy combinations plotted in Figures 6 and 7 (the paper drops
+/// farthest selection there because it is too slow to finish).
+fn figure_combos() -> Vec<(&'static str, PivotSelectionStrategy, GroupingStrategy)> {
+    vec![
+        ("RGE", PivotSelectionStrategy::Random { candidate_sets: 5 }, GroupingStrategy::Geometric),
+        ("RGR", PivotSelectionStrategy::Random { candidate_sets: 5 }, GroupingStrategy::Greedy),
+        ("KGE", PivotSelectionStrategy::KMeans { iterations: 5 }, GroupingStrategy::Geometric),
+        ("KGR", PivotSelectionStrategy::KMeans { iterations: 5 }, GroupingStrategy::Greedy),
+    ]
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct SizeStatsRow {
+    pivots: usize,
+    strategy: String,
+    min: usize,
+    max: usize,
+    avg: f64,
+    dev: f64,
+}
+
+fn partition_dataset(
+    data: &PointSet,
+    pivot_count: usize,
+    strategy: PivotSelectionStrategy,
+    seed: u64,
+) -> (SummaryTables, knnjoin::partition::PartitionedDataset) {
+    let pivots = select_pivots(data, pivot_count, strategy, 10_000, METRIC, seed);
+    let partitioner = VoronoiPartitioner::new(pivots.clone(), METRIC);
+    let partitioned = partitioner.partition(data);
+    let tables = SummaryTables::build(pivots, METRIC, &partitioned, &partitioned, 10);
+    (tables, partitioned)
+}
+
+/// Table 2: statistics of partition sizes per pivot selection strategy and
+/// pivot count.
+pub fn table2(scale: ExperimentScale) -> ExperimentOutput {
+    let workloads = Workloads::new(scale);
+    let data = workloads.forest_default();
+    let mut table = Table::new(
+        "Table 2: statistics of partition size",
+        &["# of pivots", "strategy", "min", "max", "avg", "dev"],
+    );
+    let mut rows = Vec::new();
+    for &pivot_count in &workloads.pivot_sweep() {
+        for (name, strategy) in selection_strategies() {
+            let (_, partitioned) = partition_dataset(&data, pivot_count, strategy, 2012);
+            let (min, max, avg, dev) = partitioned.size_statistics();
+            table.add_row(vec![
+                pivot_count.to_string(),
+                name.to_string(),
+                min.to_string(),
+                max.to_string(),
+                fmt_f64(avg),
+                fmt_f64(dev),
+            ]);
+            rows.push(SizeStatsRow { pivots: pivot_count, strategy: name.to_string(), min, max, avg, dev });
+        }
+    }
+    ExperimentOutput {
+        id: "table2".into(),
+        paper_artifact: "Table 2 (partition size statistics by pivot selection strategy)".into(),
+        tables: vec![table],
+        json: serde_json::to_value(rows).expect("serializable rows"),
+    }
+}
+
+/// Table 3: statistics of group sizes (geometric grouping) per pivot selection
+/// strategy and pivot count.
+pub fn table3(scale: ExperimentScale) -> ExperimentOutput {
+    let workloads = Workloads::new(scale);
+    let data = workloads.forest_default();
+    let n_groups = workloads.default_reducers();
+    let k = workloads.default_k();
+    let mut table = Table::new(
+        "Table 3: statistics of group size (geometric grouping)",
+        &["# of pivots", "strategy", "min", "max", "avg", "dev"],
+    );
+    let mut rows = Vec::new();
+    for &pivot_count in &workloads.pivot_sweep() {
+        for (name, strategy) in selection_strategies() {
+            let (tables, _) = partition_dataset(&data, pivot_count, strategy, 2012);
+            let bounds = PartitionBounds::compute(&tables, k);
+            let grouping = build_grouping(GroupingStrategy::Geometric, &tables, &bounds, n_groups);
+            let (min, max, avg, dev) = grouping.size_statistics(&tables);
+            table.add_row(vec![
+                pivot_count.to_string(),
+                name.to_string(),
+                min.to_string(),
+                max.to_string(),
+                fmt_f64(avg),
+                fmt_f64(dev),
+            ]);
+            rows.push(SizeStatsRow { pivots: pivot_count, strategy: name.to_string(), min, max, avg, dev });
+        }
+    }
+    ExperimentOutput {
+        id: "table3".into(),
+        paper_artifact: "Table 3 (group size statistics, geometric grouping)".into(),
+        tables: vec![table],
+        json: serde_json::to_value(rows).expect("serializable rows"),
+    }
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct ComboRow {
+    pivots: usize,
+    combo: String,
+    pivot_selection_s: f64,
+    data_partitioning_s: f64,
+    index_merging_s: f64,
+    partition_grouping_s: f64,
+    knn_join_s: f64,
+    total_s: f64,
+    selectivity_per_thousand: f64,
+    avg_replication: f64,
+}
+
+/// Runs PGBJ once for every (pivot count, strategy combo) and records the
+/// per-phase timings plus selectivity/replication; shared by Figures 6 and 7.
+fn combo_runs(scale: ExperimentScale) -> Vec<ComboRow> {
+    let workloads = Workloads::new(scale);
+    let data = workloads.forest_default();
+    let k = workloads.default_k();
+    let reducers = workloads.default_reducers();
+    let mut rows = Vec::new();
+    for &pivot_count in &workloads.pivot_sweep() {
+        for (name, pivot_strategy, grouping_strategy) in figure_combos() {
+            let pgbj = Pgbj::new(PgbjConfig {
+                pivot_count,
+                pivot_strategy,
+                grouping_strategy,
+                reducers,
+                ..Default::default()
+            });
+            let result = pgbj
+                .join(&data, &data, k, METRIC)
+                .expect("parameter-study join must succeed");
+            let m = &result.metrics;
+            rows.push(ComboRow {
+                pivots: pivot_count,
+                combo: name.to_string(),
+                pivot_selection_s: m.phase(phases::PIVOT_SELECTION).as_secs_f64(),
+                data_partitioning_s: m.phase(phases::DATA_PARTITIONING).as_secs_f64(),
+                index_merging_s: m.phase(phases::INDEX_MERGING).as_secs_f64(),
+                partition_grouping_s: m.phase(phases::PARTITION_GROUPING).as_secs_f64(),
+                knn_join_s: m.phase(phases::KNN_JOIN).as_secs_f64(),
+                total_s: m.total_time().as_secs_f64(),
+                selectivity_per_thousand: m.computation_selectivity() * 1000.0,
+                avg_replication: m.average_replication(),
+            });
+        }
+    }
+    rows
+}
+
+/// Figure 6: running time of each PGBJ phase for the RGE/RGR/KGE/KGR strategy
+/// combinations across the pivot sweep.
+pub fn fig6(scale: ExperimentScale) -> ExperimentOutput {
+    let rows = combo_runs(scale);
+    let mut table = Table::new(
+        "Figure 6: query cost of tuning parameters (per-phase running time, seconds)",
+        &[
+            "pivots", "combo", "pivot selection", "data partitioning", "index merging",
+            "partition grouping", "knn join", "total",
+        ],
+    );
+    for r in &rows {
+        table.add_row(vec![
+            r.pivots.to_string(),
+            r.combo.clone(),
+            fmt_secs(std::time::Duration::from_secs_f64(r.pivot_selection_s)),
+            fmt_secs(std::time::Duration::from_secs_f64(r.data_partitioning_s)),
+            fmt_secs(std::time::Duration::from_secs_f64(r.index_merging_s)),
+            fmt_secs(std::time::Duration::from_secs_f64(r.partition_grouping_s)),
+            fmt_secs(std::time::Duration::from_secs_f64(r.knn_join_s)),
+            fmt_secs(std::time::Duration::from_secs_f64(r.total_s)),
+        ]);
+    }
+    ExperimentOutput {
+        id: "fig6".into(),
+        paper_artifact: "Figure 6 (per-phase running time of PGBJ strategy combinations)".into(),
+        tables: vec![table],
+        json: serde_json::to_value(rows).expect("serializable rows"),
+    }
+}
+
+/// Figure 7: computation selectivity (a) and average replication of `S` (b)
+/// versus the number of pivots for the four strategy combinations.
+pub fn fig7(scale: ExperimentScale) -> ExperimentOutput {
+    let rows = combo_runs(scale);
+    let combos: Vec<String> = figure_combos().iter().map(|(n, _, _)| n.to_string()).collect();
+    let mut header = vec!["pivots".to_string()];
+    header.extend(combos.iter().cloned());
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+
+    let mut selectivity = Table::new(
+        "Figure 7(a): computation selectivity [per thousand]",
+        &header_refs,
+    );
+    let mut replication = Table::new("Figure 7(b): average replication of S", &header_refs);
+    let pivot_values: Vec<usize> = {
+        let mut v: Vec<usize> = rows.iter().map(|r| r.pivots).collect();
+        v.dedup();
+        v
+    };
+    for pivots in pivot_values {
+        let mut sel_row = vec![pivots.to_string()];
+        let mut rep_row = vec![pivots.to_string()];
+        for combo in &combos {
+            let row = rows
+                .iter()
+                .find(|r| r.pivots == pivots && &r.combo == combo)
+                .expect("every combo is measured for every pivot count");
+            sel_row.push(fmt_f64(row.selectivity_per_thousand));
+            rep_row.push(fmt_f64(row.avg_replication));
+        }
+        selectivity.add_row(sel_row);
+        replication.add_row(rep_row);
+    }
+    ExperimentOutput {
+        id: "fig7".into(),
+        paper_artifact: "Figure 7 (computation selectivity & replication vs number of pivots)".into(),
+        tables: vec![selectivity, replication],
+        json: serde_json::to_value(rows).expect("serializable rows"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_one_row_per_strategy_and_pivot_count() {
+        let out = table2(ExperimentScale::Quick);
+        let w = Workloads::new(ExperimentScale::Quick);
+        assert_eq!(out.tables.len(), 1);
+        assert_eq!(out.tables[0].row_count(), w.pivot_sweep().len() * 3);
+        assert!(out.json.as_array().is_some());
+    }
+
+    #[test]
+    fn table2_partition_sizes_average_to_dataset_over_pivots() {
+        let out = table2(ExperimentScale::Quick);
+        let rows = out.json.as_array().unwrap();
+        let w = Workloads::new(ExperimentScale::Quick);
+        let n = w.forest_default().len() as f64;
+        for row in rows {
+            let pivots = row["pivots"].as_u64().unwrap() as f64;
+            let avg = row["avg"].as_f64().unwrap();
+            assert!((avg - n / pivots).abs() < 1e-6, "avg {avg} vs {}", n / pivots);
+        }
+    }
+
+    #[test]
+    fn table2_farthest_selection_is_most_skewed() {
+        // The paper's headline observation: farthest selection produces far
+        // more unbalanced partitions than random or k-means selection.
+        let out = table2(ExperimentScale::Quick);
+        let rows = out.json.as_array().unwrap();
+        let max_dev = |strategy: &str| {
+            rows.iter()
+                .filter(|r| r["strategy"] == strategy)
+                .map(|r| r["dev"].as_f64().unwrap())
+                .fold(0.0f64, f64::max)
+        };
+        assert!(max_dev("farthest") >= max_dev("random"));
+    }
+
+    #[test]
+    fn table3_group_sizes_sum_to_dataset() {
+        let out = table3(ExperimentScale::Quick);
+        let rows = out.json.as_array().unwrap();
+        let w = Workloads::new(ExperimentScale::Quick);
+        let n = w.forest_default().len() as f64;
+        let n_groups = w.default_reducers() as f64;
+        for row in rows {
+            let avg = row["avg"].as_f64().unwrap();
+            assert!((avg * n_groups - n).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fig6_and_fig7_cover_all_combos() {
+        let out = fig6(ExperimentScale::Quick);
+        let w = Workloads::new(ExperimentScale::Quick);
+        assert_eq!(out.tables[0].row_count(), w.pivot_sweep().len() * 4);
+        let out7 = fig7(ExperimentScale::Quick);
+        assert_eq!(out7.tables.len(), 2);
+        assert_eq!(out7.tables[0].row_count(), w.pivot_sweep().len());
+        // replication is at least 1 for every combo
+        for row in out7.json.as_array().unwrap() {
+            assert!(row["avg_replication"].as_f64().unwrap() >= 1.0);
+        }
+    }
+}

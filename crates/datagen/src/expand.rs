@@ -1,0 +1,204 @@
+//! The paper's dataset-expansion procedure ("Forest ×t").
+//!
+//! Section 6 of the paper grows the Forest dataset by a factor `t` while
+//! "maintaining the same distribution of values over the dimensions":
+//!
+//! 1. compute the frequency of every value in each dimension and sort the
+//!    values of that dimension in ascending order of frequency;
+//! 2. for each original object `o`, create a new object `ō` where `ō[i]` is
+//!    the value ranked immediately after `o[i]` in that sorted list; to create
+//!    multiple new objects per original, use the next few values in the list;
+//!    if `o[i]` is the last value of the list, it stays unchanged.
+//!
+//! [`expand_dataset`] implements exactly this, producing `t × |O|` objects
+//! (the originals plus `t − 1` derived copies each) with fresh sequential ids.
+
+use geom::{Point, PointSet};
+use std::collections::HashMap;
+
+/// Expands `original` by an integer factor `t ≥ 1` using the frequency-ranked
+/// neighbouring-value substitution described in Section 6 of the paper.
+///
+/// The result contains the original objects followed by `t − 1` derived
+/// objects per original; ids are re-assigned sequentially so they stay unique.
+///
+/// # Panics
+/// Panics if `t == 0`.
+pub fn expand_dataset(original: &PointSet, t: usize) -> PointSet {
+    assert!(t >= 1, "expansion factor must be at least 1");
+    if t == 1 || original.is_empty() {
+        let mut out = original.clone();
+        reassign_ids(&mut out);
+        return out;
+    }
+
+    let dims = original.dims();
+
+    // Step 1: per-dimension frequency-sorted value lists and a value -> rank
+    // lookup table.  Values are bucketed by their exact bit pattern, which is
+    // appropriate because the Forest attributes are integral.
+    let mut sorted_values: Vec<Vec<f64>> = Vec::with_capacity(dims);
+    let mut rank_of: Vec<HashMap<u64, usize>> = Vec::with_capacity(dims);
+    for d in 0..dims {
+        let mut freq: HashMap<u64, (f64, usize)> = HashMap::new();
+        for p in original {
+            let v = p.coords[d];
+            let e = freq.entry(v.to_bits()).or_insert((v, 0));
+            e.1 += 1;
+        }
+        let mut values: Vec<(f64, usize)> = freq.into_values().collect();
+        // Ascending frequency, ties broken by value so the ordering is total
+        // and deterministic.
+        values.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.partial_cmp(&b.0).unwrap()));
+        let list: Vec<f64> = values.iter().map(|(v, _)| *v).collect();
+        let mut ranks = HashMap::with_capacity(list.len());
+        for (rank, v) in list.iter().enumerate() {
+            ranks.insert(v.to_bits(), rank);
+        }
+        sorted_values.push(list);
+        rank_of.push(ranks);
+    }
+
+    // Step 2: emit the original objects plus t-1 shifted copies of each.
+    let mut out = Vec::with_capacity(original.len() * t);
+    for p in original {
+        out.push(p.clone());
+    }
+    for shift in 1..t {
+        for p in original {
+            let coords = (0..dims)
+                .map(|d| {
+                    let rank = rank_of[d][&p.coords[d].to_bits()];
+                    let list = &sorted_values[d];
+                    // "if o[i] is the last value in the list, keep it constant"
+                    let new_rank = (rank + shift).min(list.len() - 1);
+                    list[new_rank]
+                })
+                .collect();
+            out.push(Point::new(0, coords));
+        }
+    }
+
+    let mut ps = PointSet::from_points(out);
+    reassign_ids(&mut ps);
+    ps
+}
+
+fn reassign_ids(ps: &mut PointSet) {
+    for (i, p) in ps.points_mut().iter_mut().enumerate() {
+        p.id = i as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn tiny() -> PointSet {
+        PointSet::from_coords(vec![
+            vec![1.0, 10.0],
+            vec![1.0, 20.0],
+            vec![2.0, 20.0],
+            vec![3.0, 20.0],
+        ])
+    }
+
+    #[test]
+    fn factor_one_is_identity_up_to_ids() {
+        let ps = tiny();
+        let out = expand_dataset(&ps, 1);
+        assert_eq!(out.len(), ps.len());
+        for (a, b) in out.iter().zip(ps.iter()) {
+            assert_eq!(a.coords, b.coords);
+        }
+    }
+
+    #[test]
+    fn output_size_is_t_times_input() {
+        let ps = tiny();
+        for t in 1..=5 {
+            assert_eq!(expand_dataset(&ps, t).len(), ps.len() * t);
+        }
+    }
+
+    #[test]
+    fn ids_are_unique_and_sequential() {
+        let out = expand_dataset(&tiny(), 3);
+        let ids: Vec<u64> = out.iter().map(|p| p.id).collect();
+        let expect: Vec<u64> = (0..out.len() as u64).collect();
+        assert_eq!(ids, expect);
+    }
+
+    #[test]
+    fn derived_values_come_from_original_domain() {
+        let ps = tiny();
+        let out = expand_dataset(&ps, 4);
+        for d in 0..ps.dims() {
+            let domain: std::collections::HashSet<u64> =
+                ps.iter().map(|p| p.coords[d].to_bits()).collect();
+            for p in &out {
+                assert!(domain.contains(&p.coords[d].to_bits()));
+            }
+        }
+    }
+
+    #[test]
+    fn last_ranked_value_stays_constant() {
+        // In dimension 0, value 1.0 appears twice (highest frequency) so it is
+        // ranked last; derived copies of objects holding it must keep it.
+        let ps = tiny();
+        let out = expand_dataset(&ps, 2);
+        // Originals are the first 4; their derived copies are the next 4 in
+        // the same order.
+        for (orig, derived) in ps.iter().zip(out.iter().skip(4)) {
+            if orig.coords[0] == 1.0 {
+                assert_eq!(derived.coords[0], 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn value_frequencies_are_approximately_preserved() {
+        // The paper's goal is to keep the per-dimension distribution similar.
+        // Check that the set of distinct values does not change and that the
+        // most frequent original value is still among the most frequent ones.
+        let ps = crate::forest_like(&crate::ForestConfig { n_points: 500, dims: 3, n_clusters: 4 }, 2);
+        let out = expand_dataset(&ps, 5);
+        assert_eq!(out.len(), 2500);
+        for d in 0..3 {
+            let orig_domain: std::collections::HashSet<u64> =
+                ps.iter().map(|p| p.coords[d].to_bits()).collect();
+            let out_domain: std::collections::HashSet<u64> =
+                out.iter().map(|p| p.coords[d].to_bits()).collect();
+            assert!(out_domain.is_subset(&orig_domain));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expansion factor")]
+    fn zero_factor_panics() {
+        let _ = expand_dataset(&tiny(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn expansion_size_and_domain_hold_for_random_integer_data(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(0i32..20, 3), 1..60),
+            t in 1usize..5,
+        ) {
+            let ps = PointSet::from_coords(
+                rows.iter().map(|r| r.iter().map(|v| *v as f64).collect()).collect());
+            let out = expand_dataset(&ps, t);
+            prop_assert_eq!(out.len(), ps.len() * t);
+            for d in 0..3 {
+                let domain: std::collections::HashSet<u64> =
+                    ps.iter().map(|p| p.coords[d].to_bits()).collect();
+                for p in &out {
+                    prop_assert!(domain.contains(&p.coords[d].to_bits()));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Seeded synthetic dataset generators for the PGBJ kNN-join reproduction.
+//!
+//! The paper evaluates on two real datasets — the UCI *Forest CoverType*
+//! dataset (580K objects, 10 integer attributes used) and an *OpenStreetMap*
+//! extract (10M 2-d records) — plus "Expanded Forest" datasets produced by a
+//! frequency-preserving expansion procedure ("Forest ×t").  Those files are
+//! not redistributable here, so this crate provides deterministic, seeded
+//! generators that reproduce the *shape* that matters to the algorithms:
+//! multi-dimensional, skewed, clustered data with integer-valued attributes
+//! (Forest-like) and low-dimensional heavy-tailed geographic data (OSM-like).
+//! The ×t expansion procedure itself is implemented exactly as described in
+//! Section 6 of the paper (see [`expand::expand_dataset`]).
+//!
+//! All generators take an explicit seed, so experiments are reproducible.
+
+pub mod expand;
+pub mod forest;
+pub mod osm;
+pub mod synthetic;
+
+pub use expand::expand_dataset;
+pub use forest::{forest_like, ForestConfig};
+pub use osm::{osm_like, OsmConfig};
+pub use synthetic::{gaussian_clusters, uniform, ClusterConfig};

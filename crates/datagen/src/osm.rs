@@ -1,0 +1,203 @@
+//! OpenStreetMap-like 2-d geographic dataset.
+//!
+//! The paper's second real dataset is a 10-million-record extract of
+//! OpenStreetMap, each record being a (longitude, latitude) pair.  Real map
+//! data is extremely non-uniform: most objects concentrate in cities and along
+//! roads, with vast sparse areas in between.  [`osm_like`] reproduces that
+//! structure with a hierarchical mixture: a few large "metropolitan" clusters,
+//! many small "town" clusters with heavy-tailed populations, and a thin
+//! uniform background.
+
+use crate::synthetic::gaussian;
+use geom::{Point, PointSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`osm_like`].
+#[derive(Debug, Clone)]
+pub struct OsmConfig {
+    /// Number of records to generate.
+    pub n_points: usize,
+    /// Number of dense "city" clusters.
+    pub n_cities: usize,
+    /// Number of smaller "town" clusters.
+    pub n_towns: usize,
+    /// Fraction of points drawn from the uniform background (rural noise).
+    pub background_fraction: f64,
+    /// Longitude range, degrees.
+    pub lon_range: (f64, f64),
+    /// Latitude range, degrees.
+    pub lat_range: (f64, f64),
+}
+
+impl Default for OsmConfig {
+    fn default() -> Self {
+        Self {
+            n_points: 50_000,
+            n_cities: 8,
+            n_towns: 60,
+            background_fraction: 0.05,
+            lon_range: (-10.0, 30.0),
+            lat_range: (35.0, 60.0),
+        }
+    }
+}
+
+/// Generates an OSM-like 2-d dataset of (longitude, latitude) points.
+pub fn osm_like(cfg: &OsmConfig, seed: u64) -> PointSet {
+    assert!(cfg.n_points > 0, "n_points must be positive");
+    assert!(cfg.n_cities > 0 && cfg.n_towns > 0, "need at least one city and town");
+    assert!(
+        (0.0..=1.0).contains(&cfg.background_fraction),
+        "background_fraction must be in [0, 1]"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let (lon_min, lon_max) = cfg.lon_range;
+    let (lat_min, lat_max) = cfg.lat_range;
+    let lon_span = lon_max - lon_min;
+    let lat_span = lat_max - lat_min;
+
+    // City centres anywhere in the box; towns scattered near cities with some
+    // probability, otherwise independent, yielding corridor-like structure.
+    let cities: Vec<(f64, f64, f64)> = (0..cfg.n_cities)
+        .map(|_| {
+            (
+                lon_min + rng.gen::<f64>() * lon_span,
+                lat_min + rng.gen::<f64>() * lat_span,
+                0.002 * lon_span.max(lat_span) * (1.0 + rng.gen::<f64>() * 3.0),
+            )
+        })
+        .collect();
+    let towns: Vec<(f64, f64, f64)> = (0..cfg.n_towns)
+        .map(|_| {
+            if rng.gen::<f64>() < 0.5 {
+                // satellite town near a random city
+                let (cx, cy, _) = cities[rng.gen_range(0..cities.len())];
+                (
+                    (cx + gaussian(&mut rng) * 0.05 * lon_span).clamp(lon_min, lon_max),
+                    (cy + gaussian(&mut rng) * 0.05 * lat_span).clamp(lat_min, lat_max),
+                    0.0008 * lon_span.max(lat_span) * (1.0 + rng.gen::<f64>()),
+                )
+            } else {
+                (
+                    lon_min + rng.gen::<f64>() * lon_span,
+                    lat_min + rng.gen::<f64>() * lat_span,
+                    0.0008 * lon_span.max(lat_span) * (1.0 + rng.gen::<f64>()),
+                )
+            }
+        })
+        .collect();
+
+    // Heavy-tailed population weights: cities dominate, towns follow a Zipf
+    // tail.
+    let mut centers = cities;
+    centers.extend(towns.iter().copied());
+    let weights: Vec<f64> = (0..centers.len())
+        .map(|i| {
+            if i < cfg.n_cities {
+                10.0 / (i + 1) as f64
+            } else {
+                1.0 / ((i - cfg.n_cities + 2) as f64).powf(1.2)
+            }
+        })
+        .collect();
+    let total_weight: f64 = weights.iter().sum();
+
+    let points = (0..cfg.n_points)
+        .map(|id| {
+            let coords = if rng.gen::<f64>() < cfg.background_fraction {
+                vec![
+                    lon_min + rng.gen::<f64>() * lon_span,
+                    lat_min + rng.gen::<f64>() * lat_span,
+                ]
+            } else {
+                let mut pick = rng.gen::<f64>() * total_weight;
+                let mut ci = 0;
+                for (i, w) in weights.iter().enumerate() {
+                    if pick < *w {
+                        ci = i;
+                        break;
+                    }
+                    pick -= w;
+                    ci = i;
+                }
+                let (cx, cy, std) = centers[ci];
+                vec![
+                    (cx + gaussian(&mut rng) * std).clamp(lon_min, lon_max),
+                    (cy + gaussian(&mut rng) * std).clamp(lat_min, lat_max),
+                ]
+            };
+            Point::new(id as u64, coords)
+        })
+        .collect();
+    PointSet::from_points(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_two_dimensional() {
+        let cfg = OsmConfig { n_points: 2000, ..Default::default() };
+        let a = osm_like(&cfg, 17);
+        let b = osm_like(&cfg, 17);
+        assert_eq!(a, b);
+        assert_eq!(a.dims(), 2);
+        assert_eq!(a.len(), 2000);
+    }
+
+    #[test]
+    fn coordinates_stay_in_configured_box() {
+        let cfg = OsmConfig {
+            n_points: 3000,
+            lon_range: (0.0, 1.0),
+            lat_range: (10.0, 11.0),
+            ..Default::default()
+        };
+        let ps = osm_like(&cfg, 5);
+        for p in &ps {
+            assert!((0.0..=1.0).contains(&p.coords[0]));
+            assert!((10.0..=11.0).contains(&p.coords[1]));
+        }
+    }
+
+    #[test]
+    fn data_is_heavily_clustered() {
+        // Compare the median nearest-neighbour distance against the expected
+        // NN distance of a uniform dataset of the same size/extent; clustered
+        // data must be markedly denser locally.
+        let cfg = OsmConfig { n_points: 1500, background_fraction: 0.02, ..Default::default() };
+        let ps = osm_like(&cfg, 23);
+        let metric = geom::DistanceMetric::Euclidean;
+        let mut nn: Vec<f64> = ps
+            .iter()
+            .map(|p| {
+                let mut best = f64::INFINITY;
+                for q in &ps {
+                    if p.id != q.id {
+                        best = best.min(metric.distance(p, q));
+                    }
+                }
+                best
+            })
+            .collect();
+        nn.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = nn[nn.len() / 2];
+        // Uniform expectation ~ 0.5 / sqrt(n / area) = 0.5 * sqrt(area/n).
+        let area = 40.0 * 25.0;
+        let uniform_nn = 0.5 * (area / ps.len() as f64).sqrt();
+        assert!(
+            median < uniform_nn / 3.0,
+            "median NN {median} not much smaller than uniform expectation {uniform_nn}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "background_fraction")]
+    fn invalid_background_fraction_panics() {
+        let cfg = OsmConfig { background_fraction: 1.5, ..Default::default() };
+        let _ = osm_like(&cfg, 0);
+    }
+}

@@ -1,0 +1,24 @@
+//! Geometric primitives shared by every crate in the PGBJ kNN-join reproduction.
+//!
+//! The paper ("Efficient Processing of k Nearest Neighbor Joins using MapReduce",
+//! VLDB 2012) operates on objects in an `n`-dimensional metric space under the
+//! Euclidean distance (it notes that L1 and L∞ work equally well).  This crate
+//! provides:
+//!
+//! * [`Point`] — an identified, owned vector of `f64` coordinates,
+//! * [`PointSet`] — a dataset of points with convenience accessors,
+//! * [`DistanceMetric`] — L2 / L1 / L∞ distance functions,
+//! * [`Record`] / [`encode`](record::encode) — the compact binary encoding used by
+//!   the MapReduce layer so that shuffle volume can be accounted in bytes, and
+//! * [`Neighbor`] / [`NeighborList`] — bounded max-heaps that maintain the `k`
+//!   nearest neighbours seen so far.
+
+pub mod metric;
+pub mod neighbor;
+pub mod point;
+pub mod record;
+
+pub use metric::DistanceMetric;
+pub use neighbor::{Neighbor, NeighborList};
+pub use point::{Point, PointId, PointSet};
+pub use record::{Record, RecordKind};

@@ -1,0 +1,129 @@
+//! Distance metrics.
+//!
+//! The paper uses the Euclidean distance (Equation 1) and notes that the
+//! Manhattan (L1) and maximum (L∞) distances are equally applicable, since the
+//! pruning rules only rely on the triangle inequality.  All three are provided
+//! here; every algorithm in the workspace is parameterised by a
+//! [`DistanceMetric`].
+
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+
+/// A metric on the `n`-dimensional space `D`.
+///
+/// All variants satisfy the triangle inequality, which the distance bounds of
+/// Theorems 3 and 4 in the paper depend on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum DistanceMetric {
+    /// Euclidean distance (Equation 1 in the paper).
+    #[default]
+    Euclidean,
+    /// Manhattan distance (L1).
+    Manhattan,
+    /// Maximum / Chebyshev distance (L∞).
+    Chebyshev,
+}
+
+impl DistanceMetric {
+    /// Distance `|r, s|` between two coordinate slices.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the slices have different lengths.
+    pub fn distance_coords(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len(), "dimensionality mismatch");
+        match self {
+            DistanceMetric::Euclidean => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| {
+                    let d = x - y;
+                    d * d
+                })
+                .sum::<f64>()
+                .sqrt(),
+            DistanceMetric::Manhattan => a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum(),
+            DistanceMetric::Chebyshev => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0, f64::max),
+        }
+    }
+
+    /// Distance `|r, s|` between two points.
+    pub fn distance(&self, a: &Point, b: &Point) -> f64 {
+        self.distance_coords(&a.coords, &b.coords)
+    }
+
+    /// Human readable name, used by the benchmark harness when labelling rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DistanceMetric::Euclidean => "L2",
+            DistanceMetric::Manhattan => "L1",
+            DistanceMetric::Chebyshev => "Linf",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn p(id: u64, coords: &[f64]) -> Point {
+        Point::new(id, coords.to_vec())
+    }
+
+    #[test]
+    fn euclidean_matches_hand_computation() {
+        let m = DistanceMetric::Euclidean;
+        assert!((m.distance(&p(0, &[0.0, 0.0]), &p(1, &[3.0, 4.0])) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn manhattan_matches_hand_computation() {
+        let m = DistanceMetric::Manhattan;
+        assert!((m.distance(&p(0, &[1.0, 2.0]), &p(1, &[4.0, -2.0])) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chebyshev_matches_hand_computation() {
+        let m = DistanceMetric::Chebyshev;
+        assert!((m.distance(&p(0, &[1.0, 2.0]), &p(1, &[4.0, -2.0])) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(DistanceMetric::Euclidean.name(), "L2");
+        assert_eq!(DistanceMetric::Manhattan.name(), "L1");
+        assert_eq!(DistanceMetric::Chebyshev.name(), "Linf");
+    }
+
+    #[test]
+    fn default_is_euclidean() {
+        assert_eq!(DistanceMetric::default(), DistanceMetric::Euclidean);
+    }
+
+    proptest! {
+        /// Distance axioms: non-negativity, identity, symmetry, triangle
+        /// inequality — these underpin every pruning rule in the paper.
+        #[test]
+        fn metric_axioms(
+            a in proptest::collection::vec(-1e3f64..1e3, 4),
+            b in proptest::collection::vec(-1e3f64..1e3, 4),
+            c in proptest::collection::vec(-1e3f64..1e3, 4),
+            which in 0usize..3,
+        ) {
+            let m = [DistanceMetric::Euclidean, DistanceMetric::Manhattan, DistanceMetric::Chebyshev][which];
+            let dab = m.distance_coords(&a, &b);
+            let dba = m.distance_coords(&b, &a);
+            let dac = m.distance_coords(&a, &c);
+            let dcb = m.distance_coords(&c, &b);
+            prop_assert!(dab >= 0.0);
+            prop_assert!((dab - dba).abs() < 1e-9);
+            prop_assert!(m.distance_coords(&a, &a) < 1e-12);
+            // triangle inequality with a small tolerance for fp error
+            prop_assert!(dab <= dac + dcb + 1e-9);
+        }
+    }
+}

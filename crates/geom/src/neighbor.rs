@@ -1,0 +1,204 @@
+//! Bounded k-nearest-neighbour accumulators.
+//!
+//! Both the reducers of the paper's Algorithm 3 and the baseline joins need to
+//! maintain "the best `k` candidates seen so far, and the distance of the
+//! worst of them" while scanning candidate objects.  [`NeighborList`] is a
+//! max-heap bounded at `k` entries providing exactly that.
+
+use crate::point::PointId;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A candidate neighbour: the id of an `S` object and its distance to the
+/// query object from `R`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Neighbor {
+    /// Id of the neighbour (an object of `S`).
+    pub id: PointId,
+    /// Distance from the query object to this neighbour.
+    pub distance: f64,
+}
+
+impl Neighbor {
+    /// Creates a neighbour record.
+    pub fn new(id: PointId, distance: f64) -> Self {
+        Self { id, distance }
+    }
+}
+
+impl Eq for Neighbor {}
+
+impl Ord for Neighbor {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Order primarily by distance; break ties by id so the ordering is total
+        // and results are deterministic across runs and algorithms.
+        self.distance
+            .partial_cmp(&other.distance)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+impl PartialOrd for Neighbor {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A bounded max-heap that keeps the `k` smallest-distance neighbours.
+#[derive(Debug, Clone)]
+pub struct NeighborList {
+    k: usize,
+    heap: BinaryHeap<Neighbor>,
+}
+
+impl NeighborList {
+    /// Creates an empty list bounded at `k` entries.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`: a kNN join with `k = 0` is meaningless.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// The bound `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of neighbours currently held (≤ `k`).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no neighbour has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Whether the list already holds `k` neighbours.
+    pub fn is_full(&self) -> bool {
+        self.heap.len() >= self.k
+    }
+
+    /// Current pruning threshold θ: the distance of the worst neighbour kept,
+    /// or `f64::INFINITY` while fewer than `k` neighbours have been seen.
+    ///
+    /// This matches line 24 of Algorithm 3: `θ ← max_{o ∈ KNN(r,S)} |o, r|`.
+    pub fn threshold(&self) -> f64 {
+        if self.is_full() {
+            self.heap.peek().map_or(f64::INFINITY, |n| n.distance)
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Offers a candidate; it is kept only if it improves the current kNN set.
+    /// Returns `true` if the candidate was inserted.
+    pub fn offer(&mut self, id: PointId, distance: f64) -> bool {
+        if self.heap.len() < self.k {
+            self.heap.push(Neighbor::new(id, distance));
+            true
+        } else if distance < self.threshold() {
+            self.heap.pop();
+            self.heap.push(Neighbor::new(id, distance));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes the list and returns the neighbours sorted by ascending
+    /// distance (ties broken by id).
+    pub fn into_sorted(self) -> Vec<Neighbor> {
+        let mut v = self.heap.into_vec();
+        v.sort();
+        v
+    }
+
+    /// Returns the neighbours sorted by ascending distance without consuming
+    /// the accumulator.
+    pub fn to_sorted(&self) -> Vec<Neighbor> {
+        self.clone().into_sorted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let _ = NeighborList::new(0);
+    }
+
+    #[test]
+    fn keeps_k_smallest() {
+        let mut l = NeighborList::new(3);
+        for (id, d) in [(1, 5.0), (2, 1.0), (3, 4.0), (4, 2.0), (5, 3.0)] {
+            l.offer(id, d);
+        }
+        let got: Vec<_> = l.into_sorted().iter().map(|n| n.id).collect();
+        assert_eq!(got, vec![2, 4, 5]);
+    }
+
+    #[test]
+    fn threshold_is_infinite_until_full() {
+        let mut l = NeighborList::new(2);
+        assert_eq!(l.threshold(), f64::INFINITY);
+        l.offer(1, 1.0);
+        assert_eq!(l.threshold(), f64::INFINITY);
+        l.offer(2, 2.0);
+        assert_eq!(l.threshold(), 2.0);
+        assert!(l.is_full());
+    }
+
+    #[test]
+    fn rejects_worse_candidates_when_full() {
+        let mut l = NeighborList::new(1);
+        assert!(l.offer(1, 1.0));
+        assert!(!l.offer(2, 2.0));
+        assert!(l.offer(3, 0.5));
+        assert_eq!(l.to_sorted()[0].id, 3);
+    }
+
+    #[test]
+    fn deterministic_tie_breaking_by_id() {
+        let mut a = NeighborList::new(2);
+        a.offer(5, 1.0);
+        a.offer(3, 1.0);
+        a.offer(9, 1.0);
+        let ids: Vec<_> = a.into_sorted().iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![3, 5]);
+    }
+
+    proptest! {
+        /// The accumulator must agree with sorting all candidates and taking
+        /// the first k (under the same deterministic tie-breaking).
+        #[test]
+        fn matches_full_sort(
+            dists in proptest::collection::vec(0.0f64..100.0, 1..64),
+            k in 1usize..10,
+        ) {
+            let mut list = NeighborList::new(k);
+            for (i, d) in dists.iter().enumerate() {
+                list.offer(i as PointId, *d);
+            }
+            let mut expect: Vec<Neighbor> = dists
+                .iter()
+                .enumerate()
+                .map(|(i, d)| Neighbor::new(i as PointId, *d))
+                .collect();
+            expect.sort();
+            expect.truncate(k);
+            prop_assert_eq!(list.into_sorted(), expect);
+        }
+    }
+}

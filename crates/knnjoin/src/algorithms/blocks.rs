@@ -1,0 +1,232 @@
+//! The √N × √N block framework shared by H-BRJ and PBJ (Section 3).
+//!
+//! Both baselines split `R` and `S` into `B = ⌊√N⌋` subsets each and give one
+//! reducer every pair `(R_i, S_j)`, so each `R` object meets every `S` object
+//! across the `B²` reducers.  Because a reducer only sees `1/B` of `S`, the
+//! per-cell kNN lists are partial and a second MapReduce job merges them into
+//! the global `k` best — exactly the extra job the paper charges to these
+//! baselines in its shuffling-cost analysis.
+
+use crate::algorithms::common::{counters, EncodedRecord, NeighborListValue};
+use crate::metrics::{phases, JoinMetrics};
+use crate::result::{JoinError, JoinRow};
+use geom::{Neighbor, RecordKind};
+use mapreduce::{
+    ByteSize, IdentityPartitioner, JobBuilder, MapContext, Mapper, ReduceContext, Reducer,
+};
+use std::time::Instant;
+
+/// Number of blocks per dataset for a given reducer budget: `⌊√N⌋`, at least 1.
+pub(crate) fn block_count(reducers: usize) -> usize {
+    ((reducers as f64).sqrt().floor() as usize).max(1)
+}
+
+/// Mapper of the block join job: replicate each `R` record across the row of
+/// reducer cells for its block and each `S` record across the column.
+pub(crate) struct BlockRouteMapper {
+    /// `B`, the number of blocks per dataset.
+    pub blocks: usize,
+}
+
+impl Mapper for BlockRouteMapper {
+    type KIn = u64;
+    type VIn = EncodedRecord;
+    type KOut = u32;
+    type VOut = EncodedRecord;
+
+    fn map(&self, key: &u64, value: &EncodedRecord, ctx: &mut MapContext<u32, EncodedRecord>) {
+        let b = self.blocks as u64;
+        let block = (key % b) as u32;
+        let kind = value.decode().kind;
+        match kind {
+            RecordKind::R => {
+                // R_i joins S_0..S_B-1: cells (block, 0..B).
+                for j in 0..self.blocks as u32 {
+                    ctx.counters().increment(counters::R_RECORDS);
+                    ctx.emit(block * self.blocks as u32 + j, value.clone());
+                }
+            }
+            RecordKind::S => {
+                // S_j joins R_0..R_B-1: cells (0..B, block).
+                for i in 0..self.blocks as u32 {
+                    ctx.counters().increment(counters::S_RECORDS);
+                    ctx.emit(i * self.blocks as u32 + block, value.clone());
+                }
+            }
+        }
+    }
+}
+
+/// Identity mapper of the merge job.
+pub(crate) struct MergeMapper;
+
+impl Mapper for MergeMapper {
+    type KIn = u64;
+    type VIn = NeighborListValue;
+    type KOut = u64;
+    type VOut = NeighborListValue;
+
+    fn map(&self, key: &u64, value: &NeighborListValue, ctx: &mut MapContext<u64, NeighborListValue>) {
+        ctx.emit(*key, value.clone());
+    }
+}
+
+/// Reducer of the merge job: keep the `k` globally best candidates per `R`
+/// object.
+pub(crate) struct MergeReducer {
+    pub k: usize,
+}
+
+impl Reducer for MergeReducer {
+    type KIn = u64;
+    type VIn = NeighborListValue;
+    type KOut = u64;
+    type VOut = Vec<Neighbor>;
+
+    fn reduce(
+        &self,
+        key: &u64,
+        values: &[NeighborListValue],
+        ctx: &mut ReduceContext<u64, Vec<Neighbor>>,
+    ) {
+        ctx.emit(*key, crate::algorithms::common::merge_neighbor_lists(values, self.k));
+    }
+}
+
+/// Runs the two MapReduce jobs of the block framework with the supplied
+/// per-cell join reducer, filling in phase timings, shuffle bytes and
+/// counters.
+pub(crate) fn run_block_framework<Red>(
+    input: Vec<(u64, EncodedRecord)>,
+    k: usize,
+    reducers: usize,
+    map_tasks: usize,
+    join_reducer: &Red,
+    metrics: &mut JoinMetrics,
+) -> Result<Vec<JoinRow>, JoinError>
+where
+    Red: Reducer<KIn = u32, VIn = EncodedRecord, KOut = u64, VOut = NeighborListValue>,
+{
+    let blocks = block_count(reducers);
+
+    // ---- Join job: one reducer per (R block, S block) cell -----------------
+    let start = Instant::now();
+    let join_job = JobBuilder::new("block-join")
+        .reducers(blocks * blocks)
+        .map_tasks(map_tasks)
+        .run_with_partitioner(
+            input,
+            &BlockRouteMapper { blocks },
+            join_reducer,
+            &IdentityPartitioner,
+        )
+        .map_err(|e| JoinError::MapReduce(e.to_string()))?;
+    metrics.record_phase(phases::KNN_JOIN, start.elapsed());
+    metrics.shuffle_bytes += join_job.metrics.shuffle_bytes;
+    metrics.distance_computations += join_job.metrics.counters.get(counters::DISTANCE_COMPUTATIONS);
+    metrics.r_records_shuffled += join_job.metrics.counters.get(counters::R_RECORDS);
+    metrics.s_records_shuffled += join_job.metrics.counters.get(counters::S_RECORDS);
+
+    // ---- Merge job: combine the per-cell partial kNN lists ------------------
+    let start = Instant::now();
+    let merge_input = join_job.output;
+    let merge_job = JobBuilder::new("block-merge")
+        .reducers(reducers)
+        .map_tasks(map_tasks)
+        .run(merge_input, &MergeMapper, &MergeReducer { k })
+        .map_err(|e| JoinError::MapReduce(e.to_string()))?;
+    metrics.record_phase(phases::RESULT_MERGING, start.elapsed());
+    metrics.shuffle_bytes += merge_job.metrics.shuffle_bytes;
+
+    Ok(merge_job
+        .output
+        .into_iter()
+        .map(|(r_id, neighbors)| JoinRow { r_id, neighbors })
+        .collect())
+}
+
+/// Sanity helper: the value types shuffled by the block jobs implement
+/// [`ByteSize`], so adding fields without updating the size accounting will
+/// show up in tests.
+#[allow(dead_code)]
+fn assert_value_types_are_sized(v: &EncodedRecord, n: &NeighborListValue) -> usize {
+    v.byte_size() + n.byte_size()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geom::{Point, Record};
+    use mapreduce::Counters;
+
+    #[test]
+    fn block_count_is_floor_sqrt() {
+        assert_eq!(block_count(1), 1);
+        assert_eq!(block_count(3), 1);
+        assert_eq!(block_count(4), 2);
+        assert_eq!(block_count(9), 3);
+        assert_eq!(block_count(10), 3);
+        assert_eq!(block_count(36), 6);
+        assert_eq!(block_count(0), 1);
+    }
+
+    #[test]
+    fn route_mapper_replicates_r_across_row_and_s_across_column() {
+        let mapper = BlockRouteMapper { blocks: 3 };
+        let r_rec = EncodedRecord::encode(&Record::new(RecordKind::R, 0, 0.0, Point::new(4, vec![0.0])));
+        let s_rec = EncodedRecord::encode(&Record::new(RecordKind::S, 0, 0.0, Point::new(5, vec![0.0])));
+
+        let mut ctx = MapContext::new(0, Counters::new());
+        mapper.map(&4, &r_rec, &mut ctx);
+        let r_cells: Vec<u32> = ctx.emitted().iter().map(|(c, _)| *c).collect();
+        // id 4 % 3 = block 1 → cells 3, 4, 5 (row 1)
+        assert_eq!(r_cells, vec![3, 4, 5]);
+
+        let mut ctx = MapContext::new(0, Counters::new());
+        mapper.map(&5, &s_rec, &mut ctx);
+        let s_cells: Vec<u32> = ctx.emitted().iter().map(|(c, _)| *c).collect();
+        // id 5 % 3 = block 2 → cells 2, 5, 8 (column 2)
+        assert_eq!(s_cells, vec![2, 5, 8]);
+    }
+
+    #[test]
+    fn every_r_block_meets_every_s_block() {
+        // For every pair (r, s), exactly one reducer cell receives both.
+        let blocks = 3;
+        let mapper = BlockRouteMapper { blocks };
+        let cells_of = |id: u64, kind: RecordKind| {
+            let rec = EncodedRecord::encode(&Record::new(kind, 0, 0.0, Point::new(id, vec![0.0])));
+            let mut ctx = MapContext::new(0, Counters::new());
+            mapper.map(&id, &rec, &mut ctx);
+            ctx.emitted().iter().cloned().map(|(c, _)| c).collect::<std::collections::HashSet<u32>>()
+        };
+        for r_id in 0..7u64 {
+            for s_id in 0..7u64 {
+                let shared: Vec<u32> = cells_of(r_id, RecordKind::R)
+                    .intersection(&cells_of(s_id, RecordKind::S))
+                    .copied()
+                    .collect();
+                assert_eq!(shared.len(), 1, "r {r_id} s {s_id} share {shared:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_reducer_keeps_global_best() {
+        let reducer = MergeReducer { k: 2 };
+        let mut ctx = ReduceContext::new(0, Counters::new());
+        reducer.reduce(
+            &7,
+            &[
+                NeighborListValue::new(vec![Neighbor::new(1, 3.0), Neighbor::new(2, 4.0)]),
+                NeighborListValue::new(vec![Neighbor::new(3, 1.0)]),
+            ],
+            &mut ctx,
+        );
+        assert_eq!(ctx.emitted().len(), 1);
+        let (key, merged) = &ctx.emitted()[0];
+        assert_eq!(*key, 7);
+        let ids: Vec<u64> = merged.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![3, 1]);
+    }
+}

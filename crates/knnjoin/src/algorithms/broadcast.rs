@@ -1,0 +1,283 @@
+//! The "basic strategy" of Section 3: partition `R` into `N` disjoint subsets
+//! and broadcast the *entire* `S` to every reducer.
+//!
+//! The paper introduces this strategy only to dismiss it — its shuffling cost
+//! is `|R| + N·|S|` and every reducer joins its `R` subset against all of `S`
+//! — but it is the natural naive MapReduce formulation and serves both as a
+//! correctness oracle with a different code path and as the upper anchor for
+//! the shuffle-cost comparisons.  A single job suffices (no merge phase),
+//! since every reducer sees all of `S`.
+
+use crate::algorithms::common::{counters, EncodedRecord};
+use crate::algorithms::KnnJoinAlgorithm;
+use crate::exact::validate_inputs;
+use crate::metrics::{phases, JoinMetrics};
+use crate::result::{JoinError, JoinResult, JoinRow};
+use geom::{DistanceMetric, Neighbor, NeighborList, Point, PointSet, Record, RecordKind};
+use mapreduce::{IdentityPartitioner, JobBuilder, MapContext, Mapper, ReduceContext, Reducer};
+use std::time::Instant;
+
+/// Configuration of [`BroadcastJoin`].
+#[derive(Debug, Clone)]
+pub struct BroadcastJoinConfig {
+    /// Number of reducers; `R` is split into this many subsets.
+    pub reducers: usize,
+    /// Number of map tasks.
+    pub map_tasks: usize,
+}
+
+impl Default for BroadcastJoinConfig {
+    fn default() -> Self {
+        Self { reducers: 4, map_tasks: 8 }
+    }
+}
+
+/// The naive broadcast kNN join (the paper's "basic strategy").
+#[derive(Debug, Clone, Default)]
+pub struct BroadcastJoin {
+    config: BroadcastJoinConfig,
+}
+
+impl BroadcastJoin {
+    /// Creates the algorithm with the given configuration.
+    pub fn new(config: BroadcastJoinConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &BroadcastJoinConfig {
+        &self.config
+    }
+
+    fn validate(&self) -> Result<(), JoinError> {
+        if self.config.reducers == 0 {
+            return Err(JoinError::InvalidConfig("reducers must be positive".into()));
+        }
+        if self.config.map_tasks == 0 {
+            return Err(JoinError::InvalidConfig("map_tasks must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+impl KnnJoinAlgorithm for BroadcastJoin {
+    fn name(&self) -> &'static str {
+        "Broadcast"
+    }
+
+    fn join(
+        &self,
+        r: &PointSet,
+        s: &PointSet,
+        k: usize,
+        metric: DistanceMetric,
+    ) -> Result<JoinResult, JoinError> {
+        self.validate()?;
+        validate_inputs(r, s, k)?;
+        let mut metrics = JoinMetrics { r_size: r.len(), s_size: s.len(), ..Default::default() };
+
+        let mut input = Vec::with_capacity(r.len() + s.len());
+        for p in r {
+            input.push((p.id, EncodedRecord::encode(&Record::new(RecordKind::R, 0, 0.0, p.clone()))));
+        }
+        for p in s {
+            input.push((p.id, EncodedRecord::encode(&Record::new(RecordKind::S, 0, 0.0, p.clone()))));
+        }
+
+        let start = Instant::now();
+        let job = JobBuilder::new("broadcast-join")
+            .reducers(self.config.reducers)
+            .map_tasks(self.config.map_tasks)
+            .run_with_partitioner(
+                input,
+                &BroadcastMapper { reducers: self.config.reducers },
+                &BroadcastReducer { k, metric },
+                &IdentityPartitioner,
+            )
+            .map_err(|e| JoinError::MapReduce(e.to_string()))?;
+        metrics.record_phase(phases::KNN_JOIN, start.elapsed());
+        metrics.shuffle_bytes = job.metrics.shuffle_bytes;
+        metrics.distance_computations = job.metrics.counters.get(counters::DISTANCE_COMPUTATIONS);
+        metrics.r_records_shuffled = job.metrics.counters.get(counters::R_RECORDS);
+        metrics.s_records_shuffled = job.metrics.counters.get(counters::S_RECORDS);
+
+        let rows = job
+            .output
+            .into_iter()
+            .map(|(r_id, neighbors)| JoinRow { r_id, neighbors })
+            .collect();
+        let mut result = JoinResult { rows, metrics };
+        result.normalize();
+        Ok(result)
+    }
+}
+
+/// Mapper: `R` objects go to one reducer (hash of their id); `S` objects are
+/// broadcast to every reducer.
+struct BroadcastMapper {
+    reducers: usize,
+}
+
+impl Mapper for BroadcastMapper {
+    type KIn = u64;
+    type VIn = EncodedRecord;
+    type KOut = u32;
+    type VOut = EncodedRecord;
+
+    fn map(&self, key: &u64, value: &EncodedRecord, ctx: &mut MapContext<u32, EncodedRecord>) {
+        match value.decode().kind {
+            RecordKind::R => {
+                ctx.counters().increment(counters::R_RECORDS);
+                ctx.emit((key % self.reducers as u64) as u32, value.clone());
+            }
+            RecordKind::S => {
+                for reducer in 0..self.reducers as u32 {
+                    ctx.counters().increment(counters::S_RECORDS);
+                    ctx.emit(reducer, value.clone());
+                }
+            }
+        }
+    }
+}
+
+/// Reducer: exhaustive scan of the full `S` for every local `r`.
+struct BroadcastReducer {
+    k: usize,
+    metric: DistanceMetric,
+}
+
+impl Reducer for BroadcastReducer {
+    type KIn = u32;
+    type VIn = EncodedRecord;
+    type KOut = u64;
+    type VOut = Vec<Neighbor>;
+
+    fn reduce(
+        &self,
+        _key: &u32,
+        values: &[EncodedRecord],
+        ctx: &mut ReduceContext<u64, Vec<Neighbor>>,
+    ) {
+        let mut r_block: Vec<Point> = Vec::new();
+        let mut s_block: Vec<Point> = Vec::new();
+        for value in values {
+            let record = value.decode();
+            match record.kind {
+                RecordKind::R => r_block.push(record.point),
+                RecordKind::S => s_block.push(record.point),
+            }
+        }
+        for r_obj in &r_block {
+            let mut list = NeighborList::new(self.k);
+            for s_obj in &s_block {
+                list.offer(s_obj.id, self.metric.distance(r_obj, s_obj));
+            }
+            ctx.counters()
+                .add(counters::DISTANCE_COMPUTATIONS, s_block.len() as u64);
+            ctx.emit(r_obj.id, list.into_sorted());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::NestedLoopJoin;
+    use datagen::uniform;
+    use proptest::prelude::*;
+
+    #[test]
+    fn matches_exact_join() {
+        let r = uniform(150, 3, 50.0, 1);
+        let s = uniform(200, 3, 50.0, 2);
+        let metric = DistanceMetric::Euclidean;
+        let exact = NestedLoopJoin.join(&r, &s, 7, metric).unwrap();
+        let got = BroadcastJoin::new(BroadcastJoinConfig { reducers: 5, ..Default::default() })
+            .join(&r, &s, 7, metric)
+            .unwrap();
+        assert!(got.matches(&exact, 1e-9), "{:?}", got.mismatch_against(&exact, 1e-9));
+    }
+
+    #[test]
+    fn shuffle_cost_is_r_plus_n_times_s() {
+        // The defining property of the basic strategy (Section 3).
+        let r = uniform(100, 2, 50.0, 3);
+        let s = uniform(80, 2, 50.0, 4);
+        let reducers = 6;
+        let result = BroadcastJoin::new(BroadcastJoinConfig { reducers, ..Default::default() })
+            .join(&r, &s, 3, DistanceMetric::Euclidean)
+            .unwrap();
+        assert_eq!(result.metrics.r_records_shuffled, 100);
+        assert_eq!(result.metrics.s_records_shuffled, 80 * reducers as u64);
+        // Every (r, s) pair is computed exactly once: selectivity is 1.
+        assert_eq!(result.metrics.distance_computations, 100 * 80);
+        assert!((result.metrics.computation_selectivity() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn broadcast_ships_more_than_pgbj_on_clustered_data() {
+        let data = datagen::gaussian_clusters(
+            &datagen::ClusterConfig {
+                n_points: 400,
+                dims: 2,
+                n_clusters: 5,
+                std_dev: 3.0,
+                extent: 200.0,
+                skew: 0.3,
+            },
+            9,
+        );
+        let metric = DistanceMetric::Euclidean;
+        let broadcast = BroadcastJoin::new(BroadcastJoinConfig { reducers: 8, ..Default::default() })
+            .join(&data, &data, 10, metric)
+            .unwrap();
+        let pgbj = crate::algorithms::Pgbj::new(crate::algorithms::PgbjConfig {
+            pivot_count: 24,
+            reducers: 8,
+            ..Default::default()
+        })
+        .join(&data, &data, 10, metric)
+        .unwrap();
+        assert!(broadcast.metrics.shuffle_bytes > pgbj.metrics.shuffle_bytes);
+        assert!(broadcast.metrics.distance_computations > pgbj.metrics.distance_computations);
+        assert!(broadcast.matches(&pgbj, 1e-9));
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let r = uniform(10, 2, 1.0, 0);
+        let s = uniform(10, 2, 1.0, 1);
+        for config in [
+            BroadcastJoinConfig { reducers: 0, map_tasks: 1 },
+            BroadcastJoinConfig { reducers: 1, map_tasks: 0 },
+        ] {
+            assert!(matches!(
+                BroadcastJoin::new(config).join(&r, &s, 2, DistanceMetric::Euclidean).unwrap_err(),
+                JoinError::InvalidConfig(_)
+            ));
+        }
+        assert_eq!(BroadcastJoin::default().name(), "Broadcast");
+        assert_eq!(BroadcastJoin::default().config().reducers, 4);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+        #[test]
+        fn broadcast_equals_exact_join(
+            n_r in 5usize..60,
+            n_s in 5usize..60,
+            k in 1usize..8,
+            reducers in 1usize..8,
+            seed in 0u64..50,
+        ) {
+            let r = uniform(n_r, 2, 40.0, seed);
+            let s = uniform(n_s, 2, 40.0, seed ^ 0x31);
+            let metric = DistanceMetric::Euclidean;
+            let exact = NestedLoopJoin.join(&r, &s, k, metric).unwrap();
+            let got = BroadcastJoin::new(BroadcastJoinConfig { reducers, map_tasks: 2 })
+                .join(&r, &s, k, metric)
+                .unwrap();
+            prop_assert!(got.matches(&exact, 1e-9));
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Pieces shared by the MapReduce join algorithms: the serialised record
+//! value type used across shuffles, the neighbour-list value type used by the
+//! merge jobs, and counter names.
+
+use crate::bounds::{hyperplane_bound, theorem2_window};
+use crate::summary::SummaryTables;
+use geom::{DistanceMetric, Neighbor, NeighborList, Point, PointId, Record};
+use mapreduce::ByteSize;
+use std::collections::BTreeMap;
+
+/// Counter names used by the join jobs; collected into [`crate::JoinMetrics`].
+pub mod counters {
+    /// Distance computations performed in the join phase (between `R` objects
+    /// and `S` objects or pivots) — the numerator of Equation 13.
+    pub const DISTANCE_COMPUTATIONS: &str = "distance_computations";
+    /// Number of `R` records emitted by the join job's mappers.
+    pub const R_RECORDS: &str = "r_records_shuffled";
+    /// Number of `S` records (replicas included) emitted by the join job's
+    /// mappers.
+    pub const S_RECORDS: &str = "s_records_shuffled";
+}
+
+/// An intermediate value carrying one serialised object record.
+///
+/// Hadoop moves serialised bytes through its shuffle; we do the same so the
+/// byte accounting of the `mapreduce` crate reflects exactly what the paper's
+/// shuffling-cost metric measures.  The wrapper exists to give the encoded
+/// record a [`ByteSize`] implementation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncodedRecord(pub bytes::Bytes);
+
+impl EncodedRecord {
+    /// Encodes a record.
+    pub fn encode(record: &Record) -> Self {
+        Self(record.encode())
+    }
+
+    /// Decodes the record.
+    ///
+    /// # Panics
+    /// Panics if the buffer is corrupt; intermediate data is produced by our
+    /// own mappers, so corruption indicates a bug rather than bad input.
+    pub fn decode(&self) -> Record {
+        Record::decode(&self.0).expect("corrupt intermediate record")
+    }
+}
+
+impl ByteSize for EncodedRecord {
+    fn byte_size(&self) -> usize {
+        self.0.len()
+    }
+}
+
+/// A partial kNN list for one `R` object, shuffled by the merge job of the
+/// block-based algorithms (H-BRJ, PBJ).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NeighborListValue {
+    /// Candidate neighbours (at most `k` of them) found by one reducer cell.
+    pub neighbors: Vec<Neighbor>,
+}
+
+impl NeighborListValue {
+    /// Wraps a candidate list.
+    pub fn new(neighbors: Vec<Neighbor>) -> Self {
+        Self { neighbors }
+    }
+}
+
+impl ByteSize for NeighborListValue {
+    fn byte_size(&self) -> usize {
+        // r-id is the key; each neighbour is an (id, distance) pair.
+        4 + self.neighbors.len() * (8 + 8)
+    }
+}
+
+/// Merges several partial candidate lists into the final `k` nearest
+/// neighbours of one `R` object.
+pub fn merge_neighbor_lists(lists: &[NeighborListValue], k: usize) -> Vec<Neighbor> {
+    let mut acc = geom::NeighborList::new(k);
+    for list in lists {
+        for n in &list.neighbors {
+            acc.offer(n.id, n.distance);
+        }
+    }
+    acc.into_sorted()
+}
+
+/// The key type of the merge job: the id of the `R` object.
+#[allow(dead_code)]
+pub type RKey = PointId;
+
+/// The pruned candidate scan at the heart of Algorithm 3 (lines 16–25),
+/// shared by the PGBJ reducer and the PBJ cell reducer.
+///
+/// For one `R` object `r` (belonging to partition `r_partition`, at distance
+/// `r_pivot_dist` from its pivot), scans the received `S` objects — grouped by
+/// their partition and visited in the order `s_order` (ascending pivot
+/// distance from `p_i`) — pruning with Corollary 1, Theorem 2 and the running
+/// threshold `θ = min(θ_i, current kth distance)`.
+///
+/// Returns the `k` best neighbours found and the number of distance
+/// computations spent (object-to-object plus object-to-pivot, per the paper's
+/// selectivity definition).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn bounded_knn_scan(
+    r_obj: &Point,
+    r_pivot_dist: f64,
+    r_partition: usize,
+    s_parts: &BTreeMap<usize, Vec<(Point, f64)>>,
+    s_order: &[usize],
+    tables: &SummaryTables,
+    theta_i: f64,
+    k: usize,
+    metric: DistanceMetric,
+) -> (Vec<Neighbor>, u64) {
+    let mut neighbors = NeighborList::new(k);
+    let mut computations = 0u64;
+    for &j in s_order {
+        let theta = theta_i.min(neighbors.threshold());
+        let pivot_dist = tables.pivot_distance(r_partition, j);
+        // Distance from r to the pivot of partition j; pivots count as
+        // objects in the paper's selectivity metric.
+        let d_r_pj = metric.distance_coords(&r_obj.coords, &tables.pivots[j].coords);
+        computations += 1;
+        // Corollary 1: skip the whole partition if the hyperplane between
+        // p_i and p_j is already farther away than θ.
+        if j != r_partition
+            && theta.is_finite()
+            && hyperplane_bound(r_pivot_dist, d_r_pj, pivot_dist, metric) > theta
+        {
+            continue;
+        }
+        // Theorem 2: only objects whose own pivot distance falls inside this
+        // window can possibly be within θ of r.
+        let summary = &tables.s_summaries[j];
+        let (lo, hi) = theorem2_window(summary.lower, summary.upper, d_r_pj, theta);
+        if lo > hi {
+            continue;
+        }
+        if let Some(s_bucket) = s_parts.get(&j) {
+            for (s_obj, s_pivot_dist) in s_bucket {
+                if *s_pivot_dist < lo || *s_pivot_dist > hi {
+                    continue;
+                }
+                // Re-check against the current (shrinking) θ using the
+                // triangle inequality |r, s| ≥ ||p_j, s| − |p_j, r||.
+                let theta_now = theta_i.min(neighbors.threshold());
+                if (s_pivot_dist - d_r_pj).abs() > theta_now {
+                    continue;
+                }
+                let d = metric.distance_coords(&r_obj.coords, &s_obj.coords);
+                computations += 1;
+                neighbors.offer(s_obj.id, d);
+            }
+        }
+    }
+    (neighbors.into_sorted(), computations)
+}
+
+/// Sorts the partition ids in `s_parts` by ascending pivot distance from the
+/// pivot of `r_partition` (Algorithm 3 line 14).
+pub(crate) fn order_s_partitions(
+    s_parts: &BTreeMap<usize, Vec<(Point, f64)>>,
+    r_partition: usize,
+    tables: &SummaryTables,
+) -> Vec<usize> {
+    let mut order: Vec<usize> = s_parts.keys().copied().collect();
+    order.sort_by(|&a, &b| {
+        tables
+            .pivot_distance(r_partition, a)
+            .partial_cmp(&tables.pivot_distance(r_partition, b))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geom::{Point, RecordKind};
+
+    #[test]
+    fn encoded_record_roundtrip_and_size() {
+        let record = Record::new(RecordKind::S, 3, 1.5, Point::new(9, vec![1.0, 2.0]));
+        let enc = EncodedRecord::encode(&record);
+        assert_eq!(enc.byte_size(), record.encoded_len());
+        assert_eq!(enc.decode(), record);
+    }
+
+    #[test]
+    fn neighbor_list_value_size() {
+        let v = NeighborListValue::new(vec![Neighbor::new(1, 0.5), Neighbor::new(2, 1.5)]);
+        assert_eq!(v.byte_size(), 4 + 2 * 16);
+    }
+
+    #[test]
+    fn merging_partial_lists_keeps_global_k_best() {
+        let a = NeighborListValue::new(vec![Neighbor::new(1, 5.0), Neighbor::new(2, 1.0)]);
+        let b = NeighborListValue::new(vec![Neighbor::new(3, 0.5), Neighbor::new(4, 9.0)]);
+        let merged = merge_neighbor_lists(&[a, b], 2);
+        let ids: Vec<u64> = merged.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![3, 2]);
+    }
+
+    #[test]
+    fn merging_handles_duplicates_across_blocks() {
+        // The same S object can be seen by several reducer cells; duplicates
+        // must not crowd out distinct neighbours... they are kept as-is since
+        // block algorithms never see the same (r, s) pair twice, but merging
+        // is still well-defined.
+        let a = NeighborListValue::new(vec![Neighbor::new(1, 1.0)]);
+        let b = NeighborListValue::new(vec![Neighbor::new(2, 2.0)]);
+        let merged = merge_neighbor_lists(&[a.clone(), b, a], 3);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged[0].id, 1);
+    }
+}

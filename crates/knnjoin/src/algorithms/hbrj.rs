@@ -1,0 +1,255 @@
+//! H-BRJ — the block-based R-tree baseline (Zhang et al., EDBT 2012),
+//! described in Section 3 and used as the main competitor in Section 6.
+//!
+//! `R` and `S` are split into `B = ⌊√N⌋` random blocks each; every reducer
+//! receives one `(R_i, S_j)` pair, builds an R-tree over `S_j` and answers a
+//! kNN query for every `r ∈ R_i`; a second MapReduce job merges the `B`
+//! partial lists of every `r` into the final `k` nearest neighbours.
+
+use crate::algorithms::blocks::run_block_framework;
+use crate::algorithms::common::{counters, EncodedRecord, NeighborListValue};
+use crate::algorithms::KnnJoinAlgorithm;
+use crate::exact::validate_inputs;
+use crate::metrics::JoinMetrics;
+use crate::result::{JoinError, JoinResult};
+use geom::{DistanceMetric, Point, PointSet, Record, RecordKind};
+use mapreduce::{ReduceContext, Reducer};
+use spatial::RTree;
+
+/// Configuration of [`Hbrj`].
+#[derive(Debug, Clone)]
+pub struct HbrjConfig {
+    /// Number of reducers ("computing nodes").  The framework uses
+    /// `⌊√reducers⌋²` of them for the join job.
+    pub reducers: usize,
+    /// Number of map tasks.
+    pub map_tasks: usize,
+    /// R-tree fanout used by the per-reducer index.
+    pub rtree_fanout: usize,
+}
+
+impl Default for HbrjConfig {
+    fn default() -> Self {
+        Self { reducers: 4, map_tasks: 8, rtree_fanout: RTree::DEFAULT_FANOUT }
+    }
+}
+
+/// The H-BRJ baseline algorithm.
+#[derive(Debug, Clone, Default)]
+pub struct Hbrj {
+    config: HbrjConfig,
+}
+
+impl Hbrj {
+    /// Creates the algorithm with the given configuration.
+    pub fn new(config: HbrjConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &HbrjConfig {
+        &self.config
+    }
+
+    fn validate(&self) -> Result<(), JoinError> {
+        if self.config.reducers == 0 {
+            return Err(JoinError::InvalidConfig("reducers must be positive".into()));
+        }
+        if self.config.map_tasks == 0 {
+            return Err(JoinError::InvalidConfig("map_tasks must be positive".into()));
+        }
+        if self.config.rtree_fanout < 2 {
+            return Err(JoinError::InvalidConfig("rtree_fanout must be at least 2".into()));
+        }
+        Ok(())
+    }
+}
+
+impl KnnJoinAlgorithm for Hbrj {
+    fn name(&self) -> &'static str {
+        "H-BRJ"
+    }
+
+    fn join(
+        &self,
+        r: &PointSet,
+        s: &PointSet,
+        k: usize,
+        metric: DistanceMetric,
+    ) -> Result<JoinResult, JoinError> {
+        self.validate()?;
+        validate_inputs(r, s, k)?;
+        let mut metrics = JoinMetrics { r_size: r.len(), s_size: s.len(), ..Default::default() };
+
+        // H-BRJ has no preprocessing: the map job replicates raw records.
+        let mut input = Vec::with_capacity(r.len() + s.len());
+        for p in r {
+            input.push((p.id, EncodedRecord::encode(&Record::new(RecordKind::R, 0, 0.0, p.clone()))));
+        }
+        for p in s {
+            input.push((p.id, EncodedRecord::encode(&Record::new(RecordKind::S, 0, 0.0, p.clone()))));
+        }
+
+        let reducer = HbrjCellReducer { k, metric, fanout: self.config.rtree_fanout };
+        let rows = run_block_framework(
+            input,
+            k,
+            self.config.reducers,
+            self.config.map_tasks,
+            &reducer,
+            &mut metrics,
+        )?;
+
+        let mut result = JoinResult { rows, metrics };
+        result.normalize();
+        Ok(result)
+    }
+}
+
+/// Reducer for one `(R_i, S_j)` cell: R-tree over `S_j`, best-first kNN per
+/// `r ∈ R_i`.
+struct HbrjCellReducer {
+    k: usize,
+    metric: DistanceMetric,
+    fanout: usize,
+}
+
+impl Reducer for HbrjCellReducer {
+    type KIn = u32;
+    type VIn = EncodedRecord;
+    type KOut = u64;
+    type VOut = NeighborListValue;
+
+    fn reduce(
+        &self,
+        _cell: &u32,
+        values: &[EncodedRecord],
+        ctx: &mut ReduceContext<u64, NeighborListValue>,
+    ) {
+        let mut r_block: Vec<Point> = Vec::new();
+        let mut s_block: Vec<Point> = Vec::new();
+        for value in values {
+            let record = value.decode();
+            match record.kind {
+                RecordKind::R => r_block.push(record.point),
+                RecordKind::S => s_block.push(record.point),
+            }
+        }
+        if r_block.is_empty() {
+            return;
+        }
+        // Even with an empty S block every r must produce a (possibly empty)
+        // candidate list so the merge job emits a row for it.
+        let tree = RTree::bulk_load_with_fanout(s_block, self.metric, self.fanout);
+        for r_obj in &r_block {
+            let (neighbors, computations) = tree.knn_counted(r_obj, self.k);
+            ctx.counters().add(counters::DISTANCE_COMPUTATIONS, computations);
+            ctx.emit(r_obj.id, NeighborListValue::new(neighbors));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::NestedLoopJoin;
+    use datagen::{gaussian_clusters, uniform, ClusterConfig};
+    use proptest::prelude::*;
+
+    fn clustered(n: usize, seed: u64) -> PointSet {
+        gaussian_clusters(
+            &ClusterConfig { n_points: n, dims: 2, n_clusters: 5, std_dev: 5.0, extent: 150.0, skew: 0.5 },
+            seed,
+        )
+    }
+
+    fn check_matches_exact(r: &PointSet, s: &PointSet, k: usize, config: HbrjConfig) {
+        let metric = DistanceMetric::Euclidean;
+        let expected = NestedLoopJoin.join(r, s, k, metric).unwrap();
+        let got = Hbrj::new(config).join(r, s, k, metric).unwrap();
+        if let Some(msg) = got.mismatch_against(&expected, 1e-9) {
+            panic!("H-BRJ result differs from exact join: {msg}");
+        }
+    }
+
+    #[test]
+    fn matches_exact_on_clustered_data() {
+        let r = clustered(300, 1);
+        let s = clustered(350, 2);
+        check_matches_exact(&r, &s, 10, HbrjConfig { reducers: 9, ..Default::default() });
+    }
+
+    #[test]
+    fn matches_exact_with_non_square_reducer_count() {
+        let r = uniform(150, 3, 50.0, 3);
+        let s = uniform(200, 3, 50.0, 4);
+        check_matches_exact(&r, &s, 5, HbrjConfig { reducers: 7, ..Default::default() });
+    }
+
+    #[test]
+    fn matches_exact_for_self_join_and_small_k() {
+        let data = clustered(250, 5);
+        check_matches_exact(&data, &data, 1, HbrjConfig { reducers: 4, ..Default::default() });
+    }
+
+    #[test]
+    fn matches_exact_when_k_exceeds_s() {
+        let r = uniform(30, 2, 20.0, 6);
+        let s = uniform(5, 2, 20.0, 7);
+        check_matches_exact(&r, &s, 9, HbrjConfig { reducers: 4, ..Default::default() });
+    }
+
+    #[test]
+    fn replication_is_sqrt_n_per_object() {
+        let r = clustered(200, 8);
+        let s = clustered(200, 9);
+        let res = Hbrj::new(HbrjConfig { reducers: 9, ..Default::default() })
+            .join(&r, &s, 5, DistanceMetric::Euclidean)
+            .unwrap();
+        // B = 3: every R and S object is sent to exactly 3 reducer cells.
+        assert_eq!(res.metrics.r_records_shuffled, 600);
+        assert_eq!(res.metrics.s_records_shuffled, 600);
+        assert!((res.metrics.average_replication() - 3.0).abs() < 1e-9);
+        assert!(res.metrics.shuffle_bytes > 0);
+        assert!(res.metrics.distance_computations > 0);
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let r = uniform(10, 2, 1.0, 0);
+        let s = uniform(10, 2, 1.0, 1);
+        for config in [
+            HbrjConfig { reducers: 0, ..Default::default() },
+            HbrjConfig { map_tasks: 0, ..Default::default() },
+            HbrjConfig { rtree_fanout: 1, ..Default::default() },
+        ] {
+            assert!(matches!(
+                Hbrj::new(config).join(&r, &s, 2, DistanceMetric::Euclidean).unwrap_err(),
+                JoinError::InvalidConfig(_)
+            ));
+        }
+        assert_eq!(Hbrj::default().name(), "H-BRJ");
+        assert_eq!(Hbrj::default().config().reducers, 4);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+        #[test]
+        fn hbrj_equals_exact_join(
+            n_r in 10usize..100,
+            n_s in 10usize..100,
+            k in 1usize..10,
+            reducers in 1usize..10,
+            seed in 0u64..100,
+        ) {
+            let r = uniform(n_r, 2, 80.0, seed);
+            let s = uniform(n_s, 2, 80.0, seed ^ 0x77);
+            let metric = DistanceMetric::Euclidean;
+            let expected = NestedLoopJoin.join(&r, &s, k, metric).unwrap();
+            let got = Hbrj::new(HbrjConfig { reducers, map_tasks: 3, ..Default::default() })
+                .join(&r, &s, k, metric)
+                .unwrap();
+            prop_assert!(got.matches(&expected, 1e-9), "{:?}", got.mismatch_against(&expected, 1e-9));
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! The three distributed kNN-join algorithms evaluated in the paper.
+//!
+//! | Algorithm | Section | Framework | Pruning |
+//! |-----------|---------|-----------|---------|
+//! | [`Pgbj`]  | §4–5    | partition + group, single join job | Voronoi bounds (Theorems 1–6) |
+//! | [`Pbj`]   | §6      | √N × √N blocks + merge job | Voronoi bounds within each block pair |
+//! | [`Hbrj`]  | §3 (baseline, Zhang et al.) | √N × √N blocks + merge job | R-tree per reducer |
+//! | [`BroadcastJoin`] | §3 ("basic strategy") | R split N ways, S broadcast | none |
+//!
+//! All three implement [`KnnJoinAlgorithm`] and produce a [`JoinResult`]
+//! carrying the evaluation metrics of the paper.
+
+mod blocks;
+mod broadcast;
+mod common;
+mod hbrj;
+mod pbj;
+mod pgbj;
+
+pub use broadcast::{BroadcastJoin, BroadcastJoinConfig};
+pub use hbrj::{Hbrj, HbrjConfig};
+pub use pbj::{Pbj, PbjConfig};
+pub use pgbj::{Pgbj, PgbjConfig};
+
+use crate::result::{JoinError, JoinResult};
+use geom::{DistanceMetric, PointSet};
+
+/// A distributed (MapReduce-based) or centralized kNN-join algorithm.
+pub trait KnnJoinAlgorithm {
+    /// Short name used in experiment tables ("PGBJ", "PBJ", "H-BRJ", ...).
+    fn name(&self) -> &'static str;
+
+    /// Computes `R ⋉ S` for the given `k` and metric.
+    ///
+    /// # Errors
+    /// Returns [`JoinError`] on invalid inputs or configuration.
+    fn join(
+        &self,
+        r: &PointSet,
+        s: &PointSet,
+        k: usize,
+        metric: DistanceMetric,
+    ) -> Result<JoinResult, JoinError>;
+}
+
+impl KnnJoinAlgorithm for crate::exact::NestedLoopJoin {
+    fn name(&self) -> &'static str {
+        "NestedLoop"
+    }
+
+    fn join(
+        &self,
+        r: &PointSet,
+        s: &PointSet,
+        k: usize,
+        metric: DistanceMetric,
+    ) -> Result<JoinResult, JoinError> {
+        NestedLoopJoin::join(self, r, s, k, metric)
+    }
+}
+
+use crate::exact::NestedLoopJoin;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::uniform;
+
+    #[test]
+    fn nested_loop_implements_the_trait() {
+        let alg: &dyn KnnJoinAlgorithm = &NestedLoopJoin;
+        assert_eq!(alg.name(), "NestedLoop");
+        let r = uniform(20, 2, 10.0, 1);
+        let s = uniform(20, 2, 10.0, 2);
+        let res = alg.join(&r, &s, 3, DistanceMetric::Euclidean).unwrap();
+        assert_eq!(res.rows.len(), 20);
+    }
+}

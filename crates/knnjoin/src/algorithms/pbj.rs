@@ -1,0 +1,374 @@
+//! PBJ — partitioning-based join without grouping (Section 6 of the paper).
+//!
+//! PBJ keeps the Voronoi partitioning and all of PGBJ's distance bounds, but
+//! drops the grouping step: like H-BRJ it splits `R` and `S` into `B = ⌊√N⌋`
+//! random blocks, joins every `(R_i, S_j)` pair on one reducer, and merges the
+//! partial results with a second MapReduce job.  Inside a reducer, the summary
+//! tables are used to derive a (necessarily looser, because the local `S`
+//! block is a random sample of `S`) kNN distance bound and to prune candidate
+//! partitions and objects — exactly the behaviour the paper uses to isolate
+//! how much of PGBJ's win comes from the grouping versus the bounds.
+
+use crate::algorithms::blocks::run_block_framework;
+use crate::algorithms::common::{
+    bounded_knn_scan, counters, order_s_partitions, EncodedRecord, NeighborListValue,
+};
+use crate::algorithms::KnnJoinAlgorithm;
+use crate::bounds::upper_bound;
+use crate::exact::validate_inputs;
+use crate::metrics::{phases, JoinMetrics};
+use crate::partition::VoronoiPartitioner;
+use crate::pivots::{select_pivots, PivotSelectionStrategy};
+use crate::result::{JoinError, JoinResult};
+use crate::summary::SummaryTables;
+use geom::{DistanceMetric, Point, PointSet, Record, RecordKind};
+use mapreduce::{ReduceContext, Reducer};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration of [`Pbj`].
+#[derive(Debug, Clone)]
+pub struct PbjConfig {
+    /// Number of pivots (Voronoi cells).
+    pub pivot_count: usize,
+    /// How pivots are chosen from `R`.
+    pub pivot_strategy: PivotSelectionStrategy,
+    /// How many objects of `R` pivot selection may look at.
+    pub pivot_sample_size: usize,
+    /// Number of reducers ("computing nodes").
+    pub reducers: usize,
+    /// Number of map tasks.
+    pub map_tasks: usize,
+    /// Seed for pivot selection.
+    pub seed: u64,
+}
+
+impl Default for PbjConfig {
+    fn default() -> Self {
+        Self {
+            pivot_count: 32,
+            pivot_strategy: PivotSelectionStrategy::default(),
+            pivot_sample_size: 10_000,
+            reducers: 4,
+            map_tasks: 8,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// The PBJ algorithm.
+#[derive(Debug, Clone, Default)]
+pub struct Pbj {
+    config: PbjConfig,
+}
+
+impl Pbj {
+    /// Creates the algorithm with the given configuration.
+    pub fn new(config: PbjConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PbjConfig {
+        &self.config
+    }
+
+    fn validate(&self) -> Result<(), JoinError> {
+        if self.config.pivot_count == 0 {
+            return Err(JoinError::InvalidConfig("pivot_count must be positive".into()));
+        }
+        if self.config.reducers == 0 {
+            return Err(JoinError::InvalidConfig("reducers must be positive".into()));
+        }
+        if self.config.map_tasks == 0 {
+            return Err(JoinError::InvalidConfig("map_tasks must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+impl KnnJoinAlgorithm for Pbj {
+    fn name(&self) -> &'static str {
+        "PBJ"
+    }
+
+    fn join(
+        &self,
+        r: &PointSet,
+        s: &PointSet,
+        k: usize,
+        metric: DistanceMetric,
+    ) -> Result<JoinResult, JoinError> {
+        self.validate()?;
+        validate_inputs(r, s, k)?;
+        let cfg = &self.config;
+        let mut metrics = JoinMetrics { r_size: r.len(), s_size: s.len(), ..Default::default() };
+
+        // ---- Preprocessing: pivot selection --------------------------------
+        let start = Instant::now();
+        let pivots = select_pivots(
+            r,
+            cfg.pivot_count,
+            cfg.pivot_strategy,
+            cfg.pivot_sample_size,
+            metric,
+            cfg.seed,
+        );
+        metrics.record_phase(phases::PIVOT_SELECTION, start.elapsed());
+
+        // ---- Partitioning (first job of the paper, run as a driver-side scan)
+        let start = Instant::now();
+        let partitioner = VoronoiPartitioner::new(pivots.clone(), metric);
+        let partitioned_r = partitioner.partition(r);
+        let partitioned_s = partitioner.partition(s);
+        metrics.record_phase(phases::DATA_PARTITIONING, start.elapsed());
+
+        // ---- Summary tables -------------------------------------------------
+        let start = Instant::now();
+        let tables = Arc::new(SummaryTables::build(pivots, metric, &partitioned_r, &partitioned_s, k));
+        metrics.record_phase(phases::INDEX_MERGING, start.elapsed());
+
+        // ---- Block join + merge (no grouping phase) -------------------------
+        let mut input = Vec::with_capacity(r.len() + s.len());
+        for (partition, bucket) in partitioned_r.partitions.iter().enumerate() {
+            for (point, dist) in bucket {
+                input.push((
+                    point.id,
+                    EncodedRecord::encode(&Record::new(RecordKind::R, partition as u32, *dist, point.clone())),
+                ));
+            }
+        }
+        for (partition, bucket) in partitioned_s.partitions.iter().enumerate() {
+            for (point, dist) in bucket {
+                input.push((
+                    point.id,
+                    EncodedRecord::encode(&Record::new(RecordKind::S, partition as u32, *dist, point.clone())),
+                ));
+            }
+        }
+
+        let reducer = PbjCellReducer { tables: Arc::clone(&tables), k, metric };
+        let rows = run_block_framework(input, k, cfg.reducers, cfg.map_tasks, &reducer, &mut metrics)?;
+
+        let mut result = JoinResult { rows, metrics };
+        result.normalize();
+        Ok(result)
+    }
+}
+
+/// Reducer for one `(R_i, S_j)` cell: bounded, pruned nested-loop join using
+/// the Voronoi summary tables, but over a random block of `S`.
+struct PbjCellReducer {
+    tables: Arc<SummaryTables>,
+    k: usize,
+    metric: DistanceMetric,
+}
+
+impl PbjCellReducer {
+    /// Derives a kNN-distance bound for the objects of one `R` partition from
+    /// the `S` objects this reducer actually received (the "looser bound" the
+    /// paper attributes to PBJ): the `k`-th smallest `ub(s, P_i^R)` over the
+    /// local block.
+    fn local_theta(&self, r_partition: usize, s_parts: &BTreeMap<usize, Vec<(Point, f64)>>) -> f64 {
+        let u_r = self.tables.r_summaries[r_partition].upper;
+        let mut ubs: Vec<f64> = Vec::new();
+        for (&j, bucket) in s_parts {
+            let pivot_dist = self.tables.pivot_distance(r_partition, j);
+            for (_, s_pivot_dist) in bucket {
+                ubs.push(upper_bound(u_r, pivot_dist, *s_pivot_dist));
+            }
+        }
+        if ubs.len() < self.k {
+            return f64::INFINITY;
+        }
+        ubs.sort_by(|a, b| a.partial_cmp(b).expect("finite bounds"));
+        ubs[self.k - 1]
+    }
+}
+
+impl Reducer for PbjCellReducer {
+    type KIn = u32;
+    type VIn = EncodedRecord;
+    type KOut = u64;
+    type VOut = NeighborListValue;
+
+    fn reduce(
+        &self,
+        _cell: &u32,
+        values: &[EncodedRecord],
+        ctx: &mut ReduceContext<u64, NeighborListValue>,
+    ) {
+        let mut r_parts: BTreeMap<usize, Vec<(Point, f64)>> = BTreeMap::new();
+        let mut s_parts: BTreeMap<usize, Vec<(Point, f64)>> = BTreeMap::new();
+        for value in values {
+            let record = value.decode();
+            let target = match record.kind {
+                RecordKind::R => &mut r_parts,
+                RecordKind::S => &mut s_parts,
+            };
+            target
+                .entry(record.partition as usize)
+                .or_default()
+                .push((record.point, record.pivot_distance));
+        }
+
+        for (&i, r_bucket) in &r_parts {
+            let s_order = order_s_partitions(&s_parts, i, &self.tables);
+            let theta_i = self.local_theta(i, &s_parts);
+            for (r_obj, r_pivot_dist) in r_bucket {
+                let (neighbors, computations) = bounded_knn_scan(
+                    r_obj,
+                    *r_pivot_dist,
+                    i,
+                    &s_parts,
+                    &s_order,
+                    &self.tables,
+                    theta_i,
+                    self.k,
+                    self.metric,
+                );
+                ctx.counters().add(counters::DISTANCE_COMPUTATIONS, computations);
+                ctx.emit(r_obj.id, NeighborListValue::new(neighbors));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::NestedLoopJoin;
+    use datagen::{gaussian_clusters, uniform, ClusterConfig};
+    use proptest::prelude::*;
+
+    fn clustered(n: usize, seed: u64) -> PointSet {
+        gaussian_clusters(
+            &ClusterConfig { n_points: n, dims: 2, n_clusters: 5, std_dev: 5.0, extent: 150.0, skew: 0.5 },
+            seed,
+        )
+    }
+
+    fn check_matches_exact(r: &PointSet, s: &PointSet, k: usize, config: PbjConfig) {
+        let metric = DistanceMetric::Euclidean;
+        let expected = NestedLoopJoin.join(r, s, k, metric).unwrap();
+        let got = Pbj::new(config).join(r, s, k, metric).unwrap();
+        if let Some(msg) = got.mismatch_against(&expected, 1e-9) {
+            panic!("PBJ result differs from exact join: {msg}");
+        }
+    }
+
+    #[test]
+    fn matches_exact_on_clustered_data() {
+        let r = clustered(300, 1);
+        let s = clustered(350, 2);
+        check_matches_exact(&r, &s, 10, PbjConfig { pivot_count: 24, reducers: 9, ..Default::default() });
+    }
+
+    #[test]
+    fn matches_exact_on_high_dimensional_uniform_data() {
+        let r = uniform(200, 5, 80.0, 3);
+        let s = uniform(220, 5, 80.0, 4);
+        check_matches_exact(&r, &s, 6, PbjConfig { pivot_count: 12, reducers: 4, ..Default::default() });
+    }
+
+    #[test]
+    fn matches_exact_for_self_join() {
+        let data = clustered(250, 5);
+        check_matches_exact(&data, &data, 8, PbjConfig { pivot_count: 16, reducers: 6, ..Default::default() });
+    }
+
+    #[test]
+    fn matches_exact_when_k_exceeds_s() {
+        let r = uniform(40, 2, 30.0, 6);
+        let s = uniform(7, 2, 30.0, 7);
+        check_matches_exact(&r, &s, 12, PbjConfig { pivot_count: 3, reducers: 4, ..Default::default() });
+    }
+
+    #[test]
+    fn phases_and_metrics_are_populated() {
+        let r = clustered(200, 8);
+        let s = clustered(200, 9);
+        let res = Pbj::new(PbjConfig { pivot_count: 16, reducers: 9, ..Default::default() })
+            .join(&r, &s, 5, DistanceMetric::Euclidean)
+            .unwrap();
+        let m = &res.metrics;
+        // √9 = 3 blocks: every object is replicated 3 times.
+        assert_eq!(m.r_records_shuffled, 600);
+        assert_eq!(m.s_records_shuffled, 600);
+        assert!(m.distance_computations > 0);
+        assert!(m.shuffle_bytes > 0);
+        for phase in [
+            phases::PIVOT_SELECTION,
+            phases::DATA_PARTITIONING,
+            phases::INDEX_MERGING,
+            phases::KNN_JOIN,
+            phases::RESULT_MERGING,
+        ] {
+            assert!(m.phase_times.iter().any(|(n, _)| n == phase), "missing {phase}");
+        }
+        // PBJ must not have a grouping phase.
+        assert_eq!(m.phase(phases::PARTITION_GROUPING), std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn pruning_beats_exhaustive_scanning_within_cells() {
+        let r = clustered(400, 10);
+        let s = clustered(400, 11);
+        let res = Pbj::new(PbjConfig { pivot_count: 32, reducers: 4, ..Default::default() })
+            .join(&r, &s, 10, DistanceMetric::Euclidean)
+            .unwrap();
+        // Exhaustive block join would compute |R|·|S| = 160000 pairs (every
+        // pair meets in exactly one cell); the bounds must cut that down.
+        assert!(
+            res.metrics.distance_computations < 160_000,
+            "no pruning: {} computations",
+            res.metrics.distance_computations
+        );
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let r = uniform(10, 2, 1.0, 0);
+        let s = uniform(10, 2, 1.0, 1);
+        for config in [
+            PbjConfig { pivot_count: 0, ..Default::default() },
+            PbjConfig { reducers: 0, ..Default::default() },
+            PbjConfig { map_tasks: 0, ..Default::default() },
+        ] {
+            assert!(matches!(
+                Pbj::new(config).join(&r, &s, 2, DistanceMetric::Euclidean).unwrap_err(),
+                JoinError::InvalidConfig(_)
+            ));
+        }
+        assert_eq!(Pbj::default().name(), "PBJ");
+        assert_eq!(Pbj::default().config().pivot_count, 32);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+        #[test]
+        fn pbj_equals_exact_join(
+            n_r in 10usize..100,
+            n_s in 10usize..100,
+            k in 1usize..10,
+            pivot_count in 1usize..12,
+            reducers in 1usize..10,
+            seed in 0u64..100,
+            which_metric in 0usize..3,
+        ) {
+            let r = uniform(n_r, 2, 80.0, seed);
+            let s = uniform(n_s, 2, 80.0, seed ^ 0x99);
+            let metric = [
+                DistanceMetric::Euclidean,
+                DistanceMetric::Manhattan,
+                DistanceMetric::Chebyshev,
+            ][which_metric];
+            let expected = NestedLoopJoin.join(&r, &s, k, metric).unwrap();
+            let got = Pbj::new(PbjConfig { pivot_count, reducers, map_tasks: 3, ..Default::default() })
+                .join(&r, &s, k, metric)
+                .unwrap();
+            prop_assert!(got.matches(&expected, 1e-9), "{:?}", got.mismatch_against(&expected, 1e-9));
+        }
+    }
+}

@@ -1,0 +1,644 @@
+//! PGBJ — the Partitioning and Grouping Based kNN Join (Sections 4 and 5).
+//!
+//! The algorithm runs as a preprocessing step plus two MapReduce jobs:
+//!
+//! 1. **Preprocessing** (driver): select pivots from `R`.
+//! 2. **Job 1 — partitioning**: every object of `R ∪ S` is assigned to the
+//!    Voronoi cell of its closest pivot; the reducers collect the partitioned
+//!    data, from which the driver builds the summary tables `T_R` / `T_S`
+//!    ("index merging" in Figure 6).
+//! 3. **Grouping** (driver): Voronoi cells of `R` are merged into one group
+//!    per reducer with the geometric or greedy strategy, and the replica
+//!    lower bounds `LB(P_j^S, G_i)` are precomputed (Algorithm 2).
+//! 4. **Job 2 — the join**: mappers route every `r` to its group and every `s`
+//!    to all groups whose bound cannot exclude it (Theorem 6); each reducer
+//!    runs the bounded nested-loop join of Algorithm 3 over its group.
+
+use crate::algorithms::common::{bounded_knn_scan, counters, order_s_partitions, EncodedRecord};
+use crate::algorithms::KnnJoinAlgorithm;
+use crate::bounds::PartitionBounds;
+use crate::exact::validate_inputs;
+use crate::grouping::{build_grouping, GroupingStrategy};
+use crate::metrics::{phases, JoinMetrics};
+use crate::partition::{PartitionedDataset, VoronoiPartitioner};
+use crate::pivots::{select_pivots, PivotSelectionStrategy};
+use crate::result::{JoinError, JoinResult, JoinRow};
+use crate::summary::SummaryTables;
+use geom::{DistanceMetric, Neighbor, Point, PointSet, Record, RecordKind};
+use mapreduce::{IdentityPartitioner, JobBuilder, MapContext, Mapper, ReduceContext, Reducer};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration of [`Pgbj`].
+#[derive(Debug, Clone)]
+pub struct PgbjConfig {
+    /// Number of pivots (Voronoi cells).  The paper uses 2000–8000 for
+    /// multi-million-object datasets; scale proportionally to the data.
+    pub pivot_count: usize,
+    /// How pivots are chosen from `R`.
+    pub pivot_strategy: PivotSelectionStrategy,
+    /// How many objects of `R` the pivot-selection step may look at.
+    pub pivot_sample_size: usize,
+    /// How Voronoi cells are merged into reducer groups.
+    pub grouping_strategy: GroupingStrategy,
+    /// Number of reducers ("computing nodes"); also the number of groups.
+    pub reducers: usize,
+    /// Number of map tasks for both jobs.
+    pub map_tasks: usize,
+    /// Seed for pivot selection (experiments fix it for reproducibility).
+    pub seed: u64,
+}
+
+impl Default for PgbjConfig {
+    fn default() -> Self {
+        Self {
+            pivot_count: 32,
+            pivot_strategy: PivotSelectionStrategy::default(),
+            pivot_sample_size: 10_000,
+            grouping_strategy: GroupingStrategy::Geometric,
+            reducers: 4,
+            map_tasks: 8,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// The PGBJ algorithm.
+#[derive(Debug, Clone, Default)]
+pub struct Pgbj {
+    config: PgbjConfig,
+}
+
+impl Pgbj {
+    /// Creates the algorithm with the given configuration.
+    pub fn new(config: PgbjConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PgbjConfig {
+        &self.config
+    }
+
+    fn validate(&self) -> Result<(), JoinError> {
+        if self.config.pivot_count == 0 {
+            return Err(JoinError::InvalidConfig("pivot_count must be positive".into()));
+        }
+        if self.config.reducers == 0 {
+            return Err(JoinError::InvalidConfig("reducers must be positive".into()));
+        }
+        if self.config.map_tasks == 0 {
+            return Err(JoinError::InvalidConfig("map_tasks must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+impl KnnJoinAlgorithm for Pgbj {
+    fn name(&self) -> &'static str {
+        "PGBJ"
+    }
+
+    fn join(
+        &self,
+        r: &PointSet,
+        s: &PointSet,
+        k: usize,
+        metric: DistanceMetric,
+    ) -> Result<JoinResult, JoinError> {
+        self.validate()?;
+        validate_inputs(r, s, k)?;
+        let cfg = &self.config;
+        let mut metrics = JoinMetrics {
+            r_size: r.len(),
+            s_size: s.len(),
+            ..Default::default()
+        };
+
+        // ---- Preprocessing: pivot selection -------------------------------
+        let start = Instant::now();
+        let pivots = select_pivots(
+            r,
+            cfg.pivot_count,
+            cfg.pivot_strategy,
+            cfg.pivot_sample_size,
+            metric,
+            cfg.seed,
+        );
+        metrics.record_phase(phases::PIVOT_SELECTION, start.elapsed());
+
+        // ---- Job 1: Voronoi partitioning of R ∪ S -------------------------
+        let start = Instant::now();
+        let partitioner = Arc::new(VoronoiPartitioner::new(pivots.clone(), metric));
+        let job1_input = build_job1_input(r, s);
+        let job1 = JobBuilder::new("pgbj-partition")
+            .reducers(cfg.reducers)
+            .map_tasks(cfg.map_tasks)
+            .run(
+                job1_input,
+                &PartitionMapper { partitioner: Arc::clone(&partitioner) },
+                &CollectPartitionReducer,
+            )
+            .map_err(|e| JoinError::MapReduce(e.to_string()))?;
+        let (partitioned_r, partitioned_s) =
+            assemble_partitions(job1.output, pivots.len());
+        metrics.record_phase(phases::DATA_PARTITIONING, start.elapsed());
+
+        // ---- Index merging: summary tables --------------------------------
+        let start = Instant::now();
+        let tables = Arc::new(SummaryTables::build(
+            pivots,
+            metric,
+            &partitioned_r,
+            &partitioned_s,
+            k,
+        ));
+        metrics.record_phase(phases::INDEX_MERGING, start.elapsed());
+
+        // ---- Grouping and replica bounds (Algorithm 2) ---------------------
+        let start = Instant::now();
+        let bounds = PartitionBounds::compute(&tables, k);
+        let grouping = build_grouping(cfg.grouping_strategy, &tables, &bounds, cfg.reducers);
+        let group_lb = Arc::new(bounds.group_lower_bounds(&grouping));
+        let group_of = Arc::new(grouping.group_of(tables.partition_count()));
+        metrics.record_phase(phases::PARTITION_GROUPING, start.elapsed());
+
+        // ---- Job 2: the kNN join (Algorithm 3) ------------------------------
+        let start = Instant::now();
+        let job2_input = build_job2_input(&partitioned_r, &partitioned_s);
+        let join_reducer = PgbjJoinReducer {
+            tables: Arc::clone(&tables),
+            theta: Arc::new(bounds.theta.clone()),
+            k,
+            metric,
+        };
+        let job2 = JobBuilder::new("pgbj-join")
+            .reducers(grouping.group_count())
+            .map_tasks(cfg.map_tasks)
+            .run_with_partitioner(
+                job2_input,
+                &RouteMapper {
+                    group_of: Arc::clone(&group_of),
+                    group_lb: Arc::clone(&group_lb),
+                },
+                &join_reducer,
+                &IdentityPartitioner,
+            )
+            .map_err(|e| JoinError::MapReduce(e.to_string()))?;
+        metrics.record_phase(phases::KNN_JOIN, start.elapsed());
+
+        // ---- Collect output and metrics ------------------------------------
+        metrics.shuffle_bytes = job2.metrics.shuffle_bytes;
+        metrics.distance_computations = job2.metrics.counters.get(counters::DISTANCE_COMPUTATIONS);
+        metrics.r_records_shuffled = job2.metrics.counters.get(counters::R_RECORDS);
+        metrics.s_records_shuffled = job2.metrics.counters.get(counters::S_RECORDS);
+
+        let rows = job2
+            .output
+            .into_iter()
+            .map(|(r_id, neighbors)| JoinRow { r_id, neighbors })
+            .collect();
+        let mut result = JoinResult { rows, metrics };
+        result.normalize();
+        Ok(result)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Job 1: partitioning
+// ---------------------------------------------------------------------------
+
+fn build_job1_input(r: &PointSet, s: &PointSet) -> Vec<(u64, EncodedRecord)> {
+    let mut input = Vec::with_capacity(r.len() + s.len());
+    for p in r {
+        input.push((
+            p.id,
+            EncodedRecord::encode(&Record::new(RecordKind::R, 0, 0.0, p.clone())),
+        ));
+    }
+    for p in s {
+        input.push((
+            p.id,
+            EncodedRecord::encode(&Record::new(RecordKind::S, 0, 0.0, p.clone())),
+        ));
+    }
+    input
+}
+
+/// Mapper of job 1: assign each object to its closest pivot.
+struct PartitionMapper {
+    partitioner: Arc<VoronoiPartitioner>,
+}
+
+impl Mapper for PartitionMapper {
+    type KIn = u64;
+    type VIn = EncodedRecord;
+    type KOut = u32;
+    type VOut = EncodedRecord;
+
+    fn map(&self, _key: &u64, value: &EncodedRecord, ctx: &mut MapContext<u32, EncodedRecord>) {
+        let record = value.decode();
+        let (partition, distance) = self.partitioner.assign(&record.point);
+        let out = Record::new(record.kind, partition as u32, distance, record.point);
+        ctx.emit(partition as u32, EncodedRecord::encode(&out));
+    }
+}
+
+/// The data a job-1 reducer produces for one partition.
+#[derive(Debug, Clone, Default)]
+struct PartitionBucket {
+    r: Vec<(Point, f64)>,
+    s: Vec<(Point, f64)>,
+}
+
+/// Reducer of job 1: collect the objects of each partition (the partitioned
+/// copy of the datasets that job 2 will read).
+struct CollectPartitionReducer;
+
+impl Reducer for CollectPartitionReducer {
+    type KIn = u32;
+    type VIn = EncodedRecord;
+    type KOut = u32;
+    type VOut = PartitionBucket;
+
+    fn reduce(
+        &self,
+        key: &u32,
+        values: &[EncodedRecord],
+        ctx: &mut ReduceContext<u32, PartitionBucket>,
+    ) {
+        let mut bucket = PartitionBucket::default();
+        for value in values {
+            let record = value.decode();
+            match record.kind {
+                RecordKind::R => bucket.r.push((record.point, record.pivot_distance)),
+                RecordKind::S => bucket.s.push((record.point, record.pivot_distance)),
+            }
+        }
+        ctx.emit(*key, bucket);
+    }
+}
+
+fn assemble_partitions(
+    output: Vec<(u32, PartitionBucket)>,
+    n_partitions: usize,
+) -> (PartitionedDataset, PartitionedDataset) {
+    let mut pr = PartitionedDataset { partitions: vec![Vec::new(); n_partitions] };
+    let mut ps = PartitionedDataset { partitions: vec![Vec::new(); n_partitions] };
+    for (partition, bucket) in output {
+        pr.partitions[partition as usize] = bucket.r;
+        ps.partitions[partition as usize] = bucket.s;
+    }
+    (pr, ps)
+}
+
+// ---------------------------------------------------------------------------
+// Job 2: routing and the join
+// ---------------------------------------------------------------------------
+
+fn build_job2_input(
+    partitioned_r: &PartitionedDataset,
+    partitioned_s: &PartitionedDataset,
+) -> Vec<(u32, EncodedRecord)> {
+    let mut input = Vec::with_capacity(partitioned_r.len() + partitioned_s.len());
+    for (partition, bucket) in partitioned_r.partitions.iter().enumerate() {
+        for (point, dist) in bucket {
+            input.push((
+                partition as u32,
+                EncodedRecord::encode(&Record::new(
+                    RecordKind::R,
+                    partition as u32,
+                    *dist,
+                    point.clone(),
+                )),
+            ));
+        }
+    }
+    for (partition, bucket) in partitioned_s.partitions.iter().enumerate() {
+        for (point, dist) in bucket {
+            input.push((
+                partition as u32,
+                EncodedRecord::encode(&Record::new(
+                    RecordKind::S,
+                    partition as u32,
+                    *dist,
+                    point.clone(),
+                )),
+            ));
+        }
+    }
+    input
+}
+
+/// Mapper of job 2 (Algorithm 3, lines 3–11): `R` objects go to the reducer of
+/// their group; `S` objects go to every group whose lower bound admits them.
+struct RouteMapper {
+    group_of: Arc<Vec<usize>>,
+    group_lb: Arc<Vec<Vec<f64>>>,
+}
+
+impl Mapper for RouteMapper {
+    type KIn = u32;
+    type VIn = EncodedRecord;
+    type KOut = u32;
+    type VOut = EncodedRecord;
+
+    fn map(&self, key: &u32, value: &EncodedRecord, ctx: &mut MapContext<u32, EncodedRecord>) {
+        let partition = *key as usize;
+        let record = value.decode();
+        match record.kind {
+            RecordKind::R => {
+                ctx.counters().increment(counters::R_RECORDS);
+                ctx.emit(self.group_of[partition] as u32, value.clone());
+            }
+            RecordKind::S => {
+                for (group, bounds) in self.group_lb.iter().enumerate() {
+                    if record.pivot_distance >= bounds[partition] {
+                        ctx.counters().increment(counters::S_RECORDS);
+                        ctx.emit(group as u32, value.clone());
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Reducer of job 2 (Algorithm 3, lines 12–25): the bounded, pruned
+/// nested-loop kNN join for one group.
+struct PgbjJoinReducer {
+    tables: Arc<SummaryTables>,
+    theta: Arc<Vec<f64>>,
+    k: usize,
+    metric: DistanceMetric,
+}
+
+impl Reducer for PgbjJoinReducer {
+    type KIn = u32;
+    type VIn = EncodedRecord;
+    type KOut = u64;
+    type VOut = Vec<Neighbor>;
+
+    fn reduce(
+        &self,
+        _group: &u32,
+        values: &[EncodedRecord],
+        ctx: &mut ReduceContext<u64, Vec<Neighbor>>,
+    ) {
+        // Parse the group's R objects by partition and the received S subset
+        // by partition (line 13).
+        let mut r_parts: BTreeMap<usize, Vec<(Point, f64)>> = BTreeMap::new();
+        let mut s_parts: BTreeMap<usize, Vec<(Point, f64)>> = BTreeMap::new();
+        for value in values {
+            let record = value.decode();
+            let target = match record.kind {
+                RecordKind::R => &mut r_parts,
+                RecordKind::S => &mut s_parts,
+            };
+            target
+                .entry(record.partition as usize)
+                .or_default()
+                .push((record.point, record.pivot_distance));
+        }
+
+        for (&i, r_bucket) in &r_parts {
+            // Sort the S partitions by pivot distance to p_i (line 14): close
+            // partitions are likelier to contain near neighbours, which
+            // tightens θ early.
+            let s_order = order_s_partitions(&s_parts, i, &self.tables);
+            let theta_i = self.theta[i];
+
+            for (r_obj, r_pivot_dist) in r_bucket {
+                let (neighbors, computations) = bounded_knn_scan(
+                    r_obj,
+                    *r_pivot_dist,
+                    i,
+                    &s_parts,
+                    &s_order,
+                    &self.tables,
+                    theta_i,
+                    self.k,
+                    self.metric,
+                );
+                ctx.counters().add(counters::DISTANCE_COMPUTATIONS, computations);
+                ctx.emit(r_obj.id, neighbors);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::NestedLoopJoin;
+    use datagen::{gaussian_clusters, uniform, ClusterConfig};
+    use proptest::prelude::*;
+
+    fn clustered(n: usize, dims: usize, seed: u64) -> PointSet {
+        gaussian_clusters(
+            &ClusterConfig {
+                n_points: n,
+                dims,
+                n_clusters: 6,
+                std_dev: 4.0,
+                extent: 200.0,
+                skew: 0.6,
+            },
+            seed,
+        )
+    }
+
+    fn check_matches_exact(r: &PointSet, s: &PointSet, k: usize, config: PgbjConfig) {
+        let metric = DistanceMetric::Euclidean;
+        let expected = NestedLoopJoin.join(r, s, k, metric).unwrap();
+        let got = Pgbj::new(config).join(r, s, k, metric).unwrap();
+        if let Some(msg) = got.mismatch_against(&expected, 1e-9) {
+            panic!("PGBJ result differs from exact join: {msg}");
+        }
+    }
+
+    #[test]
+    fn matches_exact_on_clustered_data() {
+        let r = clustered(400, 2, 1);
+        let s = clustered(500, 2, 2);
+        check_matches_exact(&r, &s, 10, PgbjConfig { pivot_count: 24, reducers: 4, ..Default::default() });
+    }
+
+    #[test]
+    fn matches_exact_on_uniform_high_dim() {
+        let r = uniform(250, 6, 100.0, 3);
+        let s = uniform(300, 6, 100.0, 4);
+        check_matches_exact(&r, &s, 5, PgbjConfig { pivot_count: 16, reducers: 3, ..Default::default() });
+    }
+
+    #[test]
+    fn matches_exact_for_self_join() {
+        let data = clustered(350, 3, 5);
+        check_matches_exact(&data, &data, 8, PgbjConfig { pivot_count: 20, reducers: 5, ..Default::default() });
+    }
+
+    #[test]
+    fn matches_exact_with_greedy_grouping_and_other_strategies() {
+        let r = clustered(250, 2, 7);
+        let s = clustered(250, 2, 8);
+        for strategy in [
+            PivotSelectionStrategy::Farthest,
+            PivotSelectionStrategy::KMeans { iterations: 4 },
+        ] {
+            check_matches_exact(
+                &r,
+                &s,
+                6,
+                PgbjConfig {
+                    pivot_count: 12,
+                    reducers: 3,
+                    pivot_strategy: strategy,
+                    grouping_strategy: GroupingStrategy::Greedy,
+                    ..Default::default()
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn matches_exact_when_k_exceeds_s() {
+        let r = uniform(40, 2, 50.0, 9);
+        let s = uniform(6, 2, 50.0, 10);
+        check_matches_exact(&r, &s, 10, PgbjConfig { pivot_count: 4, reducers: 2, ..Default::default() });
+    }
+
+    #[test]
+    fn matches_exact_with_manhattan_metric() {
+        let r = clustered(200, 2, 11);
+        let s = clustered(220, 2, 12);
+        let metric = DistanceMetric::Manhattan;
+        let expected = NestedLoopJoin.join(&r, &s, 7, metric).unwrap();
+        let got = Pgbj::new(PgbjConfig { pivot_count: 16, reducers: 4, ..Default::default() })
+            .join(&r, &s, 7, metric)
+            .unwrap();
+        assert!(got.matches(&expected, 1e-9));
+    }
+
+    #[test]
+    fn single_reducer_and_single_pivot_edge_cases() {
+        let r = uniform(80, 2, 30.0, 13);
+        let s = uniform(90, 2, 30.0, 14);
+        check_matches_exact(&r, &s, 4, PgbjConfig { pivot_count: 1, reducers: 1, ..Default::default() });
+        check_matches_exact(&r, &s, 4, PgbjConfig { pivot_count: 40, reducers: 1, ..Default::default() });
+        check_matches_exact(&r, &s, 4, PgbjConfig { pivot_count: 1, reducers: 8, ..Default::default() });
+    }
+
+    #[test]
+    fn metrics_are_populated() {
+        let r = clustered(300, 2, 15);
+        let s = clustered(300, 2, 16);
+        let res = Pgbj::new(PgbjConfig { pivot_count: 20, reducers: 4, ..Default::default() })
+            .join(&r, &s, 10, DistanceMetric::Euclidean)
+            .unwrap();
+        let m = &res.metrics;
+        assert_eq!(m.r_size, 300);
+        assert_eq!(m.s_size, 300);
+        assert_eq!(m.r_records_shuffled, 300);
+        assert!(m.s_records_shuffled >= 300, "every S object reaches at least one group");
+        assert!(m.distance_computations > 0);
+        assert!(m.shuffle_bytes > 0);
+        assert!(m.computation_selectivity() > 0.0 && m.computation_selectivity() <= 1.1);
+        assert!(m.average_replication() >= 1.0);
+        // All five PGBJ phases must be present.
+        for phase in [
+            phases::PIVOT_SELECTION,
+            phases::DATA_PARTITIONING,
+            phases::INDEX_MERGING,
+            phases::PARTITION_GROUPING,
+            phases::KNN_JOIN,
+        ] {
+            assert!(
+                m.phase_times.iter().any(|(n, _)| n == phase),
+                "missing phase {phase}"
+            );
+        }
+    }
+
+    #[test]
+    fn pruning_reduces_selectivity_versus_exhaustive() {
+        let r = clustered(400, 2, 17);
+        let s = clustered(400, 2, 18);
+        let res = Pgbj::new(PgbjConfig { pivot_count: 32, reducers: 8, ..Default::default() })
+            .join(&r, &s, 10, DistanceMetric::Euclidean)
+            .unwrap();
+        // The whole point of PGBJ: far fewer than |R|·|S| distance
+        // computations on clustered data.
+        assert!(
+            res.metrics.computation_selectivity() < 0.7,
+            "selectivity {} shows no pruning",
+            res.metrics.computation_selectivity()
+        );
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let r = uniform(10, 2, 1.0, 0);
+        let s = uniform(10, 2, 1.0, 1);
+        let bad = Pgbj::new(PgbjConfig { pivot_count: 0, ..Default::default() });
+        assert!(matches!(
+            bad.join(&r, &s, 2, DistanceMetric::Euclidean).unwrap_err(),
+            JoinError::InvalidConfig(_)
+        ));
+        let bad = Pgbj::new(PgbjConfig { reducers: 0, ..Default::default() });
+        assert!(matches!(
+            bad.join(&r, &s, 2, DistanceMetric::Euclidean).unwrap_err(),
+            JoinError::InvalidConfig(_)
+        ));
+        let bad = Pgbj::new(PgbjConfig { map_tasks: 0, ..Default::default() });
+        assert!(matches!(
+            bad.join(&r, &s, 2, DistanceMetric::Euclidean).unwrap_err(),
+            JoinError::InvalidConfig(_)
+        ));
+        assert!(matches!(
+            Pgbj::default().join(&r, &s, 0, DistanceMetric::Euclidean).unwrap_err(),
+            JoinError::InvalidK
+        ));
+    }
+
+    #[test]
+    fn name_and_config_accessors() {
+        let alg = Pgbj::default();
+        assert_eq!(alg.name(), "PGBJ");
+        assert_eq!(alg.config().reducers, 4);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        /// The central correctness property: PGBJ equals the exact join for
+        /// arbitrary data, k, pivot counts and reducer counts.
+        #[test]
+        fn pgbj_equals_exact_join(
+            n_r in 10usize..120,
+            n_s in 10usize..120,
+            k in 1usize..12,
+            pivot_count in 1usize..16,
+            reducers in 1usize..6,
+            dims in 1usize..4,
+            seed in 0u64..200,
+            which_metric in 0usize..3,
+        ) {
+            let r = uniform(n_r, dims, 100.0, seed);
+            let s = uniform(n_s, dims, 100.0, seed ^ 0x5555);
+            let metric = [
+                DistanceMetric::Euclidean,
+                DistanceMetric::Manhattan,
+                DistanceMetric::Chebyshev,
+            ][which_metric];
+            let expected = NestedLoopJoin.join(&r, &s, k, metric).unwrap();
+            let got = Pgbj::new(PgbjConfig {
+                pivot_count,
+                reducers,
+                map_tasks: 3,
+                ..Default::default()
+            })
+            .join(&r, &s, k, metric)
+            .unwrap();
+            prop_assert!(got.matches(&expected, 1e-9), "{:?}", got.mismatch_against(&expected, 1e-9));
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Exact single-machine kNN join (the correctness oracle).
+//!
+//! The "naive implementation" the paper's introduction describes: for every
+//! `r ∈ R`, scan all of `S` and keep the `k` closest objects — `O(|R|·|S|)`
+//! distance computations.  It is used by tests and benchmarks as ground truth
+//! and as the centralized baseline that motivates distributing the join.
+
+use crate::metrics::{phases, JoinMetrics};
+use crate::result::{JoinError, JoinResult, JoinRow};
+use geom::{DistanceMetric, NeighborList, PointSet};
+use std::time::Instant;
+
+/// The exact nested-loop kNN join.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NestedLoopJoin;
+
+impl NestedLoopJoin {
+    /// Computes `R ⋉ S` exactly.
+    ///
+    /// # Errors
+    /// Returns [`JoinError`] if `k` is zero, an input is empty or the
+    /// dimensionalities differ.
+    pub fn join(
+        &self,
+        r: &PointSet,
+        s: &PointSet,
+        k: usize,
+        metric: DistanceMetric,
+    ) -> Result<JoinResult, JoinError> {
+        validate_inputs(r, s, k)?;
+        let start = Instant::now();
+        let mut rows = Vec::with_capacity(r.len());
+        let mut computations = 0u64;
+        for r_obj in r {
+            let mut list = NeighborList::new(k);
+            for s_obj in s {
+                list.offer(s_obj.id, metric.distance(r_obj, s_obj));
+                computations += 1;
+            }
+            rows.push(JoinRow { r_id: r_obj.id, neighbors: list.into_sorted() });
+        }
+        let mut metrics = JoinMetrics {
+            distance_computations: computations,
+            r_size: r.len(),
+            s_size: s.len(),
+            ..Default::default()
+        };
+        metrics.record_phase(phases::KNN_JOIN, start.elapsed());
+        let mut result = JoinResult { rows, metrics };
+        result.normalize();
+        Ok(result)
+    }
+}
+
+/// Shared input validation for every join algorithm in this crate.
+pub(crate) fn validate_inputs(r: &PointSet, s: &PointSet, k: usize) -> Result<(), JoinError> {
+    if k == 0 {
+        return Err(JoinError::InvalidK);
+    }
+    if r.is_empty() {
+        return Err(JoinError::EmptyInput("R"));
+    }
+    if s.is_empty() {
+        return Err(JoinError::EmptyInput("S"));
+    }
+    if r.dims() != s.dims() {
+        return Err(JoinError::DimensionalityMismatch { r_dims: r.dims(), s_dims: s.dims() });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::uniform;
+    use geom::Point;
+
+    #[test]
+    fn small_hand_checked_example() {
+        let r = PointSet::from_points(vec![Point::new(0, vec![0.0, 0.0])]);
+        let s = PointSet::from_points(vec![
+            Point::new(10, vec![1.0, 0.0]),
+            Point::new(11, vec![0.0, 2.0]),
+            Point::new(12, vec![3.0, 0.0]),
+        ]);
+        let res = NestedLoopJoin.join(&r, &s, 2, DistanceMetric::Euclidean).unwrap();
+        assert_eq!(res.rows.len(), 1);
+        let ids: Vec<u64> = res.rows[0].neighbors.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![10, 11]);
+        assert_eq!(res.metrics.distance_computations, 3);
+        assert!((res.metrics.computation_selectivity() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cardinality_is_k_times_r() {
+        let r = uniform(40, 3, 10.0, 1);
+        let s = uniform(60, 3, 10.0, 2);
+        let res = NestedLoopJoin.join(&r, &s, 5, DistanceMetric::Euclidean).unwrap();
+        assert_eq!(res.rows.len(), 40);
+        let total: usize = res.rows.iter().map(|row| row.neighbors.len()).sum();
+        assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn k_larger_than_s_degrades_to_cross_join() {
+        let r = uniform(5, 2, 10.0, 3);
+        let s = uniform(3, 2, 10.0, 4);
+        let res = NestedLoopJoin.join(&r, &s, 10, DistanceMetric::Euclidean).unwrap();
+        assert!(res.rows.iter().all(|row| row.neighbors.len() == 3));
+    }
+
+    #[test]
+    fn self_join_finds_self_first() {
+        let data = uniform(30, 2, 10.0, 5);
+        let res = NestedLoopJoin.join(&data, &data, 3, DistanceMetric::Euclidean).unwrap();
+        for row in &res.rows {
+            assert_eq!(row.neighbors[0].id, row.r_id);
+            assert_eq!(row.neighbors[0].distance, 0.0);
+        }
+    }
+
+    #[test]
+    fn input_validation() {
+        let a = uniform(5, 2, 1.0, 0);
+        let b = uniform(5, 3, 1.0, 0);
+        let empty = PointSet::new();
+        assert_eq!(NestedLoopJoin.join(&a, &a, 0, DistanceMetric::Euclidean).unwrap_err(), JoinError::InvalidK);
+        assert_eq!(
+            NestedLoopJoin.join(&empty, &a, 1, DistanceMetric::Euclidean).unwrap_err(),
+            JoinError::EmptyInput("R")
+        );
+        assert_eq!(
+            NestedLoopJoin.join(&a, &empty, 1, DistanceMetric::Euclidean).unwrap_err(),
+            JoinError::EmptyInput("S")
+        );
+        assert!(matches!(
+            NestedLoopJoin.join(&a, &b, 1, DistanceMetric::Euclidean).unwrap_err(),
+            JoinError::DimensionalityMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn works_with_all_metrics() {
+        let r = uniform(20, 4, 10.0, 7);
+        let s = uniform(20, 4, 10.0, 8);
+        for metric in [DistanceMetric::Euclidean, DistanceMetric::Manhattan, DistanceMetric::Chebyshev] {
+            let res = NestedLoopJoin.join(&r, &s, 3, metric).unwrap();
+            assert_eq!(res.rows.len(), 20);
+            // neighbours sorted ascending
+            for row in &res.rows {
+                assert!(row.neighbors.windows(2).all(|w| w[0].distance <= w[1].distance));
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Voronoi-partitioning based k-nearest-neighbour joins over MapReduce.
+//!
+//! This crate is the core library of the reproduction of *"Efficient
+//! Processing of k Nearest Neighbor Joins using MapReduce"* (Lu, Shen, Chen,
+//! Ooi; PVLDB 5(10), 2012).  Given two datasets `R` and `S` and an integer
+//! `k`, the kNN join `R ⋉ S` pairs every object `r ∈ R` with its `k` nearest
+//! neighbours from `S`.
+//!
+//! Three distributed algorithms are provided, all running on the in-process
+//! MapReduce runtime from the [`mapreduce`] crate:
+//!
+//! * [`algorithms::Pgbj`] — the paper's contribution: Voronoi-diagram
+//!   partitioning around a set of pivots, per-partition distance bounds, and
+//!   partition *grouping* so each reducer joins one group of `R` against the
+//!   minimal subset of `S` that can contain its neighbours.
+//! * [`algorithms::Pbj`] — the same pruning bounds inside the block-based
+//!   (√N × √N) framework, without grouping (needs a second merge job).
+//! * [`algorithms::Hbrj`] — the baseline of Zhang et al. (EDBT 2012): random
+//!   √N × √N blocks, an R-tree per reducer, and a merge job.
+//!
+//! A single-machine exact join ([`exact::NestedLoopJoin`]) serves as the
+//! correctness oracle, and [`metrics::JoinMetrics`] captures the quantities
+//! the paper's evaluation reports: per-phase running time, computation
+//! selectivity, replication of `S` and shuffling cost.
+//!
+//! # Quick example
+//!
+//! ```
+//! use datagen::{gaussian_clusters, ClusterConfig};
+//! use geom::DistanceMetric;
+//! use knnjoin::algorithms::{KnnJoinAlgorithm, Pgbj, PgbjConfig};
+//!
+//! let r = gaussian_clusters(&ClusterConfig { n_points: 300, ..Default::default() }, 1);
+//! let s = gaussian_clusters(&ClusterConfig { n_points: 300, ..Default::default() }, 2);
+//!
+//! let pgbj = Pgbj::new(PgbjConfig {
+//!     pivot_count: 16,
+//!     reducers: 4,
+//!     ..Default::default()
+//! });
+//! let result = pgbj.join(&r, &s, 5, DistanceMetric::Euclidean).unwrap();
+//! assert_eq!(result.rows.len(), 300);
+//! assert!(result.rows.iter().all(|row| row.neighbors.len() == 5));
+//! ```
+
+pub mod algorithms;
+pub mod bounds;
+pub mod exact;
+pub mod grouping;
+pub mod metrics;
+pub mod partition;
+pub mod pivots;
+pub mod result;
+pub mod summary;
+
+pub use algorithms::{
+    BroadcastJoin, BroadcastJoinConfig, Hbrj, HbrjConfig, KnnJoinAlgorithm, Pbj, PbjConfig, Pgbj,
+    PgbjConfig,
+};
+pub use exact::NestedLoopJoin;
+pub use grouping::{GroupingStrategy, PartitionGrouping};
+pub use metrics::JoinMetrics;
+pub use partition::{PartitionedDataset, VoronoiPartitioner};
+pub use pivots::{select_pivots, PivotSelectionStrategy};
+pub use result::{JoinError, JoinResult, JoinRow};
+pub use summary::{RPartitionSummary, SPartitionSummary, SummaryTables};

@@ -1,0 +1,147 @@
+//! Join-level metrics matching the quantities reported in the paper's
+//! evaluation (Section 6).
+//!
+//! * **running time**, broken into the phases of Figure 6 (pivot selection,
+//!   data partitioning, index merging, partition grouping, kNN join);
+//! * **computation selectivity** (Equation 13): the fraction of object pairs
+//!   whose distance is actually computed, counting pivots as objects;
+//! * **replication of S**: how many copies of `S` objects are shuffled to
+//!   reducers, and the average per object (`α` in Section 3);
+//! * **shuffling cost**: the number of bytes crossing the MapReduce shuffle.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Phase names used by the harness; kept as constants so experiment tables use
+/// the same labels as Figure 6 of the paper.
+pub mod phases {
+    /// Pivot selection on the master node (preprocessing step).
+    pub const PIVOT_SELECTION: &str = "pivot selection";
+    /// First MapReduce job: Voronoi partitioning of `R ∪ S`.
+    pub const DATA_PARTITIONING: &str = "data partitioning";
+    /// Merging the per-split statistics into the summary tables.
+    pub const INDEX_MERGING: &str = "index merging";
+    /// Grouping partitions of `R` into reducer groups.
+    pub const PARTITION_GROUPING: &str = "partition grouping";
+    /// Second MapReduce job: the kNN join itself.
+    pub const KNN_JOIN: &str = "knn join";
+    /// Extra MapReduce job merging partial results (H-BRJ / PBJ only).
+    pub const RESULT_MERGING: &str = "result merging";
+}
+
+/// Metrics of one kNN-join execution.
+#[derive(Debug, Clone, Default)]
+pub struct JoinMetrics {
+    /// Wall-clock duration of each phase, in execution order.
+    pub phase_times: Vec<(String, Duration)>,
+    /// Number of object-pair distance computations performed during the join
+    /// phase (between `R` objects and `S` objects *or pivots*, per the paper's
+    /// definition of selectivity).
+    pub distance_computations: u64,
+    /// Number of `R` records shuffled to reducers in the join job.
+    pub r_records_shuffled: u64,
+    /// Number of `S` records (replicas included) shuffled to reducers in the
+    /// join job.
+    pub s_records_shuffled: u64,
+    /// Total bytes crossing the shuffle, across all MapReduce jobs involved.
+    pub shuffle_bytes: u64,
+    /// |R| of the join that produced these metrics.
+    pub r_size: usize,
+    /// |S| of the join that produced these metrics.
+    pub s_size: usize,
+}
+
+impl JoinMetrics {
+    /// Records the duration of a named phase (phases keep insertion order so
+    /// stacked-bar outputs match Figure 6).
+    pub fn record_phase(&mut self, name: &str, elapsed: Duration) {
+        self.phase_times.push((name.to_string(), elapsed));
+    }
+
+    /// Total running time across phases.
+    pub fn total_time(&self) -> Duration {
+        self.phase_times.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Duration of a phase by name (zero if the phase never ran).
+    pub fn phase(&self, name: &str) -> Duration {
+        self.phase_times
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, d)| *d)
+            .sum()
+    }
+
+    /// Phase durations as a map, for serialisation into experiment rows.
+    pub fn phases_map(&self) -> BTreeMap<String, Duration> {
+        let mut m = BTreeMap::new();
+        for (n, d) in &self.phase_times {
+            *m.entry(n.clone()).or_insert(Duration::ZERO) += *d;
+        }
+        m
+    }
+
+    /// Computation selectivity (Equation 13): distance computations divided by
+    /// `|R| · |S|`.  Expressed as a fraction; multiply by 1000 for the "per
+    /// thousand" unit the paper plots.
+    pub fn computation_selectivity(&self) -> f64 {
+        if self.r_size == 0 || self.s_size == 0 {
+            return 0.0;
+        }
+        self.distance_computations as f64 / (self.r_size as f64 * self.s_size as f64)
+    }
+
+    /// Average number of replicas of an `S` object shipped to reducers (`α`).
+    pub fn average_replication(&self) -> f64 {
+        if self.s_size == 0 {
+            return 0.0;
+        }
+        self.s_records_shuffled as f64 / self.s_size as f64
+    }
+
+    /// Shuffling cost in mebibytes.
+    pub fn shuffle_mib(&self) -> f64 {
+        self.shuffle_bytes as f64 / (1024.0 * 1024.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_accumulate_in_order() {
+        let mut m = JoinMetrics::default();
+        m.record_phase(phases::PIVOT_SELECTION, Duration::from_millis(5));
+        m.record_phase(phases::KNN_JOIN, Duration::from_millis(20));
+        m.record_phase(phases::KNN_JOIN, Duration::from_millis(10));
+        assert_eq!(m.total_time(), Duration::from_millis(35));
+        assert_eq!(m.phase(phases::KNN_JOIN), Duration::from_millis(30));
+        assert_eq!(m.phase(phases::RESULT_MERGING), Duration::ZERO);
+        assert_eq!(m.phases_map().len(), 2);
+        assert_eq!(m.phase_times[0].0, phases::PIVOT_SELECTION);
+    }
+
+    #[test]
+    fn selectivity_and_replication() {
+        let m = JoinMetrics {
+            distance_computations: 500,
+            r_size: 100,
+            s_size: 50,
+            s_records_shuffled: 150,
+            shuffle_bytes: 1024 * 1024,
+            ..Default::default()
+        };
+        assert!((m.computation_selectivity() - 0.1).abs() < 1e-12);
+        assert!((m.average_replication() - 3.0).abs() < 1e-12);
+        assert!((m.shuffle_mib() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_do_not_divide_by_zero() {
+        let m = JoinMetrics::default();
+        assert_eq!(m.computation_selectivity(), 0.0);
+        assert_eq!(m.average_replication(), 0.0);
+        assert_eq!(m.total_time(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,270 @@
+//! Voronoi-diagram based data partitioning (Section 2.3 / first MapReduce job).
+//!
+//! Given the selected pivots, every object of `R ∪ S` is assigned to the
+//! partition (generalized Voronoi cell) of its closest pivot; ties are broken
+//! towards the partition that currently holds fewer objects, as footnote 1 of
+//! the paper specifies.  The partitioner also records the distance from each
+//! object to its pivot — that distance is shipped with the object and drives
+//! all later pruning.
+
+use geom::{DistanceMetric, Point, PointSet};
+
+/// Assigns objects to generalized Voronoi cells around a fixed pivot set.
+#[derive(Debug, Clone)]
+pub struct VoronoiPartitioner {
+    pivots: Vec<Point>,
+    metric: DistanceMetric,
+}
+
+/// One object together with its partition assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssignedPoint {
+    /// The object itself.
+    pub point: Point,
+    /// Index of its closest pivot.
+    pub partition: usize,
+    /// Distance to that pivot.
+    pub pivot_distance: f64,
+}
+
+/// A dataset split into Voronoi partitions.
+#[derive(Debug, Clone, Default)]
+pub struct PartitionedDataset {
+    /// `partitions[i]` holds the objects assigned to pivot `i`, each paired
+    /// with its distance to that pivot.
+    pub partitions: Vec<Vec<(Point, f64)>>,
+}
+
+impl PartitionedDataset {
+    /// Number of partitions (equals the number of pivots).
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Total number of objects across partitions.
+    pub fn len(&self) -> usize {
+        self.partitions.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sizes of all partitions.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.partitions.iter().map(Vec::len).collect()
+    }
+
+    /// Descriptive statistics of partition sizes: `(min, max, mean, stddev)`.
+    /// These are exactly the columns of Table 2 in the paper.
+    pub fn size_statistics(&self) -> (usize, usize, f64, f64) {
+        size_statistics(&self.sizes())
+    }
+}
+
+/// Computes `(min, max, mean, population standard deviation)` of a size
+/// distribution; shared by partition statistics (Table 2) and group
+/// statistics (Table 3).
+pub fn size_statistics(sizes: &[usize]) -> (usize, usize, f64, f64) {
+    if sizes.is_empty() {
+        return (0, 0, 0.0, 0.0);
+    }
+    let min = *sizes.iter().min().expect("non-empty");
+    let max = *sizes.iter().max().expect("non-empty");
+    let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+    let var = sizes
+        .iter()
+        .map(|s| {
+            let d = *s as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / sizes.len() as f64;
+    (min, max, mean, var.sqrt())
+}
+
+impl VoronoiPartitioner {
+    /// Creates a partitioner for the given pivots and metric.
+    ///
+    /// # Panics
+    /// Panics if `pivots` is empty.
+    pub fn new(pivots: Vec<Point>, metric: DistanceMetric) -> Self {
+        assert!(!pivots.is_empty(), "need at least one pivot");
+        Self { pivots, metric }
+    }
+
+    /// The pivots this partitioner was built with.
+    pub fn pivots(&self) -> &[Point] {
+        &self.pivots
+    }
+
+    /// The number of partitions.
+    pub fn partition_count(&self) -> usize {
+        self.pivots.len()
+    }
+
+    /// The metric used for assignment.
+    pub fn metric(&self) -> DistanceMetric {
+        self.metric
+    }
+
+    /// Finds the closest pivot of `p`, returning `(pivot index, distance)` and
+    /// the number of distance computations spent (always `|P|`).
+    ///
+    /// Exact ties are reported as the smallest pivot index; the
+    /// fewer-objects tie-break of footnote 1 is applied by
+    /// [`VoronoiPartitioner::partition`], which knows the current partition
+    /// sizes.
+    pub fn assign(&self, p: &Point) -> (usize, f64) {
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (i, pivot) in self.pivots.iter().enumerate() {
+            let d = self.metric.distance(p, pivot);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        (best, best_d)
+    }
+
+    /// Partitions a whole dataset, applying the paper's tie-breaking rule
+    /// (ties go to the partition currently holding fewer objects).
+    pub fn partition(&self, data: &PointSet) -> PartitionedDataset {
+        let mut partitions: Vec<Vec<(Point, f64)>> = vec![Vec::new(); self.pivots.len()];
+        for p in data {
+            let mut best_d = f64::INFINITY;
+            let mut ties: Vec<usize> = Vec::new();
+            for (i, pivot) in self.pivots.iter().enumerate() {
+                let d = self.metric.distance(p, pivot);
+                if d < best_d - f64::EPSILON {
+                    best_d = d;
+                    ties.clear();
+                    ties.push(i);
+                } else if (d - best_d).abs() <= f64::EPSILON {
+                    ties.push(i);
+                }
+            }
+            let target = ties
+                .iter()
+                .copied()
+                .min_by_key(|i| partitions[*i].len())
+                .expect("at least one pivot");
+            partitions[target].push((p.clone(), best_d));
+        }
+        PartitionedDataset { partitions }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::uniform;
+    use proptest::prelude::*;
+
+    fn pivots_2d() -> Vec<Point> {
+        vec![
+            Point::new(0, vec![0.0, 0.0]),
+            Point::new(1, vec![10.0, 0.0]),
+            Point::new(2, vec![0.0, 10.0]),
+        ]
+    }
+
+    #[test]
+    fn assign_picks_closest_pivot() {
+        let part = VoronoiPartitioner::new(pivots_2d(), DistanceMetric::Euclidean);
+        assert_eq!(part.assign(&Point::new(9, vec![1.0, 1.0])).0, 0);
+        assert_eq!(part.assign(&Point::new(9, vec![9.0, 1.0])).0, 1);
+        assert_eq!(part.assign(&Point::new(9, vec![1.0, 9.0])).0, 2);
+        let (_, d) = part.assign(&Point::new(9, vec![3.0, 4.0]));
+        assert!((d - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partition_is_a_disjoint_cover() {
+        let data = uniform(500, 2, 10.0, 3);
+        let part = VoronoiPartitioner::new(pivots_2d(), DistanceMetric::Euclidean);
+        let pd = part.partition(&data);
+        assert_eq!(pd.partition_count(), 3);
+        assert_eq!(pd.len(), 500);
+        // No object appears twice.
+        let mut seen = std::collections::HashSet::new();
+        for bucket in &pd.partitions {
+            for (p, d) in bucket {
+                assert!(seen.insert(p.id), "object {} assigned twice", p.id);
+                assert!(*d >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn each_object_is_with_its_nearest_pivot() {
+        let data = uniform(200, 2, 10.0, 5);
+        let pivots = pivots_2d();
+        let metric = DistanceMetric::Euclidean;
+        let part = VoronoiPartitioner::new(pivots.clone(), metric);
+        let pd = part.partition(&data);
+        for (i, bucket) in pd.partitions.iter().enumerate() {
+            for (p, d) in bucket {
+                let min_d = pivots
+                    .iter()
+                    .map(|pv| metric.distance(p, pv))
+                    .fold(f64::INFINITY, f64::min);
+                assert!((min_d - d).abs() < 1e-9);
+                assert!((metric.distance(p, &pivots[i]) - min_d).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn ties_go_to_smaller_partition() {
+        // Two pivots symmetric about x = 0; every object on the axis is
+        // equidistant, so they must alternate between the two partitions.
+        let pivots = vec![Point::new(0, vec![-1.0, 0.0]), Point::new(1, vec![1.0, 0.0])];
+        let part = VoronoiPartitioner::new(pivots, DistanceMetric::Euclidean);
+        let data = PointSet::from_coords((0..10).map(|i| vec![0.0, i as f64]).collect());
+        let pd = part.partition(&data);
+        assert_eq!(pd.partitions[0].len(), 5);
+        assert_eq!(pd.partitions[1].len(), 5);
+    }
+
+    #[test]
+    fn size_statistics_match_hand_computation() {
+        let (min, max, avg, dev) = size_statistics(&[2, 4, 6]);
+        assert_eq!((min, max), (2, 6));
+        assert!((avg - 4.0).abs() < 1e-12);
+        assert!((dev - (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(size_statistics(&[]), (0, 0, 0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pivot")]
+    fn empty_pivots_panic() {
+        let _ = VoronoiPartitioner::new(Vec::new(), DistanceMetric::Euclidean);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn partitioning_preserves_every_object(
+            n in 1usize..300,
+            n_pivots in 1usize..20,
+            seed in 0u64..500,
+        ) {
+            let data = uniform(n, 3, 100.0, seed);
+            let pivots: Vec<Point> = uniform(n_pivots, 3, 100.0, seed ^ 0xabc).into_points();
+            let part = VoronoiPartitioner::new(pivots, DistanceMetric::Euclidean);
+            let pd = part.partition(&data);
+            prop_assert_eq!(pd.len(), n);
+            prop_assert_eq!(pd.partition_count(), n_pivots);
+            let mut ids: Vec<u64> = pd
+                .partitions
+                .iter()
+                .flat_map(|b| b.iter().map(|(p, _)| p.id))
+                .collect();
+            ids.sort_unstable();
+            prop_assert_eq!(ids, (0..n as u64).collect::<Vec<_>>());
+        }
+    }
+}

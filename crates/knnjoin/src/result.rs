@@ -1,0 +1,198 @@
+//! Join results and result verification helpers.
+
+use crate::metrics::JoinMetrics;
+use geom::{Neighbor, PointId};
+
+/// Errors surfaced by the join algorithms before or during execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JoinError {
+    /// `k` was zero.
+    InvalidK,
+    /// One of the input datasets was empty.
+    EmptyInput(&'static str),
+    /// `R` and `S` have different dimensionality.
+    DimensionalityMismatch {
+        /// Dimensionality of `R`.
+        r_dims: usize,
+        /// Dimensionality of `S`.
+        s_dims: usize,
+    },
+    /// The algorithm configuration is invalid (explanation inside).
+    InvalidConfig(String),
+    /// The underlying MapReduce job failed.
+    MapReduce(String),
+}
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JoinError::InvalidK => write!(f, "k must be at least 1"),
+            JoinError::EmptyInput(which) => write!(f, "dataset {which} is empty"),
+            JoinError::DimensionalityMismatch { r_dims, s_dims } => {
+                write!(f, "R has {r_dims} dimensions but S has {s_dims}")
+            }
+            JoinError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            JoinError::MapReduce(msg) => write!(f, "MapReduce job failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+/// One output row of the join: an `R` object id and its `k` nearest
+/// neighbours, sorted by ascending distance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinRow {
+    /// Id of the `R` object.
+    pub r_id: PointId,
+    /// Its `k` nearest neighbours from `S` (fewer if `|S| < k`).
+    pub neighbors: Vec<Neighbor>,
+}
+
+/// The complete result of a kNN join: one row per `R` object plus the
+/// execution metrics.
+#[derive(Debug, Clone, Default)]
+pub struct JoinResult {
+    /// Output rows sorted by `r_id`.
+    pub rows: Vec<JoinRow>,
+    /// Metrics gathered while executing the join.
+    pub metrics: JoinMetrics,
+}
+
+impl JoinResult {
+    /// Sorts rows by `r_id`; algorithms call this before returning so results
+    /// are directly comparable.
+    pub fn normalize(&mut self) {
+        self.rows.sort_by_key(|r| r.r_id);
+        for row in &mut self.rows {
+            row.neighbors.sort();
+        }
+    }
+
+    /// Looks up the row of a given `R` object.
+    pub fn row(&self, r_id: PointId) -> Option<&JoinRow> {
+        self.rows
+            .binary_search_by_key(&r_id, |r| r.r_id)
+            .ok()
+            .map(|i| &self.rows[i])
+    }
+
+    /// Verifies that this result is equivalent to `expected` up to ties:
+    /// both must cover the same `R` objects, produce the same number of
+    /// neighbours per object, and the *distances* of corresponding neighbours
+    /// must match within `tolerance` (ids may legitimately differ when several
+    /// `S` objects are equidistant).
+    ///
+    /// Returns a human-readable description of the first mismatch, or `None`
+    /// if the results are equivalent.
+    pub fn mismatch_against(&self, expected: &JoinResult, tolerance: f64) -> Option<String> {
+        if self.rows.len() != expected.rows.len() {
+            return Some(format!(
+                "row count differs: {} vs {}",
+                self.rows.len(),
+                expected.rows.len()
+            ));
+        }
+        for (mine, theirs) in self.rows.iter().zip(&expected.rows) {
+            if mine.r_id != theirs.r_id {
+                return Some(format!("row ids differ: {} vs {}", mine.r_id, theirs.r_id));
+            }
+            if mine.neighbors.len() != theirs.neighbors.len() {
+                return Some(format!(
+                    "object {}: neighbour count {} vs {}",
+                    mine.r_id,
+                    mine.neighbors.len(),
+                    theirs.neighbors.len()
+                ));
+            }
+            for (idx, (a, b)) in mine.neighbors.iter().zip(&theirs.neighbors).enumerate() {
+                if (a.distance - b.distance).abs() > tolerance {
+                    return Some(format!(
+                        "object {}: neighbour #{idx} distance {} vs {}",
+                        mine.r_id, a.distance, b.distance
+                    ));
+                }
+            }
+        }
+        None
+    }
+
+    /// Convenience wrapper around [`JoinResult::mismatch_against`] that just
+    /// reports equivalence.
+    pub fn matches(&self, expected: &JoinResult, tolerance: f64) -> bool {
+        self.mismatch_against(expected, tolerance).is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(r_id: PointId, dists: &[f64]) -> JoinRow {
+        JoinRow {
+            r_id,
+            neighbors: dists
+                .iter()
+                .enumerate()
+                .map(|(i, d)| Neighbor::new(i as PointId + 100, *d))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn normalize_sorts_rows_and_neighbors() {
+        let mut res = JoinResult {
+            rows: vec![row(2, &[3.0, 1.0]), row(1, &[0.5])],
+            metrics: JoinMetrics::default(),
+        };
+        res.normalize();
+        assert_eq!(res.rows[0].r_id, 1);
+        assert_eq!(res.rows[1].neighbors[0].distance, 1.0);
+        assert!(res.row(2).is_some());
+        assert!(res.row(7).is_none());
+    }
+
+    #[test]
+    fn identical_results_match() {
+        let a = JoinResult { rows: vec![row(1, &[1.0, 2.0])], metrics: JoinMetrics::default() };
+        let b = a.clone();
+        assert!(a.matches(&b, 1e-9));
+    }
+
+    #[test]
+    fn distance_ties_with_different_ids_still_match() {
+        let a = JoinResult {
+            rows: vec![JoinRow { r_id: 1, neighbors: vec![Neighbor::new(10, 2.0)] }],
+            metrics: JoinMetrics::default(),
+        };
+        let b = JoinResult {
+            rows: vec![JoinRow { r_id: 1, neighbors: vec![Neighbor::new(99, 2.0)] }],
+            metrics: JoinMetrics::default(),
+        };
+        assert!(a.matches(&b, 1e-9));
+    }
+
+    #[test]
+    fn mismatches_are_detected_and_described() {
+        let a = JoinResult { rows: vec![row(1, &[1.0, 2.0])], metrics: JoinMetrics::default() };
+        let fewer_rows = JoinResult { rows: vec![], metrics: JoinMetrics::default() };
+        assert!(a.mismatch_against(&fewer_rows, 1e-9).unwrap().contains("row count"));
+        let wrong_id = JoinResult { rows: vec![row(2, &[1.0, 2.0])], metrics: JoinMetrics::default() };
+        assert!(a.mismatch_against(&wrong_id, 1e-9).unwrap().contains("row ids"));
+        let wrong_count = JoinResult { rows: vec![row(1, &[1.0])], metrics: JoinMetrics::default() };
+        assert!(a.mismatch_against(&wrong_count, 1e-9).unwrap().contains("neighbour count"));
+        let wrong_dist = JoinResult { rows: vec![row(1, &[1.0, 5.0])], metrics: JoinMetrics::default() };
+        assert!(a.mismatch_against(&wrong_dist, 1e-9).unwrap().contains("distance"));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(JoinError::InvalidK.to_string().contains("k"));
+        assert!(JoinError::EmptyInput("R").to_string().contains("R"));
+        assert!(JoinError::DimensionalityMismatch { r_dims: 2, s_dims: 3 }
+            .to_string()
+            .contains("2"));
+        assert!(JoinError::InvalidConfig("nope".into()).to_string().contains("nope"));
+        assert!(JoinError::MapReduce("boom".into()).to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,269 @@
+//! Summary tables `T_R` and `T_S` (Section 4.2, Figure 3/4 of the paper).
+//!
+//! The first MapReduce job, besides partitioning the data, collects compact
+//! per-partition statistics that the second job's mappers and reducers use to
+//! derive distance bounds:
+//!
+//! * for every partition of `R`: the number of objects and the minimum /
+//!   maximum distance from an object to the pivot (`L(P_i^R)`, `U(P_i^R)`);
+//! * for every partition of `S`: the same fields plus the `k` smallest
+//!   object-to-pivot distances (`p_i.d_1 … p_i.d_k`), kept in ascending order
+//!   so Algorithm 1 can early-terminate.
+
+use crate::partition::PartitionedDataset;
+use geom::{DistanceMetric, Point};
+use serde::{Deserialize, Serialize};
+
+/// Summary of one partition of `R`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RPartitionSummary {
+    /// Partition (pivot) index.
+    pub partition: usize,
+    /// Number of objects of `R` in the partition.
+    pub count: usize,
+    /// Minimum object-to-pivot distance, `L(P_i^R)`; 0 for empty partitions.
+    pub lower: f64,
+    /// Maximum object-to-pivot distance, `U(P_i^R)`; 0 for empty partitions.
+    pub upper: f64,
+}
+
+/// Summary of one partition of `S`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SPartitionSummary {
+    /// Partition (pivot) index.
+    pub partition: usize,
+    /// Number of objects of `S` in the partition.
+    pub count: usize,
+    /// Minimum object-to-pivot distance, `L(P_i^S)`.
+    pub lower: f64,
+    /// Maximum object-to-pivot distance, `U(P_i^S)`.
+    pub upper: f64,
+    /// The `k` smallest object-to-pivot distances of the partition in
+    /// ascending order (`KNN(p_i, P_i^S)` in the paper).  May hold fewer than
+    /// `k` entries if the partition is smaller than `k`.
+    pub knn_distances: Vec<f64>,
+}
+
+/// The pair of summary tables plus the pivot set they refer to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryTables {
+    /// Pivots defining the Voronoi cells (ids are positional: pivot `i` is
+    /// partition `i`).
+    pub pivots: Vec<Point>,
+    /// Metric used throughout.
+    pub metric: DistanceMetric,
+    /// One entry per partition of `R` (indexed by partition id).
+    pub r_summaries: Vec<RPartitionSummary>,
+    /// One entry per partition of `S` (indexed by partition id).
+    pub s_summaries: Vec<SPartitionSummary>,
+    /// Pairwise pivot distances: `pivot_distances[i][j] = |p_i, p_j|`.
+    pub pivot_distances: Vec<Vec<f64>>,
+}
+
+impl SummaryTables {
+    /// Builds the summary tables from partitioned copies of `R` and `S`.
+    ///
+    /// `k` controls how many per-partition nearest-to-pivot distances of `S`
+    /// are kept (the paper keeps exactly `k`, the join parameter).
+    ///
+    /// # Panics
+    /// Panics if the two partitionings disagree with the number of pivots.
+    pub fn build(
+        pivots: Vec<Point>,
+        metric: DistanceMetric,
+        partitioned_r: &PartitionedDataset,
+        partitioned_s: &PartitionedDataset,
+        k: usize,
+    ) -> Self {
+        assert_eq!(
+            partitioned_r.partition_count(),
+            pivots.len(),
+            "R partitioning does not match pivot count"
+        );
+        assert_eq!(
+            partitioned_s.partition_count(),
+            pivots.len(),
+            "S partitioning does not match pivot count"
+        );
+
+        let r_summaries = partitioned_r
+            .partitions
+            .iter()
+            .enumerate()
+            .map(|(i, bucket)| {
+                let (lower, upper) = bounds_of(bucket);
+                RPartitionSummary { partition: i, count: bucket.len(), lower, upper }
+            })
+            .collect();
+
+        let s_summaries = partitioned_s
+            .partitions
+            .iter()
+            .enumerate()
+            .map(|(i, bucket)| {
+                let (lower, upper) = bounds_of(bucket);
+                let mut dists: Vec<f64> = bucket.iter().map(|(_, d)| *d).collect();
+                dists.sort_by(|a, b| a.partial_cmp(b).expect("distances are finite"));
+                dists.truncate(k);
+                SPartitionSummary {
+                    partition: i,
+                    count: bucket.len(),
+                    lower,
+                    upper,
+                    knn_distances: dists,
+                }
+            })
+            .collect();
+
+        let pivot_distances = pivot_distance_matrix(&pivots, metric);
+
+        Self { pivots, metric, r_summaries, s_summaries, pivot_distances }
+    }
+
+    /// Number of partitions.
+    pub fn partition_count(&self) -> usize {
+        self.pivots.len()
+    }
+
+    /// `|p_i, p_j|` looked up from the precomputed matrix.
+    pub fn pivot_distance(&self, i: usize, j: usize) -> f64 {
+        self.pivot_distances[i][j]
+    }
+
+    /// Approximate size in bytes of the summary tables, used when accounting
+    /// for the cost of broadcasting them to every mapper (Hadoop distributed
+    /// cache).
+    pub fn approximate_size_bytes(&self) -> usize {
+        let pivot_bytes: usize = self.pivots.iter().map(Point::encoded_len).sum();
+        let r_bytes = self.r_summaries.len() * (8 + 8 + 8 + 8);
+        let s_bytes: usize = self
+            .s_summaries
+            .iter()
+            .map(|s| 8 + 8 + 8 + 8 + 8 * s.knn_distances.len())
+            .sum();
+        pivot_bytes + r_bytes + s_bytes
+    }
+}
+
+/// `(L, U)` of a partition; empty partitions report `(0, 0)` like an absent
+/// row in the paper's tables.
+fn bounds_of(bucket: &[(Point, f64)]) -> (f64, f64) {
+    if bucket.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut lower = f64::INFINITY;
+    let mut upper = f64::NEG_INFINITY;
+    for (_, d) in bucket {
+        lower = lower.min(*d);
+        upper = upper.max(*d);
+    }
+    (lower, upper)
+}
+
+/// Full pairwise pivot distance matrix.
+fn pivot_distance_matrix(pivots: &[Point], metric: DistanceMetric) -> Vec<Vec<f64>> {
+    let n = pivots.len();
+    let mut m = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = metric.distance(&pivots[i], &pivots[j]);
+            m[i][j] = d;
+            m[j][i] = d;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::VoronoiPartitioner;
+    use datagen::uniform;
+    use geom::PointSet;
+
+    fn setup(k: usize) -> (SummaryTables, PointSet, PointSet, VoronoiPartitioner) {
+        let r = uniform(300, 2, 100.0, 1);
+        let s = uniform(400, 2, 100.0, 2);
+        let pivots: Vec<Point> = uniform(8, 2, 100.0, 3).into_points();
+        let partitioner = VoronoiPartitioner::new(pivots.clone(), DistanceMetric::Euclidean);
+        let pr = partitioner.partition(&r);
+        let ps = partitioner.partition(&s);
+        let tables = SummaryTables::build(pivots, DistanceMetric::Euclidean, &pr, &ps, k);
+        (tables, r, s, partitioner)
+    }
+
+    #[test]
+    fn counts_sum_to_dataset_sizes() {
+        let (tables, r, s, _) = setup(10);
+        assert_eq!(tables.r_summaries.iter().map(|x| x.count).sum::<usize>(), r.len());
+        assert_eq!(tables.s_summaries.iter().map(|x| x.count).sum::<usize>(), s.len());
+        assert_eq!(tables.partition_count(), 8);
+    }
+
+    #[test]
+    fn bounds_are_consistent_with_assignments() {
+        let (tables, _, s, partitioner) = setup(10);
+        let ps = partitioner.partition(&s);
+        for summary in &tables.s_summaries {
+            let bucket = &ps.partitions[summary.partition];
+            if bucket.is_empty() {
+                assert_eq!((summary.lower, summary.upper), (0.0, 0.0));
+                continue;
+            }
+            for (_, d) in bucket {
+                assert!(*d >= summary.lower - 1e-9);
+                assert!(*d <= summary.upper + 1e-9);
+            }
+            assert!(summary.lower <= summary.upper);
+        }
+    }
+
+    #[test]
+    fn knn_distances_are_sorted_ascending_and_truncated_to_k() {
+        let (tables, _, _, _) = setup(5);
+        for summary in &tables.s_summaries {
+            assert!(summary.knn_distances.len() <= 5);
+            assert!(summary
+                .knn_distances
+                .windows(2)
+                .all(|w| w[0] <= w[1]));
+            // and they are the smallest distances: all ≤ upper bound
+            if let Some(last) = summary.knn_distances.last() {
+                assert!(*last <= summary.upper + 1e-9);
+            }
+            if let Some(first) = summary.knn_distances.first() {
+                assert!((*first - summary.lower).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn pivot_distance_matrix_is_symmetric_with_zero_diagonal() {
+        let (tables, _, _, _) = setup(3);
+        let n = tables.partition_count();
+        for i in 0..n {
+            assert_eq!(tables.pivot_distance(i, i), 0.0);
+            for j in 0..n {
+                assert_eq!(tables.pivot_distance(i, j), tables.pivot_distance(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn approximate_size_grows_with_k() {
+        let (small, _, _, _) = setup(1);
+        let (large, _, _, _) = setup(20);
+        assert!(large.approximate_size_bytes() > small.approximate_size_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match pivot count")]
+    fn mismatched_partitioning_panics() {
+        let r = uniform(50, 2, 10.0, 1);
+        let pivots: Vec<Point> = uniform(4, 2, 10.0, 2).into_points();
+        let other_pivots: Vec<Point> = uniform(5, 2, 10.0, 3).into_points();
+        let pa = VoronoiPartitioner::new(pivots.clone(), DistanceMetric::Euclidean).partition(&r);
+        let pb = VoronoiPartitioner::new(other_pivots, DistanceMetric::Euclidean).partition(&r);
+        let _ = SummaryTables::build(pivots, DistanceMetric::Euclidean, &pa, &pb, 3);
+    }
+}

@@ -1,0 +1,374 @@
+//! A miniature in-memory distributed file system.
+//!
+//! HDFS stores files as fixed-size blocks replicated across DataNodes; a
+//! NameNode keeps the metadata and hands MapReduce one input split per block.
+//! This module reproduces that model in memory:
+//!
+//! * a file is a sequence of blocks of at most `block_size` bytes,
+//! * each block is replicated onto `replication` distinct virtual DataNodes
+//!   chosen round-robin (the paper sets the replication factor to 1 in its
+//!   Hadoop configuration, which is the default here),
+//! * readers can fetch whole files or individual blocks, and the engine can
+//!   ask for the natural input splits of a file (one per block).
+//!
+//! The DFS is deliberately simple — no append, no permissions — but enforces
+//! the same invariants HDFS does: immutable closed files, block-granular
+//! placement, and failure when replication exceeds the number of DataNodes.
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Configuration of the in-memory DFS.
+#[derive(Debug, Clone)]
+pub struct DfsConfig {
+    /// Number of virtual DataNodes.
+    pub data_nodes: usize,
+    /// Maximum number of bytes per block.
+    pub block_size: usize,
+    /// Number of replicas of each block (the paper uses 1).
+    pub replication: usize,
+}
+
+impl Default for DfsConfig {
+    fn default() -> Self {
+        Self {
+            data_nodes: 4,
+            block_size: 64 * 1024,
+            replication: 1,
+        }
+    }
+}
+
+/// Errors returned by DFS operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfsError {
+    /// The requested file does not exist.
+    FileNotFound(String),
+    /// A file with this name already exists (files are immutable once written).
+    FileExists(String),
+    /// The configuration is invalid (e.g. replication > number of DataNodes).
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for DfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DfsError::FileNotFound(p) => write!(f, "file not found: {p}"),
+            DfsError::FileExists(p) => write!(f, "file already exists: {p}"),
+            DfsError::InvalidConfig(m) => write!(f, "invalid DFS configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DfsError {}
+
+/// Metadata of a stored block: which DataNodes hold replicas of it.
+#[derive(Debug, Clone)]
+struct BlockMeta {
+    /// DataNode indices holding a replica.
+    replicas: Vec<usize>,
+    /// Index of this block within its DataNodes' stores.
+    data: Bytes,
+}
+
+/// Metadata of a file.
+#[derive(Debug, Clone, Default)]
+struct FileMeta {
+    blocks: Vec<BlockMeta>,
+    len: usize,
+}
+
+#[derive(Debug, Default)]
+struct NameNode {
+    files: BTreeMap<String, FileMeta>,
+    /// Bytes stored per DataNode, used for balancing and the usage report.
+    node_usage: Vec<usize>,
+    next_node: usize,
+}
+
+/// The in-memory distributed file system.
+///
+/// Cloning the handle is cheap; clones share the same underlying storage,
+/// like multiple HDFS clients talking to one NameNode.
+#[derive(Debug, Clone)]
+pub struct InMemoryDfs {
+    config: DfsConfig,
+    name_node: Arc<RwLock<NameNode>>,
+}
+
+impl InMemoryDfs {
+    /// Creates a DFS with the given configuration.
+    ///
+    /// # Errors
+    /// Returns [`DfsError::InvalidConfig`] if there are no DataNodes, the
+    /// block size is zero, or the replication factor exceeds the number of
+    /// DataNodes.
+    pub fn new(config: DfsConfig) -> Result<Self, DfsError> {
+        if config.data_nodes == 0 {
+            return Err(DfsError::InvalidConfig("data_nodes must be positive".into()));
+        }
+        if config.block_size == 0 {
+            return Err(DfsError::InvalidConfig("block_size must be positive".into()));
+        }
+        if config.replication == 0 || config.replication > config.data_nodes {
+            return Err(DfsError::InvalidConfig(format!(
+                "replication {} must be in 1..={}",
+                config.replication, config.data_nodes
+            )));
+        }
+        Ok(Self {
+            name_node: Arc::new(RwLock::new(NameNode {
+                files: BTreeMap::new(),
+                node_usage: vec![0; config.data_nodes],
+                next_node: 0,
+            })),
+            config,
+        })
+    }
+
+    /// Creates a DFS with the default configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(DfsConfig::default()).expect("default config is valid")
+    }
+
+    /// The configuration this DFS was created with.
+    pub fn config(&self) -> &DfsConfig {
+        &self.config
+    }
+
+    /// Writes a new immutable file, splitting `data` into blocks and placing
+    /// replicas round-robin across DataNodes.
+    ///
+    /// # Errors
+    /// Returns [`DfsError::FileExists`] if the path is already taken.
+    pub fn write_file(&self, path: &str, data: &[u8]) -> Result<(), DfsError> {
+        let mut nn = self.name_node.write();
+        if nn.files.contains_key(path) {
+            return Err(DfsError::FileExists(path.to_string()));
+        }
+        let mut meta = FileMeta { blocks: Vec::new(), len: data.len() };
+        let chunks: Vec<&[u8]> = if data.is_empty() {
+            Vec::new()
+        } else {
+            data.chunks(self.config.block_size).collect()
+        };
+        for chunk in chunks {
+            let mut replicas = Vec::with_capacity(self.config.replication);
+            for r in 0..self.config.replication {
+                let node = (nn.next_node + r) % self.config.data_nodes;
+                replicas.push(node);
+                nn.node_usage[node] += chunk.len();
+            }
+            nn.next_node = (nn.next_node + 1) % self.config.data_nodes;
+            meta.blocks.push(BlockMeta {
+                replicas,
+                data: Bytes::copy_from_slice(chunk),
+            });
+        }
+        nn.files.insert(path.to_string(), meta);
+        Ok(())
+    }
+
+    /// Reads a whole file back as a contiguous byte buffer.
+    ///
+    /// # Errors
+    /// Returns [`DfsError::FileNotFound`] if the path does not exist.
+    pub fn read_file(&self, path: &str) -> Result<Bytes, DfsError> {
+        let nn = self.name_node.read();
+        let meta = nn
+            .files
+            .get(path)
+            .ok_or_else(|| DfsError::FileNotFound(path.to_string()))?;
+        let mut out = Vec::with_capacity(meta.len);
+        for b in &meta.blocks {
+            out.extend_from_slice(&b.data);
+        }
+        Ok(Bytes::from(out))
+    }
+
+    /// Returns the blocks of a file as independent buffers — the natural input
+    /// splits for a MapReduce job reading this file.
+    ///
+    /// # Errors
+    /// Returns [`DfsError::FileNotFound`] if the path does not exist.
+    pub fn read_blocks(&self, path: &str) -> Result<Vec<Bytes>, DfsError> {
+        let nn = self.name_node.read();
+        let meta = nn
+            .files
+            .get(path)
+            .ok_or_else(|| DfsError::FileNotFound(path.to_string()))?;
+        Ok(meta.blocks.iter().map(|b| b.data.clone()).collect())
+    }
+
+    /// Deletes a file, releasing its blocks.
+    ///
+    /// # Errors
+    /// Returns [`DfsError::FileNotFound`] if the path does not exist.
+    pub fn delete_file(&self, path: &str) -> Result<(), DfsError> {
+        let mut nn = self.name_node.write();
+        let meta = nn
+            .files
+            .remove(path)
+            .ok_or_else(|| DfsError::FileNotFound(path.to_string()))?;
+        for b in &meta.blocks {
+            for node in &b.replicas {
+                nn.node_usage[*node] -= b.data.len();
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether a file exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.name_node.read().files.contains_key(path)
+    }
+
+    /// Lists files whose path starts with `prefix`, sorted.
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        self.name_node
+            .read()
+            .files
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect()
+    }
+
+    /// Length of a file in bytes.
+    ///
+    /// # Errors
+    /// Returns [`DfsError::FileNotFound`] if the path does not exist.
+    pub fn file_len(&self, path: &str) -> Result<usize, DfsError> {
+        let nn = self.name_node.read();
+        nn.files
+            .get(path)
+            .map(|m| m.len)
+            .ok_or_else(|| DfsError::FileNotFound(path.to_string()))
+    }
+
+    /// Number of blocks of a file.
+    ///
+    /// # Errors
+    /// Returns [`DfsError::FileNotFound`] if the path does not exist.
+    pub fn block_count(&self, path: &str) -> Result<usize, DfsError> {
+        let nn = self.name_node.read();
+        nn.files
+            .get(path)
+            .map(|m| m.blocks.len())
+            .ok_or_else(|| DfsError::FileNotFound(path.to_string()))
+    }
+
+    /// Bytes stored on each virtual DataNode (including replicas).
+    pub fn node_usage(&self) -> Vec<usize> {
+        self.name_node.read().node_usage.clone()
+    }
+
+    /// Total bytes stored across all DataNodes (including replicas).
+    pub fn total_stored(&self) -> usize {
+        self.name_node.read().node_usage.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_small_file() {
+        let dfs = InMemoryDfs::with_defaults();
+        dfs.write_file("/a", b"hello world").unwrap();
+        assert_eq!(&dfs.read_file("/a").unwrap()[..], b"hello world");
+        assert!(dfs.exists("/a"));
+        assert_eq!(dfs.file_len("/a").unwrap(), 11);
+    }
+
+    #[test]
+    fn files_split_into_blocks_of_block_size() {
+        let dfs = InMemoryDfs::new(DfsConfig { data_nodes: 3, block_size: 4, replication: 1 }).unwrap();
+        dfs.write_file("/big", b"0123456789").unwrap();
+        assert_eq!(dfs.block_count("/big").unwrap(), 3);
+        let blocks = dfs.read_blocks("/big").unwrap();
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(&blocks[0][..], b"0123");
+        assert_eq!(&blocks[2][..], b"89");
+        assert_eq!(&dfs.read_file("/big").unwrap()[..], b"0123456789");
+    }
+
+    #[test]
+    fn replication_multiplies_stored_bytes() {
+        let dfs = InMemoryDfs::new(DfsConfig { data_nodes: 3, block_size: 4, replication: 2 }).unwrap();
+        dfs.write_file("/r", b"abcdefgh").unwrap();
+        assert_eq!(dfs.total_stored(), 16);
+        assert_eq!(dfs.file_len("/r").unwrap(), 8);
+    }
+
+    #[test]
+    fn rejects_duplicate_files_and_missing_reads() {
+        let dfs = InMemoryDfs::with_defaults();
+        dfs.write_file("/x", b"1").unwrap();
+        assert_eq!(dfs.write_file("/x", b"2"), Err(DfsError::FileExists("/x".into())));
+        assert_eq!(dfs.read_file("/y"), Err(DfsError::FileNotFound("/y".into())));
+        assert_eq!(dfs.block_count("/y"), Err(DfsError::FileNotFound("/y".into())));
+    }
+
+    #[test]
+    fn delete_releases_space() {
+        let dfs = InMemoryDfs::new(DfsConfig { data_nodes: 2, block_size: 8, replication: 1 }).unwrap();
+        dfs.write_file("/d", b"abcdefgh").unwrap();
+        assert_eq!(dfs.total_stored(), 8);
+        dfs.delete_file("/d").unwrap();
+        assert_eq!(dfs.total_stored(), 0);
+        assert!(!dfs.exists("/d"));
+        assert_eq!(dfs.delete_file("/d"), Err(DfsError::FileNotFound("/d".into())));
+    }
+
+    #[test]
+    fn list_filters_by_prefix() {
+        let dfs = InMemoryDfs::with_defaults();
+        dfs.write_file("/job1/part-0", b"a").unwrap();
+        dfs.write_file("/job1/part-1", b"b").unwrap();
+        dfs.write_file("/job2/part-0", b"c").unwrap();
+        assert_eq!(
+            dfs.list("/job1/"),
+            vec!["/job1/part-0".to_string(), "/job1/part-1".to_string()]
+        );
+        assert_eq!(dfs.list("/nope").len(), 0);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(InMemoryDfs::new(DfsConfig { data_nodes: 0, block_size: 1, replication: 1 }).is_err());
+        assert!(InMemoryDfs::new(DfsConfig { data_nodes: 2, block_size: 0, replication: 1 }).is_err());
+        assert!(InMemoryDfs::new(DfsConfig { data_nodes: 2, block_size: 1, replication: 3 }).is_err());
+        assert!(InMemoryDfs::new(DfsConfig { data_nodes: 2, block_size: 1, replication: 0 }).is_err());
+    }
+
+    #[test]
+    fn empty_file_roundtrips() {
+        let dfs = InMemoryDfs::with_defaults();
+        dfs.write_file("/empty", b"").unwrap();
+        assert_eq!(dfs.read_file("/empty").unwrap().len(), 0);
+        assert_eq!(dfs.block_count("/empty").unwrap(), 0);
+    }
+
+    #[test]
+    fn blocks_spread_across_datanodes() {
+        let dfs = InMemoryDfs::new(DfsConfig { data_nodes: 4, block_size: 2, replication: 1 }).unwrap();
+        dfs.write_file("/spread", &[0u8; 16]).unwrap();
+        let usage = dfs.node_usage();
+        // 8 blocks of 2 bytes over 4 nodes round-robin = 4 bytes each.
+        assert_eq!(usage, vec![4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let e = DfsError::FileNotFound("/f".into());
+        assert!(e.to_string().contains("/f"));
+        let e = DfsError::InvalidConfig("bad".into());
+        assert!(e.to_string().contains("bad"));
+        let e = DfsError::FileExists("/g".into());
+        assert!(e.to_string().contains("/g"));
+    }
+}

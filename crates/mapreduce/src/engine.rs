@@ -1,0 +1,603 @@
+//! The job execution engine.
+//!
+//! [`run_job`] (or the more convenient [`JobBuilder`]) executes a full
+//! MapReduce job in-process:
+//!
+//! 1. the input pairs are divided into map splits,
+//! 2. map tasks run in parallel on a work-stealing thread pool, each feeding a
+//!    [`MapContext`] that accounts the byte size of every emitted pair,
+//! 3. the shuffle routes each intermediate pair to a reduce partition using
+//!    the job's [`Partitioner`], then groups and sorts pairs by key within
+//!    each partition (Hadoop's sort/group guarantee),
+//! 4. reduce tasks run in parallel, one per partition, producing the final
+//!    output and
+//! 5. per-phase timings, shuffle volume and counters are reported as
+//!    [`JobMetrics`].
+
+use crate::bytesize::ByteSize;
+use crate::counters::Counters;
+use crate::job::{
+    Combiner, HashPartitioner, IdentityCombiner, MapContext, Mapper, Partitioner, ReduceContext,
+    Reducer,
+};
+use crate::metrics::{JobMetrics, PhaseTimings};
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Errors reported by the engine before any task runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The job was configured with zero reduce tasks.
+    NoReducers,
+    /// The job was configured with zero map tasks.
+    NoMapTasks,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::NoReducers => write!(f, "job must have at least one reduce task"),
+            JobError::NoMapTasks => write!(f, "job must have at least one map task"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// The result of a completed job: the reduce output plus execution metrics.
+#[derive(Debug, Clone)]
+pub struct JobOutput<K, V> {
+    /// Final key/value pairs emitted by all reduce tasks, in reduce-task order
+    /// (task 0's output first), with each task's keys in sorted order.
+    pub output: Vec<(K, V)>,
+    /// Execution metrics (timings, shuffle volume, counters).
+    pub metrics: JobMetrics,
+}
+
+/// Fluent configuration for a MapReduce job.
+///
+/// Mirrors Hadoop's `JobConf`: a name, a number of reduce tasks ("computing
+/// nodes" in the paper's experiments) and a number of map tasks (by default
+/// one per reduce task, but usually set to the number of input splits).
+#[derive(Debug, Clone)]
+pub struct JobBuilder {
+    name: String,
+    num_reducers: usize,
+    num_map_tasks: Option<usize>,
+}
+
+impl JobBuilder {
+    /// Creates a builder for a job with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            num_reducers: 1,
+            num_map_tasks: None,
+        }
+    }
+
+    /// Sets the number of reduce tasks.
+    pub fn reducers(mut self, n: usize) -> Self {
+        self.num_reducers = n;
+        self
+    }
+
+    /// Sets the number of map tasks (defaults to `max(num_reducers, 1)` if the
+    /// input is large enough, otherwise one task per input pair).
+    pub fn map_tasks(mut self, n: usize) -> Self {
+        self.num_map_tasks = Some(n);
+        self
+    }
+
+    /// Runs the job with the default [`HashPartitioner`].
+    ///
+    /// # Errors
+    /// Returns [`JobError`] if the configuration is invalid.
+    pub fn run<M, R>(
+        &self,
+        input: Vec<(M::KIn, M::VIn)>,
+        mapper: &M,
+        reducer: &R,
+    ) -> Result<JobOutput<R::KOut, R::VOut>, JobError>
+    where
+        M: Mapper,
+        R: Reducer<KIn = M::KOut, VIn = M::VOut>,
+    {
+        self.run_with_partitioner(input, mapper, reducer, &HashPartitioner)
+    }
+
+    /// Runs the job with an explicit partitioner.
+    ///
+    /// # Errors
+    /// Returns [`JobError`] if the configuration is invalid.
+    pub fn run_with_partitioner<M, R, P>(
+        &self,
+        input: Vec<(M::KIn, M::VIn)>,
+        mapper: &M,
+        reducer: &R,
+        partitioner: &P,
+    ) -> Result<JobOutput<R::KOut, R::VOut>, JobError>
+    where
+        M: Mapper,
+        R: Reducer<KIn = M::KOut, VIn = M::VOut>,
+        P: Partitioner<M::KOut>,
+    {
+        run_job(
+            &self.name,
+            input,
+            mapper,
+            reducer,
+            partitioner,
+            self.num_reducers,
+            self.num_map_tasks,
+        )
+    }
+
+    /// Runs the job with a map-side [`Combiner`] and the default
+    /// [`HashPartitioner`].
+    ///
+    /// # Errors
+    /// Returns [`JobError`] if the configuration is invalid.
+    pub fn run_with_combiner<M, C, R>(
+        &self,
+        input: Vec<(M::KIn, M::VIn)>,
+        mapper: &M,
+        combiner: &C,
+        reducer: &R,
+    ) -> Result<JobOutput<R::KOut, R::VOut>, JobError>
+    where
+        M: Mapper,
+        C: Combiner<K = M::KOut, V = M::VOut>,
+        R: Reducer<KIn = M::KOut, VIn = M::VOut>,
+    {
+        run_job_with_combiner(
+            &self.name,
+            input,
+            mapper,
+            Some(combiner),
+            reducer,
+            &HashPartitioner,
+            self.num_reducers,
+            self.num_map_tasks,
+        )
+    }
+}
+
+/// Executes a MapReduce job.  Prefer [`JobBuilder`] for readability.
+///
+/// # Errors
+/// Returns [`JobError`] if `num_reducers` is zero or an explicit
+/// `num_map_tasks` of zero is requested.
+#[allow(clippy::too_many_arguments)]
+pub fn run_job<M, R, P>(
+    name: &str,
+    input: Vec<(M::KIn, M::VIn)>,
+    mapper: &M,
+    reducer: &R,
+    partitioner: &P,
+    num_reducers: usize,
+    num_map_tasks: Option<usize>,
+) -> Result<JobOutput<R::KOut, R::VOut>, JobError>
+where
+    M: Mapper,
+    R: Reducer<KIn = M::KOut, VIn = M::VOut>,
+    P: Partitioner<M::KOut>,
+{
+    run_job_with_combiner(
+        name,
+        input,
+        mapper,
+        None::<&IdentityCombiner<M::KOut, M::VOut>>,
+        reducer,
+        partitioner,
+        num_reducers,
+        num_map_tasks,
+    )
+}
+
+/// Executes a MapReduce job with an optional map-side combiner.
+///
+/// When a combiner is supplied, each map task groups its own output by key and
+/// runs the combiner before anything is handed to the shuffle; the reported
+/// `shuffle_records` / `shuffle_bytes` reflect the combined (smaller) volume,
+/// just like Hadoop's "reduce shuffle bytes" counter.
+///
+/// # Errors
+/// Returns [`JobError`] if `num_reducers` is zero or an explicit
+/// `num_map_tasks` of zero is requested.
+#[allow(clippy::too_many_arguments)]
+pub fn run_job_with_combiner<M, C, R, P>(
+    name: &str,
+    input: Vec<(M::KIn, M::VIn)>,
+    mapper: &M,
+    combiner: Option<&C>,
+    reducer: &R,
+    partitioner: &P,
+    num_reducers: usize,
+    num_map_tasks: Option<usize>,
+) -> Result<JobOutput<R::KOut, R::VOut>, JobError>
+where
+    M: Mapper,
+    C: Combiner<K = M::KOut, V = M::VOut>,
+    R: Reducer<KIn = M::KOut, VIn = M::VOut>,
+    P: Partitioner<M::KOut>,
+{
+    if num_reducers == 0 {
+        return Err(JobError::NoReducers);
+    }
+    let requested_map_tasks = num_map_tasks.unwrap_or_else(|| num_reducers.max(1));
+    if requested_map_tasks == 0 {
+        return Err(JobError::NoMapTasks);
+    }
+
+    let counters = Counters::new();
+    let input_records = input.len() as u64;
+
+    // ---- Map phase -------------------------------------------------------
+    let map_start = Instant::now();
+    let splits = make_splits(input, requested_map_tasks);
+    let map_tasks = splits.len().max(1);
+    let map_results: Vec<(Vec<(M::KOut, M::VOut)>, u64)> = splits
+        .into_par_iter()
+        .enumerate()
+        .map(|(task_id, split)| {
+            let mut ctx = MapContext::new(task_id, counters.clone());
+            mapper.setup(&mut ctx);
+            for (k, v) in &split {
+                mapper.map(k, v, &mut ctx);
+            }
+            mapper.cleanup(&mut ctx);
+            match combiner {
+                Some(c) => apply_combiner(c, ctx.emitted),
+                None => (ctx.emitted, ctx.emitted_bytes),
+            }
+        })
+        .collect();
+    let map_time = map_start.elapsed();
+
+    // ---- Shuffle phase ----------------------------------------------------
+    let shuffle_start = Instant::now();
+    let mut shuffle_records = 0u64;
+    let mut shuffle_bytes = 0u64;
+    // One sorted key -> values map per reduce partition, mirroring Hadoop's
+    // merge-sort of map outputs on the reduce side.
+    let mut partitions: Vec<BTreeMap<M::KOut, Vec<M::VOut>>> =
+        (0..num_reducers).map(|_| BTreeMap::new()).collect();
+    for (emitted, bytes) in map_results {
+        shuffle_bytes += bytes;
+        for (k, v) in emitted {
+            shuffle_records += 1;
+            let p = partitioner.partition(&k, num_reducers);
+            debug_assert!(p < num_reducers, "partitioner returned out-of-range index");
+            partitions[p.min(num_reducers - 1)]
+                .entry(k)
+                .or_default()
+                .push(v);
+        }
+    }
+    let shuffle_time = shuffle_start.elapsed();
+
+    // ---- Reduce phase ------------------------------------------------------
+    let reduce_start = Instant::now();
+    let reduce_outputs: Vec<Vec<(R::KOut, R::VOut)>> = partitions
+        .into_par_iter()
+        .enumerate()
+        .map(|(task_id, groups)| {
+            let mut ctx = ReduceContext::new(task_id, counters.clone());
+            reducer.setup(&mut ctx);
+            for (k, vs) in &groups {
+                reducer.reduce(k, vs, &mut ctx);
+            }
+            reducer.cleanup(&mut ctx);
+            ctx.emitted
+        })
+        .collect();
+    let reduce_time = reduce_start.elapsed();
+
+    let mut output = Vec::new();
+    for mut part in reduce_outputs {
+        output.append(&mut part);
+    }
+
+    let metrics = JobMetrics {
+        job_name: name.to_string(),
+        map_tasks,
+        reduce_tasks: num_reducers,
+        input_records,
+        shuffle_records,
+        shuffle_bytes,
+        output_records: output.len() as u64,
+        timings: PhaseTimings {
+            map: map_time,
+            shuffle: shuffle_time,
+            reduce: reduce_time,
+        },
+        counters,
+    };
+
+    Ok(JobOutput { output, metrics })
+}
+
+/// Groups one map task's output by key, applies the combiner, and recomputes
+/// the shuffle byte count for the combined pairs.
+fn apply_combiner<C: Combiner>(
+    combiner: &C,
+    emitted: Vec<(C::K, C::V)>,
+) -> (Vec<(C::K, C::V)>, u64) {
+    let mut grouped: BTreeMap<C::K, Vec<C::V>> = BTreeMap::new();
+    for (k, v) in emitted {
+        grouped.entry(k).or_default().push(v);
+    }
+    let mut combined = Vec::new();
+    let mut bytes = 0u64;
+    for (k, vs) in grouped {
+        for v in combiner.combine(&k, &vs) {
+            bytes += (k.byte_size() + v.byte_size()) as u64;
+            combined.push((k.clone(), v));
+        }
+    }
+    (combined, bytes)
+}
+
+/// Splits the input into at most `n` contiguous, near-equal chunks.
+fn make_splits<T>(input: Vec<T>, n: usize) -> Vec<Vec<T>> {
+    if input.is_empty() {
+        return vec![Vec::new()];
+    }
+    let n = n.min(input.len()).max(1);
+    let chunk = input.len().div_ceil(n);
+    let mut splits = Vec::with_capacity(n);
+    let mut it = input.into_iter();
+    loop {
+        let split: Vec<T> = it.by_ref().take(chunk).collect();
+        if split.is_empty() {
+            break;
+        }
+        splits.push(split);
+    }
+    splits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::IdentityPartitioner;
+
+    /// Identity mapper over (u64, u64) pairs.
+    struct IdMap;
+    impl Mapper for IdMap {
+        type KIn = u64;
+        type VIn = u64;
+        type KOut = u64;
+        type VOut = u64;
+        fn map(&self, k: &u64, v: &u64, ctx: &mut MapContext<u64, u64>) {
+            ctx.emit(*k, *v);
+        }
+    }
+
+    /// Sums values per key.
+    struct SumRed;
+    impl Reducer for SumRed {
+        type KIn = u64;
+        type VIn = u64;
+        type KOut = u64;
+        type VOut = u64;
+        fn reduce(&self, k: &u64, vs: &[u64], ctx: &mut ReduceContext<u64, u64>) {
+            ctx.emit(*k, vs.iter().sum());
+        }
+    }
+
+    fn pairs(n: u64) -> Vec<(u64, u64)> {
+        (0..n).map(|i| (i % 10, i)).collect()
+    }
+
+    #[test]
+    fn sums_match_sequential_computation() {
+        let input = pairs(1000);
+        let mut expect = BTreeMap::new();
+        for (k, v) in &input {
+            *expect.entry(*k).or_insert(0u64) += v;
+        }
+        let out = JobBuilder::new("sum").reducers(4).run(input, &IdMap, &SumRed).unwrap();
+        let got: BTreeMap<u64, u64> = out.output.into_iter().collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn metrics_account_records_and_bytes() {
+        let input = pairs(100);
+        let out = JobBuilder::new("metrics").reducers(3).map_tasks(5).run(input, &IdMap, &SumRed).unwrap();
+        let m = &out.metrics;
+        assert_eq!(m.job_name, "metrics");
+        assert_eq!(m.input_records, 100);
+        assert_eq!(m.shuffle_records, 100);
+        assert_eq!(m.shuffle_bytes, 100 * 16); // (u64, u64) = 16 bytes each
+        assert_eq!(m.output_records, 10);
+        assert_eq!(m.map_tasks, 5);
+        assert_eq!(m.reduce_tasks, 3);
+    }
+
+    #[test]
+    fn results_are_independent_of_task_counts() {
+        let input = pairs(500);
+        let single = JobBuilder::new("a").reducers(1).map_tasks(1)
+            .run(input.clone(), &IdMap, &SumRed).unwrap();
+        let many = JobBuilder::new("b").reducers(13).map_tasks(7)
+            .run(input, &IdMap, &SumRed).unwrap();
+        let mut a = single.output;
+        let mut b = many.output;
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_reducers_is_an_error() {
+        let err = JobBuilder::new("bad").reducers(0).run(pairs(10), &IdMap, &SumRed).unwrap_err();
+        assert_eq!(err, JobError::NoReducers);
+        assert!(err.to_string().contains("reduce"));
+    }
+
+    #[test]
+    fn zero_map_tasks_is_an_error() {
+        let err = JobBuilder::new("bad").reducers(1).map_tasks(0)
+            .run(pairs(10), &IdMap, &SumRed).unwrap_err();
+        assert_eq!(err, JobError::NoMapTasks);
+    }
+
+    #[test]
+    fn empty_input_produces_empty_output() {
+        let out = JobBuilder::new("empty").reducers(2).run(Vec::new(), &IdMap, &SumRed).unwrap();
+        assert!(out.output.is_empty());
+        assert_eq!(out.metrics.input_records, 0);
+        assert_eq!(out.metrics.shuffle_bytes, 0);
+    }
+
+    #[test]
+    fn identity_partitioner_routes_by_key() {
+        // With the identity partitioner and as many reducers as keys, each
+        // reducer sees exactly one key; the output order groups per reducer.
+        let input: Vec<(u64, u64)> = (0..30).map(|i| (i % 3, 1)).collect();
+        let out = JobBuilder::new("ident")
+            .reducers(3)
+            .run_with_partitioner(input, &IdMap, &SumRed, &IdentityPartitioner)
+            .unwrap();
+        assert_eq!(out.output, vec![(0, 10), (1, 10), (2, 10)]);
+    }
+
+    #[test]
+    fn counters_flow_from_tasks_to_metrics() {
+        struct CountingMap;
+        impl Mapper for CountingMap {
+            type KIn = u64;
+            type VIn = u64;
+            type KOut = u64;
+            type VOut = u64;
+            fn map(&self, k: &u64, v: &u64, ctx: &mut MapContext<u64, u64>) {
+                ctx.counters().increment("mapped");
+                ctx.emit(*k, *v);
+            }
+        }
+        let out = JobBuilder::new("counting").reducers(2).run(pairs(50), &CountingMap, &SumRed).unwrap();
+        assert_eq!(out.metrics.counters.get("mapped"), 50);
+    }
+
+    #[test]
+    fn setup_and_cleanup_run_once_per_task() {
+        struct LifecycleMap;
+        impl Mapper for LifecycleMap {
+            type KIn = u64;
+            type VIn = u64;
+            type KOut = u64;
+            type VOut = u64;
+            fn setup(&self, ctx: &mut MapContext<u64, u64>) {
+                ctx.counters().increment("map_setup");
+            }
+            fn cleanup(&self, ctx: &mut MapContext<u64, u64>) {
+                ctx.counters().increment("map_cleanup");
+            }
+            fn map(&self, k: &u64, v: &u64, ctx: &mut MapContext<u64, u64>) {
+                ctx.emit(*k, *v);
+            }
+        }
+        struct LifecycleRed;
+        impl Reducer for LifecycleRed {
+            type KIn = u64;
+            type VIn = u64;
+            type KOut = u64;
+            type VOut = u64;
+            fn setup(&self, ctx: &mut ReduceContext<u64, u64>) {
+                ctx.counters().increment("red_setup");
+            }
+            fn reduce(&self, k: &u64, vs: &[u64], ctx: &mut ReduceContext<u64, u64>) {
+                ctx.emit(*k, vs.len() as u64);
+            }
+        }
+        let out = JobBuilder::new("lifecycle")
+            .reducers(3)
+            .map_tasks(4)
+            .run(pairs(40), &LifecycleMap, &LifecycleRed)
+            .unwrap();
+        assert_eq!(out.metrics.counters.get("map_setup"), 4);
+        assert_eq!(out.metrics.counters.get("map_cleanup"), 4);
+        assert_eq!(out.metrics.counters.get("red_setup"), 3);
+    }
+
+    #[test]
+    fn reduce_sees_keys_in_sorted_order() {
+        struct OrderRed;
+        impl Reducer for OrderRed {
+            type KIn = u64;
+            type VIn = u64;
+            type KOut = u64;
+            type VOut = u64;
+            fn reduce(&self, k: &u64, _vs: &[u64], ctx: &mut ReduceContext<u64, u64>) {
+                ctx.emit(*k, 0);
+            }
+        }
+        // Single reducer: output must be exactly the sorted distinct keys.
+        let input: Vec<(u64, u64)> = vec![(5, 0), (1, 0), (3, 0), (1, 0), (9, 0)];
+        let out = JobBuilder::new("order").reducers(1).run(input, &IdMap, &OrderRed).unwrap();
+        let keys: Vec<u64> = out.output.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn combiner_reduces_shuffle_volume_without_changing_results() {
+        /// Sums partial counts on the map side.
+        struct SumCombiner;
+        impl Combiner for SumCombiner {
+            type K = u64;
+            type V = u64;
+            fn combine(&self, _k: &u64, values: &[u64]) -> Vec<u64> {
+                vec![values.iter().sum()]
+            }
+        }
+        let input = pairs(1000); // keys 0..10, 100 values each
+        let plain = JobBuilder::new("plain").reducers(4).map_tasks(4)
+            .run(input.clone(), &IdMap, &SumRed).unwrap();
+        let combined = JobBuilder::new("combined").reducers(4).map_tasks(4)
+            .run_with_combiner(input, &IdMap, &SumCombiner, &SumRed).unwrap();
+
+        let mut a = plain.output.clone();
+        let mut b = combined.output.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "combiner must not change the reduce output");
+        // 4 map tasks × 10 keys = 40 combined records instead of 1000.
+        assert_eq!(combined.metrics.shuffle_records, 40);
+        assert_eq!(plain.metrics.shuffle_records, 1000);
+        assert!(combined.metrics.shuffle_bytes < plain.metrics.shuffle_bytes);
+    }
+
+    #[test]
+    fn identity_combiner_is_a_no_op() {
+        let input = pairs(200);
+        let plain = JobBuilder::new("plain").reducers(3).map_tasks(3)
+            .run(input.clone(), &IdMap, &SumRed).unwrap();
+        let ident = JobBuilder::new("ident").reducers(3).map_tasks(3)
+            .run_with_combiner(input, &IdMap, &IdentityCombiner::new(), &SumRed).unwrap();
+        let mut a = plain.output;
+        let mut b = ident.output;
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert_eq!(plain.metrics.shuffle_records, ident.metrics.shuffle_records);
+        assert_eq!(plain.metrics.shuffle_bytes, ident.metrics.shuffle_bytes);
+    }
+
+    #[test]
+    fn make_splits_covers_all_elements() {
+        let splits = make_splits((0..10).collect::<Vec<_>>(), 3);
+        assert_eq!(splits.len(), 3);
+        let flat: Vec<i32> = splits.into_iter().flatten().collect();
+        assert_eq!(flat, (0..10).collect::<Vec<_>>());
+        // More tasks than elements degrade gracefully.
+        let splits = make_splits(vec![1, 2], 10);
+        assert_eq!(splits.len(), 2);
+        let splits: Vec<Vec<i32>> = make_splits(Vec::new(), 4);
+        assert_eq!(splits.len(), 1);
+        assert!(splits[0].is_empty());
+    }
+}

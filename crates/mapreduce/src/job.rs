@@ -1,0 +1,302 @@
+//! User-facing job abstractions: mappers, reducers, partitioners and the
+//! contexts through which they emit intermediate and final pairs.
+
+use crate::bytesize::ByteSize;
+use crate::counters::Counters;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// The map side of a job.
+///
+/// A mapper receives one input pair at a time and emits zero or more
+/// intermediate pairs through the [`MapContext`].  Implementations must be
+/// `Send + Sync` because map tasks run concurrently and share the mapper
+/// instance, exactly like a Hadoop `Mapper` class shared across task JVMs.
+pub trait Mapper: Send + Sync {
+    /// Input key type.
+    type KIn: Send;
+    /// Input value type.
+    type VIn: Send;
+    /// Intermediate key type.
+    type KOut: Send + Clone + Ord + Hash + ByteSize;
+    /// Intermediate value type.
+    type VOut: Send + Clone + ByteSize;
+
+    /// Processes one input pair.
+    fn map(
+        &self,
+        key: &Self::KIn,
+        value: &Self::VIn,
+        ctx: &mut MapContext<Self::KOut, Self::VOut>,
+    );
+
+    /// Called once per map task before any input pair is processed
+    /// (Hadoop's `setup()`); the default does nothing.
+    fn setup(&self, _ctx: &mut MapContext<Self::KOut, Self::VOut>) {}
+
+    /// Called once per map task after the last input pair (Hadoop's
+    /// `cleanup()`); the default does nothing.
+    fn cleanup(&self, _ctx: &mut MapContext<Self::KOut, Self::VOut>) {}
+}
+
+/// The reduce side of a job.
+///
+/// A reducer receives every intermediate key assigned to its partition
+/// together with all values emitted for that key (grouped and sorted by key by
+/// the shuffle), and emits final output pairs.
+pub trait Reducer: Send + Sync {
+    /// Intermediate key type (must match the mapper's `KOut`).
+    type KIn: Send + Clone + Ord + Hash;
+    /// Intermediate value type (must match the mapper's `VOut`).
+    type VIn: Send + Clone;
+    /// Output key type.
+    type KOut: Send + Clone;
+    /// Output value type.
+    type VOut: Send + Clone;
+
+    /// Processes one intermediate key and all of its values.
+    fn reduce(
+        &self,
+        key: &Self::KIn,
+        values: &[Self::VIn],
+        ctx: &mut ReduceContext<Self::KOut, Self::VOut>,
+    );
+
+    /// Called once per reduce task before the first key; default no-op.
+    fn setup(&self, _ctx: &mut ReduceContext<Self::KOut, Self::VOut>) {}
+
+    /// Called once per reduce task after the last key; default no-op.
+    fn cleanup(&self, _ctx: &mut ReduceContext<Self::KOut, Self::VOut>) {}
+}
+
+/// A map-side combiner (Hadoop's `Combiner`): merges the values a single map
+/// task emitted for one key *before* they cross the shuffle, trading a little
+/// map-side CPU for shuffle volume.
+///
+/// Combining must be semantically optional — the reducer has to produce the
+/// same result whether or not the combiner ran — which is the same contract
+/// Hadoop imposes.
+pub trait Combiner: Send + Sync {
+    /// Intermediate key type (matches the mapper's `KOut`).
+    type K: Send + Clone + Ord + Hash + ByteSize;
+    /// Intermediate value type (matches the mapper's `VOut`).
+    type V: Send + Clone + ByteSize;
+
+    /// Combines the values one map task emitted for `key` into a (usually
+    /// smaller) list of values.
+    fn combine(&self, key: &Self::K, values: &[Self::V]) -> Vec<Self::V>;
+}
+
+/// A combiner that passes values through untouched; used internally when a
+/// job is run without a combiner.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct IdentityCombiner<K, V>(std::marker::PhantomData<fn() -> (K, V)>);
+
+impl<K, V> IdentityCombiner<K, V> {
+    /// Creates the identity combiner.
+    pub fn new() -> Self {
+        Self(std::marker::PhantomData)
+    }
+}
+
+impl<K, V> Combiner for IdentityCombiner<K, V>
+where
+    K: Send + Clone + Ord + Hash + ByteSize,
+    V: Send + Clone + ByteSize,
+{
+    type K = K;
+    type V = V;
+
+    fn combine(&self, _key: &K, values: &[V]) -> Vec<V> {
+        values.to_vec()
+    }
+}
+
+/// Routes an intermediate key to one of the `num_reducers` reduce tasks.
+pub trait Partitioner<K>: Send + Sync {
+    /// Returns the reducer index in `0..num_reducers` for `key`.
+    fn partition(&self, key: &K, num_reducers: usize) -> usize;
+}
+
+/// Default partitioner: hash of the key modulo the number of reducers, the
+/// same policy as Hadoop's `HashPartitioner`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HashPartitioner;
+
+impl<K: Hash> Partitioner<K> for HashPartitioner {
+    fn partition(&self, key: &K, num_reducers: usize) -> usize {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() % num_reducers as u64) as usize
+    }
+}
+
+/// A partitioner for keys that *are* the target reducer index (e.g. the group
+/// id in the paper's second job).  Keys are taken modulo the reducer count so
+/// out-of-range ids still land somewhere deterministic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdentityPartitioner;
+
+impl Partitioner<u32> for IdentityPartitioner {
+    fn partition(&self, key: &u32, num_reducers: usize) -> usize {
+        (*key as usize) % num_reducers
+    }
+}
+
+impl Partitioner<u64> for IdentityPartitioner {
+    fn partition(&self, key: &u64, num_reducers: usize) -> usize {
+        (*key as usize) % num_reducers
+    }
+}
+
+impl Partitioner<usize> for IdentityPartitioner {
+    fn partition(&self, key: &usize, num_reducers: usize) -> usize {
+        *key % num_reducers
+    }
+}
+
+/// Context handed to a map task; collects emitted intermediate pairs and their
+/// shuffle size.
+#[derive(Debug)]
+pub struct MapContext<K, V> {
+    pub(crate) emitted: Vec<(K, V)>,
+    pub(crate) emitted_bytes: u64,
+    pub(crate) counters: Counters,
+    pub(crate) task_id: usize,
+}
+
+impl<K: ByteSize, V: ByteSize> MapContext<K, V> {
+    /// Creates a standalone context.  The engine builds contexts itself; this
+    /// constructor exists so mapper implementations can be unit-tested in
+    /// isolation.
+    pub fn new(task_id: usize, counters: Counters) -> Self {
+        Self {
+            emitted: Vec::new(),
+            emitted_bytes: 0,
+            counters,
+            task_id,
+        }
+    }
+
+    /// Emits an intermediate key/value pair.
+    pub fn emit(&mut self, key: K, value: V) {
+        self.emitted_bytes += (key.byte_size() + value.byte_size()) as u64;
+        self.emitted.push((key, value));
+    }
+
+    /// The pairs emitted so far (exposed for unit-testing mappers).
+    pub fn emitted(&self) -> &[(K, V)] {
+        &self.emitted
+    }
+
+    /// The shuffle bytes accounted so far (exposed for unit-testing mappers).
+    pub fn emitted_bytes(&self) -> u64 {
+        self.emitted_bytes
+    }
+
+    /// The job's shared counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Index of the map task executing this context (0-based).
+    pub fn task_id(&self) -> usize {
+        self.task_id
+    }
+}
+
+/// Context handed to a reduce task; collects final output pairs.
+#[derive(Debug)]
+pub struct ReduceContext<K, V> {
+    pub(crate) emitted: Vec<(K, V)>,
+    pub(crate) counters: Counters,
+    pub(crate) task_id: usize,
+}
+
+impl<K, V> ReduceContext<K, V> {
+    /// Creates a standalone context.  The engine builds contexts itself; this
+    /// constructor exists so reducer implementations can be unit-tested in
+    /// isolation.
+    pub fn new(task_id: usize, counters: Counters) -> Self {
+        Self {
+            emitted: Vec::new(),
+            counters,
+            task_id,
+        }
+    }
+
+    /// Emits a final output pair.
+    pub fn emit(&mut self, key: K, value: V) {
+        self.emitted.push((key, value));
+    }
+
+    /// The pairs emitted so far (exposed for unit-testing reducers).
+    pub fn emitted(&self) -> &[(K, V)] {
+        &self.emitted
+    }
+
+    /// The job's shared counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Index of the reduce task executing this context (0-based).
+    pub fn task_id(&self) -> usize {
+        self.task_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_partitioner_is_deterministic_and_in_range() {
+        let p = HashPartitioner;
+        for key in 0u64..1000 {
+            let a = p.partition(&key, 7);
+            let b = p.partition(&key, 7);
+            assert_eq!(a, b);
+            assert!(a < 7);
+        }
+    }
+
+    #[test]
+    fn hash_partitioner_spreads_keys() {
+        let p = HashPartitioner;
+        let mut buckets = vec![0usize; 8];
+        for key in 0u64..8000 {
+            buckets[p.partition(&key, 8)] += 1;
+        }
+        // Every bucket should receive a reasonable share (no empty buckets).
+        assert!(buckets.iter().all(|&c| c > 500), "skewed buckets: {buckets:?}");
+    }
+
+    #[test]
+    fn identity_partitioner_uses_key_modulo() {
+        let p = IdentityPartitioner;
+        assert_eq!(Partitioner::<u32>::partition(&p, &5u32, 4), 1);
+        assert_eq!(Partitioner::<u64>::partition(&p, &12u64, 5), 2);
+        assert_eq!(Partitioner::<usize>::partition(&p, &9usize, 3), 0);
+    }
+
+    #[test]
+    fn map_context_accounts_bytes() {
+        let mut ctx: MapContext<u32, u64> = MapContext::new(0, Counters::new());
+        ctx.emit(1, 2);
+        ctx.emit(3, 4);
+        assert_eq!(ctx.emitted.len(), 2);
+        assert_eq!(ctx.emitted_bytes, 2 * (4 + 8));
+        assert_eq!(ctx.task_id(), 0);
+    }
+
+    #[test]
+    fn reduce_context_collects_output() {
+        let mut ctx: ReduceContext<String, u32> = ReduceContext::new(3, Counters::new());
+        ctx.emit("a".into(), 1);
+        ctx.counters().increment("seen");
+        assert_eq!(ctx.emitted.len(), 1);
+        assert_eq!(ctx.task_id(), 3);
+        assert_eq!(ctx.counters().get("seen"), 1);
+    }
+}

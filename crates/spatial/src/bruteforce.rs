@@ -1,0 +1,124 @@
+//! Linear-scan reference index.
+//!
+//! Used as (a) the correctness oracle against which the R-tree and the
+//! MapReduce join algorithms are validated, and (b) the distance-computation
+//! workhorse inside reducers when an index would not pay off.
+
+use geom::{DistanceMetric, Neighbor, NeighborList, Point};
+
+/// A "no index" index: answers kNN and range queries by scanning all points.
+#[derive(Debug, Clone)]
+pub struct BruteForceIndex {
+    points: Vec<Point>,
+    metric: DistanceMetric,
+}
+
+impl BruteForceIndex {
+    /// Builds the index (i.e. stores the points).
+    pub fn new(points: Vec<Point>, metric: DistanceMetric) -> Self {
+        Self { points, metric }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The metric the index was built with.
+    pub fn metric(&self) -> DistanceMetric {
+        self.metric
+    }
+
+    /// The `k` nearest neighbours of `query`, sorted by ascending distance.
+    /// Returns fewer than `k` entries if the index holds fewer points.
+    pub fn knn(&self, query: &Point, k: usize) -> Vec<Neighbor> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut list = NeighborList::new(k);
+        for p in &self.points {
+            list.offer(p.id, self.metric.distance(query, p));
+        }
+        list.into_sorted()
+    }
+
+    /// All points within distance `radius` of `query` (inclusive), sorted by
+    /// ascending distance.
+    pub fn range(&self, query: &Point, radius: f64) -> Vec<Neighbor> {
+        let mut out: Vec<Neighbor> = self
+            .points
+            .iter()
+            .filter_map(|p| {
+                let d = self.metric.distance(query, p);
+                (d <= radius).then_some(Neighbor::new(p.id, d))
+            })
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Vec<Point> {
+        // 5x5 integer grid, ids 0..25 assigned row-major.
+        let mut pts = Vec::new();
+        for y in 0..5 {
+            for x in 0..5 {
+                pts.push(Point::new((y * 5 + x) as u64, vec![x as f64, y as f64]));
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn knn_on_grid() {
+        let idx = BruteForceIndex::new(grid(), DistanceMetric::Euclidean);
+        let q = Point::new(999, vec![0.0, 0.0]);
+        let nn = idx.knn(&q, 3);
+        assert_eq!(nn.len(), 3);
+        assert_eq!(nn[0].id, 0); // (0,0) itself
+        assert_eq!(nn[0].distance, 0.0);
+        // next two are (1,0) and (0,1) at distance 1, tie broken by id
+        assert_eq!(nn[1].id, 1);
+        assert_eq!(nn[2].id, 5);
+    }
+
+    #[test]
+    fn knn_with_k_larger_than_index() {
+        let idx = BruteForceIndex::new(grid(), DistanceMetric::Euclidean);
+        let q = Point::new(999, vec![2.0, 2.0]);
+        assert_eq!(idx.knn(&q, 100).len(), 25);
+        assert!(idx.knn(&q, 0).is_empty());
+    }
+
+    #[test]
+    fn range_query_counts_match_geometry() {
+        let idx = BruteForceIndex::new(grid(), DistanceMetric::Euclidean);
+        let q = Point::new(999, vec![2.0, 2.0]);
+        // radius 1 covers the centre plus its 4 axis neighbours
+        assert_eq!(idx.range(&q, 1.0).len(), 5);
+        // radius 1.5 additionally covers the 4 diagonal neighbours
+        assert_eq!(idx.range(&q, 1.5).len(), 9);
+        // results sorted by distance
+        let r = idx.range(&q, 1.5);
+        assert!(r.windows(2).all(|w| w[0].distance <= w[1].distance));
+    }
+
+    #[test]
+    fn empty_index_behaves() {
+        let idx = BruteForceIndex::new(Vec::new(), DistanceMetric::Manhattan);
+        assert!(idx.is_empty());
+        assert_eq!(idx.len(), 0);
+        assert!(idx.knn(&Point::new(0, vec![0.0]), 3).is_empty());
+        assert!(idx.range(&Point::new(0, vec![0.0]), 10.0).is_empty());
+        assert_eq!(idx.metric(), DistanceMetric::Manhattan);
+    }
+}

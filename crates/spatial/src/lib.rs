@@ -1,0 +1,22 @@
+//! Spatial indexing used by the H-BRJ baseline.
+//!
+//! The paper's main baseline, H-BRJ (Zhang et al., EDBT 2012), has every
+//! reducer build an R-tree over its block of `S` and probe it with a
+//! best-first k-nearest-neighbour search for every `r` in its block of `R`.
+//! This crate provides that substrate:
+//!
+//! * [`Rect`] — axis-aligned minimum bounding rectangles in arbitrary
+//!   dimensionality,
+//! * [`RTree`] — an R-tree bulk-loaded with the Sort-Tile-Recursive (STR)
+//!   algorithm, supporting best-first kNN queries and range queries, and
+//! * [`BruteForceIndex`] — a linear-scan reference implementation used by the
+//!   tests to validate the tree and by experiments that need an exact,
+//!   index-free baseline.
+
+pub mod bruteforce;
+pub mod rect;
+pub mod rtree;
+
+pub use bruteforce::BruteForceIndex;
+pub use rect::Rect;
+pub use rtree::RTree;

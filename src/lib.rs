@@ -1,0 +1,70 @@
+//! # pgbj — kNN joins on MapReduce (VLDB 2012 reproduction)
+//!
+//! This is the umbrella crate of a from-scratch Rust reproduction of
+//! *"Efficient Processing of k Nearest Neighbor Joins using MapReduce"*
+//! (Lu, Shen, Chen, Ooi; PVLDB 5(10), 2012).  It re-exports the workspace
+//! crates so applications can depend on a single crate:
+//!
+//! * [`geom`] — points, metrics, neighbour lists, record encoding;
+//! * [`datagen`] — seeded synthetic datasets (Forest-like, OSM-like) and the
+//!   paper's ×t expansion procedure;
+//! * [`mapreduce`] — the in-process MapReduce runtime with a mini-DFS and
+//!   shuffle byte accounting;
+//! * [`spatial`] — the STR-bulk-loaded R-tree used by the H-BRJ baseline;
+//! * [`knnjoin`] — the core algorithms: PGBJ, PBJ, H-BRJ and the exact
+//!   nested-loop oracle.
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and the
+//! `bench` crate for the experiment harness that regenerates every table and
+//! figure of the paper.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pgbj::prelude::*;
+//!
+//! // Two small clustered datasets.
+//! let r = gaussian_clusters(&ClusterConfig { n_points: 200, ..Default::default() }, 1);
+//! let s = gaussian_clusters(&ClusterConfig { n_points: 200, ..Default::default() }, 2);
+//!
+//! // Find the 5 nearest neighbours in S of every object of R with PGBJ.
+//! let pgbj = Pgbj::new(PgbjConfig { pivot_count: 16, reducers: 4, ..Default::default() });
+//! let result = pgbj.join(&r, &s, 5, DistanceMetric::Euclidean).unwrap();
+//!
+//! assert_eq!(result.rows.len(), 200);
+//! println!("shuffled {} MiB", result.metrics.shuffle_mib());
+//! ```
+
+pub use datagen;
+pub use geom;
+pub use knnjoin;
+pub use mapreduce;
+pub use spatial;
+
+/// Convenient glob import for applications and examples.
+pub mod prelude {
+    pub use datagen::{
+        expand_dataset, forest_like, gaussian_clusters, osm_like, uniform, ClusterConfig,
+        ForestConfig, OsmConfig,
+    };
+    pub use geom::{DistanceMetric, Neighbor, Point, PointSet};
+    pub use knnjoin::algorithms::{
+        BroadcastJoin, BroadcastJoinConfig, Hbrj, HbrjConfig, KnnJoinAlgorithm, Pbj, PbjConfig,
+        Pgbj, PgbjConfig,
+    };
+    pub use knnjoin::{
+        GroupingStrategy, JoinError, JoinResult, JoinRow, NestedLoopJoin, PivotSelectionStrategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_exposes_a_working_join() {
+        let data = uniform(50, 2, 10.0, 1);
+        let result = NestedLoopJoin.join(&data, &data, 3, DistanceMetric::Euclidean).unwrap();
+        assert_eq!(result.rows.len(), 50);
+    }
+}

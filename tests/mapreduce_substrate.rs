@@ -1,0 +1,125 @@
+//! Integration tests exercising the MapReduce substrate (engine + DFS) with
+//! the join's record types, the way a Hadoop deployment would stage data in
+//! HDFS before running the jobs.
+
+use geom::{Record, RecordKind};
+use mapreduce::{
+    DfsConfig, InMemoryDfs, JobBuilder, MapContext, Mapper, ReduceContext, Reducer,
+};
+use pgbj::prelude::*;
+
+/// Encodes a dataset the way the driver would stage it in the DFS: one record
+/// per point, concatenated with a u32 length prefix.
+fn stage_dataset(dfs: &InMemoryDfs, path: &str, data: &PointSet, kind: RecordKind) {
+    let mut bytes = Vec::new();
+    for p in data {
+        let record = Record::new(kind, 0, 0.0, p.clone());
+        let encoded = record.encode();
+        bytes.extend_from_slice(&(encoded.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&encoded);
+    }
+    dfs.write_file(path, &bytes).expect("fresh path");
+}
+
+/// Reads a staged dataset back from the DFS.
+fn load_dataset(dfs: &InMemoryDfs, path: &str) -> Vec<Record> {
+    let bytes = dfs.read_file(path).expect("file exists");
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    while offset < bytes.len() {
+        let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap()) as usize;
+        offset += 4;
+        records.push(Record::decode(&bytes[offset..offset + len]).expect("valid record"));
+        offset += len;
+    }
+    records
+}
+
+#[test]
+fn datasets_roundtrip_through_the_dfs_and_join_correctly() {
+    let r = datagen::uniform(200, 3, 100.0, 1);
+    let s = datagen::uniform(250, 3, 100.0, 2);
+
+    let dfs = InMemoryDfs::new(DfsConfig { data_nodes: 4, block_size: 4096, replication: 1 }).unwrap();
+    stage_dataset(&dfs, "/input/R", &r, RecordKind::R);
+    stage_dataset(&dfs, "/input/S", &s, RecordKind::S);
+    assert!(dfs.block_count("/input/R").unwrap() > 1, "dataset should span multiple blocks");
+
+    // Reload from the DFS (as the map tasks would) and run the join on the
+    // reloaded copies: results must match a join over the originals.
+    let r2 = PointSet::from_points(load_dataset(&dfs, "/input/R").into_iter().map(|rec| rec.point).collect());
+    let s2 = PointSet::from_points(load_dataset(&dfs, "/input/S").into_iter().map(|rec| rec.point).collect());
+    assert_eq!(r2.len(), r.len());
+    assert_eq!(s2.len(), s.len());
+
+    let metric = DistanceMetric::Euclidean;
+    let from_dfs = Pgbj::new(PgbjConfig { pivot_count: 16, reducers: 4, ..Default::default() })
+        .join(&r2, &s2, 5, metric)
+        .unwrap();
+    let direct = NestedLoopJoin.join(&r, &s, 5, metric).unwrap();
+    assert!(from_dfs.matches(&direct, 1e-9));
+}
+
+/// A small custom MapReduce job over join output: histogram of kth-NN
+/// distances (the building block of distance-based outlier detection),
+/// demonstrating that the runtime composes with arbitrary user jobs.
+struct BucketMapper {
+    bucket_width: f64,
+}
+
+impl Mapper for BucketMapper {
+    type KIn = u64;
+    type VIn = f64;
+    type KOut = u32;
+    type VOut = u64;
+    fn map(&self, _id: &u64, kth_distance: &f64, ctx: &mut MapContext<u32, u64>) {
+        let bucket = (kth_distance / self.bucket_width).floor() as u32;
+        ctx.emit(bucket, 1);
+    }
+}
+
+struct CountReducer;
+
+impl Reducer for CountReducer {
+    type KIn = u32;
+    type VIn = u64;
+    type KOut = u32;
+    type VOut = u64;
+    fn reduce(&self, bucket: &u32, counts: &[u64], ctx: &mut ReduceContext<u32, u64>) {
+        ctx.emit(*bucket, counts.iter().sum());
+    }
+}
+
+#[test]
+fn join_output_feeds_a_follow_up_mapreduce_job() {
+    let data = datagen::gaussian_clusters(
+        &datagen::ClusterConfig {
+            n_points: 400,
+            dims: 2,
+            n_clusters: 4,
+            std_dev: 3.0,
+            extent: 200.0,
+            skew: 0.0,
+        },
+        3,
+    );
+    let join = Pgbj::new(PgbjConfig { pivot_count: 16, reducers: 4, ..Default::default() })
+        .join(&data, &data, 6, DistanceMetric::Euclidean)
+        .unwrap();
+
+    // kth-NN distance per object becomes the input of the histogram job.
+    let input: Vec<(u64, f64)> = join
+        .rows
+        .iter()
+        .map(|row| (row.r_id, row.neighbors.last().unwrap().distance))
+        .collect();
+    let histogram = JobBuilder::new("kth-distance-histogram")
+        .reducers(3)
+        .run(input, &BucketMapper { bucket_width: 2.0 }, &CountReducer)
+        .unwrap();
+
+    let total: u64 = histogram.output.iter().map(|(_, c)| *c).sum();
+    assert_eq!(total, data.len() as u64);
+    assert!(histogram.metrics.shuffle_records == data.len() as u64);
+    assert!(!histogram.output.is_empty());
+}

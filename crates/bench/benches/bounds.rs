@@ -10,7 +10,14 @@ use knnjoin::pivots::{select_pivots, PivotSelectionStrategy};
 use knnjoin::summary::SummaryTables;
 
 fn setup(pivots: usize) -> SummaryTables {
-    let data = forest_like(&ForestConfig { n_points: 3000, dims: 10, n_clusters: 7 }, 1);
+    let data = forest_like(
+        &ForestConfig {
+            n_points: 3000,
+            dims: 10,
+            n_clusters: 7,
+        },
+        1,
+    );
     let pivot_points = select_pivots(
         &data,
         pivots,
@@ -21,7 +28,13 @@ fn setup(pivots: usize) -> SummaryTables {
     );
     let partitioner = VoronoiPartitioner::new(pivot_points.clone(), DistanceMetric::Euclidean);
     let partitioned = partitioner.partition(&data);
-    SummaryTables::build(pivot_points, DistanceMetric::Euclidean, &partitioned, &partitioned, 10)
+    SummaryTables::build(
+        pivot_points,
+        DistanceMetric::Euclidean,
+        &partitioned,
+        &partitioned,
+        10,
+    )
 }
 
 fn bench_bounds(c: &mut Criterion) {
@@ -29,12 +42,20 @@ fn bench_bounds(c: &mut Criterion) {
     group.sample_size(10);
     for pivots in [32usize, 96] {
         let tables = setup(pivots);
-        group.bench_with_input(BenchmarkId::new("theta_single_partition", pivots), &tables, |b, t| {
-            b.iter(|| bounding_knn_theta(t, 0, 10));
-        });
-        group.bench_with_input(BenchmarkId::new("all_partition_bounds", pivots), &tables, |b, t| {
-            b.iter(|| PartitionBounds::compute(t, 10));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("theta_single_partition", pivots),
+            &tables,
+            |b, t| {
+                b.iter(|| bounding_knn_theta(t, 0, 10));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("all_partition_bounds", pivots),
+            &tables,
+            |b, t| {
+                b.iter(|| PartitionBounds::compute(t, 10));
+            },
+        );
     }
     group.finish();
 }

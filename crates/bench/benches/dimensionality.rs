@@ -7,13 +7,27 @@ use knnjoin::algorithms::{Hbrj, HbrjConfig, KnnJoinAlgorithm, Pgbj, PgbjConfig};
 
 fn bench_dimensionality(c: &mut Criterion) {
     let metric = DistanceMetric::Euclidean;
-    let pgbj = Pgbj::new(PgbjConfig { pivot_count: 32, reducers: 9, ..Default::default() });
-    let hbrj = Hbrj::new(HbrjConfig { reducers: 9, ..Default::default() });
+    let pgbj = Pgbj::new(PgbjConfig {
+        pivot_count: 32,
+        reducers: 9,
+        ..Default::default()
+    });
+    let hbrj = Hbrj::new(HbrjConfig {
+        reducers: 9,
+        ..Default::default()
+    });
 
     let mut group = c.benchmark_group("dimensionality");
     group.sample_size(10);
     for dims in [2usize, 6, 10] {
-        let data = forest_like(&ForestConfig { n_points: 600, dims, n_clusters: 7 }, 1);
+        let data = forest_like(
+            &ForestConfig {
+                n_points: 600,
+                dims,
+                n_clusters: 7,
+            },
+            1,
+        );
         group.bench_with_input(BenchmarkId::new("PGBJ", dims), &data, |b, d| {
             b.iter(|| pgbj.join(d, d, 10, metric).unwrap());
         });

@@ -6,10 +6,24 @@ use geom::DistanceMetric;
 use knnjoin::algorithms::{Hbrj, HbrjConfig, KnnJoinAlgorithm, Pgbj, PgbjConfig};
 
 fn bench_effect_of_k(c: &mut Criterion) {
-    let data = forest_like(&ForestConfig { n_points: 800, dims: 10, n_clusters: 7 }, 1);
+    let data = forest_like(
+        &ForestConfig {
+            n_points: 800,
+            dims: 10,
+            n_clusters: 7,
+        },
+        1,
+    );
     let metric = DistanceMetric::Euclidean;
-    let pgbj = Pgbj::new(PgbjConfig { pivot_count: 32, reducers: 9, ..Default::default() });
-    let hbrj = Hbrj::new(HbrjConfig { reducers: 9, ..Default::default() });
+    let pgbj = Pgbj::new(PgbjConfig {
+        pivot_count: 32,
+        reducers: 9,
+        ..Default::default()
+    });
+    let hbrj = Hbrj::new(HbrjConfig {
+        reducers: 9,
+        ..Default::default()
+    });
 
     let mut group = c.benchmark_group("effect_of_k");
     group.sample_size(10);

@@ -11,7 +11,14 @@ use knnjoin::pivots::{select_pivots, PivotSelectionStrategy};
 use knnjoin::summary::SummaryTables;
 
 fn bench_grouping(c: &mut Criterion) {
-    let data = forest_like(&ForestConfig { n_points: 3000, dims: 10, n_clusters: 7 }, 1);
+    let data = forest_like(
+        &ForestConfig {
+            n_points: 3000,
+            dims: 10,
+            n_clusters: 7,
+        },
+        1,
+    );
     let pivots = select_pivots(
         &data,
         96,
@@ -22,7 +29,13 @@ fn bench_grouping(c: &mut Criterion) {
     );
     let partitioner = VoronoiPartitioner::new(pivots.clone(), DistanceMetric::Euclidean);
     let partitioned = partitioner.partition(&data);
-    let tables = SummaryTables::build(pivots, DistanceMetric::Euclidean, &partitioned, &partitioned, 10);
+    let tables = SummaryTables::build(
+        pivots,
+        DistanceMetric::Euclidean,
+        &partitioned,
+        &partitioned,
+        10,
+    );
     let bounds = PartitionBounds::compute(&tables, 10);
 
     let mut group = c.benchmark_group("partition_grouping");

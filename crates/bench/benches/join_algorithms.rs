@@ -9,7 +9,14 @@ use knnjoin::algorithms::{Hbrj, HbrjConfig, KnnJoinAlgorithm, Pbj, PbjConfig, Pg
 use knnjoin::NestedLoopJoin;
 
 fn bench_join_algorithms(c: &mut Criterion) {
-    let data = forest_like(&ForestConfig { n_points: 800, dims: 10, n_clusters: 7 }, 1);
+    let data = forest_like(
+        &ForestConfig {
+            n_points: 800,
+            dims: 10,
+            n_clusters: 7,
+        },
+        1,
+    );
     let k = 10;
     let metric = DistanceMetric::Euclidean;
 
@@ -17,9 +24,29 @@ fn bench_join_algorithms(c: &mut Criterion) {
     group.sample_size(10);
     let algorithms: Vec<(&str, Box<dyn KnnJoinAlgorithm>)> = vec![
         ("NestedLoop", Box::new(NestedLoopJoin)),
-        ("H-BRJ", Box::new(Hbrj::new(HbrjConfig { reducers: 9, ..Default::default() }))),
-        ("PBJ", Box::new(Pbj::new(PbjConfig { pivot_count: 32, reducers: 9, ..Default::default() }))),
-        ("PGBJ", Box::new(Pgbj::new(PgbjConfig { pivot_count: 32, reducers: 9, ..Default::default() }))),
+        (
+            "H-BRJ",
+            Box::new(Hbrj::new(HbrjConfig {
+                reducers: 9,
+                ..Default::default()
+            })),
+        ),
+        (
+            "PBJ",
+            Box::new(Pbj::new(PbjConfig {
+                pivot_count: 32,
+                reducers: 9,
+                ..Default::default()
+            })),
+        ),
+        (
+            "PGBJ",
+            Box::new(Pgbj::new(PgbjConfig {
+                pivot_count: 32,
+                reducers: 9,
+                ..Default::default()
+            })),
+        ),
     ];
     for (name, alg) in &algorithms {
         group.bench_function(*name, |b| {

@@ -8,7 +8,14 @@ use knnjoin::partition::VoronoiPartitioner;
 use knnjoin::pivots::{select_pivots, PivotSelectionStrategy};
 
 fn bench_partitioning(c: &mut Criterion) {
-    let data = forest_like(&ForestConfig { n_points: 3000, dims: 10, n_clusters: 7 }, 1);
+    let data = forest_like(
+        &ForestConfig {
+            n_points: 3000,
+            dims: 10,
+            n_clusters: 7,
+        },
+        1,
+    );
     let mut group = c.benchmark_group("voronoi_partitioning");
     group.sample_size(10);
     for pivots in [16usize, 64, 128] {

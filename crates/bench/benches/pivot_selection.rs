@@ -7,11 +7,21 @@ use geom::DistanceMetric;
 use knnjoin::pivots::{select_pivots, PivotSelectionStrategy};
 
 fn bench_pivot_selection(c: &mut Criterion) {
-    let data = forest_like(&ForestConfig { n_points: 2000, dims: 10, n_clusters: 7 }, 1);
+    let data = forest_like(
+        &ForestConfig {
+            n_points: 2000,
+            dims: 10,
+            n_clusters: 7,
+        },
+        1,
+    );
     let mut group = c.benchmark_group("pivot_selection");
     group.sample_size(10);
     for (name, strategy) in [
-        ("random", PivotSelectionStrategy::Random { candidate_sets: 5 }),
+        (
+            "random",
+            PivotSelectionStrategy::Random { candidate_sets: 5 },
+        ),
         ("farthest", PivotSelectionStrategy::Farthest),
         ("k-means", PivotSelectionStrategy::KMeans { iterations: 5 }),
     ] {

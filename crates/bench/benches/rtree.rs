@@ -8,7 +8,14 @@ use spatial::{BruteForceIndex, RTree};
 
 fn bench_rtree(c: &mut Criterion) {
     let data = gaussian_clusters(
-        &ClusterConfig { n_points: 5000, dims: 4, n_clusters: 10, std_dev: 3.0, extent: 500.0, skew: 0.5 },
+        &ClusterConfig {
+            n_points: 5000,
+            dims: 4,
+            n_clusters: 10,
+            std_dev: 3.0,
+            extent: 500.0,
+            skew: 0.5,
+        },
         3,
     );
     let points: Vec<Point> = data.points().to_vec();

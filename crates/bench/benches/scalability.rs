@@ -6,10 +6,24 @@ use geom::DistanceMetric;
 use knnjoin::algorithms::{Hbrj, HbrjConfig, KnnJoinAlgorithm, Pgbj, PgbjConfig};
 
 fn bench_scalability(c: &mut Criterion) {
-    let base = forest_like(&ForestConfig { n_points: 250, dims: 10, n_clusters: 7 }, 1);
+    let base = forest_like(
+        &ForestConfig {
+            n_points: 250,
+            dims: 10,
+            n_clusters: 7,
+        },
+        1,
+    );
     let metric = DistanceMetric::Euclidean;
-    let pgbj = Pgbj::new(PgbjConfig { pivot_count: 32, reducers: 9, ..Default::default() });
-    let hbrj = Hbrj::new(HbrjConfig { reducers: 9, ..Default::default() });
+    let pgbj = Pgbj::new(PgbjConfig {
+        pivot_count: 32,
+        reducers: 9,
+        ..Default::default()
+    });
+    let hbrj = Hbrj::new(HbrjConfig {
+        reducers: 9,
+        ..Default::default()
+    });
 
     let mut group = c.benchmark_group("scalability");
     group.sample_size(10);

@@ -7,14 +7,28 @@ use geom::DistanceMetric;
 use knnjoin::algorithms::{Hbrj, HbrjConfig, KnnJoinAlgorithm, Pgbj, PgbjConfig};
 
 fn bench_speedup(c: &mut Criterion) {
-    let data = forest_like(&ForestConfig { n_points: 800, dims: 10, n_clusters: 7 }, 1);
+    let data = forest_like(
+        &ForestConfig {
+            n_points: 800,
+            dims: 10,
+            n_clusters: 7,
+        },
+        1,
+    );
     let metric = DistanceMetric::Euclidean;
 
     let mut group = c.benchmark_group("speedup");
     group.sample_size(10);
     for nodes in [4usize, 9, 16] {
-        let pgbj = Pgbj::new(PgbjConfig { pivot_count: 32, reducers: nodes, ..Default::default() });
-        let hbrj = Hbrj::new(HbrjConfig { reducers: nodes, ..Default::default() });
+        let pgbj = Pgbj::new(PgbjConfig {
+            pivot_count: 32,
+            reducers: nodes,
+            ..Default::default()
+        });
+        let hbrj = Hbrj::new(HbrjConfig {
+            reducers: nodes,
+            ..Default::default()
+        });
         group.bench_with_input(BenchmarkId::new("PGBJ", nodes), &data, |b, d| {
             b.iter(|| pgbj.join(d, d, 10, metric).unwrap());
         });

@@ -89,12 +89,13 @@ fn main() -> ExitCode {
         eprintln!("wrote {path}");
     }
     if let Some(path) = json_path {
-        let combined: serde_json::Value = outputs
-            .iter()
-            .map(|o| (o.id.clone(), o.json.clone()))
-            .collect::<serde_json::Map<String, serde_json::Value>>()
-            .into();
-        let rendered = serde_json::to_string_pretty(&combined).expect("serializable outputs");
+        let combined = bench::json::Value::Object(
+            outputs
+                .iter()
+                .map(|o| (o.id.clone(), o.json.clone()))
+                .collect(),
+        );
+        let rendered = combined.to_string_pretty();
         if let Err(e) = write_file(&path, rendered.as_bytes()) {
             eprintln!("failed to write {path}: {e}");
             return ExitCode::FAILURE;

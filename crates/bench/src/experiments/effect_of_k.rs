@@ -1,16 +1,9 @@
 //! Section 6.2 — effect of `k` on the three algorithms (Figures 8 and 9).
 
-use super::{run_three_algorithms, three_metric_tables, AlgorithmRow, ExperimentOutput};
+use super::{run_three_algorithms, three_metric_tables, ExperimentOutput};
+use crate::json::Value;
 use crate::workloads::{ExperimentScale, Workloads};
 use geom::PointSet;
-use serde::Serialize;
-
-#[derive(Debug, Clone, Serialize)]
-struct KRow {
-    k: usize,
-    #[serde(flatten)]
-    row: AlgorithmRow,
-}
 
 fn effect_of_k(
     id: &str,
@@ -26,7 +19,7 @@ fn effect_of_k(
     for &k in &workloads.k_sweep() {
         let rows = run_three_algorithms(&workloads, data, data, k, reducers);
         for row in &rows {
-            json_rows.push(KRow { k, row: row.clone() });
+            json_rows.push(row.to_json_with("k", k.into()));
         }
         sweep_rows.push((k.to_string(), rows));
     }
@@ -34,7 +27,7 @@ fn effect_of_k(
         id: id.into(),
         paper_artifact: paper_artifact.into(),
         tables: three_metric_tables(title, "k", &sweep_rows),
-        json: serde_json::to_value(json_rows).expect("serializable rows"),
+        json: Value::Array(json_rows),
     }
 }
 
@@ -74,10 +67,7 @@ mod tests {
         for t in &out.tables {
             assert_eq!(t.row_count(), w.k_sweep().len());
         }
-        assert_eq!(
-            out.json.as_array().unwrap().len(),
-            w.k_sweep().len() * 3
-        );
+        assert_eq!(out.json.as_array().unwrap().len(), w.k_sweep().len() * 3);
     }
 
     #[test]
@@ -101,6 +91,11 @@ mod tests {
                 .as_f64()
                 .unwrap()
         };
-        assert!(sel("PGBJ") <= sel("H-BRJ") * 1.2, "PGBJ {} vs H-BRJ {}", sel("PGBJ"), sel("H-BRJ"));
+        assert!(
+            sel("PGBJ") <= sel("H-BRJ") * 1.2,
+            "PGBJ {} vs H-BRJ {}",
+            sel("PGBJ"),
+            sel("H-BRJ")
+        );
     }
 }

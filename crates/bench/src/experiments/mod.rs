@@ -10,11 +10,11 @@ pub use effect_of_k::{fig8, fig9};
 pub use parameter_study::{fig6, fig7, table2, table3};
 pub use sweeps::{fig10, fig11, fig12};
 
+use crate::json::Value;
 use crate::report::{fmt_f64, Table};
 use crate::workloads::{ExperimentScale, Workloads};
 use geom::{DistanceMetric, PointSet};
-use knnjoin::algorithms::{Hbrj, HbrjConfig, KnnJoinAlgorithm, Pbj, PbjConfig, Pgbj, PgbjConfig};
-use serde::Serialize;
+use knnjoin::{Algorithm, JoinBuilder};
 
 /// The result of running one experiment.
 #[derive(Debug, Clone)]
@@ -26,7 +26,7 @@ pub struct ExperimentOutput {
     /// Rendered tables (one or more per experiment).
     pub tables: Vec<Table>,
     /// The raw rows as JSON for downstream plotting.
-    pub json: serde_json::Value,
+    pub json: Value,
 }
 
 impl ExperimentOutput {
@@ -65,7 +65,7 @@ pub fn run_by_id(id: &str, scale: ExperimentScale) -> Option<ExperimentOutput> {
 
 /// One measured algorithm run, as reported in Figures 8–12 of the paper
 /// (running time, computation selectivity, shuffling cost).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AlgorithmRow {
     /// Algorithm name ("PGBJ", "PBJ", "H-BRJ").
     pub algorithm: String,
@@ -80,8 +80,27 @@ pub struct AlgorithmRow {
     pub avg_replication: f64,
 }
 
-/// Runs PGBJ, PBJ and H-BRJ on the same self-join workload and reports one
-/// row per algorithm.  This is the comparison core of Figures 8–12.
+impl AlgorithmRow {
+    /// The row as a JSON object, prefixed with one sweep field (e.g.
+    /// `"k": 10` or `"sweep": "x5"`).
+    pub(crate) fn to_json_with(&self, sweep_key: &str, sweep: Value) -> Value {
+        Value::object(vec![
+            (sweep_key, sweep),
+            ("algorithm", self.algorithm.as_str().into()),
+            ("running_time_s", self.running_time_s.into()),
+            (
+                "selectivity_per_thousand",
+                self.selectivity_per_thousand.into(),
+            ),
+            ("shuffle_mib", self.shuffle_mib.into()),
+            ("avg_replication", self.avg_replication.into()),
+        ])
+    }
+}
+
+/// Runs PGBJ, PBJ and H-BRJ on the same workload through the [`JoinBuilder`]
+/// and the shared execution context, reporting one row per algorithm.  This
+/// is the comparison core of Figures 8–12.
 pub(crate) fn run_three_algorithms(
     workloads: &Workloads,
     r: &PointSet,
@@ -89,22 +108,21 @@ pub(crate) fn run_three_algorithms(
     k: usize,
     reducers: usize,
 ) -> Vec<AlgorithmRow> {
-    let metric = DistanceMetric::Euclidean;
     let pivots = workloads.default_pivots();
-    let algorithms: Vec<Box<dyn KnnJoinAlgorithm>> = vec![
-        Box::new(Hbrj::new(HbrjConfig { reducers, ..Default::default() })),
-        Box::new(Pbj::new(PbjConfig { pivot_count: pivots, reducers, ..Default::default() })),
-        Box::new(Pgbj::new(PgbjConfig { pivot_count: pivots, reducers, ..Default::default() })),
-    ];
-    algorithms
+    [Algorithm::Hbrj, Algorithm::Pbj, Algorithm::Pgbj]
         .iter()
-        .map(|alg| {
-            let result = alg
-                .join(r, s, k, metric)
+        .map(|&algorithm| {
+            let result = JoinBuilder::new(r, s)
+                .k(k)
+                .metric(DistanceMetric::Euclidean)
+                .algorithm(algorithm)
+                .pivot_count(pivots)
+                .reducers(reducers)
+                .run(workloads.context())
                 .expect("experiment join must succeed");
             let m = &result.metrics;
             AlgorithmRow {
-                algorithm: alg.name().to_string(),
+                algorithm: algorithm.name().to_string(),
                 running_time_s: m.total_time().as_secs_f64(),
                 selectivity_per_thousand: m.computation_selectivity() * 1000.0,
                 shuffle_mib: m.shuffle_mib(),
@@ -182,6 +200,10 @@ mod tests {
             assert!(row.shuffle_mib > 0.0);
             assert!(row.avg_replication >= 1.0);
         }
+        // Every run flowed through the shared context's metrics sink.
+        let recorded = w.metrics_sink().snapshot();
+        assert_eq!(recorded.len(), 3);
+        assert_eq!(recorded[2].algorithm, "PGBJ");
     }
 
     #[test]
@@ -189,8 +211,14 @@ mod tests {
         let w = Workloads::new(ExperimentScale::Quick);
         let data = w.forest_default();
         let rows = vec![
-            ("5".to_string(), run_three_algorithms(&w, &data, &data, 5, 4)),
-            ("10".to_string(), run_three_algorithms(&w, &data, &data, 10, 4)),
+            (
+                "5".to_string(),
+                run_three_algorithms(&w, &data, &data, 5, 4),
+            ),
+            (
+                "10".to_string(),
+                run_three_algorithms(&w, &data, &data, 10, 4),
+            ),
         ];
         let tables = three_metric_tables("Figure X", "k", &rows);
         assert_eq!(tables.len(), 3);
@@ -205,7 +233,7 @@ mod tests {
             id: "demo".into(),
             paper_artifact: "Demo artifact".into(),
             tables: vec![Table::new("T", &["a"])],
-            json: serde_json::json!([]),
+            json: Value::Array(vec![]),
         };
         let md = out.to_markdown();
         assert!(md.contains("## demo"));

@@ -2,24 +2,27 @@
 //! pivot counts and grouping strategies (Tables 2–3, Figures 6–7).
 
 use super::ExperimentOutput;
+use crate::json::Value;
 use crate::report::{fmt_f64, fmt_secs, Table};
 use crate::workloads::{ExperimentScale, Workloads};
 use geom::{DistanceMetric, PointSet};
-use knnjoin::algorithms::{KnnJoinAlgorithm, Pgbj, PgbjConfig};
 use knnjoin::bounds::PartitionBounds;
 use knnjoin::grouping::{build_grouping, GroupingStrategy};
 use knnjoin::metrics::phases;
 use knnjoin::partition::VoronoiPartitioner;
 use knnjoin::pivots::{select_pivots, PivotSelectionStrategy};
 use knnjoin::summary::SummaryTables;
-use serde::Serialize;
+use knnjoin::{Algorithm, JoinBuilder};
 
 const METRIC: DistanceMetric = DistanceMetric::Euclidean;
 
 /// The pivot selection strategies compared in Tables 2 and 3.
 fn selection_strategies() -> Vec<(&'static str, PivotSelectionStrategy)> {
     vec![
-        ("random", PivotSelectionStrategy::Random { candidate_sets: 5 }),
+        (
+            "random",
+            PivotSelectionStrategy::Random { candidate_sets: 5 },
+        ),
         ("farthest", PivotSelectionStrategy::Farthest),
         ("k-means", PivotSelectionStrategy::KMeans { iterations: 5 }),
     ]
@@ -29,14 +32,30 @@ fn selection_strategies() -> Vec<(&'static str, PivotSelectionStrategy)> {
 /// farthest selection there because it is too slow to finish).
 fn figure_combos() -> Vec<(&'static str, PivotSelectionStrategy, GroupingStrategy)> {
     vec![
-        ("RGE", PivotSelectionStrategy::Random { candidate_sets: 5 }, GroupingStrategy::Geometric),
-        ("RGR", PivotSelectionStrategy::Random { candidate_sets: 5 }, GroupingStrategy::Greedy),
-        ("KGE", PivotSelectionStrategy::KMeans { iterations: 5 }, GroupingStrategy::Geometric),
-        ("KGR", PivotSelectionStrategy::KMeans { iterations: 5 }, GroupingStrategy::Greedy),
+        (
+            "RGE",
+            PivotSelectionStrategy::Random { candidate_sets: 5 },
+            GroupingStrategy::Geometric,
+        ),
+        (
+            "RGR",
+            PivotSelectionStrategy::Random { candidate_sets: 5 },
+            GroupingStrategy::Greedy,
+        ),
+        (
+            "KGE",
+            PivotSelectionStrategy::KMeans { iterations: 5 },
+            GroupingStrategy::Geometric,
+        ),
+        (
+            "KGR",
+            PivotSelectionStrategy::KMeans { iterations: 5 },
+            GroupingStrategy::Greedy,
+        ),
     ]
 }
 
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 struct SizeStatsRow {
     pivots: usize,
     strategy: String,
@@ -44,6 +63,19 @@ struct SizeStatsRow {
     max: usize,
     avg: f64,
     dev: f64,
+}
+
+impl SizeStatsRow {
+    fn to_json(&self) -> Value {
+        Value::object(vec![
+            ("pivots", self.pivots.into()),
+            ("strategy", self.strategy.as_str().into()),
+            ("min", self.min.into()),
+            ("max", self.max.into()),
+            ("avg", self.avg.into()),
+            ("dev", self.dev.into()),
+        ])
+    }
 }
 
 fn partition_dataset(
@@ -81,14 +113,21 @@ pub fn table2(scale: ExperimentScale) -> ExperimentOutput {
                 fmt_f64(avg),
                 fmt_f64(dev),
             ]);
-            rows.push(SizeStatsRow { pivots: pivot_count, strategy: name.to_string(), min, max, avg, dev });
+            rows.push(SizeStatsRow {
+                pivots: pivot_count,
+                strategy: name.to_string(),
+                min,
+                max,
+                avg,
+                dev,
+            });
         }
     }
     ExperimentOutput {
         id: "table2".into(),
         paper_artifact: "Table 2 (partition size statistics by pivot selection strategy)".into(),
         tables: vec![table],
-        json: serde_json::to_value(rows).expect("serializable rows"),
+        json: Value::Array(rows.iter().map(|r| r.to_json()).collect()),
     }
 }
 
@@ -118,18 +157,25 @@ pub fn table3(scale: ExperimentScale) -> ExperimentOutput {
                 fmt_f64(avg),
                 fmt_f64(dev),
             ]);
-            rows.push(SizeStatsRow { pivots: pivot_count, strategy: name.to_string(), min, max, avg, dev });
+            rows.push(SizeStatsRow {
+                pivots: pivot_count,
+                strategy: name.to_string(),
+                min,
+                max,
+                avg,
+                dev,
+            });
         }
     }
     ExperimentOutput {
         id: "table3".into(),
         paper_artifact: "Table 3 (group size statistics, geometric grouping)".into(),
         tables: vec![table],
-        json: serde_json::to_value(rows).expect("serializable rows"),
+        json: Value::Array(rows.iter().map(|r| r.to_json()).collect()),
     }
 }
 
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 struct ComboRow {
     pivots: usize,
     combo: String,
@@ -143,6 +189,26 @@ struct ComboRow {
     avg_replication: f64,
 }
 
+impl ComboRow {
+    fn to_json(&self) -> Value {
+        Value::object(vec![
+            ("pivots", self.pivots.into()),
+            ("combo", self.combo.as_str().into()),
+            ("pivot_selection_s", self.pivot_selection_s.into()),
+            ("data_partitioning_s", self.data_partitioning_s.into()),
+            ("index_merging_s", self.index_merging_s.into()),
+            ("partition_grouping_s", self.partition_grouping_s.into()),
+            ("knn_join_s", self.knn_join_s.into()),
+            ("total_s", self.total_s.into()),
+            (
+                "selectivity_per_thousand",
+                self.selectivity_per_thousand.into(),
+            ),
+            ("avg_replication", self.avg_replication.into()),
+        ])
+    }
+}
+
 /// Runs PGBJ once for every (pivot count, strategy combo) and records the
 /// per-phase timings plus selectivity/replication; shared by Figures 6 and 7.
 fn combo_runs(scale: ExperimentScale) -> Vec<ComboRow> {
@@ -153,15 +219,15 @@ fn combo_runs(scale: ExperimentScale) -> Vec<ComboRow> {
     let mut rows = Vec::new();
     for &pivot_count in &workloads.pivot_sweep() {
         for (name, pivot_strategy, grouping_strategy) in figure_combos() {
-            let pgbj = Pgbj::new(PgbjConfig {
-                pivot_count,
-                pivot_strategy,
-                grouping_strategy,
-                reducers,
-                ..Default::default()
-            });
-            let result = pgbj
-                .join(&data, &data, k, METRIC)
+            let result = JoinBuilder::new(&data, &data)
+                .k(k)
+                .metric(METRIC)
+                .algorithm(Algorithm::Pgbj)
+                .pivot_count(pivot_count)
+                .pivot_strategy(pivot_strategy)
+                .grouping_strategy(grouping_strategy)
+                .reducers(reducers)
+                .run(workloads.context())
                 .expect("parameter-study join must succeed");
             let m = &result.metrics;
             rows.push(ComboRow {
@@ -188,8 +254,14 @@ pub fn fig6(scale: ExperimentScale) -> ExperimentOutput {
     let mut table = Table::new(
         "Figure 6: query cost of tuning parameters (per-phase running time, seconds)",
         &[
-            "pivots", "combo", "pivot selection", "data partitioning", "index merging",
-            "partition grouping", "knn join", "total",
+            "pivots",
+            "combo",
+            "pivot selection",
+            "data partitioning",
+            "index merging",
+            "partition grouping",
+            "knn join",
+            "total",
         ],
     );
     for r in &rows {
@@ -208,7 +280,7 @@ pub fn fig6(scale: ExperimentScale) -> ExperimentOutput {
         id: "fig6".into(),
         paper_artifact: "Figure 6 (per-phase running time of PGBJ strategy combinations)".into(),
         tables: vec![table],
-        json: serde_json::to_value(rows).expect("serializable rows"),
+        json: Value::Array(rows.iter().map(|r| r.to_json()).collect()),
     }
 }
 
@@ -216,7 +288,10 @@ pub fn fig6(scale: ExperimentScale) -> ExperimentOutput {
 /// versus the number of pivots for the four strategy combinations.
 pub fn fig7(scale: ExperimentScale) -> ExperimentOutput {
     let rows = combo_runs(scale);
-    let combos: Vec<String> = figure_combos().iter().map(|(n, _, _)| n.to_string()).collect();
+    let combos: Vec<String> = figure_combos()
+        .iter()
+        .map(|(n, _, _)| n.to_string())
+        .collect();
     let mut header = vec!["pivots".to_string()];
     header.extend(combos.iter().cloned());
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
@@ -247,9 +322,10 @@ pub fn fig7(scale: ExperimentScale) -> ExperimentOutput {
     }
     ExperimentOutput {
         id: "fig7".into(),
-        paper_artifact: "Figure 7 (computation selectivity & replication vs number of pivots)".into(),
+        paper_artifact: "Figure 7 (computation selectivity & replication vs number of pivots)"
+            .into(),
         tables: vec![selectivity, replication],
-        json: serde_json::to_value(rows).expect("serializable rows"),
+        json: Value::Array(rows.iter().map(|r| r.to_json()).collect()),
     }
 }
 
@@ -275,7 +351,11 @@ mod tests {
         for row in rows {
             let pivots = row["pivots"].as_u64().unwrap() as f64;
             let avg = row["avg"].as_f64().unwrap();
-            assert!((avg - n / pivots).abs() < 1e-6, "avg {avg} vs {}", n / pivots);
+            assert!(
+                (avg - n / pivots).abs() < 1e-6,
+                "avg {avg} vs {}",
+                n / pivots
+            );
         }
     }
 

@@ -1,16 +1,9 @@
 //! Sections 6.3–6.5 — dimensionality (Figure 10), scalability with data size
 //! (Figure 11) and speedup with the number of computing nodes (Figure 12).
 
-use super::{run_three_algorithms, three_metric_tables, AlgorithmRow, ExperimentOutput};
+use super::{run_three_algorithms, three_metric_tables, ExperimentOutput};
+use crate::json::Value;
 use crate::workloads::{ExperimentScale, Workloads};
-use serde::Serialize;
-
-#[derive(Debug, Clone, Serialize)]
-struct SweepRow {
-    sweep: String,
-    #[serde(flatten)]
-    row: AlgorithmRow,
-}
 
 /// Figure 10: effect of dimensionality (Forest-like data projected onto its
 /// first 2–10 attributes).
@@ -25,15 +18,19 @@ pub fn fig10(scale: ExperimentScale) -> ExperimentOutput {
         let data = workloads.forest_with(n_points, dims);
         let rows = run_three_algorithms(&workloads, &data, &data, k, reducers);
         for row in &rows {
-            json_rows.push(SweepRow { sweep: dims.to_string(), row: row.clone() });
+            json_rows.push(row.to_json_with("sweep", dims.to_string().into()));
         }
         sweep_rows.push((dims.to_string(), rows));
     }
     ExperimentOutput {
         id: "fig10".into(),
         paper_artifact: "Figure 10 (effect of dimensionality)".into(),
-        tables: three_metric_tables("Figure 10: effect of dimensionality", "# of dimensions", &sweep_rows),
-        json: serde_json::to_value(json_rows).expect("serializable rows"),
+        tables: three_metric_tables(
+            "Figure 10: effect of dimensionality",
+            "# of dimensions",
+            &sweep_rows,
+        ),
+        json: Value::Array(json_rows),
     }
 }
 
@@ -49,15 +46,19 @@ pub fn fig11(scale: ExperimentScale) -> ExperimentOutput {
         let data = workloads.forest_scaled(factor);
         let rows = run_three_algorithms(&workloads, &data, &data, k, reducers);
         for row in &rows {
-            json_rows.push(SweepRow { sweep: format!("x{factor}"), row: row.clone() });
+            json_rows.push(row.to_json_with("sweep", format!("x{factor}").into()));
         }
         sweep_rows.push((format!("x{factor}"), rows));
     }
     ExperimentOutput {
         id: "fig11".into(),
         paper_artifact: "Figure 11 (scalability with data size)".into(),
-        tables: three_metric_tables("Figure 11: scalability", "data size (times base)", &sweep_rows),
-        json: serde_json::to_value(json_rows).expect("serializable rows"),
+        tables: three_metric_tables(
+            "Figure 11: scalability",
+            "data size (times base)",
+            &sweep_rows,
+        ),
+        json: Value::Array(json_rows),
     }
 }
 
@@ -72,7 +73,7 @@ pub fn fig12(scale: ExperimentScale) -> ExperimentOutput {
     for &nodes in &workloads.node_sweep() {
         let rows = run_three_algorithms(&workloads, &data, &data, k, nodes);
         for row in &rows {
-            json_rows.push(SweepRow { sweep: nodes.to_string(), row: row.clone() });
+            json_rows.push(row.to_json_with("sweep", nodes.to_string().into()));
         }
         sweep_rows.push((nodes.to_string(), rows));
     }
@@ -80,7 +81,7 @@ pub fn fig12(scale: ExperimentScale) -> ExperimentOutput {
         id: "fig12".into(),
         paper_artifact: "Figure 12 (speedup with the number of computing nodes)".into(),
         tables: three_metric_tables("Figure 12: speedup", "# of nodes", &sweep_rows),
-        json: serde_json::to_value(json_rows).expect("serializable rows"),
+        json: Value::Array(json_rows),
     }
 }
 
@@ -131,7 +132,10 @@ mod tests {
                 .unwrap()["avg_replication"]
                 .as_f64()
                 .unwrap();
-            assert!((rep - expected).abs() < 1e-9, "nodes {nodes}: {rep} vs {expected}");
+            assert!(
+                (rep - expected).abs() < 1e-9,
+                "nodes {nodes}: {rep} vs {expected}"
+            );
         }
     }
 }

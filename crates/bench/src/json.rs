@@ -1,0 +1,301 @@
+//! A small JSON value type for experiment output.
+//!
+//! The harness emits machine-readable rows alongside its markdown tables.  In
+//! an online build this would be `serde_json`; the offline build environment
+//! cannot fetch crates, and the harness only needs construction, field
+//! access and pretty-printing, so this module provides exactly that.
+
+use std::fmt::Write as _;
+use std::ops::Index;
+
+/// A JSON value.  Objects preserve insertion order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null` (also returned when indexing misses).
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (stored as `f64`, like JSON itself).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, as ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+/// Sentinel returned when indexing misses.
+const NULL: Value = Value::Null;
+
+impl Value {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn object(pairs: Vec<(&str, Value)>) -> Value {
+        Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Pretty-prints with two-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        let inner_pad = "  ".repeat(indent + 1);
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Value::Number(n) => {
+                if !n.is_finite() {
+                    // JSON has no NaN/Infinity; follow serde_json and emit null.
+                    out.push_str("null");
+                } else if n.fract() == 0.0 && n.abs() < 1e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            Value::String(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&inner_pad);
+                    item.write_pretty(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Value::Object(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    out.push_str(&inner_pad);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write_pretty(out, indent + 1);
+                    if i + 1 < pairs.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        match self {
+            Value::Object(pairs) => pairs
+                .iter()
+                .find(|(k, _)| k == key)
+                .map_or(&NULL, |(_, v)| v),
+            _ => &NULL,
+        }
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, i: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Number(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::Number(v as f64)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::Number(v as f64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Self {
+        Value::Array(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Value {
+        Value::Array(vec![
+            Value::object(vec![
+                ("algorithm", "PGBJ".into()),
+                ("k", Value::from(10usize)),
+                ("shuffle_mib", Value::from(1.5f64)),
+            ]),
+            Value::object(vec![
+                ("algorithm", "H-BRJ".into()),
+                ("k", Value::from(20usize)),
+            ]),
+        ])
+    }
+
+    #[test]
+    fn indexing_and_accessors() {
+        let v = sample();
+        let rows = v.as_array().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0]["algorithm"] == "PGBJ");
+        assert_eq!(rows[0]["k"].as_u64(), Some(10));
+        assert_eq!(rows[0]["shuffle_mib"].as_f64(), Some(1.5));
+        // Misses are Null, not panics.
+        assert_eq!(rows[0]["nope"], Value::Null);
+        assert_eq!(v[7], Value::Null);
+        assert_eq!(rows[1]["algorithm"], "H-BRJ".to_string());
+    }
+
+    #[test]
+    fn pretty_printing_roundtrips_structure() {
+        let rendered = sample().to_string_pretty();
+        assert!(rendered.contains("\"algorithm\": \"PGBJ\""));
+        assert!(rendered.contains("\"k\": 10"));
+        assert!(rendered.contains("\"shuffle_mib\": 1.5"));
+        assert_eq!(Value::Array(vec![]).to_string_pretty(), "[]");
+        assert_eq!(Value::Null.to_string_pretty(), "null");
+        assert_eq!(Value::Bool(true).to_string_pretty(), "true");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let v = Value::from("a\"b\\c\nd");
+        assert_eq!(v.to_string_pretty(), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn non_finite_numbers_render_as_null() {
+        assert_eq!(Value::from(f64::NAN).to_string_pretty(), "null");
+        assert_eq!(Value::from(f64::INFINITY).to_string_pretty(), "null");
+        assert_eq!(Value::from(f64::NEG_INFINITY).to_string_pretty(), "null");
+    }
+
+    #[test]
+    fn non_integral_numbers_are_not_u64() {
+        assert_eq!(Value::from(1.5f64).as_u64(), None);
+        assert_eq!(Value::from(-3.0f64).as_u64(), None);
+        assert_eq!(Value::from(3.0f64).as_u64(), Some(3));
+    }
+}

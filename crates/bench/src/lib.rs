@@ -14,6 +14,7 @@
 //! artifact.
 
 pub mod experiments;
+pub mod json;
 pub mod report;
 pub mod workloads;
 

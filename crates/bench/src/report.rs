@@ -121,7 +121,7 @@ mod tests {
     fn float_formatting() {
         assert_eq!(fmt_f64(0.0), "0");
         assert_eq!(fmt_f64(0.12345), "0.1235");
-        assert_eq!(fmt_f64(3.14159), "3.14");
+        assert_eq!(fmt_f64(4.25159), "4.25");
         assert_eq!(fmt_f64(1234.5), "1234.5");
     }
 

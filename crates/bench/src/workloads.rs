@@ -3,6 +3,8 @@
 
 use datagen::{expand_dataset, forest_like, osm_like, ForestConfig, OsmConfig};
 use geom::PointSet;
+use knnjoin::{ExecutionContext, MemoryMetricsSink};
+use std::sync::Arc;
 
 /// How large the experiment inputs are.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,17 +35,39 @@ impl ExperimentScale {
 pub struct Workloads {
     scale: ExperimentScale,
     seed: u64,
+    context: ExecutionContext,
+    sink: Arc<MemoryMetricsSink>,
 }
 
 impl Workloads {
-    /// Creates the factory.
+    /// Creates the factory, with a shared [`ExecutionContext`] whose
+    /// [`MemoryMetricsSink`] records every join the experiments run.
     pub fn new(scale: ExperimentScale) -> Self {
-        Self { scale, seed: 2012 }
+        let sink = Arc::new(MemoryMetricsSink::new());
+        let context = ExecutionContext::builder()
+            .metrics_sink(sink.clone())
+            .build();
+        Self {
+            scale,
+            seed: 2012,
+            context,
+            sink,
+        }
     }
 
     /// The scale in use.
     pub fn scale(&self) -> ExperimentScale {
         self.scale
+    }
+
+    /// The execution context every experiment join runs inside.
+    pub fn context(&self) -> &ExecutionContext {
+        &self.context
+    }
+
+    /// The sink recording every join executed through [`Workloads::context`].
+    pub fn metrics_sink(&self) -> &Arc<MemoryMetricsSink> {
+        &self.sink
     }
 
     /// Default `k`, as in the paper.
@@ -110,7 +134,14 @@ impl Workloads {
 
     /// A Forest-like dataset of a given size and dimensionality.
     pub fn forest_with(&self, n_points: usize, dims: usize) -> PointSet {
-        forest_like(&ForestConfig { n_points, dims, n_clusters: 7 }, self.seed)
+        forest_like(
+            &ForestConfig {
+                n_points,
+                dims,
+                n_clusters: 7,
+            },
+            self.seed,
+        )
     }
 
     /// The base Forest-like dataset used by the scalability experiment before

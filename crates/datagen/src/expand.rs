@@ -163,7 +163,14 @@ mod tests {
         // The paper's goal is to keep the per-dimension distribution similar.
         // Check that the set of distinct values does not change and that the
         // most frequent original value is still among the most frequent ones.
-        let ps = crate::forest_like(&crate::ForestConfig { n_points: 500, dims: 3, n_clusters: 4 }, 2);
+        let ps = crate::forest_like(
+            &crate::ForestConfig {
+                n_points: 500,
+                dims: 3,
+                n_clusters: 4,
+            },
+            2,
+        );
         let out = expand_dataset(&ps, 5);
         assert_eq!(out.len(), 2500);
         for d in 0..3 {

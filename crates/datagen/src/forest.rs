@@ -36,16 +36,56 @@ struct DimSpec {
 /// last five attributes is kept small to mirror the low-variance observation
 /// in Section 6.3 of the paper.
 const FOREST_DIMS: [DimSpec; 10] = [
-    DimSpec { min: 1859.0, max: 3858.0, rel_std: 0.10 }, // elevation
-    DimSpec { min: 0.0, max: 360.0, rel_std: 0.20 },     // aspect
-    DimSpec { min: 0.0, max: 66.0, rel_std: 0.15 },      // slope
-    DimSpec { min: 0.0, max: 1397.0, rel_std: 0.12 },    // horiz. dist. to hydrology
-    DimSpec { min: -173.0, max: 601.0, rel_std: 0.12 },  // vert. dist. to hydrology
-    DimSpec { min: 0.0, max: 7117.0, rel_std: 0.10 },    // horiz. dist. to roadways
-    DimSpec { min: 0.0, max: 254.0, rel_std: 0.04 },     // hillshade 9am  (low variance)
-    DimSpec { min: 0.0, max: 254.0, rel_std: 0.03 },     // hillshade noon (low variance)
-    DimSpec { min: 0.0, max: 254.0, rel_std: 0.04 },     // hillshade 3pm  (low variance)
-    DimSpec { min: 0.0, max: 7173.0, rel_std: 0.05 },    // horiz. dist. to fire points (low variance)
+    DimSpec {
+        min: 1859.0,
+        max: 3858.0,
+        rel_std: 0.10,
+    }, // elevation
+    DimSpec {
+        min: 0.0,
+        max: 360.0,
+        rel_std: 0.20,
+    }, // aspect
+    DimSpec {
+        min: 0.0,
+        max: 66.0,
+        rel_std: 0.15,
+    }, // slope
+    DimSpec {
+        min: 0.0,
+        max: 1397.0,
+        rel_std: 0.12,
+    }, // horiz. dist. to hydrology
+    DimSpec {
+        min: -173.0,
+        max: 601.0,
+        rel_std: 0.12,
+    }, // vert. dist. to hydrology
+    DimSpec {
+        min: 0.0,
+        max: 7117.0,
+        rel_std: 0.10,
+    }, // horiz. dist. to roadways
+    DimSpec {
+        min: 0.0,
+        max: 254.0,
+        rel_std: 0.04,
+    }, // hillshade 9am  (low variance)
+    DimSpec {
+        min: 0.0,
+        max: 254.0,
+        rel_std: 0.03,
+    }, // hillshade noon (low variance)
+    DimSpec {
+        min: 0.0,
+        max: 254.0,
+        rel_std: 0.04,
+    }, // hillshade 3pm  (low variance)
+    DimSpec {
+        min: 0.0,
+        max: 7173.0,
+        rel_std: 0.05,
+    }, // horiz. dist. to fire points (low variance)
 ];
 
 /// Configuration for [`forest_like`].
@@ -138,14 +178,22 @@ mod tests {
 
     #[test]
     fn deterministic_for_fixed_seed() {
-        let cfg = ForestConfig { n_points: 500, dims: 10, n_clusters: 7 };
+        let cfg = ForestConfig {
+            n_points: 500,
+            dims: 10,
+            n_clusters: 7,
+        };
         assert_eq!(forest_like(&cfg, 1), forest_like(&cfg, 1));
         assert_ne!(forest_like(&cfg, 1), forest_like(&cfg, 2));
     }
 
     #[test]
     fn values_are_integers_within_documented_ranges() {
-        let cfg = ForestConfig { n_points: 300, dims: 10, n_clusters: 7 };
+        let cfg = ForestConfig {
+            n_points: 300,
+            dims: 10,
+            n_clusters: 7,
+        };
         let ps = forest_like(&cfg, 9);
         for p in &ps {
             for (d, c) in p.coords.iter().enumerate() {
@@ -157,23 +205,45 @@ mod tests {
 
     #[test]
     fn later_dimensions_have_lower_relative_variance() {
-        let cfg = ForestConfig { n_points: 4000, dims: 10, n_clusters: 7 };
-        let ps = forest_like(&cfg, 3);
-        let var = |d: usize| {
-            let vals: Vec<f64> = ps.iter().map(|p| p.coords[d]).collect();
-            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
-            let range = FOREST_DIMS[d].max - FOREST_DIMS[d].min;
-            vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64 / (range * range)
+        // The paper observes that Forest attributes 6–10 carry little variance.
+        // Total variance also includes the random cluster-centre spread, so
+        // compare *within-cluster* spread, which the generator controls
+        // directly, averaged over the low- vs high-variance dimension groups
+        // and a few seeds to keep the check robust to any RNG stream.
+        let cfg = ForestConfig {
+            n_points: 4000,
+            dims: 10,
+            n_clusters: 1,
         };
-        // Hillshade-noon (index 7) should have lower normalised variance than
-        // aspect (index 1), matching the paper's observation about dims 6-10.
-        assert!(var(7) < var(1), "expected low-variance later dimension");
+        let mut low = 0.0;
+        let mut high = 0.0;
+        for seed in [3u64, 4, 5] {
+            let ps = forest_like(&cfg, seed);
+            let var = |d: usize| {
+                let vals: Vec<f64> = ps.iter().map(|p| p.coords[d]).collect();
+                let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+                let range = FOREST_DIMS[d].max - FOREST_DIMS[d].min;
+                vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
+                    / vals.len() as f64
+                    / (range * range)
+            };
+            high += var(1) + var(2);
+            low += var(7) + var(8);
+        }
+        assert!(
+            low < high,
+            "expected low-variance later dimensions ({low} vs {high})"
+        );
     }
 
     #[test]
     fn dims_parameter_controls_dimensionality() {
         for dims in [2usize, 4, 6, 8, 10] {
-            let cfg = ForestConfig { n_points: 50, dims, n_clusters: 3 };
+            let cfg = ForestConfig {
+                n_points: 50,
+                dims,
+                n_clusters: 3,
+            };
             assert_eq!(forest_like(&cfg, 0).dims(), dims);
         }
     }
@@ -181,7 +251,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "dims must be in 1..=10")]
     fn too_many_dims_panics() {
-        let cfg = ForestConfig { n_points: 10, dims: 11, n_clusters: 2 };
+        let cfg = ForestConfig {
+            n_points: 10,
+            dims: 11,
+            n_clusters: 2,
+        };
         let _ = forest_like(&cfg, 0);
     }
 }

@@ -46,7 +46,10 @@ impl Default for OsmConfig {
 /// Generates an OSM-like 2-d dataset of (longitude, latitude) points.
 pub fn osm_like(cfg: &OsmConfig, seed: u64) -> PointSet {
     assert!(cfg.n_points > 0, "n_points must be positive");
-    assert!(cfg.n_cities > 0 && cfg.n_towns > 0, "need at least one city and town");
+    assert!(
+        cfg.n_cities > 0 && cfg.n_towns > 0,
+        "need at least one city and town"
+    );
     assert!(
         (0.0..=1.0).contains(&cfg.background_fraction),
         "background_fraction must be in [0, 1]"
@@ -140,7 +143,10 @@ mod tests {
 
     #[test]
     fn deterministic_and_two_dimensional() {
-        let cfg = OsmConfig { n_points: 2000, ..Default::default() };
+        let cfg = OsmConfig {
+            n_points: 2000,
+            ..Default::default()
+        };
         let a = osm_like(&cfg, 17);
         let b = osm_like(&cfg, 17);
         assert_eq!(a, b);
@@ -168,7 +174,11 @@ mod tests {
         // Compare the median nearest-neighbour distance against the expected
         // NN distance of a uniform dataset of the same size/extent; clustered
         // data must be markedly denser locally.
-        let cfg = OsmConfig { n_points: 1500, background_fraction: 0.02, ..Default::default() };
+        let cfg = OsmConfig {
+            n_points: 1500,
+            background_fraction: 0.02,
+            ..Default::default()
+        };
         let ps = osm_like(&cfg, 23);
         let metric = geom::DistanceMetric::Euclidean;
         let mut nn: Vec<f64> = ps
@@ -197,7 +207,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "background_fraction")]
     fn invalid_background_fraction_panics() {
-        let cfg = OsmConfig { background_fraction: 1.5, ..Default::default() };
+        let cfg = OsmConfig {
+            background_fraction: 1.5,
+            ..Default::default()
+        };
         let _ = osm_like(&cfg, 0);
     }
 }

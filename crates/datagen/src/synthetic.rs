@@ -64,7 +64,11 @@ pub fn gaussian_clusters(cfg: &ClusterConfig, seed: u64) -> PointSet {
     let mut rng = StdRng::seed_from_u64(seed);
 
     let centers: Vec<Vec<f64>> = (0..cfg.n_clusters)
-        .map(|_| (0..cfg.dims).map(|_| rng.gen::<f64>() * cfg.extent).collect())
+        .map(|_| {
+            (0..cfg.dims)
+                .map(|_| rng.gen::<f64>() * cfg.extent)
+                .collect()
+        })
         .collect();
 
     // Cluster selection weights: uniform, or Zipf-like when skew > 0.
@@ -186,7 +190,10 @@ mod tests {
             nn_sum += best;
         }
         let avg_nn = nn_sum / ps.len() as f64;
-        assert!(avg_nn < 10.0, "avg nn distance {avg_nn} too large for clustered data");
+        assert!(
+            avg_nn < 10.0,
+            "avg nn distance {avg_nn} too large for clustered data"
+        );
     }
 
     #[test]

@@ -7,13 +7,12 @@
 //! [`DistanceMetric`].
 
 use crate::point::Point;
-use serde::{Deserialize, Serialize};
 
 /// A metric on the `n`-dimensional space `D`.
 ///
 /// All variants satisfy the triangle inequality, which the distance bounds of
 /// Theorems 3 and 4 in the paper depend on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum DistanceMetric {
     /// Euclidean distance (Equation 1 in the paper).
     #[default]

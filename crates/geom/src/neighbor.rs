@@ -6,13 +6,12 @@
 //! max-heap bounded at `k` entries providing exactly that.
 
 use crate::point::PointId;
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// A candidate neighbour: the id of an `S` object and its distance to the
 /// query object from `R`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Neighbor {
     /// Id of the neighbour (an object of `S`).
     pub id: PointId,

@@ -1,6 +1,5 @@
 //! Points and point sets.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a point within its originating dataset (`R` or `S`).
@@ -15,7 +14,7 @@ pub type PointId = u64;
 /// clone relative to the cost of the distance computations performed on them,
 /// and the MapReduce layer serialises them into compact byte records anyway
 /// (see [`crate::record`]).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Point {
     /// Identifier, unique within the dataset the point belongs to.
     pub id: PointId,
@@ -73,7 +72,7 @@ impl fmt::Display for Point {
 }
 
 /// A dataset of points (either `R` or `S` in the paper's notation).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PointSet {
     points: Vec<Point>,
 }

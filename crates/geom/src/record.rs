@@ -9,10 +9,9 @@
 
 use crate::point::{Point, PointId};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use serde::{Deserialize, Serialize};
 
 /// Which input dataset a record originates from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RecordKind {
     /// The outer dataset `R` (each of whose objects receives `k` neighbours).
     R,
@@ -40,7 +39,7 @@ impl RecordKind {
 /// An intermediate record as emitted by the first-job mapper (Figure 4): the
 /// object, the dataset it comes from, the Voronoi cell (partition) it falls
 /// into and its distance to that cell's pivot.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Record {
     /// Originating dataset.
     pub kind: RecordKind,
@@ -96,7 +95,12 @@ impl Record {
         for _ in 0..ndims {
             coords.push(buf.get_f64_le());
         }
-        Some(Record::new(kind, partition, pivot_distance, Point::new(id, coords)))
+        Some(Record::new(
+            kind,
+            partition,
+            pivot_distance,
+            Point::new(id, coords),
+        ))
     }
 
     /// Exact number of bytes produced by [`Record::encode`].
@@ -112,12 +116,7 @@ mod tests {
 
     #[test]
     fn roundtrip_simple() {
-        let rec = Record::new(
-            RecordKind::S,
-            42,
-            3.25,
-            Point::new(7, vec![1.0, -2.0, 0.5]),
-        );
+        let rec = Record::new(RecordKind::S, 42, 3.25, Point::new(7, vec![1.0, -2.0, 0.5]));
         let bytes = rec.encode();
         assert_eq!(bytes.len(), rec.encoded_len());
         let back = Record::decode(&bytes).expect("decode");

@@ -66,7 +66,12 @@ impl Mapper for MergeMapper {
     type KOut = u64;
     type VOut = NeighborListValue;
 
-    fn map(&self, key: &u64, value: &NeighborListValue, ctx: &mut MapContext<u64, NeighborListValue>) {
+    fn map(
+        &self,
+        key: &u64,
+        value: &NeighborListValue,
+        ctx: &mut MapContext<u64, NeighborListValue>,
+    ) {
         ctx.emit(*key, value.clone());
     }
 }
@@ -89,18 +94,23 @@ impl Reducer for MergeReducer {
         values: &[NeighborListValue],
         ctx: &mut ReduceContext<u64, Vec<Neighbor>>,
     ) {
-        ctx.emit(*key, crate::algorithms::common::merge_neighbor_lists(values, self.k));
+        ctx.emit(
+            *key,
+            crate::algorithms::common::merge_neighbor_lists(values, self.k),
+        );
     }
 }
 
 /// Runs the two MapReduce jobs of the block framework with the supplied
 /// per-cell join reducer, filling in phase timings, shuffle bytes and
-/// counters.
+/// counters.  `workers` is the physical pool size from the caller's
+/// execution context.
 pub(crate) fn run_block_framework<Red>(
     input: Vec<(u64, EncodedRecord)>,
     k: usize,
     reducers: usize,
     map_tasks: usize,
+    workers: usize,
     join_reducer: &Red,
     metrics: &mut JoinMetrics,
 ) -> Result<Vec<JoinRow>, JoinError>
@@ -114,16 +124,20 @@ where
     let join_job = JobBuilder::new("block-join")
         .reducers(blocks * blocks)
         .map_tasks(map_tasks)
+        .workers(workers)
         .run_with_partitioner(
             input,
             &BlockRouteMapper { blocks },
             join_reducer,
             &IdentityPartitioner,
         )
-        .map_err(|e| JoinError::MapReduce(e.to_string()))?;
+        .map_err(|e| JoinError::substrate("block-join", e))?;
     metrics.record_phase(phases::KNN_JOIN, start.elapsed());
     metrics.shuffle_bytes += join_job.metrics.shuffle_bytes;
-    metrics.distance_computations += join_job.metrics.counters.get(counters::DISTANCE_COMPUTATIONS);
+    metrics.distance_computations += join_job
+        .metrics
+        .counters
+        .get(counters::DISTANCE_COMPUTATIONS);
     metrics.r_records_shuffled += join_job.metrics.counters.get(counters::R_RECORDS);
     metrics.s_records_shuffled += join_job.metrics.counters.get(counters::S_RECORDS);
 
@@ -133,8 +147,9 @@ where
     let merge_job = JobBuilder::new("block-merge")
         .reducers(reducers)
         .map_tasks(map_tasks)
+        .workers(workers)
         .run(merge_input, &MergeMapper, &MergeReducer { k })
-        .map_err(|e| JoinError::MapReduce(e.to_string()))?;
+        .map_err(|e| JoinError::substrate("block-merge", e))?;
     metrics.record_phase(phases::RESULT_MERGING, start.elapsed());
     metrics.shuffle_bytes += merge_job.metrics.shuffle_bytes;
 
@@ -173,8 +188,18 @@ mod tests {
     #[test]
     fn route_mapper_replicates_r_across_row_and_s_across_column() {
         let mapper = BlockRouteMapper { blocks: 3 };
-        let r_rec = EncodedRecord::encode(&Record::new(RecordKind::R, 0, 0.0, Point::new(4, vec![0.0])));
-        let s_rec = EncodedRecord::encode(&Record::new(RecordKind::S, 0, 0.0, Point::new(5, vec![0.0])));
+        let r_rec = EncodedRecord::encode(&Record::new(
+            RecordKind::R,
+            0,
+            0.0,
+            Point::new(4, vec![0.0]),
+        ));
+        let s_rec = EncodedRecord::encode(&Record::new(
+            RecordKind::S,
+            0,
+            0.0,
+            Point::new(5, vec![0.0]),
+        ));
 
         let mut ctx = MapContext::new(0, Counters::new());
         mapper.map(&4, &r_rec, &mut ctx);
@@ -198,7 +223,10 @@ mod tests {
             let rec = EncodedRecord::encode(&Record::new(kind, 0, 0.0, Point::new(id, vec![0.0])));
             let mut ctx = MapContext::new(0, Counters::new());
             mapper.map(&id, &rec, &mut ctx);
-            ctx.emitted().iter().cloned().map(|(c, _)| c).collect::<std::collections::HashSet<u32>>()
+            ctx.emitted()
+                .iter()
+                .map(|(c, _)| *c)
+                .collect::<std::collections::HashSet<u32>>()
         };
         for r_id in 0..7u64 {
             for s_id in 0..7u64 {

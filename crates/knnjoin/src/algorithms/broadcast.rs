@@ -10,6 +10,7 @@
 
 use crate::algorithms::common::{counters, EncodedRecord};
 use crate::algorithms::KnnJoinAlgorithm;
+use crate::context::ExecutionContext;
 use crate::exact::validate_inputs;
 use crate::metrics::{phases, JoinMetrics};
 use crate::result::{JoinError, JoinResult, JoinRow};
@@ -28,7 +29,10 @@ pub struct BroadcastJoinConfig {
 
 impl Default for BroadcastJoinConfig {
     fn default() -> Self {
-        Self { reducers: 4, map_tasks: 8 }
+        Self {
+            reducers: 4,
+            map_tasks: 8,
+        }
     }
 }
 
@@ -51,10 +55,10 @@ impl BroadcastJoin {
 
     fn validate(&self) -> Result<(), JoinError> {
         if self.config.reducers == 0 {
-            return Err(JoinError::InvalidConfig("reducers must be positive".into()));
+            return Err(JoinError::ZeroReducers);
         }
         if self.config.map_tasks == 0 {
-            return Err(JoinError::InvalidConfig("map_tasks must be positive".into()));
+            return Err(JoinError::ZeroMapTasks);
         }
         Ok(())
     }
@@ -65,36 +69,50 @@ impl KnnJoinAlgorithm for BroadcastJoin {
         "Broadcast"
     }
 
-    fn join(
+    fn join_with(
         &self,
         r: &PointSet,
         s: &PointSet,
         k: usize,
         metric: DistanceMetric,
+        ctx: &ExecutionContext,
     ) -> Result<JoinResult, JoinError> {
         self.validate()?;
         validate_inputs(r, s, k)?;
-        let mut metrics = JoinMetrics { r_size: r.len(), s_size: s.len(), ..Default::default() };
+        let mut metrics = JoinMetrics {
+            r_size: r.len(),
+            s_size: s.len(),
+            ..Default::default()
+        };
 
         let mut input = Vec::with_capacity(r.len() + s.len());
         for p in r {
-            input.push((p.id, EncodedRecord::encode(&Record::new(RecordKind::R, 0, 0.0, p.clone()))));
+            input.push((
+                p.id,
+                EncodedRecord::encode(&Record::new(RecordKind::R, 0, 0.0, p.clone())),
+            ));
         }
         for p in s {
-            input.push((p.id, EncodedRecord::encode(&Record::new(RecordKind::S, 0, 0.0, p.clone()))));
+            input.push((
+                p.id,
+                EncodedRecord::encode(&Record::new(RecordKind::S, 0, 0.0, p.clone())),
+            ));
         }
 
         let start = Instant::now();
         let job = JobBuilder::new("broadcast-join")
             .reducers(self.config.reducers)
             .map_tasks(self.config.map_tasks)
+            .workers(ctx.workers())
             .run_with_partitioner(
                 input,
-                &BroadcastMapper { reducers: self.config.reducers },
+                &BroadcastMapper {
+                    reducers: self.config.reducers,
+                },
                 &BroadcastReducer { k, metric },
                 &IdentityPartitioner,
             )
-            .map_err(|e| JoinError::MapReduce(e.to_string()))?;
+            .map_err(|e| JoinError::substrate("broadcast-join", e))?;
         metrics.record_phase(phases::KNN_JOIN, start.elapsed());
         metrics.shuffle_bytes = job.metrics.shuffle_bytes;
         metrics.distance_computations = job.metrics.counters.get(counters::DISTANCE_COMPUTATIONS);
@@ -192,10 +210,17 @@ mod tests {
         let s = uniform(200, 3, 50.0, 2);
         let metric = DistanceMetric::Euclidean;
         let exact = NestedLoopJoin.join(&r, &s, 7, metric).unwrap();
-        let got = BroadcastJoin::new(BroadcastJoinConfig { reducers: 5, ..Default::default() })
-            .join(&r, &s, 7, metric)
-            .unwrap();
-        assert!(got.matches(&exact, 1e-9), "{:?}", got.mismatch_against(&exact, 1e-9));
+        let got = BroadcastJoin::new(BroadcastJoinConfig {
+            reducers: 5,
+            ..Default::default()
+        })
+        .join(&r, &s, 7, metric)
+        .unwrap();
+        assert!(
+            got.matches(&exact, 1e-9),
+            "{:?}",
+            got.mismatch_against(&exact, 1e-9)
+        );
     }
 
     #[test]
@@ -204,9 +229,12 @@ mod tests {
         let r = uniform(100, 2, 50.0, 3);
         let s = uniform(80, 2, 50.0, 4);
         let reducers = 6;
-        let result = BroadcastJoin::new(BroadcastJoinConfig { reducers, ..Default::default() })
-            .join(&r, &s, 3, DistanceMetric::Euclidean)
-            .unwrap();
+        let result = BroadcastJoin::new(BroadcastJoinConfig {
+            reducers,
+            ..Default::default()
+        })
+        .join(&r, &s, 3, DistanceMetric::Euclidean)
+        .unwrap();
         assert_eq!(result.metrics.r_records_shuffled, 100);
         assert_eq!(result.metrics.s_records_shuffled, 80 * reducers as u64);
         // Every (r, s) pair is computed exactly once: selectivity is 1.
@@ -228,9 +256,12 @@ mod tests {
             9,
         );
         let metric = DistanceMetric::Euclidean;
-        let broadcast = BroadcastJoin::new(BroadcastJoinConfig { reducers: 8, ..Default::default() })
-            .join(&data, &data, 10, metric)
-            .unwrap();
+        let broadcast = BroadcastJoin::new(BroadcastJoinConfig {
+            reducers: 8,
+            ..Default::default()
+        })
+        .join(&data, &data, 10, metric)
+        .unwrap();
         let pgbj = crate::algorithms::Pgbj::new(crate::algorithms::PgbjConfig {
             pivot_count: 24,
             reducers: 8,
@@ -247,15 +278,24 @@ mod tests {
     fn invalid_configurations_are_rejected() {
         let r = uniform(10, 2, 1.0, 0);
         let s = uniform(10, 2, 1.0, 1);
-        for config in [
-            BroadcastJoinConfig { reducers: 0, map_tasks: 1 },
-            BroadcastJoinConfig { reducers: 1, map_tasks: 0 },
-        ] {
-            assert!(matches!(
-                BroadcastJoin::new(config).join(&r, &s, 2, DistanceMetric::Euclidean).unwrap_err(),
-                JoinError::InvalidConfig(_)
-            ));
-        }
+        assert!(matches!(
+            BroadcastJoin::new(BroadcastJoinConfig {
+                reducers: 0,
+                map_tasks: 1
+            })
+            .join(&r, &s, 2, DistanceMetric::Euclidean)
+            .unwrap_err(),
+            JoinError::ZeroReducers
+        ));
+        assert!(matches!(
+            BroadcastJoin::new(BroadcastJoinConfig {
+                reducers: 1,
+                map_tasks: 0
+            })
+            .join(&r, &s, 2, DistanceMetric::Euclidean)
+            .unwrap_err(),
+            JoinError::ZeroMapTasks
+        ));
         assert_eq!(BroadcastJoin::default().name(), "Broadcast");
         assert_eq!(BroadcastJoin::default().config().reducers, 4);
     }

@@ -9,6 +9,7 @@
 use crate::algorithms::blocks::run_block_framework;
 use crate::algorithms::common::{counters, EncodedRecord, NeighborListValue};
 use crate::algorithms::KnnJoinAlgorithm;
+use crate::context::ExecutionContext;
 use crate::exact::validate_inputs;
 use crate::metrics::JoinMetrics;
 use crate::result::{JoinError, JoinResult};
@@ -30,7 +31,11 @@ pub struct HbrjConfig {
 
 impl Default for HbrjConfig {
     fn default() -> Self {
-        Self { reducers: 4, map_tasks: 8, rtree_fanout: RTree::DEFAULT_FANOUT }
+        Self {
+            reducers: 4,
+            map_tasks: 8,
+            rtree_fanout: RTree::DEFAULT_FANOUT,
+        }
     }
 }
 
@@ -53,13 +58,15 @@ impl Hbrj {
 
     fn validate(&self) -> Result<(), JoinError> {
         if self.config.reducers == 0 {
-            return Err(JoinError::InvalidConfig("reducers must be positive".into()));
+            return Err(JoinError::ZeroReducers);
         }
         if self.config.map_tasks == 0 {
-            return Err(JoinError::InvalidConfig("map_tasks must be positive".into()));
+            return Err(JoinError::ZeroMapTasks);
         }
         if self.config.rtree_fanout < 2 {
-            return Err(JoinError::InvalidConfig("rtree_fanout must be at least 2".into()));
+            return Err(JoinError::InvalidConfig(
+                "rtree_fanout must be at least 2".into(),
+            ));
         }
         Ok(())
     }
@@ -70,32 +77,48 @@ impl KnnJoinAlgorithm for Hbrj {
         "H-BRJ"
     }
 
-    fn join(
+    fn join_with(
         &self,
         r: &PointSet,
         s: &PointSet,
         k: usize,
         metric: DistanceMetric,
+        ctx: &ExecutionContext,
     ) -> Result<JoinResult, JoinError> {
         self.validate()?;
         validate_inputs(r, s, k)?;
-        let mut metrics = JoinMetrics { r_size: r.len(), s_size: s.len(), ..Default::default() };
+        let mut metrics = JoinMetrics {
+            r_size: r.len(),
+            s_size: s.len(),
+            ..Default::default()
+        };
 
         // H-BRJ has no preprocessing: the map job replicates raw records.
         let mut input = Vec::with_capacity(r.len() + s.len());
         for p in r {
-            input.push((p.id, EncodedRecord::encode(&Record::new(RecordKind::R, 0, 0.0, p.clone()))));
+            input.push((
+                p.id,
+                EncodedRecord::encode(&Record::new(RecordKind::R, 0, 0.0, p.clone())),
+            ));
         }
         for p in s {
-            input.push((p.id, EncodedRecord::encode(&Record::new(RecordKind::S, 0, 0.0, p.clone()))));
+            input.push((
+                p.id,
+                EncodedRecord::encode(&Record::new(RecordKind::S, 0, 0.0, p.clone())),
+            ));
         }
 
-        let reducer = HbrjCellReducer { k, metric, fanout: self.config.rtree_fanout };
+        let reducer = HbrjCellReducer {
+            k,
+            metric,
+            fanout: self.config.rtree_fanout,
+        };
         let rows = run_block_framework(
             input,
             k,
             self.config.reducers,
             self.config.map_tasks,
+            ctx.workers(),
             &reducer,
             &mut metrics,
         )?;
@@ -143,7 +166,8 @@ impl Reducer for HbrjCellReducer {
         let tree = RTree::bulk_load_with_fanout(s_block, self.metric, self.fanout);
         for r_obj in &r_block {
             let (neighbors, computations) = tree.knn_counted(r_obj, self.k);
-            ctx.counters().add(counters::DISTANCE_COMPUTATIONS, computations);
+            ctx.counters()
+                .add(counters::DISTANCE_COMPUTATIONS, computations);
             ctx.emit(r_obj.id, NeighborListValue::new(neighbors));
         }
     }
@@ -158,7 +182,14 @@ mod tests {
 
     fn clustered(n: usize, seed: u64) -> PointSet {
         gaussian_clusters(
-            &ClusterConfig { n_points: n, dims: 2, n_clusters: 5, std_dev: 5.0, extent: 150.0, skew: 0.5 },
+            &ClusterConfig {
+                n_points: n,
+                dims: 2,
+                n_clusters: 5,
+                std_dev: 5.0,
+                extent: 150.0,
+                skew: 0.5,
+            },
             seed,
         )
     }
@@ -176,36 +207,71 @@ mod tests {
     fn matches_exact_on_clustered_data() {
         let r = clustered(300, 1);
         let s = clustered(350, 2);
-        check_matches_exact(&r, &s, 10, HbrjConfig { reducers: 9, ..Default::default() });
+        check_matches_exact(
+            &r,
+            &s,
+            10,
+            HbrjConfig {
+                reducers: 9,
+                ..Default::default()
+            },
+        );
     }
 
     #[test]
     fn matches_exact_with_non_square_reducer_count() {
         let r = uniform(150, 3, 50.0, 3);
         let s = uniform(200, 3, 50.0, 4);
-        check_matches_exact(&r, &s, 5, HbrjConfig { reducers: 7, ..Default::default() });
+        check_matches_exact(
+            &r,
+            &s,
+            5,
+            HbrjConfig {
+                reducers: 7,
+                ..Default::default()
+            },
+        );
     }
 
     #[test]
     fn matches_exact_for_self_join_and_small_k() {
         let data = clustered(250, 5);
-        check_matches_exact(&data, &data, 1, HbrjConfig { reducers: 4, ..Default::default() });
+        check_matches_exact(
+            &data,
+            &data,
+            1,
+            HbrjConfig {
+                reducers: 4,
+                ..Default::default()
+            },
+        );
     }
 
     #[test]
     fn matches_exact_when_k_exceeds_s() {
         let r = uniform(30, 2, 20.0, 6);
         let s = uniform(5, 2, 20.0, 7);
-        check_matches_exact(&r, &s, 9, HbrjConfig { reducers: 4, ..Default::default() });
+        check_matches_exact(
+            &r,
+            &s,
+            9,
+            HbrjConfig {
+                reducers: 4,
+                ..Default::default()
+            },
+        );
     }
 
     #[test]
     fn replication_is_sqrt_n_per_object() {
         let r = clustered(200, 8);
         let s = clustered(200, 9);
-        let res = Hbrj::new(HbrjConfig { reducers: 9, ..Default::default() })
-            .join(&r, &s, 5, DistanceMetric::Euclidean)
-            .unwrap();
+        let res = Hbrj::new(HbrjConfig {
+            reducers: 9,
+            ..Default::default()
+        })
+        .join(&r, &s, 5, DistanceMetric::Euclidean)
+        .unwrap();
         // B = 3: every R and S object is sent to exactly 3 reducer cells.
         assert_eq!(res.metrics.r_records_shuffled, 600);
         assert_eq!(res.metrics.s_records_shuffled, 600);
@@ -218,16 +284,33 @@ mod tests {
     fn invalid_configurations_are_rejected() {
         let r = uniform(10, 2, 1.0, 0);
         let s = uniform(10, 2, 1.0, 1);
-        for config in [
-            HbrjConfig { reducers: 0, ..Default::default() },
-            HbrjConfig { map_tasks: 0, ..Default::default() },
-            HbrjConfig { rtree_fanout: 1, ..Default::default() },
-        ] {
-            assert!(matches!(
-                Hbrj::new(config).join(&r, &s, 2, DistanceMetric::Euclidean).unwrap_err(),
-                JoinError::InvalidConfig(_)
-            ));
-        }
+        assert!(matches!(
+            Hbrj::new(HbrjConfig {
+                reducers: 0,
+                ..Default::default()
+            })
+            .join(&r, &s, 2, DistanceMetric::Euclidean)
+            .unwrap_err(),
+            JoinError::ZeroReducers
+        ));
+        assert!(matches!(
+            Hbrj::new(HbrjConfig {
+                map_tasks: 0,
+                ..Default::default()
+            })
+            .join(&r, &s, 2, DistanceMetric::Euclidean)
+            .unwrap_err(),
+            JoinError::ZeroMapTasks
+        ));
+        assert!(matches!(
+            Hbrj::new(HbrjConfig {
+                rtree_fanout: 1,
+                ..Default::default()
+            })
+            .join(&r, &s, 2, DistanceMetric::Euclidean)
+            .unwrap_err(),
+            JoinError::InvalidConfig(_)
+        ));
         assert_eq!(Hbrj::default().name(), "H-BRJ");
         assert_eq!(Hbrj::default().config().reducers, 4);
     }

@@ -22,15 +22,35 @@ pub use hbrj::{Hbrj, HbrjConfig};
 pub use pbj::{Pbj, PbjConfig};
 pub use pgbj::{Pgbj, PgbjConfig};
 
+use crate::context::ExecutionContext;
 use crate::result::{JoinError, JoinResult};
 use geom::{DistanceMetric, PointSet};
 
 /// A distributed (MapReduce-based) or centralized kNN-join algorithm.
+///
+/// New code should prefer driving algorithms through the
+/// [`crate::JoinBuilder`], which validates parameters and picks the
+/// implementation at runtime; this trait remains the common execution
+/// interface underneath (and keeps pre-builder call sites compiling).
 pub trait KnnJoinAlgorithm {
     /// Short name used in experiment tables ("PGBJ", "PBJ", "H-BRJ", ...).
     fn name(&self) -> &'static str;
 
-    /// Computes `R ⋉ S` for the given `k` and metric.
+    /// Computes `R ⋉ S` for the given `k` and metric inside `ctx`, which
+    /// supplies the MapReduce worker-pool size and shared substrate handles.
+    ///
+    /// # Errors
+    /// Returns [`JoinError`] on invalid inputs or configuration.
+    fn join_with(
+        &self,
+        r: &PointSet,
+        s: &PointSet,
+        k: usize,
+        metric: DistanceMetric,
+        ctx: &ExecutionContext,
+    ) -> Result<JoinResult, JoinError>;
+
+    /// Convenience wrapper running inside a default [`ExecutionContext`].
     ///
     /// # Errors
     /// Returns [`JoinError`] on invalid inputs or configuration.
@@ -40,7 +60,9 @@ pub trait KnnJoinAlgorithm {
         s: &PointSet,
         k: usize,
         metric: DistanceMetric,
-    ) -> Result<JoinResult, JoinError>;
+    ) -> Result<JoinResult, JoinError> {
+        self.join_with(r, s, k, metric, &ExecutionContext::default())
+    }
 }
 
 impl KnnJoinAlgorithm for crate::exact::NestedLoopJoin {
@@ -48,12 +70,13 @@ impl KnnJoinAlgorithm for crate::exact::NestedLoopJoin {
         "NestedLoop"
     }
 
-    fn join(
+    fn join_with(
         &self,
         r: &PointSet,
         s: &PointSet,
         k: usize,
         metric: DistanceMetric,
+        _ctx: &ExecutionContext,
     ) -> Result<JoinResult, JoinError> {
         NestedLoopJoin::join(self, r, s, k, metric)
     }

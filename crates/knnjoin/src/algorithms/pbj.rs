@@ -15,6 +15,7 @@ use crate::algorithms::common::{
 };
 use crate::algorithms::KnnJoinAlgorithm;
 use crate::bounds::upper_bound;
+use crate::context::ExecutionContext;
 use crate::exact::validate_inputs;
 use crate::metrics::{phases, JoinMetrics};
 use crate::partition::VoronoiPartitioner;
@@ -76,13 +77,15 @@ impl Pbj {
 
     fn validate(&self) -> Result<(), JoinError> {
         if self.config.pivot_count == 0 {
-            return Err(JoinError::InvalidConfig("pivot_count must be positive".into()));
+            return Err(JoinError::InvalidConfig(
+                "pivot_count must be positive".into(),
+            ));
         }
         if self.config.reducers == 0 {
-            return Err(JoinError::InvalidConfig("reducers must be positive".into()));
+            return Err(JoinError::ZeroReducers);
         }
         if self.config.map_tasks == 0 {
-            return Err(JoinError::InvalidConfig("map_tasks must be positive".into()));
+            return Err(JoinError::ZeroMapTasks);
         }
         Ok(())
     }
@@ -93,17 +96,22 @@ impl KnnJoinAlgorithm for Pbj {
         "PBJ"
     }
 
-    fn join(
+    fn join_with(
         &self,
         r: &PointSet,
         s: &PointSet,
         k: usize,
         metric: DistanceMetric,
+        ctx: &ExecutionContext,
     ) -> Result<JoinResult, JoinError> {
         self.validate()?;
         validate_inputs(r, s, k)?;
         let cfg = &self.config;
-        let mut metrics = JoinMetrics { r_size: r.len(), s_size: s.len(), ..Default::default() };
+        let mut metrics = JoinMetrics {
+            r_size: r.len(),
+            s_size: s.len(),
+            ..Default::default()
+        };
 
         // ---- Preprocessing: pivot selection --------------------------------
         let start = Instant::now();
@@ -126,7 +134,13 @@ impl KnnJoinAlgorithm for Pbj {
 
         // ---- Summary tables -------------------------------------------------
         let start = Instant::now();
-        let tables = Arc::new(SummaryTables::build(pivots, metric, &partitioned_r, &partitioned_s, k));
+        let tables = Arc::new(SummaryTables::build(
+            pivots,
+            metric,
+            &partitioned_r,
+            &partitioned_s,
+            k,
+        ));
         metrics.record_phase(phases::INDEX_MERGING, start.elapsed());
 
         // ---- Block join + merge (no grouping phase) -------------------------
@@ -135,7 +149,12 @@ impl KnnJoinAlgorithm for Pbj {
             for (point, dist) in bucket {
                 input.push((
                     point.id,
-                    EncodedRecord::encode(&Record::new(RecordKind::R, partition as u32, *dist, point.clone())),
+                    EncodedRecord::encode(&Record::new(
+                        RecordKind::R,
+                        partition as u32,
+                        *dist,
+                        point.clone(),
+                    )),
                 ));
             }
         }
@@ -143,13 +162,30 @@ impl KnnJoinAlgorithm for Pbj {
             for (point, dist) in bucket {
                 input.push((
                     point.id,
-                    EncodedRecord::encode(&Record::new(RecordKind::S, partition as u32, *dist, point.clone())),
+                    EncodedRecord::encode(&Record::new(
+                        RecordKind::S,
+                        partition as u32,
+                        *dist,
+                        point.clone(),
+                    )),
                 ));
             }
         }
 
-        let reducer = PbjCellReducer { tables: Arc::clone(&tables), k, metric };
-        let rows = run_block_framework(input, k, cfg.reducers, cfg.map_tasks, &reducer, &mut metrics)?;
+        let reducer = PbjCellReducer {
+            tables: Arc::clone(&tables),
+            k,
+            metric,
+        };
+        let rows = run_block_framework(
+            input,
+            k,
+            cfg.reducers,
+            cfg.map_tasks,
+            ctx.workers(),
+            &reducer,
+            &mut metrics,
+        )?;
 
         let mut result = JoinResult { rows, metrics };
         result.normalize();
@@ -228,7 +264,8 @@ impl Reducer for PbjCellReducer {
                     self.k,
                     self.metric,
                 );
-                ctx.counters().add(counters::DISTANCE_COMPUTATIONS, computations);
+                ctx.counters()
+                    .add(counters::DISTANCE_COMPUTATIONS, computations);
                 ctx.emit(r_obj.id, NeighborListValue::new(neighbors));
             }
         }
@@ -244,7 +281,14 @@ mod tests {
 
     fn clustered(n: usize, seed: u64) -> PointSet {
         gaussian_clusters(
-            &ClusterConfig { n_points: n, dims: 2, n_clusters: 5, std_dev: 5.0, extent: 150.0, skew: 0.5 },
+            &ClusterConfig {
+                n_points: n,
+                dims: 2,
+                n_clusters: 5,
+                std_dev: 5.0,
+                extent: 150.0,
+                skew: 0.5,
+            },
             seed,
         )
     }
@@ -262,36 +306,76 @@ mod tests {
     fn matches_exact_on_clustered_data() {
         let r = clustered(300, 1);
         let s = clustered(350, 2);
-        check_matches_exact(&r, &s, 10, PbjConfig { pivot_count: 24, reducers: 9, ..Default::default() });
+        check_matches_exact(
+            &r,
+            &s,
+            10,
+            PbjConfig {
+                pivot_count: 24,
+                reducers: 9,
+                ..Default::default()
+            },
+        );
     }
 
     #[test]
     fn matches_exact_on_high_dimensional_uniform_data() {
         let r = uniform(200, 5, 80.0, 3);
         let s = uniform(220, 5, 80.0, 4);
-        check_matches_exact(&r, &s, 6, PbjConfig { pivot_count: 12, reducers: 4, ..Default::default() });
+        check_matches_exact(
+            &r,
+            &s,
+            6,
+            PbjConfig {
+                pivot_count: 12,
+                reducers: 4,
+                ..Default::default()
+            },
+        );
     }
 
     #[test]
     fn matches_exact_for_self_join() {
         let data = clustered(250, 5);
-        check_matches_exact(&data, &data, 8, PbjConfig { pivot_count: 16, reducers: 6, ..Default::default() });
+        check_matches_exact(
+            &data,
+            &data,
+            8,
+            PbjConfig {
+                pivot_count: 16,
+                reducers: 6,
+                ..Default::default()
+            },
+        );
     }
 
     #[test]
     fn matches_exact_when_k_exceeds_s() {
         let r = uniform(40, 2, 30.0, 6);
         let s = uniform(7, 2, 30.0, 7);
-        check_matches_exact(&r, &s, 12, PbjConfig { pivot_count: 3, reducers: 4, ..Default::default() });
+        check_matches_exact(
+            &r,
+            &s,
+            12,
+            PbjConfig {
+                pivot_count: 3,
+                reducers: 4,
+                ..Default::default()
+            },
+        );
     }
 
     #[test]
     fn phases_and_metrics_are_populated() {
         let r = clustered(200, 8);
         let s = clustered(200, 9);
-        let res = Pbj::new(PbjConfig { pivot_count: 16, reducers: 9, ..Default::default() })
-            .join(&r, &s, 5, DistanceMetric::Euclidean)
-            .unwrap();
+        let res = Pbj::new(PbjConfig {
+            pivot_count: 16,
+            reducers: 9,
+            ..Default::default()
+        })
+        .join(&r, &s, 5, DistanceMetric::Euclidean)
+        .unwrap();
         let m = &res.metrics;
         // √9 = 3 blocks: every object is replicated 3 times.
         assert_eq!(m.r_records_shuffled, 600);
@@ -305,19 +389,29 @@ mod tests {
             phases::KNN_JOIN,
             phases::RESULT_MERGING,
         ] {
-            assert!(m.phase_times.iter().any(|(n, _)| n == phase), "missing {phase}");
+            assert!(
+                m.phase_times.iter().any(|(n, _)| n == phase),
+                "missing {phase}"
+            );
         }
         // PBJ must not have a grouping phase.
-        assert_eq!(m.phase(phases::PARTITION_GROUPING), std::time::Duration::ZERO);
+        assert_eq!(
+            m.phase(phases::PARTITION_GROUPING),
+            std::time::Duration::ZERO
+        );
     }
 
     #[test]
     fn pruning_beats_exhaustive_scanning_within_cells() {
         let r = clustered(400, 10);
         let s = clustered(400, 11);
-        let res = Pbj::new(PbjConfig { pivot_count: 32, reducers: 4, ..Default::default() })
-            .join(&r, &s, 10, DistanceMetric::Euclidean)
-            .unwrap();
+        let res = Pbj::new(PbjConfig {
+            pivot_count: 32,
+            reducers: 4,
+            ..Default::default()
+        })
+        .join(&r, &s, 10, DistanceMetric::Euclidean)
+        .unwrap();
         // Exhaustive block join would compute |R|·|S| = 160000 pairs (every
         // pair meets in exactly one cell); the bounds must cut that down.
         assert!(
@@ -331,16 +425,33 @@ mod tests {
     fn invalid_configurations_are_rejected() {
         let r = uniform(10, 2, 1.0, 0);
         let s = uniform(10, 2, 1.0, 1);
-        for config in [
-            PbjConfig { pivot_count: 0, ..Default::default() },
-            PbjConfig { reducers: 0, ..Default::default() },
-            PbjConfig { map_tasks: 0, ..Default::default() },
-        ] {
-            assert!(matches!(
-                Pbj::new(config).join(&r, &s, 2, DistanceMetric::Euclidean).unwrap_err(),
-                JoinError::InvalidConfig(_)
-            ));
-        }
+        assert!(matches!(
+            Pbj::new(PbjConfig {
+                pivot_count: 0,
+                ..Default::default()
+            })
+            .join(&r, &s, 2, DistanceMetric::Euclidean)
+            .unwrap_err(),
+            JoinError::InvalidConfig(_)
+        ));
+        assert!(matches!(
+            Pbj::new(PbjConfig {
+                reducers: 0,
+                ..Default::default()
+            })
+            .join(&r, &s, 2, DistanceMetric::Euclidean)
+            .unwrap_err(),
+            JoinError::ZeroReducers
+        ));
+        assert!(matches!(
+            Pbj::new(PbjConfig {
+                map_tasks: 0,
+                ..Default::default()
+            })
+            .join(&r, &s, 2, DistanceMetric::Euclidean)
+            .unwrap_err(),
+            JoinError::ZeroMapTasks
+        ));
         assert_eq!(Pbj::default().name(), "PBJ");
         assert_eq!(Pbj::default().config().pivot_count, 32);
     }

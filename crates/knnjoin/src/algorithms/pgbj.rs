@@ -17,6 +17,7 @@
 use crate::algorithms::common::{bounded_knn_scan, counters, order_s_partitions, EncodedRecord};
 use crate::algorithms::KnnJoinAlgorithm;
 use crate::bounds::PartitionBounds;
+use crate::context::ExecutionContext;
 use crate::exact::validate_inputs;
 use crate::grouping::{build_grouping, GroupingStrategy};
 use crate::metrics::{phases, JoinMetrics};
@@ -83,13 +84,15 @@ impl Pgbj {
 
     fn validate(&self) -> Result<(), JoinError> {
         if self.config.pivot_count == 0 {
-            return Err(JoinError::InvalidConfig("pivot_count must be positive".into()));
+            return Err(JoinError::InvalidConfig(
+                "pivot_count must be positive".into(),
+            ));
         }
         if self.config.reducers == 0 {
-            return Err(JoinError::InvalidConfig("reducers must be positive".into()));
+            return Err(JoinError::ZeroReducers);
         }
         if self.config.map_tasks == 0 {
-            return Err(JoinError::InvalidConfig("map_tasks must be positive".into()));
+            return Err(JoinError::ZeroMapTasks);
         }
         Ok(())
     }
@@ -100,12 +103,13 @@ impl KnnJoinAlgorithm for Pgbj {
         "PGBJ"
     }
 
-    fn join(
+    fn join_with(
         &self,
         r: &PointSet,
         s: &PointSet,
         k: usize,
         metric: DistanceMetric,
+        ctx: &ExecutionContext,
     ) -> Result<JoinResult, JoinError> {
         self.validate()?;
         validate_inputs(r, s, k)?;
@@ -135,14 +139,16 @@ impl KnnJoinAlgorithm for Pgbj {
         let job1 = JobBuilder::new("pgbj-partition")
             .reducers(cfg.reducers)
             .map_tasks(cfg.map_tasks)
+            .workers(ctx.workers())
             .run(
                 job1_input,
-                &PartitionMapper { partitioner: Arc::clone(&partitioner) },
+                &PartitionMapper {
+                    partitioner: Arc::clone(&partitioner),
+                },
                 &CollectPartitionReducer,
             )
-            .map_err(|e| JoinError::MapReduce(e.to_string()))?;
-        let (partitioned_r, partitioned_s) =
-            assemble_partitions(job1.output, pivots.len());
+            .map_err(|e| JoinError::substrate("pgbj-partition", e))?;
+        let (partitioned_r, partitioned_s) = assemble_partitions(job1.output, pivots.len());
         metrics.record_phase(phases::DATA_PARTITIONING, start.elapsed());
 
         // ---- Index merging: summary tables --------------------------------
@@ -176,6 +182,7 @@ impl KnnJoinAlgorithm for Pgbj {
         let job2 = JobBuilder::new("pgbj-join")
             .reducers(grouping.group_count())
             .map_tasks(cfg.map_tasks)
+            .workers(ctx.workers())
             .run_with_partitioner(
                 job2_input,
                 &RouteMapper {
@@ -185,7 +192,7 @@ impl KnnJoinAlgorithm for Pgbj {
                 &join_reducer,
                 &IdentityPartitioner,
             )
-            .map_err(|e| JoinError::MapReduce(e.to_string()))?;
+            .map_err(|e| JoinError::substrate("pgbj-join", e))?;
         metrics.record_phase(phases::KNN_JOIN, start.elapsed());
 
         // ---- Collect output and metrics ------------------------------------
@@ -284,8 +291,12 @@ fn assemble_partitions(
     output: Vec<(u32, PartitionBucket)>,
     n_partitions: usize,
 ) -> (PartitionedDataset, PartitionedDataset) {
-    let mut pr = PartitionedDataset { partitions: vec![Vec::new(); n_partitions] };
-    let mut ps = PartitionedDataset { partitions: vec![Vec::new(); n_partitions] };
+    let mut pr = PartitionedDataset {
+        partitions: vec![Vec::new(); n_partitions],
+    };
+    let mut ps = PartitionedDataset {
+        partitions: vec![Vec::new(); n_partitions],
+    };
     for (partition, bucket) in output {
         pr.partitions[partition as usize] = bucket.r;
         ps.partitions[partition as usize] = bucket.s;
@@ -420,7 +431,8 @@ impl Reducer for PgbjJoinReducer {
                     self.k,
                     self.metric,
                 );
-                ctx.counters().add(counters::DISTANCE_COMPUTATIONS, computations);
+                ctx.counters()
+                    .add(counters::DISTANCE_COMPUTATIONS, computations);
                 ctx.emit(r_obj.id, neighbors);
             }
         }
@@ -461,20 +473,47 @@ mod tests {
     fn matches_exact_on_clustered_data() {
         let r = clustered(400, 2, 1);
         let s = clustered(500, 2, 2);
-        check_matches_exact(&r, &s, 10, PgbjConfig { pivot_count: 24, reducers: 4, ..Default::default() });
+        check_matches_exact(
+            &r,
+            &s,
+            10,
+            PgbjConfig {
+                pivot_count: 24,
+                reducers: 4,
+                ..Default::default()
+            },
+        );
     }
 
     #[test]
     fn matches_exact_on_uniform_high_dim() {
         let r = uniform(250, 6, 100.0, 3);
         let s = uniform(300, 6, 100.0, 4);
-        check_matches_exact(&r, &s, 5, PgbjConfig { pivot_count: 16, reducers: 3, ..Default::default() });
+        check_matches_exact(
+            &r,
+            &s,
+            5,
+            PgbjConfig {
+                pivot_count: 16,
+                reducers: 3,
+                ..Default::default()
+            },
+        );
     }
 
     #[test]
     fn matches_exact_for_self_join() {
         let data = clustered(350, 3, 5);
-        check_matches_exact(&data, &data, 8, PgbjConfig { pivot_count: 20, reducers: 5, ..Default::default() });
+        check_matches_exact(
+            &data,
+            &data,
+            8,
+            PgbjConfig {
+                pivot_count: 20,
+                reducers: 5,
+                ..Default::default()
+            },
+        );
     }
 
     #[test]
@@ -504,7 +543,16 @@ mod tests {
     fn matches_exact_when_k_exceeds_s() {
         let r = uniform(40, 2, 50.0, 9);
         let s = uniform(6, 2, 50.0, 10);
-        check_matches_exact(&r, &s, 10, PgbjConfig { pivot_count: 4, reducers: 2, ..Default::default() });
+        check_matches_exact(
+            &r,
+            &s,
+            10,
+            PgbjConfig {
+                pivot_count: 4,
+                reducers: 2,
+                ..Default::default()
+            },
+        );
     }
 
     #[test]
@@ -513,9 +561,13 @@ mod tests {
         let s = clustered(220, 2, 12);
         let metric = DistanceMetric::Manhattan;
         let expected = NestedLoopJoin.join(&r, &s, 7, metric).unwrap();
-        let got = Pgbj::new(PgbjConfig { pivot_count: 16, reducers: 4, ..Default::default() })
-            .join(&r, &s, 7, metric)
-            .unwrap();
+        let got = Pgbj::new(PgbjConfig {
+            pivot_count: 16,
+            reducers: 4,
+            ..Default::default()
+        })
+        .join(&r, &s, 7, metric)
+        .unwrap();
         assert!(got.matches(&expected, 1e-9));
     }
 
@@ -523,23 +575,57 @@ mod tests {
     fn single_reducer_and_single_pivot_edge_cases() {
         let r = uniform(80, 2, 30.0, 13);
         let s = uniform(90, 2, 30.0, 14);
-        check_matches_exact(&r, &s, 4, PgbjConfig { pivot_count: 1, reducers: 1, ..Default::default() });
-        check_matches_exact(&r, &s, 4, PgbjConfig { pivot_count: 40, reducers: 1, ..Default::default() });
-        check_matches_exact(&r, &s, 4, PgbjConfig { pivot_count: 1, reducers: 8, ..Default::default() });
+        check_matches_exact(
+            &r,
+            &s,
+            4,
+            PgbjConfig {
+                pivot_count: 1,
+                reducers: 1,
+                ..Default::default()
+            },
+        );
+        check_matches_exact(
+            &r,
+            &s,
+            4,
+            PgbjConfig {
+                pivot_count: 40,
+                reducers: 1,
+                ..Default::default()
+            },
+        );
+        check_matches_exact(
+            &r,
+            &s,
+            4,
+            PgbjConfig {
+                pivot_count: 1,
+                reducers: 8,
+                ..Default::default()
+            },
+        );
     }
 
     #[test]
     fn metrics_are_populated() {
         let r = clustered(300, 2, 15);
         let s = clustered(300, 2, 16);
-        let res = Pgbj::new(PgbjConfig { pivot_count: 20, reducers: 4, ..Default::default() })
-            .join(&r, &s, 10, DistanceMetric::Euclidean)
-            .unwrap();
+        let res = Pgbj::new(PgbjConfig {
+            pivot_count: 20,
+            reducers: 4,
+            ..Default::default()
+        })
+        .join(&r, &s, 10, DistanceMetric::Euclidean)
+        .unwrap();
         let m = &res.metrics;
         assert_eq!(m.r_size, 300);
         assert_eq!(m.s_size, 300);
         assert_eq!(m.r_records_shuffled, 300);
-        assert!(m.s_records_shuffled >= 300, "every S object reaches at least one group");
+        assert!(
+            m.s_records_shuffled >= 300,
+            "every S object reaches at least one group"
+        );
         assert!(m.distance_computations > 0);
         assert!(m.shuffle_bytes > 0);
         assert!(m.computation_selectivity() > 0.0 && m.computation_selectivity() <= 1.1);
@@ -563,9 +649,13 @@ mod tests {
     fn pruning_reduces_selectivity_versus_exhaustive() {
         let r = clustered(400, 2, 17);
         let s = clustered(400, 2, 18);
-        let res = Pgbj::new(PgbjConfig { pivot_count: 32, reducers: 8, ..Default::default() })
-            .join(&r, &s, 10, DistanceMetric::Euclidean)
-            .unwrap();
+        let res = Pgbj::new(PgbjConfig {
+            pivot_count: 32,
+            reducers: 8,
+            ..Default::default()
+        })
+        .join(&r, &s, 10, DistanceMetric::Euclidean)
+        .unwrap();
         // The whole point of PGBJ: far fewer than |R|·|S| distance
         // computations on clustered data.
         assert!(
@@ -579,23 +669,34 @@ mod tests {
     fn invalid_configurations_are_rejected() {
         let r = uniform(10, 2, 1.0, 0);
         let s = uniform(10, 2, 1.0, 1);
-        let bad = Pgbj::new(PgbjConfig { pivot_count: 0, ..Default::default() });
+        let bad = Pgbj::new(PgbjConfig {
+            pivot_count: 0,
+            ..Default::default()
+        });
         assert!(matches!(
             bad.join(&r, &s, 2, DistanceMetric::Euclidean).unwrap_err(),
             JoinError::InvalidConfig(_)
         ));
-        let bad = Pgbj::new(PgbjConfig { reducers: 0, ..Default::default() });
+        let bad = Pgbj::new(PgbjConfig {
+            reducers: 0,
+            ..Default::default()
+        });
         assert!(matches!(
             bad.join(&r, &s, 2, DistanceMetric::Euclidean).unwrap_err(),
-            JoinError::InvalidConfig(_)
+            JoinError::ZeroReducers
         ));
-        let bad = Pgbj::new(PgbjConfig { map_tasks: 0, ..Default::default() });
+        let bad = Pgbj::new(PgbjConfig {
+            map_tasks: 0,
+            ..Default::default()
+        });
         assert!(matches!(
             bad.join(&r, &s, 2, DistanceMetric::Euclidean).unwrap_err(),
-            JoinError::InvalidConfig(_)
+            JoinError::ZeroMapTasks
         ));
         assert!(matches!(
-            Pgbj::default().join(&r, &s, 0, DistanceMetric::Euclidean).unwrap_err(),
+            Pgbj::default()
+                .join(&r, &s, 0, DistanceMetric::Euclidean)
+                .unwrap_err(),
             JoinError::InvalidK
         ));
     }

@@ -198,11 +198,7 @@ impl PartitionBounds {
     /// Equation 12: the approximate replica count for one group used by the
     /// greedy grouping strategy — whole `S` partitions are counted as soon as
     /// any of their objects could be assigned (`LB(P_j^S, G) ≤ U(P_j^S)`).
-    pub fn approximate_group_replicas(
-        &self,
-        members: &[usize],
-        tables: &SummaryTables,
-    ) -> u64 {
+    pub fn approximate_group_replicas(&self, members: &[usize], tables: &SummaryTables) -> u64 {
         let n = tables.partition_count();
         let mut total = 0u64;
         for j in 0..n {
@@ -319,7 +315,10 @@ mod tests {
         for (i, r_bucket) in pr.partitions.iter().enumerate() {
             for (r_obj, _) in r_bucket {
                 // true kth NN distance of r_obj
-                let mut dists: Vec<f64> = all_s.iter().map(|(s, _)| metric.distance(r_obj, s)).collect();
+                let mut dists: Vec<f64> = all_s
+                    .iter()
+                    .map(|(s, _)| metric.distance(r_obj, s))
+                    .collect();
                 dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
                 let kth = dists[k - 1];
                 assert!(
@@ -385,12 +384,14 @@ mod tests {
         let s = uniform(70, 2, 60.0, 32);
         let (tables, _, _) = build_tables(&r, &s, 6, 3, 33);
         let bounds = PartitionBounds::compute(&tables, 3);
-        let grouping = PartitionGrouping { groups: vec![vec![0, 1, 2], vec![3, 4, 5]] };
+        let grouping = PartitionGrouping {
+            groups: vec![vec![0, 1, 2], vec![3, 4, 5]],
+        };
         let gb = bounds.group_lower_bounds(&grouping);
         assert_eq!(gb.len(), 2);
-        for j in 0..6 {
+        for (j, &got) in gb[0].iter().enumerate().take(6) {
             let expect = bounds.lb[0][j].min(bounds.lb[1][j]).min(bounds.lb[2][j]);
-            assert_eq!(gb[0][j], expect);
+            assert_eq!(got, expect);
         }
     }
 
@@ -400,8 +401,12 @@ mod tests {
         let s = uniform(100, 2, 60.0, 42);
         let (tables, _, ps) = build_tables(&r, &s, 8, 3, 43);
         let bounds = PartitionBounds::compute(&tables, 3);
-        let fine = PartitionGrouping { groups: (0..8).map(|i| vec![i]).collect() };
-        let coarse = PartitionGrouping { groups: vec![(0..8).collect()] };
+        let fine = PartitionGrouping {
+            groups: (0..8).map(|i| vec![i]).collect(),
+        };
+        let coarse = PartitionGrouping {
+            groups: vec![(0..8).collect()],
+        };
         let fine_replicas = bounds.count_replicas(&fine, &ps);
         let coarse_replicas = bounds.count_replicas(&coarse, &ps);
         // A single group must ship at most |S| objects (no duplicate groups);
@@ -432,10 +437,15 @@ mod tests {
         let members = vec![0usize, 1, 2];
         let approx = bounds.approximate_group_replicas(&members, &tables);
         let exact = {
-            let grouping = PartitionGrouping { groups: vec![members.clone()] };
+            let grouping = PartitionGrouping {
+                groups: vec![members.clone()],
+            };
             bounds.count_replicas(&grouping, &ps)
         };
-        assert!(approx >= exact, "Eq. 12 approximation must over-count ({approx} < {exact})");
+        assert!(
+            approx >= exact,
+            "Eq. 12 approximation must over-count ({approx} < {exact})"
+        );
     }
 
     #[test]

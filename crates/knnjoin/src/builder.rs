@@ -1,0 +1,378 @@
+//! The fluent front door of the crate: [`JoinBuilder`].
+//!
+//! ```
+//! use datagen::uniform;
+//! use knnjoin::{Algorithm, DistanceMetric, ExecutionContext, JoinBuilder};
+//!
+//! let r = uniform(120, 2, 100.0, 1);
+//! let s = uniform(150, 2, 100.0, 2);
+//! let ctx = ExecutionContext::default();
+//!
+//! let result = JoinBuilder::new(&r, &s)
+//!     .k(5)
+//!     .metric(DistanceMetric::Euclidean)
+//!     .algorithm(Algorithm::Pgbj)
+//!     .reducers(4)
+//!     .run(&ctx)
+//!     .unwrap();
+//! assert_eq!(result.rows.len(), 120);
+//! ```
+//!
+//! The builder resolves to a validated [`JoinPlan`] first (see
+//! [`JoinBuilder::plan`]): invalid requests are rejected with typed
+//! [`JoinError`] variants before anything runs, and unset tuning knobs are
+//! filled with auto-tuned defaults — most notably `pivot_count ≈ √|R|`,
+//! following the paper's parameter study, which found pivot counts growing
+//! with the dataset (2000–8000 pivots for multi-million-object inputs).
+
+use crate::context::ExecutionContext;
+use crate::grouping::GroupingStrategy;
+use crate::pivots::PivotSelectionStrategy;
+use crate::plan::{Algorithm, JoinPlan};
+use crate::result::{JoinError, JoinResult};
+use geom::{DistanceMetric, PointSet};
+use spatial::RTree;
+
+/// Default number of reducers when the caller does not choose one.
+const DEFAULT_REDUCERS: usize = 4;
+
+/// Fluent configuration of one kNN join over borrowed datasets.
+///
+/// Construct with [`JoinBuilder::new`] (also re-exported as `pgbj::Join`),
+/// chain setters, then either [`JoinBuilder::plan`] to inspect the resolved
+/// plan or [`JoinBuilder::run`] to execute inside an [`ExecutionContext`].
+#[derive(Debug, Clone)]
+pub struct JoinBuilder<'a> {
+    r: &'a PointSet,
+    s: &'a PointSet,
+    algorithm: Algorithm,
+    k: usize,
+    metric: DistanceMetric,
+    pivot_count: Option<usize>,
+    pivot_strategy: PivotSelectionStrategy,
+    pivot_sample_size: usize,
+    grouping_strategy: GroupingStrategy,
+    reducers: Option<usize>,
+    map_tasks: Option<usize>,
+    rtree_fanout: usize,
+    seed: u64,
+}
+
+impl<'a> JoinBuilder<'a> {
+    /// Starts a join of `r` against `s` (each object of `r` receives `k`
+    /// neighbours from `s`).
+    pub fn new(r: &'a PointSet, s: &'a PointSet) -> Self {
+        let defaults = JoinPlan::default();
+        Self {
+            r,
+            s,
+            algorithm: defaults.algorithm,
+            k: 1,
+            metric: defaults.metric,
+            pivot_count: None,
+            pivot_strategy: defaults.pivot_strategy,
+            pivot_sample_size: defaults.pivot_sample_size,
+            grouping_strategy: defaults.grouping_strategy,
+            reducers: None,
+            map_tasks: None,
+            rtree_fanout: RTree::DEFAULT_FANOUT,
+            seed: defaults.seed,
+        }
+    }
+
+    /// Sets the number of neighbours per `R` object (default 1).
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Sets the distance metric (default Euclidean).
+    pub fn metric(mut self, metric: DistanceMetric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Selects the algorithm (default [`Algorithm::Pgbj`]).
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the number of Voronoi pivots explicitly.  When unset, the plan
+    /// auto-tunes `pivot_count ≈ √|R|`.
+    pub fn pivot_count(mut self, pivot_count: usize) -> Self {
+        self.pivot_count = Some(pivot_count);
+        self
+    }
+
+    /// Sets the pivot-selection strategy (default: random candidate sets, the
+    /// paper's recommendation).
+    pub fn pivot_strategy(mut self, strategy: PivotSelectionStrategy) -> Self {
+        self.pivot_strategy = strategy;
+        self
+    }
+
+    /// Caps how many objects of `R` pivot selection may examine.
+    pub fn pivot_sample_size(mut self, sample_size: usize) -> Self {
+        self.pivot_sample_size = sample_size;
+        self
+    }
+
+    /// Sets the PGBJ grouping strategy (default geometric).
+    pub fn grouping_strategy(mut self, strategy: GroupingStrategy) -> Self {
+        self.grouping_strategy = strategy;
+        self
+    }
+
+    /// Sets the number of reducers / "computing nodes" (default 4).
+    pub fn reducers(mut self, reducers: usize) -> Self {
+        self.reducers = Some(reducers);
+        self
+    }
+
+    /// Sets the number of map tasks (default: twice the reducer count).
+    pub fn map_tasks(mut self, map_tasks: usize) -> Self {
+        self.map_tasks = Some(map_tasks);
+        self
+    }
+
+    /// Sets the H-BRJ R-tree fanout.
+    pub fn rtree_fanout(mut self, fanout: usize) -> Self {
+        self.rtree_fanout = fanout;
+        self
+    }
+
+    /// Seeds pivot selection (experiments fix this for reproducibility).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates the request and resolves every unset knob, producing the
+    /// concrete [`JoinPlan`] that [`JoinBuilder::run`] would execute.
+    ///
+    /// # Errors
+    /// Returns a typed [`JoinError`] describing the first problem found:
+    /// [`JoinError::InvalidK`], [`JoinError::EmptyInput`],
+    /// [`JoinError::DimensionalityMismatch`],
+    /// [`JoinError::PivotCountOutOfRange`], [`JoinError::ZeroReducers`],
+    /// [`JoinError::ZeroMapTasks`] or [`JoinError::InvalidConfig`].
+    pub fn plan(&self) -> Result<JoinPlan, JoinError> {
+        if self.k == 0 {
+            return Err(JoinError::InvalidK);
+        }
+        if self.r.is_empty() {
+            return Err(JoinError::EmptyInput("R"));
+        }
+        if self.s.is_empty() {
+            return Err(JoinError::EmptyInput("S"));
+        }
+        if self.r.dims() != self.s.dims() {
+            return Err(JoinError::DimensionalityMismatch {
+                r_dims: self.r.dims(),
+                s_dims: self.s.dims(),
+            });
+        }
+
+        if self.pivot_sample_size == 0 {
+            return Err(JoinError::InvalidConfig(
+                "pivot_sample_size must be positive".into(),
+            ));
+        }
+
+        let pivot_ceiling = self.r.len().min(self.s.len());
+        let (pivot_count, pivots_auto_tuned) = match self.pivot_count {
+            Some(requested) => {
+                if requested == 0 || requested > pivot_ceiling {
+                    return Err(JoinError::PivotCountOutOfRange {
+                        pivot_count: requested,
+                        r_len: self.r.len(),
+                        s_len: self.s.len(),
+                    });
+                }
+                // Pivot selection only examines `pivot_sample_size` objects,
+                // so a larger explicit pivot count would be silently clamped
+                // at runtime; reject it instead so the plan stays truthful.
+                if requested > self.pivot_sample_size {
+                    return Err(JoinError::InvalidConfig(format!(
+                        "pivot_count {requested} exceeds pivot_sample_size {}",
+                        self.pivot_sample_size
+                    )));
+                }
+                (requested, false)
+            }
+            // §7 of the paper: pivot counts grow with |R|; √|R| keeps the
+            // per-partition population near √|R| as well, balancing the
+            // partitioning job against the join job.
+            None => (
+                ((self.r.len() as f64).sqrt().ceil() as usize)
+                    .clamp(1, pivot_ceiling.min(self.pivot_sample_size)),
+                true,
+            ),
+        };
+
+        if self.reducers == Some(0) {
+            return Err(JoinError::ZeroReducers);
+        }
+        if self.map_tasks == Some(0) {
+            return Err(JoinError::ZeroMapTasks);
+        }
+        if self.rtree_fanout < 2 {
+            return Err(JoinError::InvalidConfig(format!(
+                "rtree_fanout must be at least 2 (got {})",
+                self.rtree_fanout
+            )));
+        }
+
+        let reducers = self.reducers.unwrap_or(DEFAULT_REDUCERS);
+        let map_tasks = self.map_tasks.unwrap_or(reducers * 2);
+
+        Ok(JoinPlan {
+            algorithm: self.algorithm,
+            k: self.k,
+            metric: self.metric,
+            pivot_count,
+            pivots_auto_tuned,
+            pivot_strategy: self.pivot_strategy,
+            pivot_sample_size: self.pivot_sample_size,
+            grouping_strategy: self.grouping_strategy,
+            reducers,
+            map_tasks,
+            rtree_fanout: self.rtree_fanout,
+            seed: self.seed,
+        })
+    }
+
+    /// Plans and executes the join inside `ctx`, reporting metrics to the
+    /// context's sink.
+    ///
+    /// # Errors
+    /// Returns the planning error ([`JoinBuilder::plan`]) or any runtime /
+    /// substrate [`JoinError`].
+    pub fn run(self, ctx: &ExecutionContext) -> Result<JoinResult, JoinError> {
+        self.plan()?.execute(self.r, self.s, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::MemoryMetricsSink;
+    use crate::exact::NestedLoopJoin;
+    use datagen::uniform;
+    use std::sync::Arc;
+
+    #[test]
+    fn builder_runs_pgbj_and_matches_oracle() {
+        let r = uniform(90, 3, 60.0, 1);
+        let s = uniform(110, 3, 60.0, 2);
+        let ctx = ExecutionContext::default();
+        let result = JoinBuilder::new(&r, &s)
+            .k(4)
+            .algorithm(Algorithm::Pgbj)
+            .reducers(3)
+            .run(&ctx)
+            .unwrap();
+        let oracle = NestedLoopJoin
+            .join(&r, &s, 4, DistanceMetric::Euclidean)
+            .unwrap();
+        assert!(result.matches(&oracle, 1e-9));
+    }
+
+    #[test]
+    fn auto_tuned_pivot_count_is_about_sqrt_r() {
+        let r = uniform(400, 2, 10.0, 3);
+        let s = uniform(400, 2, 10.0, 4);
+        let plan = JoinBuilder::new(&r, &s).k(2).plan().unwrap();
+        assert_eq!(plan.pivot_count, 20);
+        assert!(plan.pivots_auto_tuned);
+        // Explicit counts are respected and flagged as such.
+        let plan = JoinBuilder::new(&r, &s).k(2).pivot_count(7).plan().unwrap();
+        assert_eq!(plan.pivot_count, 7);
+        assert!(!plan.pivots_auto_tuned);
+    }
+
+    #[test]
+    fn map_tasks_default_follows_reducers() {
+        let r = uniform(20, 2, 10.0, 5);
+        let s = uniform(20, 2, 10.0, 6);
+        let plan = JoinBuilder::new(&r, &s).k(1).reducers(6).plan().unwrap();
+        assert_eq!(plan.reducers, 6);
+        assert_eq!(plan.map_tasks, 12);
+        let plan = JoinBuilder::new(&r, &s)
+            .k(1)
+            .reducers(6)
+            .map_tasks(3)
+            .plan()
+            .unwrap();
+        assert_eq!(plan.map_tasks, 3);
+    }
+
+    #[test]
+    fn metrics_flow_to_the_context_sink() {
+        let r = uniform(40, 2, 30.0, 7);
+        let sink = Arc::new(MemoryMetricsSink::new());
+        let ctx = ExecutionContext::builder()
+            .metrics_sink(sink.clone())
+            .build();
+        JoinBuilder::new(&r, &r)
+            .k(3)
+            .algorithm(Algorithm::BroadcastJoin)
+            .run(&ctx)
+            .unwrap();
+        JoinBuilder::new(&r, &r)
+            .k(3)
+            .algorithm(Algorithm::NestedLoopJoin)
+            .run(&ctx)
+            .unwrap();
+        let recorded = sink.snapshot();
+        assert_eq!(recorded.len(), 2);
+        assert_eq!(recorded[0].algorithm, "Broadcast");
+        assert_eq!(recorded[1].algorithm, "NestedLoop");
+        assert_eq!(recorded[1].metrics.r_size, 40);
+    }
+
+    #[test]
+    fn invalid_fanout_is_a_config_error() {
+        let r = uniform(10, 2, 10.0, 8);
+        let err = JoinBuilder::new(&r, &r)
+            .k(1)
+            .rtree_fanout(1)
+            .plan()
+            .unwrap_err();
+        assert!(matches!(err, JoinError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn zero_pivot_sample_size_is_rejected_not_a_panic() {
+        let r = uniform(20, 2, 10.0, 9);
+        let err = JoinBuilder::new(&r, &r)
+            .k(2)
+            .pivot_sample_size(0)
+            .plan()
+            .unwrap_err();
+        assert!(matches!(err, JoinError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn pivot_count_beyond_sample_size_is_rejected_not_silently_clamped() {
+        let r = uniform(500, 2, 10.0, 10);
+        // Explicit count above the sample cap would be clamped at runtime,
+        // making the plan lie; it must be rejected instead.
+        let err = JoinBuilder::new(&r, &r)
+            .k(2)
+            .pivot_count(200)
+            .pivot_sample_size(100)
+            .plan()
+            .unwrap_err();
+        assert!(matches!(err, JoinError::InvalidConfig(_)), "{err}");
+        // The auto-tuned count respects the sample cap (√500 ≈ 23 > 16).
+        let plan = JoinBuilder::new(&r, &r)
+            .k(2)
+            .pivot_sample_size(16)
+            .plan()
+            .unwrap();
+        assert_eq!(plan.pivot_count, 16);
+        assert!(plan.pivots_auto_tuned);
+    }
+}

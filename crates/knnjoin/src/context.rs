@@ -1,0 +1,244 @@
+//! The execution context every join runs inside.
+//!
+//! The paper's algorithms run on a Hadoop deployment whose cluster-wide
+//! settings (task slots per node, HDFS handles, counters collection) live
+//! outside any single job.  [`ExecutionContext`] is the in-process analogue:
+//! it owns the worker-pool size used by the MapReduce engine, the mini-DFS
+//! handle jobs may stage data through, and a pluggable [`MetricsSink`] that
+//! observes the [`JoinMetrics`] of every join executed through the
+//! [`crate::JoinBuilder`].  One context is typically created per application
+//! (or per experiment suite) and shared across joins, so benchmarks stop
+//! re-plumbing pool sizes and metrics collection for every run.
+
+use crate::metrics::JoinMetrics;
+use mapreduce::InMemoryDfs;
+use std::sync::{Arc, Mutex};
+
+/// Observes the metrics of completed joins.
+///
+/// Implementations must tolerate concurrent calls: a context may be shared by
+/// joins running on several threads.
+pub trait MetricsSink: Send + Sync {
+    /// Called once per completed join with the algorithm's display name and
+    /// the metrics it produced.
+    fn record(&self, algorithm: &str, metrics: &JoinMetrics);
+}
+
+/// A sink that discards everything (the default).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullMetricsSink;
+
+impl MetricsSink for NullMetricsSink {
+    fn record(&self, _algorithm: &str, _metrics: &JoinMetrics) {}
+}
+
+/// One recorded join execution.
+#[derive(Debug, Clone)]
+pub struct RecordedJoin {
+    /// Display name of the algorithm that ran ("PGBJ", "H-BRJ", ...).
+    pub algorithm: String,
+    /// The metrics it reported.
+    pub metrics: JoinMetrics,
+}
+
+/// A sink that keeps every record in memory; used by the experiment harness
+/// and by tests that assert on executed-join history.
+#[derive(Debug, Default)]
+pub struct MemoryMetricsSink {
+    records: Mutex<Vec<RecordedJoin>>,
+}
+
+impl MemoryMetricsSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of joins recorded so far.
+    pub fn len(&self) -> usize {
+        self.records.lock().expect("sink lock").len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A copy of everything recorded so far, in execution order.
+    pub fn snapshot(&self) -> Vec<RecordedJoin> {
+        self.records.lock().expect("sink lock").clone()
+    }
+
+    /// Clears the history.
+    pub fn clear(&self) {
+        self.records.lock().expect("sink lock").clear();
+    }
+}
+
+impl MetricsSink for MemoryMetricsSink {
+    fn record(&self, algorithm: &str, metrics: &JoinMetrics) {
+        self.records.lock().expect("sink lock").push(RecordedJoin {
+            algorithm: algorithm.to_string(),
+            metrics: metrics.clone(),
+        });
+    }
+}
+
+/// Shared runtime owned by the caller and threaded through every join: worker
+/// pool size, mini-DFS handle, metrics sink.
+///
+/// Cloning is cheap; clones share the DFS and the sink (like several drivers
+/// talking to one cluster).
+#[derive(Clone)]
+pub struct ExecutionContext {
+    workers: usize,
+    dfs: InMemoryDfs,
+    metrics_sink: Arc<dyn MetricsSink>,
+}
+
+impl ExecutionContext {
+    /// Starts building a context.
+    pub fn builder() -> ExecutionContextBuilder {
+        ExecutionContextBuilder::default()
+    }
+
+    /// Number of worker threads the MapReduce engine may use for this
+    /// context's jobs.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The mini-DFS handle jobs stage data through.
+    pub fn dfs(&self) -> &InMemoryDfs {
+        &self.dfs
+    }
+
+    /// The metrics sink observing completed joins.
+    pub fn metrics_sink(&self) -> &Arc<dyn MetricsSink> {
+        &self.metrics_sink
+    }
+
+    /// Reports a completed join to the sink.
+    pub fn record_join(&self, algorithm: &str, metrics: &JoinMetrics) {
+        self.metrics_sink.record(algorithm, metrics);
+    }
+}
+
+impl Default for ExecutionContext {
+    fn default() -> Self {
+        Self {
+            workers: mapreduce::default_workers(),
+            dfs: InMemoryDfs::with_defaults(),
+            metrics_sink: Arc::new(NullMetricsSink),
+        }
+    }
+}
+
+impl std::fmt::Debug for ExecutionContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecutionContext")
+            .field("workers", &self.workers)
+            .field("dfs", &self.dfs)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Fluent constructor for [`ExecutionContext`].
+#[derive(Default)]
+pub struct ExecutionContextBuilder {
+    workers: Option<usize>,
+    dfs: Option<InMemoryDfs>,
+    metrics_sink: Option<Arc<dyn MetricsSink>>,
+}
+
+impl ExecutionContextBuilder {
+    /// Sets the worker-pool size (clamped to at least 1).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Supplies an existing DFS handle (e.g. one already holding staged data).
+    pub fn dfs(mut self, dfs: InMemoryDfs) -> Self {
+        self.dfs = Some(dfs);
+        self
+    }
+
+    /// Installs a metrics sink.
+    pub fn metrics_sink(mut self, sink: Arc<dyn MetricsSink>) -> Self {
+        self.metrics_sink = Some(sink);
+        self
+    }
+
+    /// Finishes the context, filling unset fields with defaults.
+    pub fn build(self) -> ExecutionContext {
+        ExecutionContext {
+            workers: self.workers.unwrap_or_else(mapreduce::default_workers),
+            dfs: self.dfs.unwrap_or_else(InMemoryDfs::with_defaults),
+            metrics_sink: self
+                .metrics_sink
+                .unwrap_or_else(|| Arc::new(NullMetricsSink)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn sample_metrics() -> JoinMetrics {
+        let mut m = JoinMetrics {
+            r_size: 10,
+            s_size: 20,
+            ..Default::default()
+        };
+        m.record_phase("knn join", Duration::from_millis(3));
+        m
+    }
+
+    #[test]
+    fn default_context_has_sane_fields() {
+        let ctx = ExecutionContext::default();
+        assert!(ctx.workers() >= 1);
+        assert!(ctx.dfs().list("/").is_empty());
+        // The null sink accepts records without effect.
+        ctx.record_join("PGBJ", &sample_metrics());
+    }
+
+    #[test]
+    fn builder_overrides_and_clones_share_state() {
+        let sink = Arc::new(MemoryMetricsSink::new());
+        let dfs = InMemoryDfs::with_defaults();
+        dfs.write_file("/staged", b"abc").unwrap();
+        let ctx = ExecutionContext::builder()
+            .workers(3)
+            .dfs(dfs)
+            .metrics_sink(sink.clone())
+            .build();
+        assert_eq!(ctx.workers(), 3);
+        assert!(ctx.dfs().exists("/staged"));
+
+        let clone = ctx.clone();
+        clone.record_join("PBJ", &sample_metrics());
+        ctx.record_join("PGBJ", &sample_metrics());
+        assert_eq!(sink.len(), 2);
+        let names: Vec<String> = sink.snapshot().into_iter().map(|r| r.algorithm).collect();
+        assert_eq!(names, vec!["PBJ".to_string(), "PGBJ".to_string()]);
+        sink.clear();
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn zero_workers_is_clamped() {
+        let ctx = ExecutionContext::builder().workers(0).build();
+        assert_eq!(ctx.workers(), 1);
+    }
+
+    #[test]
+    fn debug_formatting_does_not_require_sink_debug() {
+        let ctx = ExecutionContext::default();
+        let rendered = format!("{ctx:?}");
+        assert!(rendered.contains("workers"));
+    }
+}

@@ -37,7 +37,10 @@ impl NestedLoopJoin {
                 list.offer(s_obj.id, metric.distance(r_obj, s_obj));
                 computations += 1;
             }
-            rows.push(JoinRow { r_id: r_obj.id, neighbors: list.into_sorted() });
+            rows.push(JoinRow {
+                r_id: r_obj.id,
+                neighbors: list.into_sorted(),
+            });
         }
         let mut metrics = JoinMetrics {
             distance_computations: computations,
@@ -64,7 +67,10 @@ pub(crate) fn validate_inputs(r: &PointSet, s: &PointSet, k: usize) -> Result<()
         return Err(JoinError::EmptyInput("S"));
     }
     if r.dims() != s.dims() {
-        return Err(JoinError::DimensionalityMismatch { r_dims: r.dims(), s_dims: s.dims() });
+        return Err(JoinError::DimensionalityMismatch {
+            r_dims: r.dims(),
+            s_dims: s.dims(),
+        });
     }
     Ok(())
 }
@@ -83,7 +89,9 @@ mod tests {
             Point::new(11, vec![0.0, 2.0]),
             Point::new(12, vec![3.0, 0.0]),
         ]);
-        let res = NestedLoopJoin.join(&r, &s, 2, DistanceMetric::Euclidean).unwrap();
+        let res = NestedLoopJoin
+            .join(&r, &s, 2, DistanceMetric::Euclidean)
+            .unwrap();
         assert_eq!(res.rows.len(), 1);
         let ids: Vec<u64> = res.rows[0].neighbors.iter().map(|n| n.id).collect();
         assert_eq!(ids, vec![10, 11]);
@@ -95,7 +103,9 @@ mod tests {
     fn cardinality_is_k_times_r() {
         let r = uniform(40, 3, 10.0, 1);
         let s = uniform(60, 3, 10.0, 2);
-        let res = NestedLoopJoin.join(&r, &s, 5, DistanceMetric::Euclidean).unwrap();
+        let res = NestedLoopJoin
+            .join(&r, &s, 5, DistanceMetric::Euclidean)
+            .unwrap();
         assert_eq!(res.rows.len(), 40);
         let total: usize = res.rows.iter().map(|row| row.neighbors.len()).sum();
         assert_eq!(total, 200);
@@ -105,14 +115,18 @@ mod tests {
     fn k_larger_than_s_degrades_to_cross_join() {
         let r = uniform(5, 2, 10.0, 3);
         let s = uniform(3, 2, 10.0, 4);
-        let res = NestedLoopJoin.join(&r, &s, 10, DistanceMetric::Euclidean).unwrap();
+        let res = NestedLoopJoin
+            .join(&r, &s, 10, DistanceMetric::Euclidean)
+            .unwrap();
         assert!(res.rows.iter().all(|row| row.neighbors.len() == 3));
     }
 
     #[test]
     fn self_join_finds_self_first() {
         let data = uniform(30, 2, 10.0, 5);
-        let res = NestedLoopJoin.join(&data, &data, 3, DistanceMetric::Euclidean).unwrap();
+        let res = NestedLoopJoin
+            .join(&data, &data, 3, DistanceMetric::Euclidean)
+            .unwrap();
         for row in &res.rows {
             assert_eq!(row.neighbors[0].id, row.r_id);
             assert_eq!(row.neighbors[0].distance, 0.0);
@@ -124,17 +138,28 @@ mod tests {
         let a = uniform(5, 2, 1.0, 0);
         let b = uniform(5, 3, 1.0, 0);
         let empty = PointSet::new();
-        assert_eq!(NestedLoopJoin.join(&a, &a, 0, DistanceMetric::Euclidean).unwrap_err(), JoinError::InvalidK);
         assert_eq!(
-            NestedLoopJoin.join(&empty, &a, 1, DistanceMetric::Euclidean).unwrap_err(),
+            NestedLoopJoin
+                .join(&a, &a, 0, DistanceMetric::Euclidean)
+                .unwrap_err(),
+            JoinError::InvalidK
+        );
+        assert_eq!(
+            NestedLoopJoin
+                .join(&empty, &a, 1, DistanceMetric::Euclidean)
+                .unwrap_err(),
             JoinError::EmptyInput("R")
         );
         assert_eq!(
-            NestedLoopJoin.join(&a, &empty, 1, DistanceMetric::Euclidean).unwrap_err(),
+            NestedLoopJoin
+                .join(&a, &empty, 1, DistanceMetric::Euclidean)
+                .unwrap_err(),
             JoinError::EmptyInput("S")
         );
         assert!(matches!(
-            NestedLoopJoin.join(&a, &b, 1, DistanceMetric::Euclidean).unwrap_err(),
+            NestedLoopJoin
+                .join(&a, &b, 1, DistanceMetric::Euclidean)
+                .unwrap_err(),
             JoinError::DimensionalityMismatch { .. }
         ));
     }
@@ -143,12 +168,19 @@ mod tests {
     fn works_with_all_metrics() {
         let r = uniform(20, 4, 10.0, 7);
         let s = uniform(20, 4, 10.0, 8);
-        for metric in [DistanceMetric::Euclidean, DistanceMetric::Manhattan, DistanceMetric::Chebyshev] {
+        for metric in [
+            DistanceMetric::Euclidean,
+            DistanceMetric::Manhattan,
+            DistanceMetric::Chebyshev,
+        ] {
             let res = NestedLoopJoin.join(&r, &s, 3, metric).unwrap();
             assert_eq!(res.rows.len(), 20);
             // neighbours sorted ascending
             for row in &res.rows {
-                assert!(row.neighbors.windows(2).all(|w| w[0].distance <= w[1].distance));
+                assert!(row
+                    .neighbors
+                    .windows(2)
+                    .all(|w| w[0].distance <= w[1].distance));
             }
         }
     }

@@ -216,13 +216,34 @@ mod tests {
     use geom::{DistanceMetric, Point, PointSet};
     use proptest::prelude::*;
 
-    fn setup(n_pivots: usize, seed: u64) -> (SummaryTables, PartitionBounds, crate::partition::PartitionedDataset) {
+    fn setup(
+        n_pivots: usize,
+        seed: u64,
+    ) -> (
+        SummaryTables,
+        PartitionBounds,
+        crate::partition::PartitionedDataset,
+    ) {
         let r = gaussian_clusters(
-            &ClusterConfig { n_points: 600, dims: 2, n_clusters: 8, std_dev: 3.0, extent: 200.0, skew: 0.7 },
+            &ClusterConfig {
+                n_points: 600,
+                dims: 2,
+                n_clusters: 8,
+                std_dev: 3.0,
+                extent: 200.0,
+                skew: 0.7,
+            },
             seed,
         );
         let s = gaussian_clusters(
-            &ClusterConfig { n_points: 600, dims: 2, n_clusters: 8, std_dev: 3.0, extent: 200.0, skew: 0.7 },
+            &ClusterConfig {
+                n_points: 600,
+                dims: 2,
+                n_clusters: 8,
+                std_dev: 3.0,
+                extent: 200.0,
+                skew: 0.7,
+            },
             seed ^ 1,
         );
         let pivots: Vec<Point> = crate::pivots::select_pivots(
@@ -321,7 +342,9 @@ mod tests {
 
     #[test]
     fn group_of_inverse_mapping() {
-        let grouping = PartitionGrouping { groups: vec![vec![2, 0], vec![1, 3]] };
+        let grouping = PartitionGrouping {
+            groups: vec![vec![2, 0], vec![1, 3]],
+        };
         assert_eq!(grouping.group_of(4), vec![0, 1, 0, 1]);
     }
 
@@ -332,7 +355,11 @@ mod tests {
         let pivot_points: Vec<Point> = (0..10)
             .map(|i| Point::new(i, vec![i as f64 * 10.0, 0.0]))
             .collect();
-        let data = PointSet::from_coords((0..100).map(|i| vec![(i % 10) as f64 * 10.0, 1.0]).collect());
+        let data = PointSet::from_coords(
+            (0..100)
+                .map(|i| vec![(i % 10) as f64 * 10.0, 1.0])
+                .collect(),
+        );
         let partitioner = VoronoiPartitioner::new(pivot_points.clone(), DistanceMetric::Euclidean);
         let pd = partitioner.partition(&data);
         let tables = SummaryTables::build(pivot_points, DistanceMetric::Euclidean, &pd, &pd, 3);

@@ -6,50 +6,71 @@
 //! `k`, the kNN join `R ⋉ S` pairs every object `r ∈ R` with its `k` nearest
 //! neighbours from `S`.
 //!
-//! Three distributed algorithms are provided, all running on the in-process
-//! MapReduce runtime from the [`mapreduce`] crate:
+//! # The front door: [`JoinBuilder`] and [`ExecutionContext`]
 //!
-//! * [`algorithms::Pgbj`] — the paper's contribution: Voronoi-diagram
-//!   partitioning around a set of pivots, per-partition distance bounds, and
-//!   partition *grouping* so each reducer joins one group of `R` against the
-//!   minimal subset of `S` that can contain its neighbours.
-//! * [`algorithms::Pbj`] — the same pruning bounds inside the block-based
-//!   (√N × √N) framework, without grouping (needs a second merge job).
-//! * [`algorithms::Hbrj`] — the baseline of Zhang et al. (EDBT 2012): random
-//!   √N × √N blocks, an R-tree per reducer, and a merge job.
-//!
-//! A single-machine exact join ([`exact::NestedLoopJoin`]) serves as the
-//! correctness oracle, and [`metrics::JoinMetrics`] captures the quantities
-//! the paper's evaluation reports: per-phase running time, computation
-//! selectivity, replication of `S` and shuffling cost.
-//!
-//! # Quick example
+//! All algorithms are selected and executed through one fluent API:
 //!
 //! ```
 //! use datagen::{gaussian_clusters, ClusterConfig};
-//! use geom::DistanceMetric;
-//! use knnjoin::algorithms::{KnnJoinAlgorithm, Pgbj, PgbjConfig};
+//! use knnjoin::{Algorithm, DistanceMetric, ExecutionContext, JoinBuilder};
 //!
 //! let r = gaussian_clusters(&ClusterConfig { n_points: 300, ..Default::default() }, 1);
 //! let s = gaussian_clusters(&ClusterConfig { n_points: 300, ..Default::default() }, 2);
 //!
-//! let pgbj = Pgbj::new(PgbjConfig {
-//!     pivot_count: 16,
-//!     reducers: 4,
-//!     ..Default::default()
-//! });
-//! let result = pgbj.join(&r, &s, 5, DistanceMetric::Euclidean).unwrap();
+//! // The context owns the worker pool, the mini-DFS and the metrics sink;
+//! // create it once and share it across joins.
+//! let ctx = ExecutionContext::default();
+//!
+//! let result = JoinBuilder::new(&r, &s)
+//!     .k(5)
+//!     .metric(DistanceMetric::Euclidean)
+//!     .algorithm(Algorithm::Pgbj)
+//!     .reducers(4)
+//!     .run(&ctx)
+//!     .unwrap();
 //! assert_eq!(result.rows.len(), 300);
 //! assert!(result.rows.iter().all(|row| row.neighbors.len() == 5));
 //! ```
+//!
+//! Unset tuning knobs are auto-resolved while planning (for example
+//! `pivot_count ≈ √|R|`, per the paper's parameter study); invalid requests
+//! come back as typed [`JoinError`] variants before anything executes.  Use
+//! [`JoinBuilder::plan`] to inspect the resolved [`JoinPlan`] without running
+//! it.
+//!
+//! # The algorithms behind it
+//!
+//! [`Algorithm`] selects among five exact implementations at runtime, all
+//! running on the in-process MapReduce runtime from the [`mapreduce`] crate:
+//!
+//! * [`Algorithm::Pgbj`] — the paper's contribution: Voronoi-diagram
+//!   partitioning around pivots, per-partition distance bounds, and partition
+//!   *grouping* so each reducer joins one group of `R` against the minimal
+//!   subset of `S` that can contain its neighbours (§4–5).
+//! * [`Algorithm::Pbj`] — the same pruning bounds inside the block-based
+//!   (√N × √N) framework, without grouping (§6).
+//! * [`Algorithm::Hbrj`] — the baseline of Zhang et al. (EDBT 2012): random
+//!   √N × √N blocks, an R-tree per reducer, and a merge job (§3).
+//! * [`Algorithm::BroadcastJoin`] — the naive "split R, broadcast S"
+//!   strategy (§3).
+//! * [`Algorithm::NestedLoopJoin`] — the single-machine exact oracle.
+//!
+//! The lower-level [`algorithms::KnnJoinAlgorithm`] trait and per-algorithm
+//! config structs remain public for call sites that construct algorithms
+//! directly; [`metrics::JoinMetrics`] captures the quantities the paper's
+//! evaluation reports (per-phase running time, computation selectivity,
+//! replication of `S`, shuffling cost).
 
 pub mod algorithms;
 pub mod bounds;
+pub mod builder;
+pub mod context;
 pub mod exact;
 pub mod grouping;
 pub mod metrics;
 pub mod partition;
 pub mod pivots;
+pub mod plan;
 pub mod result;
 pub mod summary;
 
@@ -57,10 +78,17 @@ pub use algorithms::{
     BroadcastJoin, BroadcastJoinConfig, Hbrj, HbrjConfig, KnnJoinAlgorithm, Pbj, PbjConfig, Pgbj,
     PgbjConfig,
 };
+pub use builder::JoinBuilder;
+pub use context::{
+    ExecutionContext, ExecutionContextBuilder, MemoryMetricsSink, MetricsSink, NullMetricsSink,
+    RecordedJoin,
+};
 pub use exact::NestedLoopJoin;
+pub use geom::DistanceMetric;
 pub use grouping::{GroupingStrategy, PartitionGrouping};
 pub use metrics::JoinMetrics;
 pub use partition::{PartitionedDataset, VoronoiPartitioner};
 pub use pivots::{select_pivots, PivotSelectionStrategy};
-pub use result::{JoinError, JoinResult, JoinRow};
+pub use plan::{Algorithm, JoinPlan};
+pub use result::{JoinError, JoinErrorKind, JoinResult, JoinRow};
 pub use summary::{RPartitionSummary, SPartitionSummary, SummaryTables};

@@ -221,7 +221,10 @@ mod tests {
     fn ties_go_to_smaller_partition() {
         // Two pivots symmetric about x = 0; every object on the axis is
         // equidistant, so they must alternate between the two partitions.
-        let pivots = vec![Point::new(0, vec![-1.0, 0.0]), Point::new(1, vec![1.0, 0.0])];
+        let pivots = vec![
+            Point::new(0, vec![-1.0, 0.0]),
+            Point::new(1, vec![1.0, 0.0]),
+        ];
         let part = VoronoiPartitioner::new(pivots, DistanceMetric::Euclidean);
         let data = PointSet::from_coords((0..10).map(|i| vec![0.0, i as f64]).collect());
         let pd = part.partition(&data);

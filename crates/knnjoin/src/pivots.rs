@@ -126,7 +126,7 @@ fn random_selection(
     for _ in 0..candidate_sets {
         let candidate: Vec<Point> = sample.choose_multiple(rng, count).cloned().collect();
         let score = total_pairwise_distance(&candidate, metric);
-        if best.as_ref().map_or(true, |(s, _)| score > *s) {
+        if best.as_ref().is_none_or(|(s, _)| score > *s) {
             best = Some((score, candidate));
         }
     }
@@ -197,8 +197,8 @@ fn kmeans_selection(
         for (i, p) in sample.iter().enumerate() {
             let c = assignment[i];
             counts[c] += 1;
-            for d in 0..dims {
-                sums[c][d] += p.coords[d];
+            for (sum, coord) in sums[c].iter_mut().zip(&p.coords) {
+                *sum += coord;
             }
         }
         for c in 0..count {
@@ -223,7 +223,14 @@ mod tests {
 
     fn dataset(n: usize) -> PointSet {
         gaussian_clusters(
-            &ClusterConfig { n_points: n, dims: 3, n_clusters: 6, std_dev: 2.0, extent: 100.0, skew: 0.5 },
+            &ClusterConfig {
+                n_points: n,
+                dims: 3,
+                n_clusters: 6,
+                std_dev: 2.0,
+                extent: 100.0,
+                skew: 0.5,
+            },
             42,
         )
     }
@@ -275,8 +282,14 @@ mod tests {
     fn farthest_selection_spreads_more_than_random() {
         let r = dataset(400);
         let m = DistanceMetric::Euclidean;
-        let rand_pivots =
-            select_pivots(&r, 10, PivotSelectionStrategy::Random { candidate_sets: 1 }, 400, m, 5);
+        let rand_pivots = select_pivots(
+            &r,
+            10,
+            PivotSelectionStrategy::Random { candidate_sets: 1 },
+            400,
+            m,
+            5,
+        );
         let far_pivots = select_pivots(&r, 10, PivotSelectionStrategy::Farthest, 400, m, 5);
         assert!(
             total_pairwise_distance(&far_pivots, m) >= total_pairwise_distance(&rand_pivots, m),
@@ -290,8 +303,22 @@ mod tests {
         let m = DistanceMetric::Euclidean;
         // With the same seed the candidate sets are nested only statistically,
         // so just verify the score is computed and positive.
-        let p1 = select_pivots(&r, 6, PivotSelectionStrategy::Random { candidate_sets: 1 }, 300, m, 9);
-        let p10 = select_pivots(&r, 6, PivotSelectionStrategy::Random { candidate_sets: 10 }, 300, m, 9);
+        let p1 = select_pivots(
+            &r,
+            6,
+            PivotSelectionStrategy::Random { candidate_sets: 1 },
+            300,
+            m,
+            9,
+        );
+        let p10 = select_pivots(
+            &r,
+            6,
+            PivotSelectionStrategy::Random { candidate_sets: 10 },
+            300,
+            m,
+            9,
+        );
         assert!(total_pairwise_distance(&p1, m) > 0.0);
         assert!(total_pairwise_distance(&p10, m) > 0.0);
     }
@@ -309,7 +336,10 @@ mod tests {
         );
         for d in 0..3 {
             let lo = r.iter().map(|p| p.coords[d]).fold(f64::INFINITY, f64::min);
-            let hi = r.iter().map(|p| p.coords[d]).fold(f64::NEG_INFINITY, f64::max);
+            let hi = r
+                .iter()
+                .map(|p| p.coords[d])
+                .fold(f64::NEG_INFINITY, f64::max);
             for p in &pivots {
                 assert!(p.coords[d] >= lo - 1e-9 && p.coords[d] <= hi + 1e-9);
             }
@@ -334,13 +364,23 @@ mod tests {
     #[should_panic(expected = "pivot count")]
     fn zero_count_panics() {
         let r = dataset(10);
-        let _ = select_pivots(&r, 0, PivotSelectionStrategy::Farthest, 10, DistanceMetric::Euclidean, 0);
+        let _ = select_pivots(
+            &r,
+            0,
+            PivotSelectionStrategy::Farthest,
+            10,
+            DistanceMetric::Euclidean,
+            0,
+        );
     }
 
     #[test]
     fn labels_are_stable() {
         assert_eq!(PivotSelectionStrategy::default().label(), "random");
         assert_eq!(PivotSelectionStrategy::Farthest.label(), "farthest");
-        assert_eq!(PivotSelectionStrategy::KMeans { iterations: 1 }.label(), "k-means");
+        assert_eq!(
+            PivotSelectionStrategy::KMeans { iterations: 1 }.label(),
+            "k-means"
+        );
     }
 }

@@ -1,9 +1,22 @@
-//! Join results and result verification helpers.
+//! Join results, the consolidated [`JoinError`] taxonomy, and result
+//! verification helpers.
 
 use crate::metrics::JoinMetrics;
 use geom::{Neighbor, PointId};
+use mapreduce::JobError;
 
-/// Errors surfaced by the join algorithms before or during execution.
+/// Errors surfaced by the join algorithms and the [`crate::JoinBuilder`].
+///
+/// The taxonomy distinguishes three families, exposed by [`JoinError::kind`]:
+///
+/// * **plan validation** — the requested join is ill-formed regardless of any
+///   algorithm (`InvalidK`, `EmptyInput`, `DimensionalityMismatch`,
+///   `PivotCountOutOfRange`, `ZeroReducers`, `ZeroMapTasks`);
+/// * **configuration** — an algorithm-specific knob is out of range
+///   (`InvalidConfig`);
+/// * **substrate** — the MapReduce runtime itself failed (`Substrate`, which
+///   chains the engine's [`JobError`] through
+///   [`std::error::Error::source`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum JoinError {
     /// `k` was zero.
@@ -17,10 +30,64 @@ pub enum JoinError {
         /// Dimensionality of `S`.
         s_dims: usize,
     },
-    /// The algorithm configuration is invalid (explanation inside).
+    /// An explicitly requested pivot count was zero or exceeded the datasets.
+    PivotCountOutOfRange {
+        /// The requested number of pivots.
+        pivot_count: usize,
+        /// `|R|` of the join being planned.
+        r_len: usize,
+        /// `|S|` of the join being planned.
+        s_len: usize,
+    },
+    /// Zero reducers ("computing nodes") were requested.
+    ZeroReducers,
+    /// Zero map tasks were requested.
+    ZeroMapTasks,
+    /// An algorithm-specific configuration knob is invalid (explanation
+    /// inside).
     InvalidConfig(String),
     /// The underlying MapReduce job failed.
-    MapReduce(String),
+    Substrate {
+        /// Name of the failed job.
+        job: String,
+        /// The engine error, chained via [`std::error::Error::source`].
+        source: JobError,
+    },
+}
+
+/// Which family of the [`JoinError`] taxonomy an error belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinErrorKind {
+    /// The join request itself is invalid (inputs or core parameters).
+    PlanValidation,
+    /// An algorithm-specific configuration value is invalid.
+    Configuration,
+    /// The MapReduce substrate failed at runtime.
+    Substrate,
+}
+
+impl JoinError {
+    /// Wraps a substrate failure, preserving the failed job's name.
+    pub fn substrate(job: impl Into<String>, source: JobError) -> Self {
+        JoinError::Substrate {
+            job: job.into(),
+            source,
+        }
+    }
+
+    /// The taxonomy family this error belongs to.
+    pub fn kind(&self) -> JoinErrorKind {
+        match self {
+            JoinError::InvalidK
+            | JoinError::EmptyInput(_)
+            | JoinError::DimensionalityMismatch { .. }
+            | JoinError::PivotCountOutOfRange { .. }
+            | JoinError::ZeroReducers
+            | JoinError::ZeroMapTasks => JoinErrorKind::PlanValidation,
+            JoinError::InvalidConfig(_) => JoinErrorKind::Configuration,
+            JoinError::Substrate { .. } => JoinErrorKind::Substrate,
+        }
+    }
 }
 
 impl std::fmt::Display for JoinError {
@@ -31,13 +98,32 @@ impl std::fmt::Display for JoinError {
             JoinError::DimensionalityMismatch { r_dims, s_dims } => {
                 write!(f, "R has {r_dims} dimensions but S has {s_dims}")
             }
+            JoinError::PivotCountOutOfRange {
+                pivot_count,
+                r_len,
+                s_len,
+            } => write!(
+                f,
+                "pivot count {pivot_count} is outside 1..=min(|R|, |S|) = min({r_len}, {s_len})"
+            ),
+            JoinError::ZeroReducers => write!(f, "at least one reducer is required"),
+            JoinError::ZeroMapTasks => write!(f, "at least one map task is required"),
             JoinError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
-            JoinError::MapReduce(msg) => write!(f, "MapReduce job failed: {msg}"),
+            JoinError::Substrate { job, source } => {
+                write!(f, "MapReduce job '{job}' failed: {source}")
+            }
         }
     }
 }
 
-impl std::error::Error for JoinError {}
+impl std::error::Error for JoinError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JoinError::Substrate { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 /// One output row of the join: an `R` object id and its `k` nearest
 /// neighbours, sorted by ascending distance.
@@ -154,7 +240,10 @@ mod tests {
 
     #[test]
     fn identical_results_match() {
-        let a = JoinResult { rows: vec![row(1, &[1.0, 2.0])], metrics: JoinMetrics::default() };
+        let a = JoinResult {
+            rows: vec![row(1, &[1.0, 2.0])],
+            metrics: JoinMetrics::default(),
+        };
         let b = a.clone();
         assert!(a.matches(&b, 1e-9));
     }
@@ -162,11 +251,17 @@ mod tests {
     #[test]
     fn distance_ties_with_different_ids_still_match() {
         let a = JoinResult {
-            rows: vec![JoinRow { r_id: 1, neighbors: vec![Neighbor::new(10, 2.0)] }],
+            rows: vec![JoinRow {
+                r_id: 1,
+                neighbors: vec![Neighbor::new(10, 2.0)],
+            }],
             metrics: JoinMetrics::default(),
         };
         let b = JoinResult {
-            rows: vec![JoinRow { r_id: 1, neighbors: vec![Neighbor::new(99, 2.0)] }],
+            rows: vec![JoinRow {
+                r_id: 1,
+                neighbors: vec![Neighbor::new(99, 2.0)],
+            }],
             metrics: JoinMetrics::default(),
         };
         assert!(a.matches(&b, 1e-9));
@@ -174,25 +269,99 @@ mod tests {
 
     #[test]
     fn mismatches_are_detected_and_described() {
-        let a = JoinResult { rows: vec![row(1, &[1.0, 2.0])], metrics: JoinMetrics::default() };
-        let fewer_rows = JoinResult { rows: vec![], metrics: JoinMetrics::default() };
-        assert!(a.mismatch_against(&fewer_rows, 1e-9).unwrap().contains("row count"));
-        let wrong_id = JoinResult { rows: vec![row(2, &[1.0, 2.0])], metrics: JoinMetrics::default() };
-        assert!(a.mismatch_against(&wrong_id, 1e-9).unwrap().contains("row ids"));
-        let wrong_count = JoinResult { rows: vec![row(1, &[1.0])], metrics: JoinMetrics::default() };
-        assert!(a.mismatch_against(&wrong_count, 1e-9).unwrap().contains("neighbour count"));
-        let wrong_dist = JoinResult { rows: vec![row(1, &[1.0, 5.0])], metrics: JoinMetrics::default() };
-        assert!(a.mismatch_against(&wrong_dist, 1e-9).unwrap().contains("distance"));
+        let a = JoinResult {
+            rows: vec![row(1, &[1.0, 2.0])],
+            metrics: JoinMetrics::default(),
+        };
+        let fewer_rows = JoinResult {
+            rows: vec![],
+            metrics: JoinMetrics::default(),
+        };
+        assert!(a
+            .mismatch_against(&fewer_rows, 1e-9)
+            .unwrap()
+            .contains("row count"));
+        let wrong_id = JoinResult {
+            rows: vec![row(2, &[1.0, 2.0])],
+            metrics: JoinMetrics::default(),
+        };
+        assert!(a
+            .mismatch_against(&wrong_id, 1e-9)
+            .unwrap()
+            .contains("row ids"));
+        let wrong_count = JoinResult {
+            rows: vec![row(1, &[1.0])],
+            metrics: JoinMetrics::default(),
+        };
+        assert!(a
+            .mismatch_against(&wrong_count, 1e-9)
+            .unwrap()
+            .contains("neighbour count"));
+        let wrong_dist = JoinResult {
+            rows: vec![row(1, &[1.0, 5.0])],
+            metrics: JoinMetrics::default(),
+        };
+        assert!(a
+            .mismatch_against(&wrong_dist, 1e-9)
+            .unwrap()
+            .contains("distance"));
     }
 
     #[test]
     fn error_display() {
         assert!(JoinError::InvalidK.to_string().contains("k"));
         assert!(JoinError::EmptyInput("R").to_string().contains("R"));
-        assert!(JoinError::DimensionalityMismatch { r_dims: 2, s_dims: 3 }
+        assert!(JoinError::DimensionalityMismatch {
+            r_dims: 2,
+            s_dims: 3
+        }
+        .to_string()
+        .contains("2"));
+        assert!(JoinError::PivotCountOutOfRange {
+            pivot_count: 9,
+            r_len: 4,
+            s_len: 5
+        }
+        .to_string()
+        .contains("9"));
+        assert!(JoinError::ZeroReducers.to_string().contains("reducer"));
+        assert!(JoinError::ZeroMapTasks.to_string().contains("map task"));
+        assert!(JoinError::InvalidConfig("nope".into())
             .to_string()
-            .contains("2"));
-        assert!(JoinError::InvalidConfig("nope".into()).to_string().contains("nope"));
-        assert!(JoinError::MapReduce("boom".into()).to_string().contains("boom"));
+            .contains("nope"));
+        let substrate = JoinError::substrate("pgbj-join", mapreduce::JobError::NoReducers);
+        assert!(substrate.to_string().contains("pgbj-join"));
+    }
+
+    #[test]
+    fn errors_classify_into_the_taxonomy() {
+        use super::JoinErrorKind;
+        use std::error::Error as _;
+
+        for e in [
+            JoinError::InvalidK,
+            JoinError::EmptyInput("S"),
+            JoinError::DimensionalityMismatch {
+                r_dims: 1,
+                s_dims: 2,
+            },
+            JoinError::PivotCountOutOfRange {
+                pivot_count: 0,
+                r_len: 1,
+                s_len: 1,
+            },
+            JoinError::ZeroReducers,
+            JoinError::ZeroMapTasks,
+        ] {
+            assert_eq!(e.kind(), JoinErrorKind::PlanValidation, "{e}");
+            assert!(e.source().is_none());
+        }
+        let config = JoinError::InvalidConfig("x".into());
+        assert_eq!(config.kind(), JoinErrorKind::Configuration);
+        let substrate = JoinError::substrate("job", mapreduce::JobError::NoMapTasks);
+        assert_eq!(substrate.kind(), JoinErrorKind::Substrate);
+        // The engine error is reachable through the std error chain.
+        let source = substrate.source().expect("chained source");
+        assert!(source.to_string().contains("map task"));
     }
 }

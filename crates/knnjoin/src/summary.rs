@@ -12,10 +12,9 @@
 
 use crate::partition::PartitionedDataset;
 use geom::{DistanceMetric, Point};
-use serde::{Deserialize, Serialize};
 
 /// Summary of one partition of `R`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RPartitionSummary {
     /// Partition (pivot) index.
     pub partition: usize,
@@ -28,7 +27,7 @@ pub struct RPartitionSummary {
 }
 
 /// Summary of one partition of `S`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SPartitionSummary {
     /// Partition (pivot) index.
     pub partition: usize,
@@ -92,7 +91,12 @@ impl SummaryTables {
             .enumerate()
             .map(|(i, bucket)| {
                 let (lower, upper) = bounds_of(bucket);
-                RPartitionSummary { partition: i, count: bucket.len(), lower, upper }
+                RPartitionSummary {
+                    partition: i,
+                    count: bucket.len(),
+                    lower,
+                    upper,
+                }
             })
             .collect();
 
@@ -117,7 +121,13 @@ impl SummaryTables {
 
         let pivot_distances = pivot_distance_matrix(&pivots, metric);
 
-        Self { pivots, metric, r_summaries, s_summaries, pivot_distances }
+        Self {
+            pivots,
+            metric,
+            r_summaries,
+            s_summaries,
+            pivot_distances,
+        }
     }
 
     /// Number of partitions.
@@ -195,8 +205,14 @@ mod tests {
     #[test]
     fn counts_sum_to_dataset_sizes() {
         let (tables, r, s, _) = setup(10);
-        assert_eq!(tables.r_summaries.iter().map(|x| x.count).sum::<usize>(), r.len());
-        assert_eq!(tables.s_summaries.iter().map(|x| x.count).sum::<usize>(), s.len());
+        assert_eq!(
+            tables.r_summaries.iter().map(|x| x.count).sum::<usize>(),
+            r.len()
+        );
+        assert_eq!(
+            tables.s_summaries.iter().map(|x| x.count).sum::<usize>(),
+            s.len()
+        );
         assert_eq!(tables.partition_count(), 8);
     }
 
@@ -223,10 +239,7 @@ mod tests {
         let (tables, _, _, _) = setup(5);
         for summary in &tables.s_summaries {
             assert!(summary.knn_distances.len() <= 5);
-            assert!(summary
-                .knn_distances
-                .windows(2)
-                .all(|w| w[0] <= w[1]));
+            assert!(summary.knn_distances.windows(2).all(|w| w[0] <= w[1]));
             // and they are the smallest distances: all ≤ upper bound
             if let Some(last) = summary.knn_distances.last() {
                 assert!(*last <= summary.upper + 1e-9);

@@ -107,10 +107,14 @@ impl InMemoryDfs {
     /// DataNodes.
     pub fn new(config: DfsConfig) -> Result<Self, DfsError> {
         if config.data_nodes == 0 {
-            return Err(DfsError::InvalidConfig("data_nodes must be positive".into()));
+            return Err(DfsError::InvalidConfig(
+                "data_nodes must be positive".into(),
+            ));
         }
         if config.block_size == 0 {
-            return Err(DfsError::InvalidConfig("block_size must be positive".into()));
+            return Err(DfsError::InvalidConfig(
+                "block_size must be positive".into(),
+            ));
         }
         if config.replication == 0 || config.replication > config.data_nodes {
             return Err(DfsError::InvalidConfig(format!(
@@ -148,7 +152,10 @@ impl InMemoryDfs {
         if nn.files.contains_key(path) {
             return Err(DfsError::FileExists(path.to_string()));
         }
-        let mut meta = FileMeta { blocks: Vec::new(), len: data.len() };
+        let mut meta = FileMeta {
+            blocks: Vec::new(),
+            len: data.len(),
+        };
         let chunks: Vec<&[u8]> = if data.is_empty() {
             Vec::new()
         } else {
@@ -286,7 +293,12 @@ mod tests {
 
     #[test]
     fn files_split_into_blocks_of_block_size() {
-        let dfs = InMemoryDfs::new(DfsConfig { data_nodes: 3, block_size: 4, replication: 1 }).unwrap();
+        let dfs = InMemoryDfs::new(DfsConfig {
+            data_nodes: 3,
+            block_size: 4,
+            replication: 1,
+        })
+        .unwrap();
         dfs.write_file("/big", b"0123456789").unwrap();
         assert_eq!(dfs.block_count("/big").unwrap(), 3);
         let blocks = dfs.read_blocks("/big").unwrap();
@@ -298,7 +310,12 @@ mod tests {
 
     #[test]
     fn replication_multiplies_stored_bytes() {
-        let dfs = InMemoryDfs::new(DfsConfig { data_nodes: 3, block_size: 4, replication: 2 }).unwrap();
+        let dfs = InMemoryDfs::new(DfsConfig {
+            data_nodes: 3,
+            block_size: 4,
+            replication: 2,
+        })
+        .unwrap();
         dfs.write_file("/r", b"abcdefgh").unwrap();
         assert_eq!(dfs.total_stored(), 16);
         assert_eq!(dfs.file_len("/r").unwrap(), 8);
@@ -308,20 +325,37 @@ mod tests {
     fn rejects_duplicate_files_and_missing_reads() {
         let dfs = InMemoryDfs::with_defaults();
         dfs.write_file("/x", b"1").unwrap();
-        assert_eq!(dfs.write_file("/x", b"2"), Err(DfsError::FileExists("/x".into())));
-        assert_eq!(dfs.read_file("/y"), Err(DfsError::FileNotFound("/y".into())));
-        assert_eq!(dfs.block_count("/y"), Err(DfsError::FileNotFound("/y".into())));
+        assert_eq!(
+            dfs.write_file("/x", b"2"),
+            Err(DfsError::FileExists("/x".into()))
+        );
+        assert_eq!(
+            dfs.read_file("/y"),
+            Err(DfsError::FileNotFound("/y".into()))
+        );
+        assert_eq!(
+            dfs.block_count("/y"),
+            Err(DfsError::FileNotFound("/y".into()))
+        );
     }
 
     #[test]
     fn delete_releases_space() {
-        let dfs = InMemoryDfs::new(DfsConfig { data_nodes: 2, block_size: 8, replication: 1 }).unwrap();
+        let dfs = InMemoryDfs::new(DfsConfig {
+            data_nodes: 2,
+            block_size: 8,
+            replication: 1,
+        })
+        .unwrap();
         dfs.write_file("/d", b"abcdefgh").unwrap();
         assert_eq!(dfs.total_stored(), 8);
         dfs.delete_file("/d").unwrap();
         assert_eq!(dfs.total_stored(), 0);
         assert!(!dfs.exists("/d"));
-        assert_eq!(dfs.delete_file("/d"), Err(DfsError::FileNotFound("/d".into())));
+        assert_eq!(
+            dfs.delete_file("/d"),
+            Err(DfsError::FileNotFound("/d".into()))
+        );
     }
 
     #[test]
@@ -339,10 +373,30 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        assert!(InMemoryDfs::new(DfsConfig { data_nodes: 0, block_size: 1, replication: 1 }).is_err());
-        assert!(InMemoryDfs::new(DfsConfig { data_nodes: 2, block_size: 0, replication: 1 }).is_err());
-        assert!(InMemoryDfs::new(DfsConfig { data_nodes: 2, block_size: 1, replication: 3 }).is_err());
-        assert!(InMemoryDfs::new(DfsConfig { data_nodes: 2, block_size: 1, replication: 0 }).is_err());
+        assert!(InMemoryDfs::new(DfsConfig {
+            data_nodes: 0,
+            block_size: 1,
+            replication: 1
+        })
+        .is_err());
+        assert!(InMemoryDfs::new(DfsConfig {
+            data_nodes: 2,
+            block_size: 0,
+            replication: 1
+        })
+        .is_err());
+        assert!(InMemoryDfs::new(DfsConfig {
+            data_nodes: 2,
+            block_size: 1,
+            replication: 3
+        })
+        .is_err());
+        assert!(InMemoryDfs::new(DfsConfig {
+            data_nodes: 2,
+            block_size: 1,
+            replication: 0
+        })
+        .is_err());
     }
 
     #[test]
@@ -355,7 +409,12 @@ mod tests {
 
     #[test]
     fn blocks_spread_across_datanodes() {
-        let dfs = InMemoryDfs::new(DfsConfig { data_nodes: 4, block_size: 2, replication: 1 }).unwrap();
+        let dfs = InMemoryDfs::new(DfsConfig {
+            data_nodes: 4,
+            block_size: 2,
+            replication: 1,
+        })
+        .unwrap();
         dfs.write_file("/spread", &[0u8; 16]).unwrap();
         let usage = dfs.node_usage();
         // 8 blocks of 2 bytes over 4 nodes round-robin = 4 bytes each.

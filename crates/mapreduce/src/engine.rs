@@ -4,8 +4,10 @@
 //! MapReduce job in-process:
 //!
 //! 1. the input pairs are divided into map splits,
-//! 2. map tasks run in parallel on a work-stealing thread pool, each feeding a
-//!    [`MapContext`] that accounts the byte size of every emitted pair,
+//! 2. map tasks run in parallel on a bounded worker pool (sized by the
+//!    caller's execution context, defaulting to the machine's parallelism),
+//!    each feeding a [`MapContext`] that accounts the byte size of every
+//!    emitted pair,
 //! 3. the shuffle routes each intermediate pair to a reduce partition using
 //!    the job's [`Partitioner`], then groups and sorts pairs by key within
 //!    each partition (Hadoop's sort/group guarantee),
@@ -21,9 +23,51 @@ use crate::job::{
     Reducer,
 };
 use crate::metrics::{JobMetrics, PhaseTimings};
-use rayon::prelude::*;
-use std::collections::BTreeMap;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, VecDeque};
 use std::time::Instant;
+
+/// Worker-thread count used when the caller supplies none: one thread per
+/// available core.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Applies `f` to every item on up to `workers` threads, preserving the input
+/// order of the results (task index is passed through to `f`).
+fn parallel_map<T, U, F>(items: Vec<T>, workers: usize, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, T) -> U + Sync,
+{
+    let n = items.len();
+    let workers = workers.clamp(1, n.max(1));
+    if workers <= 1 || n <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let next = queue.lock().pop_front();
+                match next {
+                    Some((i, item)) => *slots[i].lock() = Some(f(i, item)),
+                    None => break,
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every task produced a result"))
+        .collect()
+}
 
 /// Errors reported by the engine before any task runs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,6 +89,9 @@ impl std::fmt::Display for JobError {
 
 impl std::error::Error for JobError {}
 
+/// One map task's combined output: the emitted pairs and their shuffle bytes.
+type MapTaskOutput<K, V> = (Vec<(K, V)>, u64);
+
 /// The result of a completed job: the reduce output plus execution metrics.
 #[derive(Debug, Clone)]
 pub struct JobOutput<K, V> {
@@ -65,6 +112,7 @@ pub struct JobBuilder {
     name: String,
     num_reducers: usize,
     num_map_tasks: Option<usize>,
+    workers: Option<usize>,
 }
 
 impl JobBuilder {
@@ -74,6 +122,7 @@ impl JobBuilder {
             name: name.into(),
             num_reducers: 1,
             num_map_tasks: None,
+            workers: None,
         }
     }
 
@@ -87,6 +136,15 @@ impl JobBuilder {
     /// input is large enough, otherwise one task per input pair).
     pub fn map_tasks(mut self, n: usize) -> Self {
         self.num_map_tasks = Some(n);
+        self
+    }
+
+    /// Sets how many worker threads execute tasks (tasks are logical units;
+    /// this is the physical pool size).  Defaults to [`default_workers`].
+    /// Callers running inside an execution context thread its pool size
+    /// through here.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = Some(n);
         self
     }
 
@@ -123,14 +181,16 @@ impl JobBuilder {
         R: Reducer<KIn = M::KOut, VIn = M::VOut>,
         P: Partitioner<M::KOut>,
     {
-        run_job(
+        run_job_with_combiner(
             &self.name,
             input,
             mapper,
+            None::<&IdentityCombiner<M::KOut, M::VOut>>,
             reducer,
             partitioner,
             self.num_reducers,
             self.num_map_tasks,
+            self.workers,
         )
     }
 
@@ -160,6 +220,7 @@ impl JobBuilder {
             &HashPartitioner,
             self.num_reducers,
             self.num_map_tasks,
+            self.workers,
         )
     }
 }
@@ -193,6 +254,7 @@ where
         partitioner,
         num_reducers,
         num_map_tasks,
+        None,
     )
 }
 
@@ -216,6 +278,7 @@ pub fn run_job_with_combiner<M, C, R, P>(
     partitioner: &P,
     num_reducers: usize,
     num_map_tasks: Option<usize>,
+    workers: Option<usize>,
 ) -> Result<JobOutput<R::KOut, R::VOut>, JobError>
 where
     M: Mapper,
@@ -230,6 +293,7 @@ where
     if requested_map_tasks == 0 {
         return Err(JobError::NoMapTasks);
     }
+    let workers = workers.unwrap_or_else(default_workers).max(1);
 
     let counters = Counters::new();
     let input_records = input.len() as u64;
@@ -238,10 +302,8 @@ where
     let map_start = Instant::now();
     let splits = make_splits(input, requested_map_tasks);
     let map_tasks = splits.len().max(1);
-    let map_results: Vec<(Vec<(M::KOut, M::VOut)>, u64)> = splits
-        .into_par_iter()
-        .enumerate()
-        .map(|(task_id, split)| {
+    let map_results: Vec<MapTaskOutput<M::KOut, M::VOut>> =
+        parallel_map(splits, workers, |task_id, split| {
             let mut ctx = MapContext::new(task_id, counters.clone());
             mapper.setup(&mut ctx);
             for (k, v) in &split {
@@ -252,8 +314,7 @@ where
                 Some(c) => apply_combiner(c, ctx.emitted),
                 None => (ctx.emitted, ctx.emitted_bytes),
             }
-        })
-        .collect();
+        });
     let map_time = map_start.elapsed();
 
     // ---- Shuffle phase ----------------------------------------------------
@@ -280,10 +341,8 @@ where
 
     // ---- Reduce phase ------------------------------------------------------
     let reduce_start = Instant::now();
-    let reduce_outputs: Vec<Vec<(R::KOut, R::VOut)>> = partitions
-        .into_par_iter()
-        .enumerate()
-        .map(|(task_id, groups)| {
+    let reduce_outputs: Vec<Vec<(R::KOut, R::VOut)>> =
+        parallel_map(partitions, workers, |task_id, groups| {
             let mut ctx = ReduceContext::new(task_id, counters.clone());
             reducer.setup(&mut ctx);
             for (k, vs) in &groups {
@@ -291,8 +350,7 @@ where
             }
             reducer.cleanup(&mut ctx);
             ctx.emitted
-        })
-        .collect();
+        });
     let reduce_time = reduce_start.elapsed();
 
     let mut output = Vec::new();
@@ -324,7 +382,7 @@ where
 fn apply_combiner<C: Combiner>(
     combiner: &C,
     emitted: Vec<(C::K, C::V)>,
-) -> (Vec<(C::K, C::V)>, u64) {
+) -> MapTaskOutput<C::K, C::V> {
     let mut grouped: BTreeMap<C::K, Vec<C::V>> = BTreeMap::new();
     for (k, v) in emitted {
         grouped.entry(k).or_default().push(v);
@@ -399,7 +457,10 @@ mod tests {
         for (k, v) in &input {
             *expect.entry(*k).or_insert(0u64) += v;
         }
-        let out = JobBuilder::new("sum").reducers(4).run(input, &IdMap, &SumRed).unwrap();
+        let out = JobBuilder::new("sum")
+            .reducers(4)
+            .run(input, &IdMap, &SumRed)
+            .unwrap();
         let got: BTreeMap<u64, u64> = out.output.into_iter().collect();
         assert_eq!(got, expect);
     }
@@ -407,7 +468,11 @@ mod tests {
     #[test]
     fn metrics_account_records_and_bytes() {
         let input = pairs(100);
-        let out = JobBuilder::new("metrics").reducers(3).map_tasks(5).run(input, &IdMap, &SumRed).unwrap();
+        let out = JobBuilder::new("metrics")
+            .reducers(3)
+            .map_tasks(5)
+            .run(input, &IdMap, &SumRed)
+            .unwrap();
         let m = &out.metrics;
         assert_eq!(m.job_name, "metrics");
         assert_eq!(m.input_records, 100);
@@ -421,10 +486,16 @@ mod tests {
     #[test]
     fn results_are_independent_of_task_counts() {
         let input = pairs(500);
-        let single = JobBuilder::new("a").reducers(1).map_tasks(1)
-            .run(input.clone(), &IdMap, &SumRed).unwrap();
-        let many = JobBuilder::new("b").reducers(13).map_tasks(7)
-            .run(input, &IdMap, &SumRed).unwrap();
+        let single = JobBuilder::new("a")
+            .reducers(1)
+            .map_tasks(1)
+            .run(input.clone(), &IdMap, &SumRed)
+            .unwrap();
+        let many = JobBuilder::new("b")
+            .reducers(13)
+            .map_tasks(7)
+            .run(input, &IdMap, &SumRed)
+            .unwrap();
         let mut a = single.output;
         let mut b = many.output;
         a.sort();
@@ -434,21 +505,30 @@ mod tests {
 
     #[test]
     fn zero_reducers_is_an_error() {
-        let err = JobBuilder::new("bad").reducers(0).run(pairs(10), &IdMap, &SumRed).unwrap_err();
+        let err = JobBuilder::new("bad")
+            .reducers(0)
+            .run(pairs(10), &IdMap, &SumRed)
+            .unwrap_err();
         assert_eq!(err, JobError::NoReducers);
         assert!(err.to_string().contains("reduce"));
     }
 
     #[test]
     fn zero_map_tasks_is_an_error() {
-        let err = JobBuilder::new("bad").reducers(1).map_tasks(0)
-            .run(pairs(10), &IdMap, &SumRed).unwrap_err();
+        let err = JobBuilder::new("bad")
+            .reducers(1)
+            .map_tasks(0)
+            .run(pairs(10), &IdMap, &SumRed)
+            .unwrap_err();
         assert_eq!(err, JobError::NoMapTasks);
     }
 
     #[test]
     fn empty_input_produces_empty_output() {
-        let out = JobBuilder::new("empty").reducers(2).run(Vec::new(), &IdMap, &SumRed).unwrap();
+        let out = JobBuilder::new("empty")
+            .reducers(2)
+            .run(Vec::new(), &IdMap, &SumRed)
+            .unwrap();
         assert!(out.output.is_empty());
         assert_eq!(out.metrics.input_records, 0);
         assert_eq!(out.metrics.shuffle_bytes, 0);
@@ -479,7 +559,10 @@ mod tests {
                 ctx.emit(*k, *v);
             }
         }
-        let out = JobBuilder::new("counting").reducers(2).run(pairs(50), &CountingMap, &SumRed).unwrap();
+        let out = JobBuilder::new("counting")
+            .reducers(2)
+            .run(pairs(50), &CountingMap, &SumRed)
+            .unwrap();
         assert_eq!(out.metrics.counters.get("mapped"), 50);
     }
 
@@ -538,7 +621,10 @@ mod tests {
         }
         // Single reducer: output must be exactly the sorted distinct keys.
         let input: Vec<(u64, u64)> = vec![(5, 0), (1, 0), (3, 0), (1, 0), (9, 0)];
-        let out = JobBuilder::new("order").reducers(1).run(input, &IdMap, &OrderRed).unwrap();
+        let out = JobBuilder::new("order")
+            .reducers(1)
+            .run(input, &IdMap, &OrderRed)
+            .unwrap();
         let keys: Vec<u64> = out.output.iter().map(|(k, _)| *k).collect();
         assert_eq!(keys, vec![1, 3, 5, 9]);
     }
@@ -555,10 +641,16 @@ mod tests {
             }
         }
         let input = pairs(1000); // keys 0..10, 100 values each
-        let plain = JobBuilder::new("plain").reducers(4).map_tasks(4)
-            .run(input.clone(), &IdMap, &SumRed).unwrap();
-        let combined = JobBuilder::new("combined").reducers(4).map_tasks(4)
-            .run_with_combiner(input, &IdMap, &SumCombiner, &SumRed).unwrap();
+        let plain = JobBuilder::new("plain")
+            .reducers(4)
+            .map_tasks(4)
+            .run(input.clone(), &IdMap, &SumRed)
+            .unwrap();
+        let combined = JobBuilder::new("combined")
+            .reducers(4)
+            .map_tasks(4)
+            .run_with_combiner(input, &IdMap, &SumCombiner, &SumRed)
+            .unwrap();
 
         let mut a = plain.output.clone();
         let mut b = combined.output.clone();
@@ -574,10 +666,16 @@ mod tests {
     #[test]
     fn identity_combiner_is_a_no_op() {
         let input = pairs(200);
-        let plain = JobBuilder::new("plain").reducers(3).map_tasks(3)
-            .run(input.clone(), &IdMap, &SumRed).unwrap();
-        let ident = JobBuilder::new("ident").reducers(3).map_tasks(3)
-            .run_with_combiner(input, &IdMap, &IdentityCombiner::new(), &SumRed).unwrap();
+        let plain = JobBuilder::new("plain")
+            .reducers(3)
+            .map_tasks(3)
+            .run(input.clone(), &IdMap, &SumRed)
+            .unwrap();
+        let ident = JobBuilder::new("ident")
+            .reducers(3)
+            .map_tasks(3)
+            .run_with_combiner(input, &IdMap, &IdentityCombiner::new(), &SumRed)
+            .unwrap();
         let mut a = plain.output;
         let mut b = ident.output;
         a.sort();
@@ -585,6 +683,46 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(plain.metrics.shuffle_records, ident.metrics.shuffle_records);
         assert_eq!(plain.metrics.shuffle_bytes, ident.metrics.shuffle_bytes);
+    }
+
+    #[test]
+    fn explicit_worker_counts_do_not_change_results() {
+        let input = pairs(300);
+        let mut expect: Vec<(u64, u64)> = JobBuilder::new("w1")
+            .reducers(4)
+            .workers(1)
+            .run(input.clone(), &IdMap, &SumRed)
+            .unwrap()
+            .output;
+        expect.sort();
+        for workers in [2usize, 3, 8] {
+            let mut got = JobBuilder::new("wn")
+                .reducers(4)
+                .workers(workers)
+                .run(input.clone(), &IdMap, &SumRed)
+                .unwrap()
+                .output;
+            got.sort();
+            assert_eq!(got, expect, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_and_runs_every_item() {
+        for workers in [1usize, 2, 5, 64] {
+            let out = parallel_map((0..57u64).collect(), workers, |i, x| {
+                assert_eq!(i as u64, x);
+                x * 2
+            });
+            assert_eq!(out, (0..57u64).map(|x| x * 2).collect::<Vec<_>>());
+        }
+        let empty: Vec<u64> = parallel_map(Vec::new(), 4, |_, x: u64| x);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn default_workers_is_positive() {
+        assert!(default_workers() >= 1);
     }
 
     #[test]

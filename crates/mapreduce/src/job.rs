@@ -23,12 +23,7 @@ pub trait Mapper: Send + Sync {
     type VOut: Send + Clone + ByteSize;
 
     /// Processes one input pair.
-    fn map(
-        &self,
-        key: &Self::KIn,
-        value: &Self::VIn,
-        ctx: &mut MapContext<Self::KOut, Self::VOut>,
-    );
+    fn map(&self, key: &Self::KIn, value: &Self::VIn, ctx: &mut MapContext<Self::KOut, Self::VOut>);
 
     /// Called once per map task before any input pair is processed
     /// (Hadoop's `setup()`); the default does nothing.
@@ -269,7 +264,10 @@ mod tests {
             buckets[p.partition(&key, 8)] += 1;
         }
         // Every bucket should receive a reasonable share (no empty buckets).
-        assert!(buckets.iter().all(|&c| c > 500), "skewed buckets: {buckets:?}");
+        assert!(
+            buckets.iter().all(|&c| c > 500),
+            "skewed buckets: {buckets:?}"
+        );
     }
 
     #[test]

@@ -70,7 +70,9 @@ pub mod metrics;
 pub use bytesize::ByteSize;
 pub use counters::Counters;
 pub use dfs::{DfsConfig, DfsError, InMemoryDfs};
-pub use engine::{run_job, run_job_with_combiner, JobBuilder, JobError, JobOutput};
+pub use engine::{
+    default_workers, run_job, run_job_with_combiner, JobBuilder, JobError, JobOutput,
+};
 pub use job::{
     Combiner, HashPartitioner, IdentityCombiner, IdentityPartitioner, MapContext, Mapper,
     Partitioner, ReduceContext, Reducer,

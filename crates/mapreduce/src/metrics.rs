@@ -117,7 +117,10 @@ mod tests {
 
     #[test]
     fn shuffle_mib_conversion() {
-        let m = JobMetrics { shuffle_bytes: 2 * 1024 * 1024, ..Default::default() };
+        let m = JobMetrics {
+            shuffle_bytes: 2 * 1024 * 1024,
+            ..Default::default()
+        };
         assert!((m.shuffle_mib() - 2.0).abs() < 1e-12);
     }
 }

@@ -87,17 +87,30 @@ impl RTree {
     ///
     /// # Panics
     /// Panics if `fanout < 2`.
-    pub fn bulk_load_with_fanout(points: Vec<Point>, metric: DistanceMetric, fanout: usize) -> Self {
+    pub fn bulk_load_with_fanout(
+        points: Vec<Point>,
+        metric: DistanceMetric,
+        fanout: usize,
+    ) -> Self {
         assert!(fanout >= 2, "fanout must be at least 2");
         let len = points.len();
         if points.is_empty() {
-            return Self { root: None, metric, fanout, len: 0, height: 0 };
+            return Self {
+                root: None,
+                metric,
+                fanout,
+                len: 0,
+                height: 0,
+            };
         }
         let dims = points[0].dims().max(1);
         let leaf_groups = str_pack(points, 0, dims, fanout);
         let mut level: Vec<Node> = leaf_groups
             .into_iter()
-            .map(|pts| Node::Leaf { mbr: Rect::bounding(&pts), points: pts })
+            .map(|pts| Node::Leaf {
+                mbr: Rect::bounding(&pts),
+                points: pts,
+            })
             .collect();
         let mut height = 1;
         while level.len() > 1 {
@@ -173,7 +186,10 @@ impl RTree {
                         let d = self.metric.distance(query, p);
                         distance_computations += 1;
                         if d <= result.threshold() {
-                            heap.push(Prioritized { dist: d, entry: QueueEntry::Point(p, d) });
+                            heap.push(Prioritized {
+                                dist: d,
+                                entry: QueueEntry::Point(p, d),
+                            });
                         }
                     }
                 }
@@ -181,7 +197,10 @@ impl RTree {
                     for child in children {
                         let d = child.mbr().min_distance(query, self.metric);
                         if d <= result.threshold() {
-                            heap.push(Prioritized { dist: d, entry: QueueEntry::Node(child) });
+                            heap.push(Prioritized {
+                                dist: d,
+                                entry: QueueEntry::Node(child),
+                            });
                         }
                     }
                 }
@@ -236,7 +255,11 @@ fn str_pack(mut points: Vec<Point>, dim: usize, dims: usize, capacity: usize) ->
     let slabs = (n_groups as f64).powf(1.0 / remaining_dims as f64).ceil() as usize;
     let slabs = slabs.clamp(1, n_groups);
     let d = dim % dims;
-    points.sort_by(|a, b| a.coords[d].partial_cmp(&b.coords[d]).unwrap_or(Ordering::Equal));
+    points.sort_by(|a, b| {
+        a.coords[d]
+            .partial_cmp(&b.coords[d])
+            .unwrap_or(Ordering::Equal)
+    });
     let per_slab = points.len().div_ceil(slabs);
     let mut out = Vec::new();
     let mut it = points.into_iter();
@@ -292,7 +315,12 @@ mod tests {
     fn random_points(n: usize, dims: usize, seed: u64) -> Vec<Point> {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..n)
-            .map(|i| Point::new(i as u64, (0..dims).map(|_| rng.gen::<f64>() * 100.0).collect()))
+            .map(|i| {
+                Point::new(
+                    i as u64,
+                    (0..dims).map(|_| rng.gen::<f64>() * 100.0).collect(),
+                )
+            })
             .collect()
     }
 
@@ -307,7 +335,10 @@ mod tests {
 
     #[test]
     fn single_point_tree() {
-        let t = RTree::bulk_load(vec![Point::new(7, vec![1.0, 1.0])], DistanceMetric::Euclidean);
+        let t = RTree::bulk_load(
+            vec![Point::new(7, vec![1.0, 1.0])],
+            DistanceMetric::Euclidean,
+        );
         assert_eq!(t.len(), 1);
         assert_eq!(t.height(), 1);
         let nn = t.knn(&Point::new(0, vec![0.0, 0.0]), 3);
@@ -322,7 +353,10 @@ mod tests {
         let brute = BruteForceIndex::new(pts, DistanceMetric::Euclidean);
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..50 {
-            let q = Point::new(u64::MAX, vec![rng.gen::<f64>() * 100.0, rng.gen::<f64>() * 100.0]);
+            let q = Point::new(
+                u64::MAX,
+                vec![rng.gen::<f64>() * 100.0, rng.gen::<f64>() * 100.0],
+            );
             let a = tree.knn(&q, 10);
             let b = brute.knn(&q, 10);
             assert_eq!(a, b);

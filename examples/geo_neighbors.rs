@@ -12,32 +12,57 @@
 //! ```
 
 use pgbj::prelude::*;
+use std::sync::Arc;
 
 fn main() {
     // The "map": 20,000 POIs clustered into cities and towns.
-    let pois = osm_like(&OsmConfig { n_points: 20_000, ..Default::default() }, 99);
+    let pois = osm_like(
+        &OsmConfig {
+            n_points: 20_000,
+            ..Default::default()
+        },
+        99,
+    );
     // The "candidates": 1,000 locations drawn from the same distribution but a
     // different seed (so they are not existing POIs).
-    let candidates = osm_like(&OsmConfig { n_points: 1000, ..Default::default() }, 100);
+    let candidates = osm_like(
+        &OsmConfig {
+            n_points: 1000,
+            ..Default::default()
+        },
+        100,
+    );
     let k = 5;
 
-    let pgbj = Pgbj::new(PgbjConfig { pivot_count: 64, reducers: 9, ..Default::default() });
-    let hbrj = Hbrj::new(HbrjConfig { reducers: 9, ..Default::default() });
+    // The context's metrics sink observes every join run through it, so the
+    // comparison below needs no per-run metric plumbing.
+    let sink = Arc::new(MemoryMetricsSink::new());
+    let ctx = ExecutionContext::builder()
+        .metrics_sink(sink.clone())
+        .build();
 
-    let algorithms: Vec<(&str, &dyn KnnJoinAlgorithm)> = vec![("PGBJ", &pgbj), ("H-BRJ", &hbrj)];
     let mut results = Vec::new();
-    for (name, alg) in &algorithms {
-        let result = alg
-            .join(&candidates, &pois, k, DistanceMetric::Euclidean)
+    for algorithm in [Algorithm::Pgbj, Algorithm::Hbrj] {
+        let result = Join::new(&candidates, &pois)
+            .k(k)
+            .metric(DistanceMetric::Euclidean)
+            .algorithm(algorithm)
+            .pivot_count(64)
+            .reducers(9)
+            .run(&ctx)
             .expect("geo join should succeed");
-        println!(
-            "{name:<6} time {:>7.3} s | selectivity {:>7.3}/1000 | shuffle {:>8.3} MiB | avg S replication {:>5.2}",
-            result.metrics.total_time().as_secs_f64(),
-            result.metrics.computation_selectivity() * 1000.0,
-            result.metrics.shuffle_mib(),
-            result.metrics.average_replication(),
-        );
         results.push(result);
+    }
+    for record in sink.snapshot() {
+        let m = &record.metrics;
+        println!(
+            "{:<6} time {:>7.3} s | selectivity {:>7.3}/1000 | shuffle {:>8.3} MiB | avg S replication {:>5.2}",
+            record.algorithm,
+            m.total_time().as_secs_f64(),
+            m.computation_selectivity() * 1000.0,
+            m.shuffle_mib(),
+            m.average_replication(),
+        );
     }
 
     // Both algorithms are exact, so they must agree.

@@ -20,7 +20,14 @@ const ITERATIONS: usize = 8;
 fn main() {
     // A dataset with 6 well-defined clusters (plus skew) in 3-d.
     let data = gaussian_clusters(
-        &ClusterConfig { n_points: 5000, dims: 3, n_clusters: CLUSTERS, std_dev: 6.0, extent: 600.0, skew: 0.4 },
+        &ClusterConfig {
+            n_points: 5000,
+            dims: 3,
+            n_clusters: CLUSTERS,
+            std_dev: 6.0,
+            extent: 600.0,
+            skew: 0.4,
+        },
         2024,
     );
 
@@ -33,7 +40,7 @@ fn main() {
         .map(|p| p.coords.clone())
         .collect();
 
-    let pgbj = Pgbj::new(PgbjConfig { pivot_count: 8, reducers: 4, ..Default::default() });
+    let ctx = ExecutionContext::default();
     let mut assignment: HashMap<u64, u64> = HashMap::new();
 
     for iteration in 0..ITERATIONS {
@@ -47,13 +54,18 @@ fn main() {
         );
 
         // Assignment step: 1-NN join of the data against the centroids.
-        let result = pgbj
-            .join(&data, &centroid_set, 1, DistanceMetric::Euclidean)
+        let result = Join::new(&data, &centroid_set)
+            .k(1)
+            .metric(DistanceMetric::Euclidean)
+            .algorithm(Algorithm::Pgbj)
+            .pivot_count(CLUSTERS)
+            .reducers(4)
+            .run(&ctx)
             .expect("assignment join should succeed");
 
         let mut moved = 0usize;
         let mut sums = vec![vec![0.0; data.dims()]; CLUSTERS];
-        let mut counts = vec![0usize; CLUSTERS];
+        let mut counts = [0usize; CLUSTERS];
         let mut sse = 0.0;
         for row in &result.rows {
             let nearest = row.neighbors[0];
@@ -95,5 +107,8 @@ fn main() {
     }
     println!("final cluster sizes: {sizes:?}");
     assert_eq!(sizes.iter().sum::<usize>(), data.len());
-    assert!(sizes.iter().all(|&s| s > 0), "no cluster should end up empty");
+    assert!(
+        sizes.iter().all(|&s| s > 0),
+        "no cluster should end up empty"
+    );
 }

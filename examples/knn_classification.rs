@@ -29,7 +29,10 @@ fn sample_around_centers(centers: &[Vec<f64>], n: usize, spread: f64, seed: u64)
     let points = (0..n)
         .map(|i| {
             let center = &centers[i % centers.len()];
-            let coords = center.iter().map(|c| c + gaussian(&mut rng) * spread).collect();
+            let coords = center
+                .iter()
+                .map(|c| c + gaussian(&mut rng) * spread)
+                .collect();
             Point::new(i as u64, coords)
         })
         .collect();
@@ -69,14 +72,21 @@ fn main() {
     // with the generating class almost everywhere.
     let train = sample_around_centers(&centers, 4000, 35.0, 11);
     let test = sample_around_centers(&centers, 800, 35.0, 12);
-    let train_labels: HashMap<u64, usize> =
-        train.iter().map(|p| (p.id, true_class(p, &centers))).collect();
+    let train_labels: HashMap<u64, usize> = train
+        .iter()
+        .map(|p| (p.id, true_class(p, &centers)))
+        .collect();
 
     // One kNN join labels the whole test set.
     let k = 15;
-    let pgbj = Pgbj::new(PgbjConfig { pivot_count: 40, reducers: 8, ..Default::default() });
-    let result = pgbj
-        .join(&test, &train, k, DistanceMetric::Euclidean)
+    let ctx = ExecutionContext::default();
+    let result = Join::new(&test, &train)
+        .k(k)
+        .metric(DistanceMetric::Euclidean)
+        .algorithm(Algorithm::Pgbj)
+        .pivot_count(40)
+        .reducers(8)
+        .run(&ctx)
         .expect("classification join should succeed");
 
     let mut correct = 0usize;
@@ -92,7 +102,9 @@ fn main() {
             .map(|(class, _)| class)
             .expect("k >= 1 neighbours");
         let actual = true_class(
-            test.iter().find(|p| p.id == row.r_id).expect("row ids come from the test set"),
+            test.iter()
+                .find(|p| p.id == row.r_id)
+                .expect("row ids come from the test set"),
             &centers,
         );
         if predicted == actual {
@@ -114,5 +126,8 @@ fn main() {
         result.metrics.computation_selectivity() * 1000.0
     );
     // The clusters overlap a little, so demand a high-but-not-perfect bar.
-    assert!(accuracy > 0.9, "kNN classification should be highly accurate on separated clusters");
+    assert!(
+        accuracy > 0.9,
+        "kNN classification should be highly accurate on separated clusters"
+    );
 }

@@ -19,20 +19,35 @@ const PLANTED_OUTLIERS: usize = 8;
 fn main() {
     // A clustered "normal" population...
     let mut data = gaussian_clusters(
-        &ClusterConfig { n_points: 3000, dims: 3, n_clusters: 6, std_dev: 3.0, extent: 400.0, skew: 0.4 },
+        &ClusterConfig {
+            n_points: 3000,
+            dims: 3,
+            n_clusters: 6,
+            std_dev: 3.0,
+            extent: 400.0,
+            skew: 0.4,
+        },
         7,
     );
     // ...plus a few points far outside the data bounding box.
     let first_outlier_id = data.len() as u64;
     for i in 0..PLANTED_OUTLIERS {
         let offset = 900.0 + 40.0 * i as f64;
-        data.push(Point::new(first_outlier_id + i as u64, vec![offset, -offset, offset]));
+        data.push(Point::new(
+            first_outlier_id + i as u64,
+            vec![offset, -offset, offset],
+        ));
     }
 
     let k = 10;
-    let pgbj = Pgbj::new(PgbjConfig { pivot_count: 48, reducers: 8, ..Default::default() });
-    let result = pgbj
-        .join(&data, &data, k + 1, DistanceMetric::Euclidean) // +1: self matches at distance 0
+    let ctx = ExecutionContext::default();
+    let result = Join::new(&data, &data)
+        .k(k + 1) // +1: self matches at distance 0
+        .metric(DistanceMetric::Euclidean)
+        .algorithm(Algorithm::Pgbj)
+        .pivot_count(48)
+        .reducers(8)
+        .run(&ctx)
         .expect("self-join should succeed");
 
     // Outlier score = distance to the k-th non-self neighbour.
@@ -52,17 +67,31 @@ fn main() {
 
     println!("top {} outlier scores (k = {k}):", PLANTED_OUTLIERS + 4);
     for (id, score) in scores.iter().take(PLANTED_OUTLIERS + 4) {
-        let planted = if *id >= first_outlier_id { "  <- planted outlier" } else { "" };
+        let planted = if *id >= first_outlier_id {
+            "  <- planted outlier"
+        } else {
+            ""
+        };
         println!("object {id:>5}   kth-NN distance {score:>10.2}{planted}");
     }
 
     // Every planted outlier must rank within the top 2×PLANTED_OUTLIERS.
-    let top_ids: Vec<u64> = scores.iter().take(PLANTED_OUTLIERS * 2).map(|(id, _)| *id).collect();
+    let top_ids: Vec<u64> = scores
+        .iter()
+        .take(PLANTED_OUTLIERS * 2)
+        .map(|(id, _)| *id)
+        .collect();
     let recovered = (0..PLANTED_OUTLIERS as u64)
         .filter(|i| top_ids.contains(&(first_outlier_id + i)))
         .count();
-    println!("\nrecovered {recovered}/{PLANTED_OUTLIERS} planted outliers in the top {}", PLANTED_OUTLIERS * 2);
-    assert_eq!(recovered, PLANTED_OUTLIERS, "all planted outliers should be recovered");
+    println!(
+        "\nrecovered {recovered}/{PLANTED_OUTLIERS} planted outliers in the top {}",
+        PLANTED_OUTLIERS * 2
+    );
+    assert_eq!(
+        recovered, PLANTED_OUTLIERS,
+        "all planted outliers should be recovered"
+    );
 
     let m = &result.metrics;
     println!(

@@ -12,7 +12,14 @@ fn main() {
     // from the same clustered 4-dimensional population (the regime the paper
     // targets — its experiments are self-joins), split 1:2.
     let population = gaussian_clusters(
-        &ClusterConfig { n_points: 3000, dims: 4, n_clusters: 8, std_dev: 4.0, extent: 500.0, skew: 0.6 },
+        &ClusterConfig {
+            n_points: 3000,
+            dims: 4,
+            n_clusters: 8,
+            std_dev: 4.0,
+            extent: 500.0,
+            skew: 0.6,
+        },
         42,
     );
     let mut points = population.into_points();
@@ -30,19 +37,27 @@ fn main() {
     );
     let k = 10;
 
+    // One execution context per application: it owns the MapReduce worker
+    // pool, the mini-DFS handle and the metrics sink.
+    let ctx = ExecutionContext::default();
+
     // PGBJ: Voronoi partitioning around 48 pivots, geometric grouping onto 8
     // reducers — the configuration shape the paper's parameter study selects.
-    let pgbj = Pgbj::new(PgbjConfig {
-        pivot_count: 48,
-        reducers: 8,
-        grouping_strategy: GroupingStrategy::Geometric,
-        ..Default::default()
-    });
-    let result = pgbj
-        .join(&r, &s, k, DistanceMetric::Euclidean)
+    let result = Join::new(&r, &s)
+        .k(k)
+        .metric(DistanceMetric::Euclidean)
+        .algorithm(Algorithm::Pgbj)
+        .pivot_count(48)
+        .reducers(8)
+        .grouping_strategy(GroupingStrategy::Geometric)
+        .run(&ctx)
         .expect("join should succeed on valid inputs");
 
-    println!("kNN join of |R| = {} with |S| = {} (k = {k})", r.len(), s.len());
+    println!(
+        "kNN join of |R| = {} with |S| = {} (k = {k})",
+        r.len(),
+        s.len()
+    );
     println!("produced {} result rows\n", result.rows.len());
 
     // Show the neighbours of the first few R objects.
@@ -63,14 +78,27 @@ fn main() {
     }
     println!("{:<22} {:>8.3} s", "total", m.total_time().as_secs_f64());
     println!("distance computations  {:>10}", m.distance_computations);
-    println!("computation selectivity {:>8.3} per thousand", m.computation_selectivity() * 1000.0);
-    println!("S replicas shuffled     {:>9} (avg {:.2} per object)", m.s_records_shuffled, m.average_replication());
+    println!(
+        "computation selectivity {:>8.3} per thousand",
+        m.computation_selectivity() * 1000.0
+    );
+    println!(
+        "S replicas shuffled     {:>9} (avg {:.2} per object)",
+        m.s_records_shuffled,
+        m.average_replication()
+    );
     println!("shuffle volume          {:>9.3} MiB", m.shuffle_mib());
 
-    // Cross-check against the exact nested-loop join.
-    let exact = NestedLoopJoin
-        .join(&r, &s, k, DistanceMetric::Euclidean)
+    // Cross-check against the exact nested-loop join, selected at runtime
+    // through the same builder.
+    let exact = Join::new(&r, &s)
+        .k(k)
+        .algorithm(Algorithm::NestedLoopJoin)
+        .run(&ctx)
         .expect("exact join");
-    assert!(result.matches(&exact, 1e-9), "PGBJ must agree with the exact join");
+    assert!(
+        result.matches(&exact, 1e-9),
+        "PGBJ must agree with the exact join"
+    );
     println!("\nverified against the exact nested-loop join: OK");
 }

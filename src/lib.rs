@@ -11,8 +11,9 @@
 //! * [`mapreduce`] — the in-process MapReduce runtime with a mini-DFS and
 //!   shuffle byte accounting;
 //! * [`spatial`] — the STR-bulk-loaded R-tree used by the H-BRJ baseline;
-//! * [`knnjoin`] — the core algorithms: PGBJ, PBJ, H-BRJ and the exact
-//!   nested-loop oracle.
+//! * [`knnjoin`] — the core algorithms (PGBJ, PBJ, H-BRJ, broadcast, exact
+//!   nested loop) behind the unified [`Join`] builder and
+//!   [`ExecutionContext`](knnjoin::ExecutionContext).
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and the
 //! `bench` crate for the experiment harness that regenerates every table and
@@ -27,9 +28,18 @@
 //! let r = gaussian_clusters(&ClusterConfig { n_points: 200, ..Default::default() }, 1);
 //! let s = gaussian_clusters(&ClusterConfig { n_points: 200, ..Default::default() }, 2);
 //!
+//! // One execution context per application: worker pool, mini-DFS handle,
+//! // pluggable metrics sink.
+//! let ctx = ExecutionContext::default();
+//!
 //! // Find the 5 nearest neighbours in S of every object of R with PGBJ.
-//! let pgbj = Pgbj::new(PgbjConfig { pivot_count: 16, reducers: 4, ..Default::default() });
-//! let result = pgbj.join(&r, &s, 5, DistanceMetric::Euclidean).unwrap();
+//! let result = Join::new(&r, &s)
+//!     .k(5)
+//!     .metric(DistanceMetric::Euclidean)
+//!     .algorithm(Algorithm::Pgbj)
+//!     .reducers(4)
+//!     .run(&ctx)
+//!     .unwrap();
 //!
 //! assert_eq!(result.rows.len(), 200);
 //! println!("shuffled {} MiB", result.metrics.shuffle_mib());
@@ -41,8 +51,13 @@ pub use knnjoin;
 pub use mapreduce;
 pub use spatial;
 
+/// The unified join entry point (alias of [`knnjoin::JoinBuilder`]):
+/// `Join::new(&r, &s).k(10).algorithm(Algorithm::Pgbj).run(&ctx)`.
+pub use knnjoin::JoinBuilder as Join;
+
 /// Convenient glob import for applications and examples.
 pub mod prelude {
+    pub use crate::Join;
     pub use datagen::{
         expand_dataset, forest_like, gaussian_clusters, osm_like, uniform, ClusterConfig,
         ForestConfig, OsmConfig,
@@ -53,7 +68,9 @@ pub mod prelude {
         Pgbj, PgbjConfig,
     };
     pub use knnjoin::{
-        GroupingStrategy, JoinError, JoinResult, JoinRow, NestedLoopJoin, PivotSelectionStrategy,
+        Algorithm, ExecutionContext, GroupingStrategy, JoinBuilder, JoinError, JoinErrorKind,
+        JoinPlan, JoinResult, JoinRow, MemoryMetricsSink, MetricsSink, NestedLoopJoin,
+        NullMetricsSink, PivotSelectionStrategy,
     };
 }
 
@@ -64,7 +81,34 @@ mod tests {
     #[test]
     fn prelude_exposes_a_working_join() {
         let data = uniform(50, 2, 10.0, 1);
-        let result = NestedLoopJoin.join(&data, &data, 3, DistanceMetric::Euclidean).unwrap();
+        let ctx = ExecutionContext::default();
+        let result = Join::new(&data, &data)
+            .k(3)
+            .algorithm(Algorithm::NestedLoopJoin)
+            .run(&ctx)
+            .unwrap();
         assert_eq!(result.rows.len(), 50);
+    }
+
+    #[test]
+    fn every_algorithm_is_selectable_through_the_prelude() {
+        let data = uniform(40, 2, 10.0, 2);
+        let ctx = ExecutionContext::default();
+        let oracle = NestedLoopJoin
+            .join(&data, &data, 2, DistanceMetric::Euclidean)
+            .unwrap();
+        for algorithm in Algorithm::ALL {
+            let result = Join::new(&data, &data)
+                .k(2)
+                .algorithm(algorithm)
+                .reducers(3)
+                .seed(7)
+                .run(&ctx)
+                .unwrap();
+            assert!(
+                result.matches(&oracle, 1e-9),
+                "{algorithm} deviates from the oracle"
+            );
+        }
     }
 }

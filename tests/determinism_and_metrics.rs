@@ -1,7 +1,9 @@
 //! Integration tests for reproducibility and metric accounting across the
-//! whole stack (datagen → mapreduce → knnjoin).
+//! whole stack (datagen → mapreduce → knnjoin), driven through the unified
+//! `Join` builder.
 
 use pgbj::prelude::*;
+use std::sync::Arc;
 
 fn workload(seed: u64) -> PointSet {
     datagen::gaussian_clusters(
@@ -21,9 +23,15 @@ fn workload(seed: u64) -> PointSet {
 fn repeated_runs_are_bit_identical() {
     let r = workload(1);
     let s = workload(2);
+    let ctx = ExecutionContext::default();
     let run = || {
-        Pgbj::new(PgbjConfig { pivot_count: 24, reducers: 6, seed: 99, ..Default::default() })
-            .join(&r, &s, 7, DistanceMetric::Euclidean)
+        Join::new(&r, &s)
+            .k(7)
+            .algorithm(Algorithm::Pgbj)
+            .pivot_count(24)
+            .reducers(6)
+            .seed(99)
+            .run(&ctx)
             .unwrap()
     };
     let a = run();
@@ -34,18 +42,53 @@ fn repeated_runs_are_bit_identical() {
         assert_eq!(x.neighbors, y.neighbors);
     }
     // Deterministic dataflow implies deterministic cost accounting too.
-    assert_eq!(a.metrics.distance_computations, b.metrics.distance_computations);
+    assert_eq!(
+        a.metrics.distance_computations,
+        b.metrics.distance_computations
+    );
     assert_eq!(a.metrics.shuffle_bytes, b.metrics.shuffle_bytes);
     assert_eq!(a.metrics.s_records_shuffled, b.metrics.s_records_shuffled);
+}
+
+#[test]
+fn worker_pool_size_does_not_change_results() {
+    // The ExecutionContext owns physical parallelism; logical results and
+    // cost accounting must be identical whatever the pool size.
+    let r = workload(21);
+    let s = workload(22);
+    let run_with_workers = |workers: usize| {
+        let ctx = ExecutionContext::builder().workers(workers).build();
+        Join::new(&r, &s)
+            .k(5)
+            .algorithm(Algorithm::Pgbj)
+            .pivot_count(16)
+            .reducers(4)
+            .run(&ctx)
+            .unwrap()
+    };
+    let single = run_with_workers(1);
+    let pooled = run_with_workers(8);
+    assert!(single.matches(&pooled, 0.0));
+    assert_eq!(single.metrics.shuffle_bytes, pooled.metrics.shuffle_bytes);
+    assert_eq!(
+        single.metrics.distance_computations,
+        pooled.metrics.distance_computations
+    );
 }
 
 #[test]
 fn different_pivot_seeds_change_cost_but_not_results() {
     let r = workload(3);
     let s = workload(4);
+    let ctx = ExecutionContext::default();
     let with_seed = |seed: u64| {
-        Pgbj::new(PgbjConfig { pivot_count: 24, reducers: 6, seed, ..Default::default() })
-            .join(&r, &s, 5, DistanceMetric::Euclidean)
+        Join::new(&r, &s)
+            .k(5)
+            .algorithm(Algorithm::Pgbj)
+            .pivot_count(24)
+            .reducers(6)
+            .seed(seed)
+            .run(&ctx)
             .unwrap()
     };
     let a = with_seed(1);
@@ -61,9 +104,14 @@ fn join_cardinality_matches_definition() {
     // |R ⋉ S| = k · |R| whenever k ≤ |S| (Definition 2 in the paper).
     let r = workload(5);
     let s = workload(6);
+    let ctx = ExecutionContext::default();
     for k in [1usize, 4, 16] {
-        let result = Pgbj::new(PgbjConfig { pivot_count: 16, reducers: 4, ..Default::default() })
-            .join(&r, &s, k, DistanceMetric::Euclidean)
+        let result = Join::new(&r, &s)
+            .k(k)
+            .algorithm(Algorithm::Pgbj)
+            .pivot_count(16)
+            .reducers(4)
+            .run(&ctx)
             .unwrap();
         let total_pairs: usize = result.rows.iter().map(|row| row.neighbors.len()).sum();
         assert_eq!(total_pairs, k * r.len());
@@ -77,19 +125,20 @@ fn shuffle_accounting_matches_record_sizes() {
     // per-record encoded size (all points have the same dimensionality).
     let r = workload(7);
     let s = workload(8);
-    let result = Pgbj::new(PgbjConfig { pivot_count: 16, reducers: 4, ..Default::default() })
-        .join(&r, &s, 5, DistanceMetric::Euclidean)
+    let ctx = ExecutionContext::default();
+    let result = Join::new(&r, &s)
+        .k(5)
+        .algorithm(Algorithm::Pgbj)
+        .pivot_count(16)
+        .reducers(4)
+        .run(&ctx)
         .unwrap();
-    let record_bytes = geom::Record::new(
-        geom::RecordKind::R,
-        0,
-        0.0,
-        r.points()[0].clone(),
-    )
-    .encoded_len() as u64;
+    let record_bytes =
+        geom::Record::new(geom::RecordKind::R, 0, 0.0, r.points()[0].clone()).encoded_len() as u64;
     // Each emitted pair also carries its u32 group key.
     let per_record = record_bytes + 4;
-    let expected = (result.metrics.r_records_shuffled + result.metrics.s_records_shuffled) * per_record;
+    let expected =
+        (result.metrics.r_records_shuffled + result.metrics.s_records_shuffled) * per_record;
     assert_eq!(result.metrics.shuffle_bytes, expected);
 }
 
@@ -97,10 +146,14 @@ fn shuffle_accounting_matches_record_sizes() {
 fn hbrj_replication_matches_block_count_exactly() {
     let r = workload(9);
     let s = workload(10);
+    let ctx = ExecutionContext::default();
     for reducers in [4usize, 9, 16, 25] {
         let blocks = (reducers as f64).sqrt().floor() as u64;
-        let result = Hbrj::new(HbrjConfig { reducers, ..Default::default() })
-            .join(&r, &s, 3, DistanceMetric::Euclidean)
+        let result = Join::new(&r, &s)
+            .k(3)
+            .algorithm(Algorithm::Hbrj)
+            .reducers(reducers)
+            .run(&ctx)
             .unwrap();
         assert_eq!(result.metrics.r_records_shuffled, r.len() as u64 * blocks);
         assert_eq!(result.metrics.s_records_shuffled, s.len() as u64 * blocks);
@@ -111,11 +164,41 @@ fn hbrj_replication_matches_block_count_exactly() {
 fn phase_breakdown_covers_total_time() {
     let r = workload(11);
     let s = workload(12);
-    let result = Pbj::new(PbjConfig { pivot_count: 16, reducers: 9, ..Default::default() })
-        .join(&r, &s, 5, DistanceMetric::Euclidean)
+    let ctx = ExecutionContext::default();
+    let result = Join::new(&r, &s)
+        .k(5)
+        .algorithm(Algorithm::Pbj)
+        .pivot_count(16)
+        .reducers(9)
+        .run(&ctx)
         .unwrap();
     let m = &result.metrics;
     let summed: std::time::Duration = m.phase_times.iter().map(|(_, d)| *d).sum();
     assert_eq!(summed, m.total_time());
     assert!(m.total_time() > std::time::Duration::ZERO);
+}
+
+#[test]
+fn context_sink_collects_every_join_of_a_session() {
+    // The sink replaces per-experiment metric plumbing: run a small session
+    // of joins and read the history back in execution order.
+    let r = workload(13);
+    let sink = Arc::new(MemoryMetricsSink::new());
+    let ctx = ExecutionContext::builder()
+        .metrics_sink(sink.clone())
+        .build();
+    for algorithm in [Algorithm::Pgbj, Algorithm::Hbrj, Algorithm::BroadcastJoin] {
+        Join::new(&r, &r)
+            .k(4)
+            .algorithm(algorithm)
+            .pivot_count(12)
+            .reducers(4)
+            .run(&ctx)
+            .unwrap();
+    }
+    let history = sink.snapshot();
+    let names: Vec<&str> = history.iter().map(|rec| rec.algorithm.as_str()).collect();
+    assert_eq!(names, vec!["PGBJ", "H-BRJ", "Broadcast"]);
+    assert!(history.iter().all(|rec| rec.metrics.r_size == r.len()));
+    assert!(history.iter().all(|rec| rec.metrics.shuffle_bytes > 0));
 }

@@ -1,15 +1,51 @@
 //! Cross-crate integration tests: the three MapReduce algorithms agree with
 //! the exact join on realistic workloads, and their relative cost metrics
-//! exhibit the relationships the paper reports.
+//! exhibit the relationships the paper reports.  All joins run through the
+//! unified `Join` builder and a shared `ExecutionContext`.
 
 use pgbj::prelude::*;
 
 fn forest(n: usize, seed: u64) -> PointSet {
-    datagen::forest_like(&datagen::ForestConfig { n_points: n, dims: 10, n_clusters: 7 }, seed)
+    datagen::forest_like(
+        &datagen::ForestConfig {
+            n_points: n,
+            dims: 10,
+            n_clusters: 7,
+        },
+        seed,
+    )
 }
 
 fn osm(n: usize, seed: u64) -> PointSet {
-    datagen::osm_like(&datagen::OsmConfig { n_points: n, ..Default::default() }, seed)
+    datagen::osm_like(
+        &datagen::OsmConfig {
+            n_points: n,
+            ..Default::default()
+        },
+        seed,
+    )
+}
+
+/// Runs one algorithm on (r, s, k) with the given pivot/reducer budget.
+#[allow(clippy::too_many_arguments)]
+fn run(
+    ctx: &ExecutionContext,
+    algorithm: Algorithm,
+    r: &PointSet,
+    s: &PointSet,
+    k: usize,
+    pivots: usize,
+    reducers: usize,
+    metric: DistanceMetric,
+) -> JoinResult {
+    Join::new(r, s)
+        .k(k)
+        .metric(metric)
+        .algorithm(algorithm)
+        .pivot_count(pivots)
+        .reducers(reducers)
+        .run(ctx)
+        .expect("join should succeed")
 }
 
 #[test]
@@ -17,22 +53,23 @@ fn all_algorithms_agree_on_forest_like_self_join() {
     let data = forest(600, 1);
     let k = 10;
     let metric = DistanceMetric::Euclidean;
-    let exact = NestedLoopJoin.join(&data, &data, k, metric).unwrap();
+    let ctx = ExecutionContext::default();
+    let exact = run(
+        &ctx,
+        Algorithm::NestedLoopJoin,
+        &data,
+        &data,
+        k,
+        32,
+        8,
+        metric,
+    );
 
-    let pgbj = Pgbj::new(PgbjConfig { pivot_count: 32, reducers: 8, ..Default::default() })
-        .join(&data, &data, k, metric)
-        .unwrap();
-    let pbj = Pbj::new(PbjConfig { pivot_count: 32, reducers: 8, ..Default::default() })
-        .join(&data, &data, k, metric)
-        .unwrap();
-    let hbrj = Hbrj::new(HbrjConfig { reducers: 8, ..Default::default() })
-        .join(&data, &data, k, metric)
-        .unwrap();
-
-    for (name, result) in [("PGBJ", &pgbj), ("PBJ", &pbj), ("H-BRJ", &hbrj)] {
+    for algorithm in [Algorithm::Pgbj, Algorithm::Pbj, Algorithm::Hbrj] {
+        let result = run(&ctx, algorithm, &data, &data, k, 32, 8, metric);
         assert!(
             result.matches(&exact, 1e-9),
-            "{name} deviates from the exact join: {:?}",
+            "{algorithm} deviates from the exact join: {:?}",
             result.mismatch_against(&exact, 1e-9)
         );
     }
@@ -44,31 +81,35 @@ fn all_algorithms_agree_on_osm_like_r_s_join() {
     let s = osm(700, 3);
     let k = 5;
     let metric = DistanceMetric::Euclidean;
-    let exact = NestedLoopJoin.join(&r, &s, k, metric).unwrap();
+    let ctx = ExecutionContext::default();
+    let exact = run(&ctx, Algorithm::NestedLoopJoin, &r, &s, k, 24, 6, metric);
 
-    for result in [
-        Pgbj::new(PgbjConfig { pivot_count: 24, reducers: 6, ..Default::default() })
-            .join(&r, &s, k, metric)
-            .unwrap(),
-        Pbj::new(PbjConfig { pivot_count: 24, reducers: 6, ..Default::default() })
-            .join(&r, &s, k, metric)
-            .unwrap(),
-        Hbrj::new(HbrjConfig { reducers: 6, ..Default::default() })
-            .join(&r, &s, k, metric)
-            .unwrap(),
-    ] {
-        assert!(result.matches(&exact, 1e-9));
+    for algorithm in [Algorithm::Pgbj, Algorithm::Pbj, Algorithm::Hbrj] {
+        let result = run(&ctx, algorithm, &r, &s, k, 24, 6, metric);
+        assert!(result.matches(&exact, 1e-9), "{algorithm} deviates");
     }
 }
 
 #[test]
 fn agreement_holds_across_distance_metrics() {
     let data = forest(300, 5);
-    for metric in [DistanceMetric::Euclidean, DistanceMetric::Manhattan, DistanceMetric::Chebyshev] {
-        let exact = NestedLoopJoin.join(&data, &data, 6, metric).unwrap();
-        let pgbj = Pgbj::new(PgbjConfig { pivot_count: 20, reducers: 4, ..Default::default() })
-            .join(&data, &data, 6, metric)
-            .unwrap();
+    let ctx = ExecutionContext::default();
+    for metric in [
+        DistanceMetric::Euclidean,
+        DistanceMetric::Manhattan,
+        DistanceMetric::Chebyshev,
+    ] {
+        let exact = run(
+            &ctx,
+            Algorithm::NestedLoopJoin,
+            &data,
+            &data,
+            6,
+            20,
+            4,
+            metric,
+        );
+        let pgbj = run(&ctx, Algorithm::Pgbj, &data, &data, 6, 20, 4, metric);
         assert!(
             pgbj.matches(&exact, 1e-9),
             "metric {metric:?}: {:?}",
@@ -90,13 +131,10 @@ fn pgbj_shuffles_less_than_hbrj_on_low_dimensional_clustered_data() {
     let k = 10;
     let metric = DistanceMetric::Euclidean;
     let reducers = 16; // √16 = 4-fold replication for H-BRJ
+    let ctx = ExecutionContext::default();
 
-    let pgbj = Pgbj::new(PgbjConfig { pivot_count: 48, reducers, ..Default::default() })
-        .join(&data, &data, k, metric)
-        .unwrap();
-    let hbrj = Hbrj::new(HbrjConfig { reducers, ..Default::default() })
-        .join(&data, &data, k, metric)
-        .unwrap();
+    let pgbj = run(&ctx, Algorithm::Pgbj, &data, &data, k, 48, reducers, metric);
+    let hbrj = run(&ctx, Algorithm::Hbrj, &data, &data, k, 48, reducers, metric);
 
     assert!(
         pgbj.metrics.shuffle_bytes < hbrj.metrics.shuffle_bytes,
@@ -124,13 +162,10 @@ fn pgbj_selectivity_is_insensitive_to_node_count_while_hbrj_grows() {
     let data = forest(800, 9);
     let k = 10;
     let metric = DistanceMetric::Euclidean;
+    let ctx = ExecutionContext::default();
     let selectivity = |reducers: usize| {
-        let pgbj = Pgbj::new(PgbjConfig { pivot_count: 32, reducers, ..Default::default() })
-            .join(&data, &data, k, metric)
-            .unwrap();
-        let hbrj = Hbrj::new(HbrjConfig { reducers, ..Default::default() })
-            .join(&data, &data, k, metric)
-            .unwrap();
+        let pgbj = run(&ctx, Algorithm::Pgbj, &data, &data, k, 32, reducers, metric);
+        let hbrj = run(&ctx, Algorithm::Hbrj, &data, &data, k, 32, reducers, metric);
         (
             pgbj.metrics.computation_selectivity(),
             hbrj.metrics.computation_selectivity(),
@@ -139,7 +174,10 @@ fn pgbj_selectivity_is_insensitive_to_node_count_while_hbrj_grows() {
     let (pgbj_small, hbrj_small) = selectivity(4);
     let (pgbj_large, hbrj_large) = selectivity(25);
     // H-BRJ degrades with more nodes.
-    assert!(hbrj_large > hbrj_small, "H-BRJ selectivity should grow with nodes");
+    assert!(
+        hbrj_large > hbrj_small,
+        "H-BRJ selectivity should grow with nodes"
+    );
     // PGBJ moves far less (allow 40% slack for the small scale).
     let pgbj_growth = (pgbj_large - pgbj_small).abs() / pgbj_small.max(1e-12);
     let hbrj_growth = (hbrj_large - hbrj_small) / hbrj_small.max(1e-12);
@@ -157,20 +195,23 @@ fn hbrj_shuffle_grows_with_k_while_pgbj_stays_flat() {
     let data = forest(800, 11);
     let metric = DistanceMetric::Euclidean;
     let reducers = 9;
+    let ctx = ExecutionContext::default();
     let shuffle = |k: usize| {
-        let pgbj = Pgbj::new(PgbjConfig { pivot_count: 32, reducers, ..Default::default() })
-            .join(&data, &data, k, metric)
-            .unwrap();
-        let hbrj = Hbrj::new(HbrjConfig { reducers, ..Default::default() })
-            .join(&data, &data, k, metric)
-            .unwrap();
-        (pgbj.metrics.shuffle_bytes as f64, hbrj.metrics.shuffle_bytes as f64)
+        let pgbj = run(&ctx, Algorithm::Pgbj, &data, &data, k, 32, reducers, metric);
+        let hbrj = run(&ctx, Algorithm::Hbrj, &data, &data, k, 32, reducers, metric);
+        (
+            pgbj.metrics.shuffle_bytes as f64,
+            hbrj.metrics.shuffle_bytes as f64,
+        )
     };
     let (pgbj_k5, hbrj_k5) = shuffle(5);
     let (pgbj_k40, hbrj_k40) = shuffle(40);
     let hbrj_growth = hbrj_k40 / hbrj_k5;
     let pgbj_growth = pgbj_k40 / pgbj_k5;
-    assert!(hbrj_growth > 1.05, "H-BRJ shuffle should grow with k (got x{hbrj_growth:.3})");
+    assert!(
+        hbrj_growth > 1.05,
+        "H-BRJ shuffle should grow with k (got x{hbrj_growth:.3})"
+    );
     assert!(
         pgbj_growth < hbrj_growth,
         "PGBJ shuffle growth x{pgbj_growth:.3} should stay below H-BRJ x{hbrj_growth:.3}"
@@ -184,9 +225,27 @@ fn expanded_datasets_join_correctly() {
     let base = forest(150, 13);
     let expanded = datagen::expand_dataset(&base, 4);
     assert_eq!(expanded.len(), 600);
-    let exact = NestedLoopJoin.join(&expanded, &expanded, 5, DistanceMetric::Euclidean).unwrap();
-    let pgbj = Pgbj::new(PgbjConfig { pivot_count: 24, reducers: 6, ..Default::default() })
-        .join(&expanded, &expanded, 5, DistanceMetric::Euclidean)
-        .unwrap();
+    let ctx = ExecutionContext::default();
+    let metric = DistanceMetric::Euclidean;
+    let exact = run(
+        &ctx,
+        Algorithm::NestedLoopJoin,
+        &expanded,
+        &expanded,
+        5,
+        24,
+        6,
+        metric,
+    );
+    let pgbj = run(
+        &ctx,
+        Algorithm::Pgbj,
+        &expanded,
+        &expanded,
+        5,
+        24,
+        6,
+        metric,
+    );
     assert!(pgbj.matches(&exact, 1e-9));
 }

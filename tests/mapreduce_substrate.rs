@@ -3,9 +3,7 @@
 //! HDFS before running the jobs.
 
 use geom::{Record, RecordKind};
-use mapreduce::{
-    DfsConfig, InMemoryDfs, JobBuilder, MapContext, Mapper, ReduceContext, Reducer,
-};
+use mapreduce::{DfsConfig, InMemoryDfs, JobBuilder, MapContext, Mapper, ReduceContext, Reducer};
 use pgbj::prelude::*;
 
 /// Encodes a dataset the way the driver would stage it in the DFS: one record
@@ -36,27 +34,58 @@ fn load_dataset(dfs: &InMemoryDfs, path: &str) -> Vec<Record> {
 }
 
 #[test]
-fn datasets_roundtrip_through_the_dfs_and_join_correctly() {
+fn datasets_roundtrip_through_the_context_dfs_and_join_correctly() {
     let r = datagen::uniform(200, 3, 100.0, 1);
     let s = datagen::uniform(250, 3, 100.0, 2);
 
-    let dfs = InMemoryDfs::new(DfsConfig { data_nodes: 4, block_size: 4096, replication: 1 }).unwrap();
-    stage_dataset(&dfs, "/input/R", &r, RecordKind::R);
-    stage_dataset(&dfs, "/input/S", &s, RecordKind::S);
-    assert!(dfs.block_count("/input/R").unwrap() > 1, "dataset should span multiple blocks");
+    // The ExecutionContext owns the DFS handle: stage through the context,
+    // then run the join inside the same context.
+    let dfs = InMemoryDfs::new(DfsConfig {
+        data_nodes: 4,
+        block_size: 4096,
+        replication: 1,
+    })
+    .unwrap();
+    let ctx = ExecutionContext::builder().dfs(dfs).build();
+    stage_dataset(ctx.dfs(), "/input/R", &r, RecordKind::R);
+    stage_dataset(ctx.dfs(), "/input/S", &s, RecordKind::S);
+    assert!(
+        ctx.dfs().block_count("/input/R").unwrap() > 1,
+        "dataset should span multiple blocks"
+    );
 
     // Reload from the DFS (as the map tasks would) and run the join on the
     // reloaded copies: results must match a join over the originals.
-    let r2 = PointSet::from_points(load_dataset(&dfs, "/input/R").into_iter().map(|rec| rec.point).collect());
-    let s2 = PointSet::from_points(load_dataset(&dfs, "/input/S").into_iter().map(|rec| rec.point).collect());
+    let r2 = PointSet::from_points(
+        load_dataset(ctx.dfs(), "/input/R")
+            .into_iter()
+            .map(|rec| rec.point)
+            .collect(),
+    );
+    let s2 = PointSet::from_points(
+        load_dataset(ctx.dfs(), "/input/S")
+            .into_iter()
+            .map(|rec| rec.point)
+            .collect(),
+    );
     assert_eq!(r2.len(), r.len());
     assert_eq!(s2.len(), s.len());
 
     let metric = DistanceMetric::Euclidean;
-    let from_dfs = Pgbj::new(PgbjConfig { pivot_count: 16, reducers: 4, ..Default::default() })
-        .join(&r2, &s2, 5, metric)
+    let from_dfs = Join::new(&r2, &s2)
+        .k(5)
+        .metric(metric)
+        .algorithm(Algorithm::Pgbj)
+        .pivot_count(16)
+        .reducers(4)
+        .run(&ctx)
         .unwrap();
-    let direct = NestedLoopJoin.join(&r, &s, 5, metric).unwrap();
+    let direct = Join::new(&r, &s)
+        .k(5)
+        .metric(metric)
+        .algorithm(Algorithm::NestedLoopJoin)
+        .run(&ctx)
+        .unwrap();
     assert!(from_dfs.matches(&direct, 1e-9));
 }
 
@@ -103,8 +132,13 @@ fn join_output_feeds_a_follow_up_mapreduce_job() {
         },
         3,
     );
-    let join = Pgbj::new(PgbjConfig { pivot_count: 16, reducers: 4, ..Default::default() })
-        .join(&data, &data, 6, DistanceMetric::Euclidean)
+    let ctx = ExecutionContext::default();
+    let join = Join::new(&data, &data)
+        .k(6)
+        .algorithm(Algorithm::Pgbj)
+        .pivot_count(16)
+        .reducers(4)
+        .run(&ctx)
         .unwrap();
 
     // kth-NN distance per object becomes the input of the histogram job.

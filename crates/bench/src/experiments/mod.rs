@@ -76,6 +76,9 @@ pub struct AlgorithmRow {
     pub selectivity_per_thousand: f64,
     /// Shuffling cost in MiB.
     pub shuffle_mib: f64,
+    /// Records crossing the shuffle across all of the algorithm's jobs
+    /// (post-combine).
+    pub shuffle_records: u64,
     /// Average replication of `S` objects.
     pub avg_replication: f64,
 }
@@ -93,6 +96,7 @@ impl AlgorithmRow {
                 self.selectivity_per_thousand.into(),
             ),
             ("shuffle_mib", self.shuffle_mib.into()),
+            ("shuffle_records", (self.shuffle_records as f64).into()),
             ("avg_replication", self.avg_replication.into()),
         ])
     }
@@ -126,6 +130,7 @@ pub(crate) fn run_three_algorithms(
                 running_time_s: m.total_time().as_secs_f64(),
                 selectivity_per_thousand: m.computation_selectivity() * 1000.0,
                 shuffle_mib: m.shuffle_mib(),
+                shuffle_records: m.shuffle_records,
                 avg_replication: m.average_replication(),
             }
         })

@@ -11,7 +11,22 @@
 //! The ×t expansion procedure itself is implemented exactly as described in
 //! Section 6 of the paper (see [`expand::expand_dataset`]).
 //!
-//! All generators take an explicit seed, so experiments are reproducible.
+//! In the PGBJ pipeline this crate sits at the very front: it produces the
+//! [`geom::PointSet`]s that the driver stages as `R` and `S` before pivot
+//! selection and the two MapReduce jobs run.
+//!
+//! All generators take an explicit seed, so experiments are reproducible:
+//!
+//! ```
+//! use datagen::{forest_like, uniform, ForestConfig};
+//!
+//! let forest = forest_like(&ForestConfig { n_points: 500, dims: 10, n_clusters: 7 }, 42);
+//! assert_eq!(forest.len(), 500);
+//! assert_eq!(forest.dims(), 10);
+//! // Same seed, same dataset — bit for bit.
+//! assert_eq!(forest, forest_like(&ForestConfig { n_points: 500, dims: 10, n_clusters: 7 }, 42));
+//! assert_ne!(uniform(100, 2, 50.0, 1), uniform(100, 2, 50.0, 2));
+//! ```
 
 pub mod expand;
 pub mod forest;

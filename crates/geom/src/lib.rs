@@ -8,10 +8,27 @@
 //! * [`Point`] — an identified, owned vector of `f64` coordinates,
 //! * [`PointSet`] — a dataset of points with convenience accessors,
 //! * [`DistanceMetric`] — L2 / L1 / L∞ distance functions,
-//! * [`Record`] / [`encode`](record::encode) — the compact binary encoding used by
+//! * [`Record`] / [`Record::encode`] — the compact binary encoding used by
 //!   the MapReduce layer so that shuffle volume can be accounted in bytes, and
 //! * [`Neighbor`] / [`NeighborList`] — bounded max-heaps that maintain the `k`
 //!   nearest neighbours seen so far.
+//!
+//! Every layer of the PGBJ pipeline speaks these types: `datagen` produces
+//! [`PointSet`]s, the `mapreduce` shuffle moves [`Record`] encodings (whose
+//! byte length is the paper's shuffling-cost unit), and the join reducers
+//! build their answers in [`NeighborList`]s.
+//!
+//! ```
+//! use geom::{DistanceMetric, NeighborList, Point};
+//!
+//! let q = Point::new(0, vec![0.0, 0.0]);
+//! let mut best = NeighborList::new(2);
+//! for (id, coords) in [(1, [3.0, 4.0]), (2, [1.0, 0.0]), (3, [0.0, 2.0])] {
+//!     best.offer(id, DistanceMetric::Euclidean.distance(&q, &Point::new(id, coords.to_vec())));
+//! }
+//! let ids: Vec<u64> = best.into_sorted().iter().map(|n| n.id).collect();
+//! assert_eq!(ids, vec![2, 3]); // the two closest of the three
+//! ```
 
 pub mod metric;
 pub mod neighbor;

@@ -12,7 +12,7 @@ use crate::metrics::{phases, JoinMetrics};
 use crate::result::{JoinError, JoinRow};
 use geom::{Neighbor, RecordKind};
 use mapreduce::{
-    ByteSize, IdentityPartitioner, JobBuilder, MapContext, Mapper, ReduceContext, Reducer,
+    ByteSize, Combiner, IdentityPartitioner, JobBuilder, MapContext, Mapper, ReduceContext, Reducer,
 };
 use std::time::Instant;
 
@@ -76,6 +76,25 @@ impl Mapper for MergeMapper {
     }
 }
 
+/// Map-side combiner of the merge job: collapse the partial candidate lists a
+/// map task holds for one `R` object into a single `k`-bounded list before
+/// they cross the shuffle.  Top-`k` merging is associative, so the
+/// [`MergeReducer`] produces the same final list either way.
+pub(crate) struct MergeCombiner {
+    pub k: usize,
+}
+
+impl Combiner for MergeCombiner {
+    type K = u64;
+    type V = NeighborListValue;
+
+    fn combine(&self, _key: &u64, values: &[NeighborListValue]) -> Vec<NeighborListValue> {
+        vec![NeighborListValue::new(
+            crate::algorithms::common::merge_neighbor_lists(values, self.k),
+        )]
+    }
+}
+
 /// Reducer of the merge job: keep the `k` globally best candidates per `R`
 /// object.
 pub(crate) struct MergeReducer {
@@ -102,15 +121,18 @@ impl Reducer for MergeReducer {
 }
 
 /// Runs the two MapReduce jobs of the block framework with the supplied
-/// per-cell join reducer, filling in phase timings, shuffle bytes and
-/// counters.  `workers` is the physical pool size from the caller's
-/// execution context.
+/// per-cell join reducer, filling in phase timings, shuffle volume and
+/// counters for *both* jobs.  `workers` is the physical pool size from the
+/// caller's execution context; when `combiner` is set, the merge job runs the
+/// [`MergeCombiner`] map-side so only `k`-bounded lists cross its shuffle.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_block_framework<Red>(
     input: Vec<(u64, EncodedRecord)>,
     k: usize,
     reducers: usize,
     map_tasks: usize,
     workers: usize,
+    combiner: bool,
     join_reducer: &Red,
     metrics: &mut JoinMetrics,
 ) -> Result<Vec<JoinRow>, JoinError>
@@ -133,25 +155,25 @@ where
         )
         .map_err(|e| JoinError::substrate("block-join", e))?;
     metrics.record_phase(phases::KNN_JOIN, start.elapsed());
-    metrics.shuffle_bytes += join_job.metrics.shuffle_bytes;
-    metrics.distance_computations += join_job
-        .metrics
-        .counters
-        .get(counters::DISTANCE_COMPUTATIONS);
-    metrics.r_records_shuffled += join_job.metrics.counters.get(counters::R_RECORDS);
-    metrics.s_records_shuffled += join_job.metrics.counters.get(counters::S_RECORDS);
+    metrics.absorb_job(&join_job.metrics);
 
     // ---- Merge job: combine the per-cell partial kNN lists ------------------
     let start = Instant::now();
     let merge_input = join_job.output;
+    let merge_combiner = MergeCombiner { k };
     let merge_job = JobBuilder::new("block-merge")
         .reducers(reducers)
         .map_tasks(map_tasks)
         .workers(workers)
-        .run(merge_input, &MergeMapper, &MergeReducer { k })
+        .run_with_optional_combiner(
+            merge_input,
+            &MergeMapper,
+            combiner.then_some(&merge_combiner),
+            &MergeReducer { k },
+        )
         .map_err(|e| JoinError::substrate("block-merge", e))?;
     metrics.record_phase(phases::RESULT_MERGING, start.elapsed());
-    metrics.shuffle_bytes += merge_job.metrics.shuffle_bytes;
+    metrics.absorb_job(&merge_job.metrics);
 
     Ok(merge_job
         .output

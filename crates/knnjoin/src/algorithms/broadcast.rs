@@ -114,10 +114,7 @@ impl KnnJoinAlgorithm for BroadcastJoin {
             )
             .map_err(|e| JoinError::substrate("broadcast-join", e))?;
         metrics.record_phase(phases::KNN_JOIN, start.elapsed());
-        metrics.shuffle_bytes = job.metrics.shuffle_bytes;
-        metrics.distance_computations = job.metrics.counters.get(counters::DISTANCE_COMPUTATIONS);
-        metrics.r_records_shuffled = job.metrics.counters.get(counters::R_RECORDS);
-        metrics.s_records_shuffled = job.metrics.counters.get(counters::S_RECORDS);
+        metrics.absorb_job(&job.metrics);
 
         let rows = job
             .output

@@ -8,17 +8,9 @@ use geom::{DistanceMetric, Neighbor, NeighborList, Point, PointId, Record};
 use mapreduce::ByteSize;
 use std::collections::BTreeMap;
 
-/// Counter names used by the join jobs; collected into [`crate::JoinMetrics`].
-pub mod counters {
-    /// Distance computations performed in the join phase (between `R` objects
-    /// and `S` objects or pivots) — the numerator of Equation 13.
-    pub const DISTANCE_COMPUTATIONS: &str = "distance_computations";
-    /// Number of `R` records emitted by the join job's mappers.
-    pub const R_RECORDS: &str = "r_records_shuffled";
-    /// Number of `S` records (replicas included) emitted by the join job's
-    /// mappers.
-    pub const S_RECORDS: &str = "s_records_shuffled";
-}
+/// Counter names used by the join jobs (defined next to [`crate::JoinMetrics`],
+/// which aggregates them via `absorb_job`).
+pub use crate::metrics::counters;
 
 /// An intermediate value carrying one serialised object record.
 ///

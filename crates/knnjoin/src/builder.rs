@@ -55,6 +55,7 @@ pub struct JoinBuilder<'a> {
     reducers: Option<usize>,
     map_tasks: Option<usize>,
     rtree_fanout: usize,
+    combiner: bool,
     seed: u64,
 }
 
@@ -76,6 +77,7 @@ impl<'a> JoinBuilder<'a> {
             reducers: None,
             map_tasks: None,
             rtree_fanout: RTree::DEFAULT_FANOUT,
+            combiner: defaults.combiner,
             seed: defaults.seed,
         }
     }
@@ -139,6 +141,15 @@ impl<'a> JoinBuilder<'a> {
     /// Sets the H-BRJ R-tree fanout.
     pub fn rtree_fanout(mut self, fanout: usize) -> Self {
         self.rtree_fanout = fanout;
+        self
+    }
+
+    /// Enables or disables the map-side combiners (PGBJ's partitioning job,
+    /// the block algorithms' merge job).  On by default; disable to measure
+    /// the uncombined shuffle volume (byte accounting is framing-neutral, so
+    /// the difference is entirely the combiners' saving).
+    pub fn combiner(mut self, enabled: bool) -> Self {
+        self.combiner = enabled;
         self
     }
 
@@ -239,6 +250,7 @@ impl<'a> JoinBuilder<'a> {
             reducers,
             map_tasks,
             rtree_fanout: self.rtree_fanout,
+            combiner: self.combiner,
             seed: self.seed,
         })
     }

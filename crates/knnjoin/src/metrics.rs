@@ -9,8 +9,22 @@
 //!   reducers, and the average per object (`α` in Section 3);
 //! * **shuffling cost**: the number of bytes crossing the MapReduce shuffle.
 
+use mapreduce::JobMetrics;
 use std::collections::BTreeMap;
 use std::time::Duration;
+
+/// Counter names used by the join jobs; aggregated into [`JoinMetrics`] by
+/// [`JoinMetrics::absorb_job`].
+pub mod counters {
+    /// Distance computations performed in the join phase (between `R` objects
+    /// and `S` objects or pivots) — the numerator of Equation 13.
+    pub const DISTANCE_COMPUTATIONS: &str = "distance_computations";
+    /// Number of `R` records emitted by the join job's mappers.
+    pub const R_RECORDS: &str = "r_records_shuffled";
+    /// Number of `S` records (replicas included) emitted by the join job's
+    /// mappers.
+    pub const S_RECORDS: &str = "s_records_shuffled";
+}
 
 /// Phase names used by the harness; kept as constants so experiment tables use
 /// the same labels as Figure 6 of the paper.
@@ -45,6 +59,13 @@ pub struct JoinMetrics {
     pub s_records_shuffled: u64,
     /// Total bytes crossing the shuffle, across all MapReduce jobs involved.
     pub shuffle_bytes: u64,
+    /// Total records crossing the shuffle (post-combine), across all jobs.
+    pub shuffle_records: u64,
+    /// Records fed into map-side combiners across all jobs (zero when the
+    /// algorithm ran without combiners).
+    pub combine_input_records: u64,
+    /// Records the combiners let through to the shuffle.
+    pub combine_output_records: u64,
     /// |R| of the join that produced these metrics.
     pub r_size: usize,
     /// |S| of the join that produced these metrics.
@@ -56,6 +77,22 @@ impl JoinMetrics {
     /// stacked-bar outputs match Figure 6).
     pub fn record_phase(&mut self, name: &str, elapsed: Duration) {
         self.phase_times.push((name.to_string(), elapsed));
+    }
+
+    /// Folds one MapReduce job's metrics into this join's totals: shuffle
+    /// volume, combiner throughput, and the join-level [`counters`].
+    ///
+    /// Multi-job algorithms call this once per job, so *every* job's cost is
+    /// visible — PGBJ's partitioning job counts towards shuffling cost just
+    /// like its join job, exactly as the paper's cluster measurements would.
+    pub fn absorb_job(&mut self, job: &JobMetrics) {
+        self.shuffle_bytes += job.shuffle_bytes;
+        self.shuffle_records += job.shuffle_records;
+        self.combine_input_records += job.combine_input_records;
+        self.combine_output_records += job.combine_output_records;
+        self.distance_computations += job.counters.get(counters::DISTANCE_COMPUTATIONS);
+        self.r_records_shuffled += job.counters.get(counters::R_RECORDS);
+        self.s_records_shuffled += job.counters.get(counters::S_RECORDS);
     }
 
     /// Total running time across phases.
@@ -135,6 +172,29 @@ mod tests {
         assert!((m.computation_selectivity() - 0.1).abs() < 1e-12);
         assert!((m.average_replication() - 3.0).abs() < 1e-12);
         assert!((m.shuffle_mib() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_job_accumulates_volume_and_counters() {
+        let mut join = JoinMetrics::default();
+        let job = JobMetrics {
+            shuffle_records: 100,
+            shuffle_bytes: 4_000,
+            combine_input_records: 150,
+            combine_output_records: 100,
+            ..Default::default()
+        };
+        job.counters.add(counters::DISTANCE_COMPUTATIONS, 7);
+        job.counters.add(counters::R_RECORDS, 40);
+        join.absorb_job(&job);
+        join.absorb_job(&job); // a second job of the same algorithm
+        assert_eq!(join.shuffle_records, 200);
+        assert_eq!(join.shuffle_bytes, 8_000);
+        assert_eq!(join.combine_input_records, 300);
+        assert_eq!(join.combine_output_records, 200);
+        assert_eq!(join.distance_computations, 14);
+        assert_eq!(join.r_records_shuffled, 80);
+        assert_eq!(join.s_records_shuffled, 0);
     }
 
     #[test]

@@ -105,6 +105,9 @@ pub struct JoinPlan {
     pub map_tasks: usize,
     /// R-tree fanout (H-BRJ).
     pub rtree_fanout: usize,
+    /// Whether map-side combiners run (PGBJ's partitioning job, the block
+    /// algorithms' merge job) to cut shuffle volume.
+    pub combiner: bool,
     /// Seed driving pivot selection.
     pub seed: u64,
 }
@@ -121,6 +124,7 @@ impl JoinPlan {
                 grouping_strategy: self.grouping_strategy,
                 reducers: self.reducers,
                 map_tasks: self.map_tasks,
+                combiner: self.combiner,
                 seed: self.seed,
             })),
             Algorithm::Pbj => Box::new(Pbj::new(PbjConfig {
@@ -129,12 +133,14 @@ impl JoinPlan {
                 pivot_sample_size: self.pivot_sample_size,
                 reducers: self.reducers,
                 map_tasks: self.map_tasks,
+                combiner: self.combiner,
                 seed: self.seed,
             })),
             Algorithm::Hbrj => Box::new(Hbrj::new(HbrjConfig {
                 reducers: self.reducers,
                 map_tasks: self.map_tasks,
                 rtree_fanout: self.rtree_fanout,
+                combiner: self.combiner,
             })),
             Algorithm::BroadcastJoin => Box::new(BroadcastJoin::new(BroadcastJoinConfig {
                 reducers: self.reducers,
@@ -175,6 +181,7 @@ impl Default for JoinPlan {
             reducers: pgbj.reducers,
             map_tasks: pgbj.map_tasks,
             rtree_fanout: RTree::DEFAULT_FANOUT,
+            combiner: pgbj.combiner,
             seed: pgbj.seed,
         }
     }

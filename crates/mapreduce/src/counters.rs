@@ -9,6 +9,25 @@ use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+/// Names of the counters the engine itself maintains, alongside whatever
+/// user counters the tasks increment.  The `mr.` prefix keeps them from
+/// colliding with user counter names.
+///
+/// These mirror Hadoop's built-in job counters: `REDUCE_SHUFFLE_BYTES`,
+/// `COMBINE_INPUT_RECORDS` and `COMBINE_OUTPUT_RECORDS` are the numbers the
+/// paper's shuffling-cost analysis reads off the job tracker.
+pub mod builtin {
+    /// Intermediate pairs that actually crossed the shuffle (post-combine).
+    pub const SHUFFLE_RECORDS: &str = "mr.shuffle_records";
+    /// Bytes that actually crossed the shuffle (post-combine), per
+    /// [`crate::ByteSize`] accounting.
+    pub const SHUFFLE_BYTES: &str = "mr.shuffle_bytes";
+    /// Pairs fed into the map-side combiner (zero when no combiner is set).
+    pub const COMBINE_INPUT_RECORDS: &str = "mr.combine_input_records";
+    /// Pairs the combiner emitted towards the shuffle.
+    pub const COMBINE_OUTPUT_RECORDS: &str = "mr.combine_output_records";
+}
+
 /// A set of named, thread-safe, monotonically increasing counters.
 ///
 /// Cloning a `Counters` handle is cheap and all clones share the same state,

@@ -5,19 +5,28 @@
 //!
 //! 1. the input pairs are divided into map splits,
 //! 2. map tasks run in parallel on a bounded worker pool (sized by the
-//!    caller's execution context, defaulting to the machine's parallelism),
-//!    each feeding a [`MapContext`] that accounts the byte size of every
-//!    emitted pair,
-//! 3. the shuffle routes each intermediate pair to a reduce partition using
-//!    the job's [`Partitioner`], then groups and sorts pairs by key within
-//!    each partition (Hadoop's sort/group guarantee),
-//! 4. reduce tasks run in parallel, one per partition, producing the final
-//!    output and
-//! 5. per-phase timings, shuffle volume and counters are reported as
+//!    caller's execution context, defaulting to the machine's parallelism);
+//!    each task hash-routes every pair it emits into a **per-task,
+//!    per-reduce-partition buffer** using the job's [`Partitioner`], runs the
+//!    optional [`Combiner`] over each buffer, and accounts the byte size of
+//!    everything that survives towards the shuffle (mirroring Hadoop's
+//!    partitioned spill files and map-side combine),
+//! 3. the shuffle hands each reduce partition the buffers every map task
+//!    produced for it — a transpose of already-routed buffers, with no
+//!    global materialisation and no global sort,
+//! 4. reduce tasks run in parallel, one per partition; each task merges its
+//!    buffers into sorted key groups (Hadoop's sort/group guarantee, now
+//!    performed inside the parallel region) and runs the [`Reducer`], and
+//! 5. per-phase timings, shuffle volume and counters (including the built-in
+//!    [`crate::counters::builtin`] shuffle/combine counters) are reported as
 //!    [`JobMetrics`].
+//!
+//! Output order is deterministic regardless of the worker-pool size: reduce
+//! partitions appear in partition order, keys ascend within a partition, and
+//! the values of one key arrive in map-task order (then emission order).
 
 use crate::bytesize::ByteSize;
-use crate::counters::Counters;
+use crate::counters::{builtin, Counters};
 use crate::job::{
     Combiner, HashPartitioner, IdentityCombiner, MapContext, Mapper, Partitioner, ReduceContext,
     Reducer,
@@ -89,8 +98,13 @@ impl std::fmt::Display for JobError {
 
 impl std::error::Error for JobError {}
 
-/// One map task's combined output: the emitted pairs and their shuffle bytes.
-type MapTaskOutput<K, V> = (Vec<(K, V)>, u64);
+/// One reduce partition's share of one map task's output: the routed (and
+/// possibly combined) pairs plus their shuffle byte volume.
+type PartitionBuffer<K, V> = (Vec<(K, V)>, u64);
+
+/// Everything one reduce partition receives: one routed buffer per map task,
+/// concatenated in map-task order.
+type PartitionInput<K, V> = Vec<Vec<(K, V)>>;
 
 /// The result of a completed job: the reduce output plus execution metrics.
 #[derive(Debug, Clone)]
@@ -107,6 +121,48 @@ pub struct JobOutput<K, V> {
 /// Mirrors Hadoop's `JobConf`: a name, a number of reduce tasks ("computing
 /// nodes" in the paper's experiments) and a number of map tasks (by default
 /// one per reduce task, but usually set to the number of input splits).
+///
+/// # Example
+///
+/// Count occurrences per key, with the task topology decoupled from the
+/// physical worker pool:
+///
+/// ```
+/// use mapreduce::{JobBuilder, MapContext, Mapper, ReduceContext, Reducer};
+///
+/// struct One;
+/// impl Mapper for One {
+///     type KIn = u64;
+///     type VIn = u64;
+///     type KOut = u64;
+///     type VOut = u64;
+///     fn map(&self, k: &u64, _v: &u64, ctx: &mut MapContext<u64, u64>) {
+///         ctx.emit(k % 3, 1);
+///     }
+/// }
+///
+/// struct Count;
+/// impl Reducer for Count {
+///     type KIn = u64;
+///     type VIn = u64;
+///     type KOut = u64;
+///     type VOut = u64;
+///     fn reduce(&self, k: &u64, vs: &[u64], ctx: &mut ReduceContext<u64, u64>) {
+///         ctx.emit(*k, vs.len() as u64);
+///     }
+/// }
+///
+/// let input: Vec<(u64, u64)> = (0..90).map(|i| (i, 0)).collect();
+/// let out = JobBuilder::new("count")
+///     .reducers(3)   // logical reduce partitions
+///     .map_tasks(6)  // logical input splits
+///     .workers(2)    // physical threads executing all tasks
+///     .run(input, &One, &Count)
+///     .unwrap();
+/// assert_eq!(out.output.len(), 3);
+/// assert!(out.output.iter().all(|&(_, count)| count == 30));
+/// assert_eq!(out.metrics.shuffle_records, 90);
+/// ```
 #[derive(Debug, Clone)]
 pub struct JobBuilder {
     name: String,
@@ -211,11 +267,33 @@ impl JobBuilder {
         C: Combiner<K = M::KOut, V = M::VOut>,
         R: Reducer<KIn = M::KOut, VIn = M::VOut>,
     {
+        self.run_with_optional_combiner(input, mapper, Some(combiner), reducer)
+    }
+
+    /// Runs the job with the default [`HashPartitioner`] and a combiner that
+    /// may or may not be present — the `Option` mirrors a runtime
+    /// "combiner on/off" knob so call sites don't branch between
+    /// [`JobBuilder::run`] and [`JobBuilder::run_with_combiner`].
+    ///
+    /// # Errors
+    /// Returns [`JobError`] if the configuration is invalid.
+    pub fn run_with_optional_combiner<M, C, R>(
+        &self,
+        input: Vec<(M::KIn, M::VIn)>,
+        mapper: &M,
+        combiner: Option<&C>,
+        reducer: &R,
+    ) -> Result<JobOutput<R::KOut, R::VOut>, JobError>
+    where
+        M: Mapper,
+        C: Combiner<K = M::KOut, V = M::VOut>,
+        R: Reducer<KIn = M::KOut, VIn = M::VOut>,
+    {
         run_job_with_combiner(
             &self.name,
             input,
             mapper,
-            Some(combiner),
+            combiner,
             reducer,
             &HashPartitioner,
             self.num_reducers,
@@ -299,10 +377,14 @@ where
     let input_records = input.len() as u64;
 
     // ---- Map phase -------------------------------------------------------
+    // Each map task hash-routes its own output into one buffer per reduce
+    // partition and combines each buffer in place, so all per-record shuffle
+    // work (routing, combining, byte accounting) happens inside the parallel
+    // region — the analogue of Hadoop's partitioned, combined spill files.
     let map_start = Instant::now();
     let splits = make_splits(input, requested_map_tasks);
     let map_tasks = splits.len().max(1);
-    let map_results: Vec<MapTaskOutput<M::KOut, M::VOut>> =
+    let map_results: Vec<Vec<PartitionBuffer<M::KOut, M::VOut>>> =
         parallel_map(splits, workers, |task_id, split| {
             let mut ctx = MapContext::new(task_id, counters.clone());
             mapper.setup(&mut ctx);
@@ -310,39 +392,44 @@ where
                 mapper.map(k, v, &mut ctx);
             }
             mapper.cleanup(&mut ctx);
-            match combiner {
-                Some(c) => apply_combiner(c, ctx.emitted),
-                None => (ctx.emitted, ctx.emitted_bytes),
-            }
+            route_and_combine(ctx.emitted, combiner, partitioner, num_reducers, &counters)
         });
     let map_time = map_start.elapsed();
 
     // ---- Shuffle phase ----------------------------------------------------
+    // The pairs are already routed; the shuffle is a transpose that hands
+    // partition `p` the buffer every map task produced for it, moving whole
+    // buffers rather than records.
     let shuffle_start = Instant::now();
     let mut shuffle_records = 0u64;
     let mut shuffle_bytes = 0u64;
-    // One sorted key -> values map per reduce partition, mirroring Hadoop's
-    // merge-sort of map outputs on the reduce side.
-    let mut partitions: Vec<BTreeMap<M::KOut, Vec<M::VOut>>> =
-        (0..num_reducers).map(|_| BTreeMap::new()).collect();
-    for (emitted, bytes) in map_results {
-        shuffle_bytes += bytes;
-        for (k, v) in emitted {
-            shuffle_records += 1;
-            let p = partitioner.partition(&k, num_reducers);
-            debug_assert!(p < num_reducers, "partitioner returned out-of-range index");
-            partitions[p.min(num_reducers - 1)]
-                .entry(k)
-                .or_default()
-                .push(v);
+    let mut partition_inputs: Vec<PartitionInput<M::KOut, M::VOut>> = (0..num_reducers)
+        .map(|_| Vec::with_capacity(map_tasks))
+        .collect();
+    for task_buffers in map_results {
+        for (p, (buffer, bytes)) in task_buffers.into_iter().enumerate() {
+            shuffle_records += buffer.len() as u64;
+            shuffle_bytes += bytes;
+            partition_inputs[p].push(buffer);
         }
     }
+    counters.add(builtin::SHUFFLE_RECORDS, shuffle_records);
+    counters.add(builtin::SHUFFLE_BYTES, shuffle_bytes);
     let shuffle_time = shuffle_start.elapsed();
 
     // ---- Reduce phase ------------------------------------------------------
+    // Each reduce task merges the buffers it received into sorted key groups
+    // (the sort/group guarantee) and runs the reducer — grouping happens per
+    // partition inside the parallel region instead of globally up front.
     let reduce_start = Instant::now();
     let reduce_outputs: Vec<Vec<(R::KOut, R::VOut)>> =
-        parallel_map(partitions, workers, |task_id, groups| {
+        parallel_map(partition_inputs, workers, |task_id, buffers| {
+            let mut groups: BTreeMap<M::KOut, Vec<M::VOut>> = BTreeMap::new();
+            for buffer in buffers {
+                for (k, v) in buffer {
+                    groups.entry(k).or_default().push(v);
+                }
+            }
             let mut ctx = ReduceContext::new(task_id, counters.clone());
             reducer.setup(&mut ctx);
             for (k, vs) in &groups {
@@ -365,6 +452,8 @@ where
         input_records,
         shuffle_records,
         shuffle_bytes,
+        combine_input_records: counters.get(builtin::COMBINE_INPUT_RECORDS),
+        combine_output_records: counters.get(builtin::COMBINE_OUTPUT_RECORDS),
         output_records: output.len() as u64,
         timings: PhaseTimings {
             map: map_time,
@@ -377,25 +466,70 @@ where
     Ok(JobOutput { output, metrics })
 }
 
-/// Groups one map task's output by key, applies the combiner, and recomputes
-/// the shuffle byte count for the combined pairs.
-fn apply_combiner<C: Combiner>(
-    combiner: &C,
-    emitted: Vec<(C::K, C::V)>,
-) -> MapTaskOutput<C::K, C::V> {
-    let mut grouped: BTreeMap<C::K, Vec<C::V>> = BTreeMap::new();
+/// Routes one map task's output into one buffer per reduce partition, applies
+/// the optional combiner to each buffer, and accounts the shuffle bytes of
+/// whatever survives.  Runs inside the map task, so routing and combining are
+/// parallel across map tasks.
+fn route_and_combine<K, V, C, P>(
+    emitted: Vec<(K, V)>,
+    combiner: Option<&C>,
+    partitioner: &P,
+    num_reducers: usize,
+    counters: &Counters,
+) -> Vec<PartitionBuffer<K, V>>
+where
+    K: Clone + Ord + ByteSize,
+    V: Clone + ByteSize,
+    C: Combiner<K = K, V = V>,
+    P: Partitioner<K>,
+{
+    let mut buffers: Vec<Vec<(K, V)>> = (0..num_reducers).map(|_| Vec::new()).collect();
+    // Without a combiner the routed pairs cross the shuffle as-is, so their
+    // bytes are accounted in this same pass; with one, the accounting has to
+    // wait for the (smaller) combined buffer below.
+    let mut routed_bytes = vec![0u64; num_reducers];
     for (k, v) in emitted {
+        let p = partitioner.partition(&k, num_reducers);
+        debug_assert!(p < num_reducers, "partitioner returned out-of-range index");
+        let p = p.min(num_reducers - 1);
+        if combiner.is_none() {
+            routed_bytes[p] += (k.byte_size() + v.byte_size()) as u64;
+        }
+        buffers[p].push((k, v));
+    }
+    buffers
+        .into_iter()
+        .zip(routed_bytes)
+        .map(|(buffer, bytes)| match combiner {
+            Some(c) if !buffer.is_empty() => {
+                counters.add(builtin::COMBINE_INPUT_RECORDS, buffer.len() as u64);
+                let combined = apply_combiner(c, buffer);
+                counters.add(builtin::COMBINE_OUTPUT_RECORDS, combined.len() as u64);
+                let bytes = combined
+                    .iter()
+                    .map(|(k, v)| (k.byte_size() + v.byte_size()) as u64)
+                    .sum();
+                (combined, bytes)
+            }
+            _ => (buffer, bytes),
+        })
+        .collect()
+}
+
+/// Groups one partition buffer by key and applies the combiner, keeping keys
+/// in sorted order.
+fn apply_combiner<C: Combiner>(combiner: &C, buffer: Vec<(C::K, C::V)>) -> Vec<(C::K, C::V)> {
+    let mut grouped: BTreeMap<C::K, Vec<C::V>> = BTreeMap::new();
+    for (k, v) in buffer {
         grouped.entry(k).or_default().push(v);
     }
     let mut combined = Vec::new();
-    let mut bytes = 0u64;
     for (k, vs) in grouped {
         for v in combiner.combine(&k, &vs) {
-            bytes += (k.byte_size() + v.byte_size()) as u64;
             combined.push((k.clone(), v));
         }
     }
-    (combined, bytes)
+    combined
 }
 
 /// Splits the input into at most `n` contiguous, near-equal chunks.
@@ -723,6 +857,133 @@ mod tests {
     #[test]
     fn default_workers_is_positive() {
         assert!(default_workers() >= 1);
+    }
+
+    #[test]
+    fn output_is_bit_identical_across_worker_pool_sizes() {
+        // Stronger than "same multiset": the exact output *order* must be
+        // deterministic (partition order, sorted keys within a partition),
+        // whatever the physical pool size.
+        let input = pairs(400);
+        let reference = JobBuilder::new("det")
+            .reducers(5)
+            .map_tasks(7)
+            .workers(1)
+            .run(input.clone(), &IdMap, &SumRed)
+            .unwrap()
+            .output;
+        for workers in [2usize, 4, 16] {
+            let got = JobBuilder::new("det")
+                .reducers(5)
+                .map_tasks(7)
+                .workers(workers)
+                .run(input.clone(), &IdMap, &SumRed)
+                .unwrap()
+                .output;
+            assert_eq!(got, reference, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn builtin_counters_track_shuffle_and_combine_volume() {
+        /// Sums partial counts on the map side.
+        struct SumCombiner;
+        impl Combiner for SumCombiner {
+            type K = u64;
+            type V = u64;
+            fn combine(&self, _k: &u64, values: &[u64]) -> Vec<u64> {
+                vec![values.iter().sum()]
+            }
+        }
+        let input = pairs(600); // keys 0..10
+        let plain = JobBuilder::new("plain")
+            .reducers(4)
+            .map_tasks(3)
+            .run(input.clone(), &IdMap, &SumRed)
+            .unwrap();
+        let combined = JobBuilder::new("combined")
+            .reducers(4)
+            .map_tasks(3)
+            .run_with_combiner(input, &IdMap, &SumCombiner, &SumRed)
+            .unwrap();
+
+        // Without a combiner the combine counters stay untouched.
+        let pc = &plain.metrics.counters;
+        assert_eq!(pc.get(builtin::COMBINE_INPUT_RECORDS), 0);
+        assert_eq!(pc.get(builtin::COMBINE_OUTPUT_RECORDS), 0);
+        assert_eq!(plain.metrics.combine_input_records, 0);
+        assert_eq!(pc.get(builtin::SHUFFLE_RECORDS), 600);
+        assert_eq!(pc.get(builtin::SHUFFLE_BYTES), plain.metrics.shuffle_bytes);
+
+        // With a combiner: everything the mappers emitted entered the
+        // combiner, fewer records left it, and the shuffle counters reflect
+        // the post-combine volume.
+        let m = &combined.metrics;
+        assert_eq!(m.combine_input_records, 600);
+        assert_eq!(m.combine_output_records, 3 * 10); // tasks × keys
+        assert_eq!(m.counters.get(builtin::COMBINE_INPUT_RECORDS), 600);
+        assert_eq!(m.counters.get(builtin::COMBINE_OUTPUT_RECORDS), 30);
+        assert_eq!(m.counters.get(builtin::SHUFFLE_RECORDS), m.shuffle_records);
+        assert_eq!(m.counters.get(builtin::SHUFFLE_BYTES), m.shuffle_bytes);
+        assert!(m.shuffle_bytes < plain.metrics.shuffle_bytes);
+    }
+
+    mod combiner_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Sums partial counts on the map side (an associative, commutative
+        /// reduction, the combiner contract).
+        struct SumCombiner;
+        impl Combiner for SumCombiner {
+            type K = u64;
+            type V = u64;
+            fn combine(&self, _k: &u64, values: &[u64]) -> Vec<u64> {
+                vec![values.iter().sum()]
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+            /// The combiner contract: for an associative reduction, running
+            /// the combiner map-side must not change the reduce output, for
+            /// any input and any task topology — while never increasing the
+            /// shuffle volume.
+            #[test]
+            fn combining_is_transparent_to_the_reducer(
+                raw in proptest::collection::vec(0u64..1000, 0..300),
+                map_tasks in 1usize..12,
+                reducers in 1usize..8,
+                workers in 1usize..6,
+            ) {
+                let values: Vec<(u64, u64)> = raw.into_iter().map(|v| (v % 20, v)).collect();
+                let plain = JobBuilder::new("plain")
+                    .reducers(reducers)
+                    .map_tasks(map_tasks)
+                    .workers(workers)
+                    .run(values.clone(), &IdMap, &SumRed)
+                    .unwrap();
+                let combined = JobBuilder::new("combined")
+                    .reducers(reducers)
+                    .map_tasks(map_tasks)
+                    .workers(workers)
+                    .run_with_combiner(values, &IdMap, &SumCombiner, &SumRed)
+                    .unwrap();
+                // Same partitioner and per-partition sorted keys: the output
+                // must be identical record for record, not just as a set.
+                prop_assert_eq!(&combined.output, &plain.output);
+                prop_assert!(combined.metrics.shuffle_records <= plain.metrics.shuffle_records);
+                prop_assert!(combined.metrics.shuffle_bytes <= plain.metrics.shuffle_bytes);
+                prop_assert_eq!(
+                    combined.metrics.combine_input_records,
+                    plain.metrics.shuffle_records
+                );
+                prop_assert_eq!(
+                    combined.metrics.combine_output_records,
+                    combined.metrics.shuffle_records
+                );
+            }
+        }
     }
 
     #[test]

@@ -6,11 +6,15 @@
 //!
 //! * executes user-supplied [`Mapper`] and [`Reducer`] implementations over a
 //!   configurable number of map tasks and reduce tasks,
-//! * performs a real shuffle — intermediate pairs are routed by a
-//!   [`Partitioner`], grouped by key, and sorted — and **accounts every byte**
-//!   that crosses it (the paper's "shuffling cost" metric, Figures 8c–12c),
-//! * exposes Hadoop-style [`Counters`] and per-phase wall-clock timings
-//!   ([`JobMetrics`]), and
+//! * performs a real, *shuffle-lean* shuffle — every map task hash-routes its
+//!   output into per-reduce-partition buffers via the job's [`Partitioner`]
+//!   and runs the optional map-side [`Combiner`] before anything crosses the
+//!   shuffle; reduce tasks group and sort their partitions in parallel — and
+//!   **accounts every byte** that crosses it (the paper's "shuffling cost"
+//!   metric, Figures 8c–12c),
+//! * exposes Hadoop-style [`Counters`] — including the built-in
+//!   [`counters::builtin`] shuffle/combine counters — and per-phase
+//!   wall-clock timings ([`JobMetrics`]), and
 //! * ships a miniature distributed file system ([`dfs::InMemoryDfs`]) with
 //!   NameNode/DataNode roles, block splitting and configurable replication,
 //!   mirroring how HDFS feeds input splits to map tasks.

@@ -12,6 +12,11 @@
 //! * [`BruteForceIndex`] — a linear-scan reference implementation used by the
 //!   tests to validate the tree and by experiments that need an exact,
 //!   index-free baseline.
+//!
+//! In the PGBJ pipeline this crate is the *competitor's* machinery: PGBJ
+//! itself prunes with Voronoi distance bounds and never builds an index,
+//! which is precisely the contrast the paper's evaluation draws.  See the
+//! [`RTree`] docs for a doctest mirroring an H-BRJ reducer.
 
 pub mod bruteforce;
 pub mod rect;

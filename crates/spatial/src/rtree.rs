@@ -31,6 +31,32 @@ impl Node {
 }
 
 /// An immutable, STR bulk-loaded R-tree.
+///
+/// # Example
+///
+/// Bulk-load a block of `S` and probe it with a kNN query, exactly as an
+/// H-BRJ reducer does:
+///
+/// ```
+/// use geom::{DistanceMetric, Point};
+/// use spatial::RTree;
+///
+/// let block: Vec<Point> = (0..100)
+///     .map(|i| Point::new(i, vec![i as f64, 0.0]))
+///     .collect();
+/// let tree = RTree::bulk_load(block, DistanceMetric::Euclidean);
+///
+/// let query = Point::new(1000, vec![41.9, 0.0]);
+/// let neighbors = tree.knn(&query, 3);
+/// assert_eq!(neighbors[0].id, 42);
+/// assert_eq!(neighbors.len(), 3);
+///
+/// // `knn_counted` additionally reports the distance computations spent,
+/// // feeding the paper's computation-selectivity metric.
+/// let (same, computations) = tree.knn_counted(&query, 3);
+/// assert_eq!(same[0].id, neighbors[0].id);
+/// assert!(computations < 100, "best-first search must prune");
+/// ```
 #[derive(Debug, Clone)]
 pub struct RTree {
     root: Option<Node>,

@@ -120,9 +120,10 @@ fn join_cardinality_matches_definition() {
 
 #[test]
 fn shuffle_accounting_matches_record_sizes() {
-    // Every shuffled record of the join job is a serialised `Record`; the
-    // byte counter must therefore be exactly (R records + S replicas) × the
-    // per-record encoded size (all points have the same dimensionality).
+    // Every shuffled record of both PGBJ jobs is a serialised `Record`, so
+    // with the combiner disabled the byte counter is exactly predictable:
+    // job 1 ships |R| + |S| singleton batches (u32 cell key + record), job 2
+    // ships the routed records (u32 group key + record).
     let r = workload(7);
     let s = workload(8);
     let ctx = ExecutionContext::default();
@@ -131,15 +132,33 @@ fn shuffle_accounting_matches_record_sizes() {
         .algorithm(Algorithm::Pgbj)
         .pivot_count(16)
         .reducers(4)
+        .combiner(false)
         .run(&ctx)
         .unwrap();
     let record_bytes =
         geom::Record::new(geom::RecordKind::R, 0, 0.0, r.points()[0].clone()).encoded_len() as u64;
-    // Each emitted pair also carries its u32 group key.
-    let per_record = record_bytes + 4;
-    let expected =
-        (result.metrics.r_records_shuffled + result.metrics.s_records_shuffled) * per_record;
-    assert_eq!(result.metrics.shuffle_bytes, expected);
+    let job1_bytes = (r.len() + s.len()) as u64 * (record_bytes + 4);
+    let job2_bytes = (result.metrics.r_records_shuffled + result.metrics.s_records_shuffled)
+        * (record_bytes + 4);
+    assert_eq!(result.metrics.shuffle_bytes, job1_bytes + job2_bytes);
+
+    // The map-side combiner must strictly undercut that volume without
+    // changing the join result.
+    let combined = Join::new(&r, &s)
+        .k(5)
+        .algorithm(Algorithm::Pgbj)
+        .pivot_count(16)
+        .reducers(4)
+        .combiner(true)
+        .run(&ctx)
+        .unwrap();
+    assert!(combined.matches(&result, 0.0));
+    assert!(combined.metrics.shuffle_bytes < result.metrics.shuffle_bytes);
+    assert!(combined.metrics.shuffle_records < result.metrics.shuffle_records);
+    assert_eq!(
+        combined.metrics.combine_input_records,
+        (r.len() + s.len()) as u64
+    );
 }
 
 #[test]

@@ -161,7 +161,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Admissible lengths for [`vec`]: exact or a half-open range.
+    /// Admissible lengths for [`vec()`]: exact or a half-open range.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         min: usize,

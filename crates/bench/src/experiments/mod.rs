@@ -4,10 +4,12 @@
 
 mod effect_of_k;
 mod parameter_study;
+mod perf_baseline;
 mod sweeps;
 
 pub use effect_of_k::{fig8, fig9};
 pub use parameter_study::{fig6, fig7, table2, table3};
+pub use perf_baseline::{perf_baseline, BaselineRow};
 pub use sweeps::{fig10, fig11, fig12};
 
 use crate::json::Value;
@@ -41,9 +43,19 @@ impl ExperimentOutput {
     }
 }
 
-/// All experiment ids, in paper order.
+/// All experiment ids, in paper order; `perf_baseline` (not a paper
+/// artifact) regenerates the committed `BENCH_baseline.json`.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "table2", "table3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+    "table2",
+    "table3",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "perf_baseline",
 ];
 
 /// Runs one experiment by id.  Returns `None` for an unknown id.
@@ -58,6 +70,7 @@ pub fn run_by_id(id: &str, scale: ExperimentScale) -> Option<ExperimentOutput> {
         "fig10" => fig10(scale),
         "fig11" => fig11(scale),
         "fig12" => fig12(scale),
+        "perf_baseline" => perf_baseline(scale),
         _ => return None,
     };
     Some(out)

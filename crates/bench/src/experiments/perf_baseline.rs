@@ -1,0 +1,192 @@
+//! The persistent performance baseline: one fixed-seed workload, every
+//! algorithm, the quantities future PRs regress against.
+//!
+//! Unlike the figure experiments (which sweep a parameter), `perf_baseline`
+//! runs each join algorithm once on the default Forest-like workload and
+//! records wall time, distance computations, pivot-assignment computations
+//! and shuffle volume.  The JSON is written to `BENCH_baseline.json` (see the
+//! README) so the repository always carries a reference trajectory:
+//! computation and shuffle counts are deterministic for the fixed seed and
+//! must not regress silently; wall times are machine-dependent and
+//! indicative only.
+
+use super::ExperimentOutput;
+use crate::json::Value;
+use crate::report::{fmt_f64, Table};
+use crate::workloads::{ExperimentScale, Workloads};
+use geom::DistanceMetric;
+use knnjoin::{Algorithm, JoinBuilder};
+
+/// One algorithm's baseline measurements.
+#[derive(Debug, Clone)]
+pub struct BaselineRow {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Total wall time in seconds (machine-dependent).
+    pub wall_time_s: f64,
+    /// Join-phase distance computations (Equation 13 numerator).
+    pub distance_computations: u64,
+    /// Pruned pivot-assignment computations (PGBJ job 1 only; 0 elsewhere).
+    pub pivot_assignment_computations: u64,
+    /// Bytes crossing the shuffle across all jobs.
+    pub shuffle_bytes: u64,
+    /// Records crossing the shuffle across all jobs (post-combine).
+    pub shuffle_records: u64,
+}
+
+/// Runs the baseline workload through every algorithm.
+pub fn perf_baseline(scale: ExperimentScale) -> ExperimentOutput {
+    let workloads = Workloads::new(scale);
+    let data = workloads.forest_default();
+    let k = workloads.default_k();
+    let reducers = workloads.default_reducers();
+    let pivots = workloads.default_pivots();
+
+    let algorithms = [
+        Algorithm::Hbrj,
+        Algorithm::Pbj,
+        Algorithm::Pgbj,
+        Algorithm::BroadcastJoin,
+        Algorithm::NestedLoopJoin,
+    ];
+    let rows: Vec<BaselineRow> = algorithms
+        .iter()
+        .map(|&algorithm| {
+            let result = JoinBuilder::new(&data, &data)
+                .k(k)
+                .metric(DistanceMetric::Euclidean)
+                .algorithm(algorithm)
+                .pivot_count(pivots)
+                .reducers(reducers)
+                .run(workloads.context())
+                .expect("baseline join must succeed");
+            let m = &result.metrics;
+            BaselineRow {
+                algorithm: algorithm.name().to_string(),
+                wall_time_s: m.total_time().as_secs_f64(),
+                distance_computations: m.distance_computations,
+                pivot_assignment_computations: m.pivot_assignment_computations,
+                shuffle_bytes: m.shuffle_bytes,
+                shuffle_records: m.shuffle_records,
+            }
+        })
+        .collect();
+
+    let mut table = Table::new(
+        "Performance baseline (self-join on the default Forest-like workload)",
+        &[
+            "algorithm",
+            "wall time [s]",
+            "distance comps",
+            "pivot-assign comps",
+            "shuffle bytes",
+            "shuffle records",
+        ],
+    );
+    for row in &rows {
+        table.add_row(vec![
+            row.algorithm.clone(),
+            fmt_f64(row.wall_time_s),
+            row.distance_computations.to_string(),
+            row.pivot_assignment_computations.to_string(),
+            row.shuffle_bytes.to_string(),
+            row.shuffle_records.to_string(),
+        ]);
+    }
+
+    let json = Value::Array(
+        rows.iter()
+            .map(|row| {
+                Value::object(vec![
+                    ("algorithm", row.algorithm.as_str().into()),
+                    ("wall_time_s", row.wall_time_s.into()),
+                    (
+                        "distance_computations",
+                        (row.distance_computations as f64).into(),
+                    ),
+                    (
+                        "pivot_assignment_computations",
+                        (row.pivot_assignment_computations as f64).into(),
+                    ),
+                    ("shuffle_bytes", (row.shuffle_bytes as f64).into()),
+                    ("shuffle_records", (row.shuffle_records as f64).into()),
+                ])
+            })
+            .collect(),
+    );
+
+    ExperimentOutput {
+        id: "perf_baseline".into(),
+        paper_artifact: "Persistent perf baseline (not a paper artifact)".into(),
+        tables: vec![table],
+        json,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_covers_all_algorithms_with_sane_numbers() {
+        let out = perf_baseline(ExperimentScale::Quick);
+        assert_eq!(out.id, "perf_baseline");
+        let rows = out.json.as_array().expect("array of rows");
+        assert_eq!(rows.len(), 5);
+        let names: Vec<&str> = rows
+            .iter()
+            .map(|r| r["algorithm"].as_str().expect("name"))
+            .collect();
+        assert_eq!(
+            names,
+            vec!["H-BRJ", "PBJ", "PGBJ", "Broadcast", "NestedLoop"]
+        );
+        for row in rows {
+            assert!(row["wall_time_s"].as_f64().expect("time") >= 0.0);
+            assert!(row["distance_computations"].as_u64().expect("comps") > 0);
+        }
+        // Only PGBJ runs the partitioning MapReduce job, so only it reports
+        // pivot-assignment computations.
+        for row in rows {
+            let assign = row["pivot_assignment_computations"]
+                .as_u64()
+                .expect("assign comps");
+            if row["algorithm"].as_str() == Some("PGBJ") {
+                assert!(assign > 0);
+            } else {
+                assert_eq!(assign, 0);
+            }
+        }
+        // Distributed algorithms shuffle; the nested-loop oracle does not.
+        assert!(rows[0]["shuffle_bytes"].as_u64().expect("bytes") > 0);
+        assert_eq!(rows[4]["shuffle_bytes"].as_u64(), Some(0));
+    }
+
+    #[test]
+    fn deterministic_counters_for_fixed_seed() {
+        let a = perf_baseline(ExperimentScale::Quick);
+        let b = perf_baseline(ExperimentScale::Quick);
+        for (ra, rb) in a
+            .json
+            .as_array()
+            .expect("rows")
+            .iter()
+            .zip(b.json.as_array().expect("rows"))
+        {
+            // Everything except wall time must be identical run to run.
+            assert_eq!(
+                ra["distance_computations"].as_u64(),
+                rb["distance_computations"].as_u64()
+            );
+            assert_eq!(
+                ra["pivot_assignment_computations"].as_u64(),
+                rb["pivot_assignment_computations"].as_u64()
+            );
+            assert_eq!(ra["shuffle_bytes"].as_u64(), rb["shuffle_bytes"].as_u64());
+            assert_eq!(
+                ra["shuffle_records"].as_u64(),
+                rb["shuffle_records"].as_u64()
+            );
+        }
+    }
+}

@@ -19,7 +19,8 @@ pub mod report;
 pub mod workloads;
 
 pub use experiments::{
-    fig10, fig11, fig12, fig6, fig7, fig8, fig9, table2, table3, ExperimentOutput,
+    fig10, fig11, fig12, fig6, fig7, fig8, fig9, perf_baseline, table2, table3, BaselineRow,
+    ExperimentOutput,
 };
 pub use report::Table;
 pub use workloads::{ExperimentScale, Workloads};

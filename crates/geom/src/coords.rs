@@ -1,0 +1,218 @@
+//! Flat, cache-friendly coordinate storage.
+//!
+//! The hot loops of the join — pivot assignment in the partitioning job, the
+//! pruned scans of Algorithm 3, k-means pivot selection — spend their time
+//! computing distances between a query and a *set* of points.  Storing that
+//! set as `Vec<Point>` (each point an owned `Vec<f64>`) chases one heap
+//! pointer per candidate; [`CoordMatrix`] instead packs all coordinates into
+//! one contiguous row-major `Vec<f64>` so a scan over candidates is a linear
+//! walk the prefetcher can follow.  The [`crate::kernels`] module provides the
+//! distance functions that operate on its row slices.
+
+use crate::point::{Point, PointSet};
+
+/// A dense row-major matrix of coordinates: `rows × dims` values in one
+/// contiguous allocation.  Row `i` holds the coordinates of point `i`; ids,
+/// where needed, are kept in a parallel `Vec` by the caller (pivot identity,
+/// for example, is purely positional).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CoordMatrix {
+    data: Vec<f64>,
+    dims: usize,
+    rows: usize,
+}
+
+impl CoordMatrix {
+    /// Creates an empty matrix for points of the given dimensionality.
+    pub fn new(dims: usize) -> Self {
+        Self {
+            data: Vec::new(),
+            dims,
+            rows: 0,
+        }
+    }
+
+    /// Creates an empty matrix with room for `rows` points.
+    pub fn with_capacity(dims: usize, rows: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(dims * rows),
+            dims,
+            rows: 0,
+        }
+    }
+
+    /// Builds a matrix from a slice of points.
+    ///
+    /// # Panics
+    /// Panics if the points disagree on dimensionality.
+    pub fn from_points(points: &[Point]) -> Self {
+        let dims = points.first().map_or(0, Point::dims);
+        let mut m = Self::with_capacity(dims, points.len());
+        for p in points {
+            m.push_row(&p.coords);
+        }
+        m
+    }
+
+    /// Builds a matrix from a dataset.
+    pub fn from_point_set(set: &PointSet) -> Self {
+        Self::from_points(set.points())
+    }
+
+    /// Builds a matrix from raw parts.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` is not a multiple of `dims` (for `dims > 0`),
+    /// or if `dims == 0` and `data` is non-empty.
+    pub fn from_raw(data: Vec<f64>, dims: usize) -> Self {
+        let rows = if dims == 0 {
+            assert!(data.is_empty(), "dims == 0 requires empty data");
+            0
+        } else {
+            assert_eq!(
+                data.len() % dims,
+                0,
+                "data length must be a multiple of dims"
+            );
+            data.len() / dims
+        };
+        Self { data, dims, rows }
+    }
+
+    /// Appends one point's coordinates as a new row.
+    ///
+    /// # Panics
+    /// Panics if `coords.len() != self.dims()`.
+    pub fn push_row(&mut self, coords: &[f64]) {
+        assert_eq!(coords.len(), self.dims, "dimensionality mismatch");
+        self.data.extend_from_slice(coords);
+        self.rows += 1;
+    }
+
+    /// Number of points (rows).
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the matrix holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Dimensionality of each row.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The coordinates of row `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.dims..(i + 1) * self.dims]
+    }
+
+    /// The row as an owned [`Point`] with the given id.
+    pub fn row_point(&self, i: usize, id: u64) -> Point {
+        Point::new(id, self.row(i).to_vec())
+    }
+
+    /// Iterator over row slices.  Always yields exactly [`CoordMatrix::len`]
+    /// rows — zero-dimensional matrices yield empty slices, not nothing.
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = &[f64]> + '_ {
+        (0..self.rows).map(move |i| self.row(i))
+    }
+
+    /// The backing storage, row-major.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the coordinates of row `i` (used by the k-means
+    /// update step, which recomputes centres in place).
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.dims..(i + 1) * self.dims]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_points_round_trips_rows() {
+        let pts = vec![
+            Point::new(0, vec![1.0, 2.0]),
+            Point::new(1, vec![3.0, 4.0]),
+            Point::new(2, vec![5.0, 6.0]),
+        ];
+        let m = CoordMatrix::from_points(&pts);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.dims(), 2);
+        assert!(!m.is_empty());
+        for (i, p) in pts.iter().enumerate() {
+            assert_eq!(m.row(i), p.coords.as_slice());
+        }
+        assert_eq!(m.row_point(1, 42), Point::new(42, vec![3.0, 4.0]));
+    }
+
+    #[test]
+    fn rows_iterator_matches_indexing() {
+        let m = CoordMatrix::from_raw(vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0], 3);
+        assert_eq!(m.len(), 2);
+        let collected: Vec<&[f64]> = m.rows().collect();
+        assert_eq!(collected, vec![m.row(0), m.row(1)]);
+        assert_eq!(m.rows().len(), 2);
+    }
+
+    #[test]
+    fn push_row_and_mutation() {
+        let mut m = CoordMatrix::with_capacity(2, 4);
+        m.push_row(&[1.0, 1.0]);
+        m.push_row(&[2.0, 2.0]);
+        m.row_mut(0)[1] = 9.0;
+        assert_eq!(m.row(0), &[1.0, 9.0]);
+        assert_eq!(m.as_slice(), &[1.0, 9.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_and_zero_dim_cases() {
+        let empty = CoordMatrix::new(3);
+        assert!(empty.is_empty());
+        assert_eq!(empty.rows().count(), 0);
+        let zero_dim = CoordMatrix::from_raw(Vec::new(), 0);
+        assert_eq!(zero_dim.len(), 0);
+        let from_nothing = CoordMatrix::from_points(&[]);
+        assert_eq!(from_nothing.dims(), 0);
+    }
+
+    #[test]
+    fn zero_dim_points_still_have_rows() {
+        // Zero-dimensional datasets pass input validation upstream; the
+        // matrix must report one (empty) row per point so scans still visit
+        // every candidate at distance 0.
+        let pts = vec![Point::new(0, vec![]), Point::new(1, vec![])];
+        let m = CoordMatrix::from_points(&pts);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.rows().len(), 2);
+        assert!(m.rows().all(|r| r.is_empty()));
+        assert_eq!(m.row(1), &[] as &[f64]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn mismatched_push_panics() {
+        let mut m = CoordMatrix::new(2);
+        m.push_row(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of dims")]
+    fn ragged_raw_data_panics() {
+        let _ = CoordMatrix::from_raw(vec![1.0, 2.0, 3.0], 2);
+    }
+}

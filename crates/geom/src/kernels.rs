@@ -1,0 +1,257 @@
+//! Monomorphized distance kernels over flat coordinate slices.
+//!
+//! [`crate::DistanceMetric::distance_coords`] is convenient but pays an enum
+//! dispatch per call, and the Euclidean variant a `sqrt` per call.  The hot
+//! loops (pivot assignment, Algorithm 3 scans, k-means) instead hoist one of
+//! these kernels out of the loop and call it directly:
+//!
+//! * the plain kernels ([`euclidean`], [`manhattan`], [`chebyshev`]) compute
+//!   exactly the same value as `distance_coords` — same left-to-right
+//!   accumulation order, so results are bit-identical;
+//! * [`squared_euclidean`] skips the `sqrt`, for argmin loops that only need
+//!   the *ordering* of distances (`sqrt` is monotone);
+//! * the `*_bounded` variants take an early exit as soon as the running
+//!   partial sum proves the result can only be **≥ `bound`**: they return a
+//!   value `≥ bound` in that case and the exact kernel value otherwise.  The
+//!   partial sums accumulate in the same order as the plain kernels, so a
+//!   bounded call that runs to completion returns a bit-identical value.
+//!
+//! Squared distances are safe wherever only comparisons *within* the squared
+//! domain happen (argmin against a running best kept in the same domain).
+//! They are **not** substituted where a distance meets a triangle-inequality
+//! bound derived from true distances (the θ-window checks of Algorithm 3):
+//! squaring a threshold and rooting a sum both round, so cross-domain
+//! comparisons could flip at the last ulp.  See ARCHITECTURE.md.
+
+/// A plain distance kernel: `f(a, b)` over equal-length coordinate slices.
+pub type Kernel = fn(&[f64], &[f64]) -> f64;
+
+/// An early-exit kernel: `f(a, b, bound)` returns a value `>= bound` as soon
+/// as the result is proven to be at least `bound`, the exact value otherwise.
+pub type BoundedKernel = fn(&[f64], &[f64], f64) -> f64;
+
+/// How many accumulation steps run between early-exit bound checks.  Checking
+/// every element costs more than it saves at low dimensionality; a small
+/// block keeps the check amortised while still cutting high-dimensional scans
+/// short.
+const CHECK_EVERY: usize = 8;
+
+/// Squared Euclidean distance `Σ (aᵢ − bᵢ)²` — the L2 argmin workhorse.
+///
+/// # Panics
+/// Panics in debug builds if the slices have different lengths.
+#[inline]
+pub fn squared_euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dimensionality mismatch");
+    let mut acc = 0.0;
+    for i in 0..a.len() {
+        let d = a[i] - b[i];
+        acc += d * d;
+    }
+    acc
+}
+
+/// Euclidean distance (Equation 1 of the paper): `sqrt` of
+/// [`squared_euclidean`].  Bit-identical to
+/// `DistanceMetric::Euclidean.distance_coords`.
+#[inline]
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    squared_euclidean(a, b).sqrt()
+}
+
+/// Manhattan (L1) distance `Σ |aᵢ − bᵢ|`.
+#[inline]
+pub fn manhattan(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dimensionality mismatch");
+    let mut acc = 0.0;
+    for i in 0..a.len() {
+        acc += (a[i] - b[i]).abs();
+    }
+    acc
+}
+
+/// Chebyshev (L∞) distance `max |aᵢ − bᵢ|`.
+#[inline]
+pub fn chebyshev(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dimensionality mismatch");
+    let mut acc = 0.0f64;
+    for i in 0..a.len() {
+        acc = acc.max((a[i] - b[i]).abs());
+    }
+    acc
+}
+
+/// [`squared_euclidean`] with an early exit once the partial sum reaches
+/// `bound` (partial sums of squares only grow).  Short rows skip the bound
+/// checks entirely — at low dimensionality a check per element costs more
+/// than the arithmetic it might save.
+#[inline]
+pub fn squared_euclidean_bounded(a: &[f64], b: &[f64], bound: f64) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dimensionality mismatch");
+    let n = a.len();
+    if n <= CHECK_EVERY {
+        return squared_euclidean(a, b);
+    }
+    let mut acc = 0.0;
+    let mut i = 0;
+    while n - i > CHECK_EVERY {
+        for k in 0..CHECK_EVERY {
+            let d = a[i + k] - b[i + k];
+            acc += d * d;
+        }
+        i += CHECK_EVERY;
+        if acc >= bound {
+            return acc;
+        }
+    }
+    while i < n {
+        let d = a[i] - b[i];
+        acc += d * d;
+        i += 1;
+    }
+    acc
+}
+
+/// [`manhattan`] with an early exit once the partial sum reaches `bound`.
+#[inline]
+pub fn manhattan_bounded(a: &[f64], b: &[f64], bound: f64) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dimensionality mismatch");
+    let n = a.len();
+    if n <= CHECK_EVERY {
+        return manhattan(a, b);
+    }
+    let mut acc = 0.0;
+    let mut i = 0;
+    while n - i > CHECK_EVERY {
+        for k in 0..CHECK_EVERY {
+            acc += (a[i + k] - b[i + k]).abs();
+        }
+        i += CHECK_EVERY;
+        if acc >= bound {
+            return acc;
+        }
+    }
+    while i < n {
+        acc += (a[i] - b[i]).abs();
+        i += 1;
+    }
+    acc
+}
+
+/// [`chebyshev`] with an early exit once the running maximum reaches `bound`.
+#[inline]
+pub fn chebyshev_bounded(a: &[f64], b: &[f64], bound: f64) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dimensionality mismatch");
+    let n = a.len();
+    if n <= CHECK_EVERY {
+        return chebyshev(a, b);
+    }
+    let mut acc = 0.0f64;
+    let mut i = 0;
+    while n - i > CHECK_EVERY {
+        for k in 0..CHECK_EVERY {
+            acc = acc.max((a[i + k] - b[i + k]).abs());
+        }
+        i += CHECK_EVERY;
+        if acc >= bound {
+            return acc;
+        }
+    }
+    while i < n {
+        acc = acc.max((a[i] - b[i]).abs());
+        i += 1;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DistanceMetric;
+    use proptest::prelude::*;
+
+    #[test]
+    fn hand_computed_values() {
+        let a = [0.0, 0.0];
+        let b = [3.0, 4.0];
+        assert_eq!(squared_euclidean(&a, &b), 25.0);
+        assert_eq!(euclidean(&a, &b), 5.0);
+        assert_eq!(manhattan(&a, &b), 7.0);
+        assert_eq!(chebyshev(&a, &b), 4.0);
+    }
+
+    #[test]
+    fn bounded_variants_report_at_least_bound_when_exceeding() {
+        // 16 dims so the early exit actually triggers mid-scan.
+        let a: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let b = vec![100.0; 16];
+        for (full, bounded) in [
+            (
+                squared_euclidean as Kernel,
+                squared_euclidean_bounded as BoundedKernel,
+            ),
+            (manhattan as Kernel, manhattan_bounded as BoundedKernel),
+            (chebyshev as Kernel, chebyshev_bounded as BoundedKernel),
+        ] {
+            let exact = full(&a, &b);
+            for bound in [exact / 16.0, exact / 2.0, exact] {
+                assert!(bounded(&a, &b, bound) >= bound);
+            }
+        }
+    }
+
+    proptest! {
+        /// The kernels must agree with `DistanceMetric::distance_coords`
+        /// *exactly* (same accumulation order ⇒ same bits), which is far
+        /// stronger than the 1e-12 agreement the hot paths rely on.
+        #[test]
+        fn kernels_agree_with_distance_coords(
+            a in proptest::collection::vec(-1e3f64..1e3, 1..24),
+            b in proptest::collection::vec(-1e3f64..1e3, 1..24),
+        ) {
+            let n = a.len().min(b.len());
+            let (a, b) = (&a[..n], &b[..n]);
+            prop_assert_eq!(
+                euclidean(a, b).to_bits(),
+                DistanceMetric::Euclidean.distance_coords(a, b).to_bits()
+            );
+            prop_assert_eq!(
+                manhattan(a, b).to_bits(),
+                DistanceMetric::Manhattan.distance_coords(a, b).to_bits()
+            );
+            prop_assert_eq!(
+                chebyshev(a, b).to_bits(),
+                DistanceMetric::Chebyshev.distance_coords(a, b).to_bits()
+            );
+            prop_assert_eq!(
+                squared_euclidean(a, b).sqrt().to_bits(),
+                euclidean(a, b).to_bits()
+            );
+        }
+
+        /// A bounded kernel that is not cut short returns the exact value,
+        /// bit for bit; one with a lower bound never under-reports it.
+        #[test]
+        fn bounded_kernels_are_exact_or_prove_the_bound(
+            a in proptest::collection::vec(-1e3f64..1e3, 1..24),
+            b in proptest::collection::vec(-1e3f64..1e3, 1..24),
+            frac in 0.0f64..2.0,
+        ) {
+            let n = a.len().min(b.len());
+            let (a, b) = (&a[..n], &b[..n]);
+            for (full, bounded) in [
+                (squared_euclidean as Kernel, squared_euclidean_bounded as BoundedKernel),
+                (manhattan as Kernel, manhattan_bounded as BoundedKernel),
+                (chebyshev as Kernel, chebyshev_bounded as BoundedKernel),
+            ] {
+                let exact = full(a, b);
+                let loose = bounded(a, b, exact * 2.0 + 1.0);
+                prop_assert_eq!(loose.to_bits(), exact.to_bits());
+                let got = bounded(a, b, exact * frac);
+                if got < exact * frac {
+                    prop_assert_eq!(got.to_bits(), exact.to_bits());
+                }
+            }
+        }
+    }
+}

@@ -7,6 +7,10 @@
 //!
 //! * [`Point`] — an identified, owned vector of `f64` coordinates,
 //! * [`PointSet`] — a dataset of points with convenience accessors,
+//! * [`CoordMatrix`] — flat row-major coordinate storage for the distance
+//!   hot loops (pivot assignment, Algorithm 3 scans, index leaf scans),
+//! * [`kernels`] — monomorphized per-metric distance kernels, including the
+//!   sqrt-free [`kernels::squared_euclidean`] and early-exit variants,
 //! * [`DistanceMetric`] — L2 / L1 / L∞ distance functions,
 //! * [`Record`] / [`Record::encode`] — the compact binary encoding used by
 //!   the MapReduce layer so that shuffle volume can be accounted in bytes, and
@@ -30,11 +34,14 @@
 //! assert_eq!(ids, vec![2, 3]); // the two closest of the three
 //! ```
 
+pub mod coords;
+pub mod kernels;
 pub mod metric;
 pub mod neighbor;
 pub mod point;
 pub mod record;
 
+pub use coords::CoordMatrix;
 pub use metric::DistanceMetric;
 pub use neighbor::{Neighbor, NeighborList};
 pub use point::{Point, PointId, PointSet};

@@ -6,6 +6,7 @@
 //! here; every algorithm in the workspace is parameterised by a
 //! [`DistanceMetric`].
 
+use crate::kernels::{self, BoundedKernel, Kernel};
 use crate::point::Point;
 
 /// A metric on the `n`-dimensional space `D`.
@@ -26,26 +27,61 @@ pub enum DistanceMetric {
 impl DistanceMetric {
     /// Distance `|r, s|` between two coordinate slices.
     ///
+    /// Delegates to the monomorphized [`crate::kernels`]; hot loops should
+    /// hoist [`DistanceMetric::kernel`] instead of dispatching per call.
+    ///
     /// # Panics
     /// Panics in debug builds if the slices have different lengths.
     pub fn distance_coords(&self, a: &[f64], b: &[f64]) -> f64 {
-        debug_assert_eq!(a.len(), b.len(), "dimensionality mismatch");
         match self {
-            DistanceMetric::Euclidean => a
-                .iter()
-                .zip(b)
-                .map(|(x, y)| {
-                    let d = x - y;
-                    d * d
-                })
-                .sum::<f64>()
-                .sqrt(),
-            DistanceMetric::Manhattan => a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum(),
-            DistanceMetric::Chebyshev => a
-                .iter()
-                .zip(b)
-                .map(|(x, y)| (x - y).abs())
-                .fold(0.0, f64::max),
+            DistanceMetric::Euclidean => kernels::euclidean(a, b),
+            DistanceMetric::Manhattan => kernels::manhattan(a, b),
+            DistanceMetric::Chebyshev => kernels::chebyshev(a, b),
+        }
+    }
+
+    /// The monomorphized kernel computing this metric's true distance.
+    /// Resolving it once outside a loop replaces an enum dispatch per
+    /// candidate with a direct call.
+    pub fn kernel(&self) -> Kernel {
+        match self {
+            DistanceMetric::Euclidean => kernels::euclidean,
+            DistanceMetric::Manhattan => kernels::manhattan,
+            DistanceMetric::Chebyshev => kernels::chebyshev,
+        }
+    }
+
+    /// The kernel computing this metric's comparison *rank*: a value with the
+    /// same ordering as the true distance but cheaper to compute — the squared
+    /// distance for L2 (no `sqrt`), the distance itself for L1/L∞.  Convert
+    /// back with [`DistanceMetric::rank_to_distance`].
+    pub fn rank_kernel(&self) -> Kernel {
+        match self {
+            DistanceMetric::Euclidean => kernels::squared_euclidean,
+            DistanceMetric::Manhattan => kernels::manhattan,
+            DistanceMetric::Chebyshev => kernels::chebyshev,
+        }
+    }
+
+    /// Early-exit variant of [`DistanceMetric::rank_kernel`]: returns a value
+    /// `≥ bound` as soon as the partial accumulation proves the rank is at
+    /// least `bound` (the bound lives in rank space).
+    pub fn rank_kernel_bounded(&self) -> BoundedKernel {
+        match self {
+            DistanceMetric::Euclidean => kernels::squared_euclidean_bounded,
+            DistanceMetric::Manhattan => kernels::manhattan_bounded,
+            DistanceMetric::Chebyshev => kernels::chebyshev_bounded,
+        }
+    }
+
+    /// Converts a rank produced by [`DistanceMetric::rank_kernel`] back to the
+    /// true distance.  For L2 this is the `sqrt` the rank kernel skipped, so
+    /// `rank_to_distance(rank_kernel(a, b))` is bit-identical to
+    /// [`DistanceMetric::distance_coords`].
+    pub fn rank_to_distance(&self, rank: f64) -> f64 {
+        match self {
+            DistanceMetric::Euclidean => rank.sqrt(),
+            DistanceMetric::Manhattan | DistanceMetric::Chebyshev => rank,
         }
     }
 
@@ -101,6 +137,27 @@ mod tests {
     #[test]
     fn default_is_euclidean() {
         assert_eq!(DistanceMetric::default(), DistanceMetric::Euclidean);
+    }
+
+    #[test]
+    fn hoisted_kernels_match_dispatch() {
+        let a = [1.5, -2.0, 3.25];
+        let b = [0.5, 4.0, -1.75];
+        for m in [
+            DistanceMetric::Euclidean,
+            DistanceMetric::Manhattan,
+            DistanceMetric::Chebyshev,
+        ] {
+            let d = m.distance_coords(&a, &b);
+            assert_eq!((m.kernel())(&a, &b).to_bits(), d.to_bits());
+            let rank = (m.rank_kernel())(&a, &b);
+            assert_eq!(m.rank_to_distance(rank).to_bits(), d.to_bits());
+            // A bound above the rank leaves the bounded kernel exact.
+            assert_eq!(
+                (m.rank_kernel_bounded())(&a, &b, rank * 2.0 + 1.0).to_bits(),
+                rank.to_bits()
+            );
+        }
     }
 
     proptest! {

@@ -116,14 +116,33 @@ impl NeighborList {
     /// distance (ties broken by id).
     pub fn into_sorted(self) -> Vec<Neighbor> {
         let mut v = self.heap.into_vec();
-        v.sort();
+        v.sort_unstable();
+        v
+    }
+
+    /// Drains the neighbours, sorted by ascending distance, leaving the list
+    /// empty (but keeping its bound `k` and heap allocation).  Use this where
+    /// one accumulator is reused across queries: it moves the heap's backing
+    /// storage out instead of cloning it as [`NeighborList::to_sorted`] once
+    /// did.
+    pub fn drain_sorted(&mut self) -> Vec<Neighbor> {
+        let mut v: Vec<Neighbor> = self.heap.drain().collect();
+        v.sort_unstable();
         v
     }
 
     /// Returns the neighbours sorted by ascending distance without consuming
-    /// the accumulator.
+    /// the accumulator.  Copies the (two-word, `Copy`) entries straight out of
+    /// the heap — the heap itself is not cloned.
     pub fn to_sorted(&self) -> Vec<Neighbor> {
-        self.clone().into_sorted()
+        let mut v: Vec<Neighbor> = self.heap.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Iterator over the neighbours currently held, in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &Neighbor> {
+        self.heap.iter()
     }
 }
 
@@ -166,6 +185,37 @@ mod tests {
         assert!(!l.offer(2, 2.0));
         assert!(l.offer(3, 0.5));
         assert_eq!(l.to_sorted()[0].id, 3);
+    }
+
+    #[test]
+    fn drain_sorted_empties_but_keeps_bound() {
+        let mut l = NeighborList::new(2);
+        l.offer(1, 2.0);
+        l.offer(2, 1.0);
+        l.offer(3, 3.0);
+        let drained: Vec<_> = l.drain_sorted().iter().map(|n| n.id).collect();
+        assert_eq!(drained, vec![2, 1]);
+        assert!(l.is_empty());
+        assert_eq!(l.k(), 2);
+        assert_eq!(l.threshold(), f64::INFINITY);
+        // The accumulator is reusable after draining.
+        l.offer(9, 5.0);
+        assert_eq!(l.drain_sorted()[0].id, 9);
+    }
+
+    #[test]
+    fn to_sorted_does_not_consume_and_iter_covers_all() {
+        let mut l = NeighborList::new(3);
+        for (id, d) in [(1, 3.0), (2, 1.0), (3, 2.0)] {
+            l.offer(id, d);
+        }
+        let sorted = l.to_sorted();
+        assert_eq!(sorted.len(), 3);
+        assert_eq!(sorted[0].id, 2);
+        assert_eq!(l.len(), 3, "to_sorted must not drain");
+        let mut ids: Vec<_> = l.iter().map(|n| n.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2, 3]);
     }
 
     #[test]

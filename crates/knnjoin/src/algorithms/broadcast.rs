@@ -14,7 +14,9 @@ use crate::context::ExecutionContext;
 use crate::exact::validate_inputs;
 use crate::metrics::{phases, JoinMetrics};
 use crate::result::{JoinError, JoinResult, JoinRow};
-use geom::{DistanceMetric, Neighbor, NeighborList, Point, PointSet, Record, RecordKind};
+use geom::{
+    CoordMatrix, DistanceMetric, Neighbor, NeighborList, Point, PointSet, Record, RecordKind,
+};
 use mapreduce::{IdentityPartitioner, JobBuilder, MapContext, Mapper, ReduceContext, Reducer};
 use std::time::Instant;
 
@@ -182,10 +184,14 @@ impl Reducer for BroadcastReducer {
                 RecordKind::S => s_block.push(record.point),
             }
         }
+        // Flatten S once: the block is scanned |R_block| times, so the
+        // columnar layout and hoisted kernel pay for themselves immediately.
+        let s_coords = CoordMatrix::from_points(&s_block);
+        let kernel = self.metric.kernel();
         for r_obj in &r_block {
             let mut list = NeighborList::new(self.k);
-            for s_obj in &s_block {
-                list.offer(s_obj.id, self.metric.distance(r_obj, s_obj));
+            for (i, row) in s_coords.rows().enumerate() {
+                list.offer(s_block[i].id, kernel(&r_obj.coords, row));
             }
             ctx.counters()
                 .add(counters::DISTANCE_COMPUTATIONS, s_block.len() as u64);

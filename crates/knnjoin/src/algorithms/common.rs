@@ -4,7 +4,9 @@
 
 use crate::bounds::{hyperplane_bound, theorem2_window};
 use crate::summary::SummaryTables;
-use geom::{DistanceMetric, Neighbor, NeighborList, Point, PointId, Record};
+use geom::{
+    CoordMatrix, DistanceMetric, Neighbor, NeighborList, Point, PointId, Record, RecordKind,
+};
 use mapreduce::ByteSize;
 use std::collections::BTreeMap;
 
@@ -81,30 +83,112 @@ pub fn merge_neighbor_lists(lists: &[NeighborListValue], k: usize) -> Vec<Neighb
 #[allow(dead_code)]
 pub type RKey = PointId;
 
+/// One partition's objects in flat structure-of-data layout: coordinate rows
+/// in a contiguous [`CoordMatrix`] with ids and pivot distances in parallel
+/// vectors.  This is what the Algorithm 3 reducers scan: the candidate loop
+/// walks three dense arrays instead of chasing a `Point` heap allocation per
+/// candidate.
+#[derive(Debug, Clone, Default)]
+pub struct FlatPartition {
+    /// Object ids, parallel to the coordinate rows.
+    pub ids: Vec<PointId>,
+    /// Object-to-pivot distances, parallel to the coordinate rows.
+    pub pivot_dists: Vec<f64>,
+    /// Coordinates, one row per object.
+    pub coords: CoordMatrix,
+}
+
+impl FlatPartition {
+    /// Creates an empty partition for the given dimensionality.
+    pub fn new(dims: usize) -> Self {
+        Self {
+            ids: Vec::new(),
+            pivot_dists: Vec::new(),
+            coords: CoordMatrix::new(dims),
+        }
+    }
+
+    /// Appends one object.
+    pub fn push(&mut self, point: &Point, pivot_dist: f64) {
+        self.ids.push(point.id);
+        self.pivot_dists.push(pivot_dist);
+        self.coords.push_row(&point.coords);
+    }
+
+    /// Number of objects held.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the partition holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+/// The per-partition views an Algorithm 3 reducer works from: `R` objects
+/// grouped by partition, and the received `S` subset in flat
+/// [`FlatPartition`] storage.
+pub(crate) type ReducerPartitions = (
+    BTreeMap<usize, Vec<(Point, f64)>>,
+    BTreeMap<usize, FlatPartition>,
+);
+
+/// Decodes a reducer's received records and splits them by kind and
+/// partition (Algorithm 3 line 13), preserving arrival order: `R` objects
+/// stay as owned points (each is a query, visited once), while `S` objects
+/// are flattened straight into the columnar layout the candidate scan reads.
+/// Shared by the PGBJ group reducer and the PBJ cell reducer.
+pub(crate) fn split_reducer_records(values: &[EncodedRecord], dims: usize) -> ReducerPartitions {
+    let mut r_parts: BTreeMap<usize, Vec<(Point, f64)>> = BTreeMap::new();
+    let mut s_parts: BTreeMap<usize, FlatPartition> = BTreeMap::new();
+    for value in values {
+        let record = value.decode();
+        match record.kind {
+            RecordKind::R => r_parts
+                .entry(record.partition as usize)
+                .or_default()
+                .push((record.point, record.pivot_distance)),
+            RecordKind::S => s_parts
+                .entry(record.partition as usize)
+                .or_insert_with(|| FlatPartition::new(dims))
+                .push(&record.point, record.pivot_distance),
+        }
+    }
+    (r_parts, s_parts)
+}
+
 /// The pruned candidate scan at the heart of Algorithm 3 (lines 16–25),
 /// shared by the PGBJ reducer and the PBJ cell reducer.
 ///
 /// For one `R` object `r` (belonging to partition `r_partition`, at distance
 /// `r_pivot_dist` from its pivot), scans the received `S` objects — grouped by
-/// their partition and visited in the order `s_order` (ascending pivot
-/// distance from `p_i`) — pruning with Corollary 1, Theorem 2 and the running
-/// threshold `θ = min(θ_i, current kth distance)`.
+/// their partition in flat [`FlatPartition`] layout and visited in the order
+/// `s_order` (ascending pivot distance from `p_i`) — pruning with Corollary 1,
+/// Theorem 2 and the running threshold `θ = min(θ_i, current kth distance)`.
+///
+/// The metric's kernel is hoisted out of the loops (no enum dispatch per
+/// candidate).  All threshold comparisons stay in true-distance space: θ and
+/// the Theorem 2 window are derived from triangle-inequality bounds over true
+/// distances, and mixing them with squared ranks could flip a comparison at
+/// the last ulp (see ARCHITECTURE.md).
 ///
 /// Returns the `k` best neighbours found and the number of distance
 /// computations spent (object-to-object plus object-to-pivot, per the paper's
 /// selectivity definition).
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn bounded_knn_scan(
+pub fn bounded_knn_scan(
     r_obj: &Point,
     r_pivot_dist: f64,
     r_partition: usize,
-    s_parts: &BTreeMap<usize, Vec<(Point, f64)>>,
+    s_parts: &BTreeMap<usize, FlatPartition>,
     s_order: &[usize],
     tables: &SummaryTables,
     theta_i: f64,
     k: usize,
     metric: DistanceMetric,
 ) -> (Vec<Neighbor>, u64) {
+    let kernel = metric.kernel();
     let mut neighbors = NeighborList::new(k);
     let mut computations = 0u64;
     for &j in s_order {
@@ -112,7 +196,7 @@ pub(crate) fn bounded_knn_scan(
         let pivot_dist = tables.pivot_distance(r_partition, j);
         // Distance from r to the pivot of partition j; pivots count as
         // objects in the paper's selectivity metric.
-        let d_r_pj = metric.distance_coords(&r_obj.coords, &tables.pivots[j].coords);
+        let d_r_pj = kernel(&r_obj.coords, &tables.pivots[j].coords);
         computations += 1;
         // Corollary 1: skip the whole partition if the hyperplane between
         // p_i and p_j is already farther away than θ.
@@ -130,8 +214,9 @@ pub(crate) fn bounded_knn_scan(
             continue;
         }
         if let Some(s_bucket) = s_parts.get(&j) {
-            for (s_obj, s_pivot_dist) in s_bucket {
-                if *s_pivot_dist < lo || *s_pivot_dist > hi {
+            for idx in 0..s_bucket.len() {
+                let s_pivot_dist = s_bucket.pivot_dists[idx];
+                if s_pivot_dist < lo || s_pivot_dist > hi {
                     continue;
                 }
                 // Re-check against the current (shrinking) θ using the
@@ -140,9 +225,9 @@ pub(crate) fn bounded_knn_scan(
                 if (s_pivot_dist - d_r_pj).abs() > theta_now {
                     continue;
                 }
-                let d = metric.distance_coords(&r_obj.coords, &s_obj.coords);
+                let d = kernel(&r_obj.coords, s_bucket.coords.row(idx));
                 computations += 1;
-                neighbors.offer(s_obj.id, d);
+                neighbors.offer(s_bucket.ids[idx], d);
             }
         }
     }
@@ -151,8 +236,8 @@ pub(crate) fn bounded_knn_scan(
 
 /// Sorts the partition ids in `s_parts` by ascending pivot distance from the
 /// pivot of `r_partition` (Algorithm 3 line 14).
-pub(crate) fn order_s_partitions(
-    s_parts: &BTreeMap<usize, Vec<(Point, f64)>>,
+pub fn order_s_partitions(
+    s_parts: &BTreeMap<usize, FlatPartition>,
     r_partition: usize,
     tables: &SummaryTables,
 ) -> Vec<usize> {

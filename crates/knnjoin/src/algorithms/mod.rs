@@ -12,7 +12,7 @@
 
 mod blocks;
 mod broadcast;
-mod common;
+pub mod common;
 mod hbrj;
 mod pbj;
 mod pgbj;

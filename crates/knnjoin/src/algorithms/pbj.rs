@@ -11,7 +11,8 @@
 
 use crate::algorithms::blocks::run_block_framework;
 use crate::algorithms::common::{
-    bounded_knn_scan, counters, order_s_partitions, EncodedRecord, NeighborListValue,
+    bounded_knn_scan, counters, order_s_partitions, split_reducer_records, EncodedRecord,
+    FlatPartition, NeighborListValue,
 };
 use crate::algorithms::KnnJoinAlgorithm;
 use crate::bounds::upper_bound;
@@ -22,7 +23,7 @@ use crate::partition::VoronoiPartitioner;
 use crate::pivots::{select_pivots, PivotSelectionStrategy};
 use crate::result::{JoinError, JoinResult};
 use crate::summary::SummaryTables;
-use geom::{DistanceMetric, Point, PointSet, Record, RecordKind};
+use geom::{DistanceMetric, PointSet, Record, RecordKind};
 use mapreduce::{ReduceContext, Reducer};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -212,12 +213,12 @@ impl PbjCellReducer {
     /// the `S` objects this reducer actually received (the "looser bound" the
     /// paper attributes to PBJ): the `k`-th smallest `ub(s, P_i^R)` over the
     /// local block.
-    fn local_theta(&self, r_partition: usize, s_parts: &BTreeMap<usize, Vec<(Point, f64)>>) -> f64 {
+    fn local_theta(&self, r_partition: usize, s_parts: &BTreeMap<usize, FlatPartition>) -> f64 {
         let u_r = self.tables.r_summaries[r_partition].upper;
         let mut ubs: Vec<f64> = Vec::new();
         for (&j, bucket) in s_parts {
             let pivot_dist = self.tables.pivot_distance(r_partition, j);
-            for (_, s_pivot_dist) in bucket {
+            for s_pivot_dist in &bucket.pivot_dists {
                 ubs.push(upper_bound(u_r, pivot_dist, *s_pivot_dist));
             }
         }
@@ -241,19 +242,8 @@ impl Reducer for PbjCellReducer {
         values: &[EncodedRecord],
         ctx: &mut ReduceContext<u64, NeighborListValue>,
     ) {
-        let mut r_parts: BTreeMap<usize, Vec<(Point, f64)>> = BTreeMap::new();
-        let mut s_parts: BTreeMap<usize, Vec<(Point, f64)>> = BTreeMap::new();
-        for value in values {
-            let record = value.decode();
-            let target = match record.kind {
-                RecordKind::R => &mut r_parts,
-                RecordKind::S => &mut s_parts,
-            };
-            target
-                .entry(record.partition as usize)
-                .or_default()
-                .push((record.point, record.pivot_distance));
-        }
+        let dims = self.tables.pivots.first().map_or(0, |p| p.dims());
+        let (r_parts, s_parts) = split_reducer_records(values, dims);
 
         for (&i, r_bucket) in &r_parts {
             let s_order = order_s_partitions(&s_parts, i, &self.tables);

@@ -14,7 +14,9 @@
 //!    to all groups whose bound cannot exclude it (Theorem 6); each reducer
 //!    runs the bounded nested-loop join of Algorithm 3 over its group.
 
-use crate::algorithms::common::{bounded_knn_scan, counters, order_s_partitions, EncodedRecord};
+use crate::algorithms::common::{
+    bounded_knn_scan, counters, order_s_partitions, split_reducer_records, EncodedRecord,
+};
 use crate::algorithms::KnnJoinAlgorithm;
 use crate::bounds::PartitionBounds;
 use crate::context::ExecutionContext;
@@ -29,7 +31,6 @@ use geom::{DistanceMetric, Neighbor, Point, PointSet, Record, RecordKind};
 use mapreduce::{
     ByteSize, Combiner, IdentityPartitioner, JobBuilder, MapContext, Mapper, ReduceContext, Reducer,
 };
-use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -263,7 +264,10 @@ impl ByteSize for RecordBatch {
     }
 }
 
-/// Mapper of job 1: assign each object to its closest pivot.
+/// Mapper of job 1: assign each object to its closest pivot via the pruned
+/// [`VoronoiPartitioner::nearest_pivot`], crediting the pivot-assignment
+/// counter with the distance computations actually spent (the pruned scan
+/// usually touches far fewer than `|P|` pivots).
 struct PartitionMapper {
     partitioner: Arc<VoronoiPartitioner>,
 }
@@ -276,10 +280,19 @@ impl Mapper for PartitionMapper {
 
     fn map(&self, _key: &u64, value: &EncodedRecord, ctx: &mut MapContext<u32, RecordBatch>) {
         let record = value.decode();
-        let (partition, distance) = self.partitioner.assign(&record.point);
-        let out = Record::new(record.kind, partition as u32, distance, record.point);
+        let assignment = self.partitioner.nearest_pivot(&record.point.coords);
+        ctx.counters().add(
+            counters::PIVOT_ASSIGNMENT_COMPUTATIONS,
+            assignment.computations,
+        );
+        let out = Record::new(
+            record.kind,
+            assignment.partition as u32,
+            assignment.distance,
+            record.point,
+        );
         ctx.emit(
-            partition as u32,
+            assignment.partition as u32,
             RecordBatch(vec![EncodedRecord::encode(&out)]),
         );
     }
@@ -449,20 +462,10 @@ impl Reducer for PgbjJoinReducer {
         ctx: &mut ReduceContext<u64, Vec<Neighbor>>,
     ) {
         // Parse the group's R objects by partition and the received S subset
-        // by partition (line 13).
-        let mut r_parts: BTreeMap<usize, Vec<(Point, f64)>> = BTreeMap::new();
-        let mut s_parts: BTreeMap<usize, Vec<(Point, f64)>> = BTreeMap::new();
-        for value in values {
-            let record = value.decode();
-            let target = match record.kind {
-                RecordKind::R => &mut r_parts,
-                RecordKind::S => &mut s_parts,
-            };
-            target
-                .entry(record.partition as usize)
-                .or_default()
-                .push((record.point, record.pivot_distance));
-        }
+        // by partition (line 13); S lands in flat structure-of-data storage,
+        // which the Algorithm 3 candidate loop scans once per R object.
+        let dims = self.tables.pivots.first().map_or(0, |p| p.dims());
+        let (r_parts, s_parts) = split_reducer_records(values, dims);
 
         for (&i, r_bucket) in &r_parts {
             // Sort the S partitions by pivot distance to p_i (line 14): close
@@ -679,6 +682,10 @@ mod tests {
             "every S object reaches at least one group"
         );
         assert!(m.distance_computations > 0);
+        // Job 1 accounts its pruned pivot-assignment work: at least one
+        // computation per object, at most the nominal |R ∪ S| · |P| budget.
+        assert!(m.pivot_assignment_computations >= 600);
+        assert!(m.pivot_assignment_computations <= 600 * 20);
         assert!(m.shuffle_bytes > 0);
         assert!(m.computation_selectivity() > 0.0 && m.computation_selectivity() <= 1.1);
         assert!(m.average_replication() >= 1.0);

@@ -7,7 +7,7 @@
 
 use crate::metrics::{phases, JoinMetrics};
 use crate::result::{JoinError, JoinResult, JoinRow};
-use geom::{DistanceMetric, NeighborList, PointSet};
+use geom::{CoordMatrix, DistanceMetric, NeighborList, PointSet};
 use std::time::Instant;
 
 /// The exact nested-loop kNN join.
@@ -29,12 +29,16 @@ impl NestedLoopJoin {
     ) -> Result<JoinResult, JoinError> {
         validate_inputs(r, s, k)?;
         let start = Instant::now();
+        // S is scanned |R| times: flatten it once and hoist the kernel.
+        let s_coords = CoordMatrix::from_point_set(s);
+        let s_ids: Vec<u64> = s.iter().map(|p| p.id).collect();
+        let kernel = metric.kernel();
         let mut rows = Vec::with_capacity(r.len());
         let mut computations = 0u64;
         for r_obj in r {
             let mut list = NeighborList::new(k);
-            for s_obj in s {
-                list.offer(s_obj.id, metric.distance(r_obj, s_obj));
+            for (i, row) in s_coords.rows().enumerate() {
+                list.offer(s_ids[i], kernel(&r_obj.coords, row));
                 computations += 1;
             }
             rows.push(JoinRow {

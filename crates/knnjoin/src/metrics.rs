@@ -19,6 +19,12 @@ pub mod counters {
     /// Distance computations performed in the join phase (between `R` objects
     /// and `S` objects or pivots) — the numerator of Equation 13.
     pub const DISTANCE_COMPUTATIONS: &str = "distance_computations";
+    /// Point-to-pivot distance computations spent assigning objects to their
+    /// Voronoi cell in the partitioning job.  Reported separately from
+    /// [`DISTANCE_COMPUTATIONS`] so Equation 13 keeps the paper's definition;
+    /// the count is the number *actually* spent by the pruned
+    /// `nearest_pivot`, not the nominal `|R ∪ S| · |P|`.
+    pub const PIVOT_ASSIGNMENT_COMPUTATIONS: &str = "pivot_assignment_computations";
     /// Number of `R` records emitted by the join job's mappers.
     pub const R_RECORDS: &str = "r_records_shuffled";
     /// Number of `S` records (replicas included) emitted by the join job's
@@ -52,6 +58,11 @@ pub struct JoinMetrics {
     /// phase (between `R` objects and `S` objects *or pivots*, per the paper's
     /// definition of selectivity).
     pub distance_computations: u64,
+    /// Point-to-pivot distance computations spent by the partitioning job's
+    /// pruned nearest-pivot assignment (PGBJ job 1).  Kept separate from
+    /// [`JoinMetrics::distance_computations`] so the selectivity of
+    /// Equation 13 stays comparable with the paper.
+    pub pivot_assignment_computations: u64,
     /// Number of `R` records shuffled to reducers in the join job.
     pub r_records_shuffled: u64,
     /// Number of `S` records (replicas included) shuffled to reducers in the
@@ -91,6 +102,8 @@ impl JoinMetrics {
         self.combine_input_records += job.combine_input_records;
         self.combine_output_records += job.combine_output_records;
         self.distance_computations += job.counters.get(counters::DISTANCE_COMPUTATIONS);
+        self.pivot_assignment_computations +=
+            job.counters.get(counters::PIVOT_ASSIGNMENT_COMPUTATIONS);
         self.r_records_shuffled += job.counters.get(counters::R_RECORDS);
         self.s_records_shuffled += job.counters.get(counters::S_RECORDS);
     }
@@ -185,6 +198,7 @@ mod tests {
             ..Default::default()
         };
         job.counters.add(counters::DISTANCE_COMPUTATIONS, 7);
+        job.counters.add(counters::PIVOT_ASSIGNMENT_COMPUTATIONS, 5);
         job.counters.add(counters::R_RECORDS, 40);
         join.absorb_job(&job);
         join.absorb_job(&job); // a second job of the same algorithm
@@ -193,6 +207,7 @@ mod tests {
         assert_eq!(join.combine_input_records, 300);
         assert_eq!(join.combine_output_records, 200);
         assert_eq!(join.distance_computations, 14);
+        assert_eq!(join.pivot_assignment_computations, 10);
         assert_eq!(join.r_records_shuffled, 80);
         assert_eq!(join.s_records_shuffled, 0);
     }

@@ -7,13 +7,49 @@
 //! object to its pivot — that distance is shipped with the object and drives
 //! all later pruning.
 
-use geom::{DistanceMetric, Point, PointSet};
+use geom::{CoordMatrix, DistanceMetric, Point, PointSet};
 
 /// Assigns objects to generalized Voronoi cells around a fixed pivot set.
+///
+/// Pivot coordinates are held in a flat [`CoordMatrix`] so the assignment
+/// scan walks one contiguous allocation, and the pairwise pivot distances are
+/// precomputed once at construction: they power the Elkan-style triangle
+/// -inequality pruning of [`VoronoiPartitioner::nearest_pivot`].
 #[derive(Debug, Clone)]
 pub struct VoronoiPartitioner {
     pivots: Vec<Point>,
+    matrix: CoordMatrix,
+    /// Flat `t × t` pairwise pivot distances, `pair[i * t + j] = |p_i, p_j|`.
+    pair: Vec<f64>,
+    /// The reference pivot `p_r` anchoring the search window: the most
+    /// eccentric pivot (maximum summed distance to the others), since an
+    /// eccentric reference spreads the `|p_r, p_j|` values and makes the
+    /// window bound `|q, p_j| ≥ ||p_r, p_j| − |q, p_r||` more selective.
+    ref_pivot: usize,
+    /// Pivot indices sorted by distance from the reference pivot, with the
+    /// matching distances in `ref_dists`.  [`nearest_pivot`] binary-searches
+    /// this list and expands outwards, so pivots pruned by the reference
+    /// bound are never even visited.
+    ///
+    /// [`nearest_pivot`]: VoronoiPartitioner::nearest_pivot
+    ref_order: Vec<u32>,
+    /// `ref_dists[i] = |p_r, p_{ref_order[i]}|`, ascending.
+    ref_dists: Vec<f64>,
     metric: DistanceMetric,
+}
+
+/// The outcome of one nearest-pivot search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PivotAssignment {
+    /// Index of the closest pivot (smallest index on exact ties).
+    pub partition: usize,
+    /// Distance to that pivot.
+    pub distance: f64,
+    /// Point-to-pivot distance computations actually performed.  The
+    /// brute-force scan spends exactly `|P|`; the pruned scan usually far
+    /// fewer — this is the number that feeds the paper's selectivity
+    /// accounting, so it reports what was really spent.
+    pub computations: u64,
 }
 
 /// One object together with its partition assignment.
@@ -87,16 +123,64 @@ pub fn size_statistics(sizes: &[usize]) -> (usize, usize, f64, f64) {
 impl VoronoiPartitioner {
     /// Creates a partitioner for the given pivots and metric.
     ///
+    /// Builds the flat pivot [`CoordMatrix`] and the `|P|²` pairwise pivot
+    /// distance table (the same table PGBJ's summary step needs anyway) that
+    /// the pruned assignment relies on.
+    ///
     /// # Panics
     /// Panics if `pivots` is empty.
     pub fn new(pivots: Vec<Point>, metric: DistanceMetric) -> Self {
         assert!(!pivots.is_empty(), "need at least one pivot");
-        Self { pivots, metric }
+        let matrix = CoordMatrix::from_points(&pivots);
+        let t = matrix.len();
+        let kernel = metric.kernel();
+        let mut pair = vec![0.0; t * t];
+        for i in 0..t {
+            for j in (i + 1)..t {
+                let d = kernel(matrix.row(i), matrix.row(j));
+                pair[i * t + j] = d;
+                pair[j * t + i] = d;
+            }
+        }
+        let row_sums: Vec<f64> = (0..t)
+            .map(|i| pair[i * t..(i + 1) * t].iter().sum())
+            .collect();
+        let ref_pivot = (0..t)
+            .max_by(|&a, &b| {
+                row_sums[a]
+                    .partial_cmp(&row_sums[b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("at least one pivot");
+        let mut ref_order: Vec<u32> = (0..t as u32).collect();
+        ref_order.sort_by(|&a, &b| {
+            pair[ref_pivot * t + a as usize]
+                .partial_cmp(&pair[ref_pivot * t + b as usize])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let ref_dists: Vec<f64> = ref_order
+            .iter()
+            .map(|&j| pair[ref_pivot * t + j as usize])
+            .collect();
+        Self {
+            pivots,
+            matrix,
+            pair,
+            ref_pivot,
+            ref_order,
+            ref_dists,
+            metric,
+        }
     }
 
     /// The pivots this partitioner was built with.
     pub fn pivots(&self) -> &[Point] {
         &self.pivots
+    }
+
+    /// The pivot coordinates in flat row-major storage.
+    pub fn pivot_matrix(&self) -> &CoordMatrix {
+        &self.matrix
     }
 
     /// The number of partitions.
@@ -109,41 +193,247 @@ impl VoronoiPartitioner {
         self.metric
     }
 
-    /// Finds the closest pivot of `p`, returning `(pivot index, distance)` and
-    /// the number of distance computations spent (always `|P|`).
+    /// Finds the closest pivot of `p`, returning `(pivot index, distance)`.
+    /// Shorthand for [`VoronoiPartitioner::nearest_pivot`] where the caller
+    /// does not track the computation count.
+    pub fn assign(&self, p: &Point) -> (usize, f64) {
+        let a = self.nearest_pivot(&p.coords);
+        (a.partition, a.distance)
+    }
+
+    /// Finds the closest pivot of the query, pruning candidates with the
+    /// triangle inequality applied to the precomputed pivot-pivot table:
     ///
-    /// Exact ties are reported as the smallest pivot index; the
-    /// fewer-objects tie-break of footnote 1 is applied by
+    /// * **Reference window** — with `d_r = |q, p_r|` to the reference pivot
+    ///   in hand, every pivot satisfies `|q, p_j| ≥ ||p_r, p_j| − d_r|`, so
+    ///   only pivots whose distance from `p_r` falls inside
+    ///   `(d_r − best, d_r + best)` can beat the current best.  Pivots are
+    ///   pre-sorted by `|p_r, p_j|`, so the
+    ///   search binary-searches to `d_0` and expands outwards, stopping each
+    ///   direction as soon as the bound exceeds the shrinking best distance —
+    ///   pruned pivots are never visited at all.
+    /// * **Elkan bound on the running best** — a surviving candidate `p_j` is
+    ///   still skipped when `|p_b, p_j| ≥ 2·d_b` for the best-so-far pivot
+    ///   `p_b` (then `|q, p_j| ≥ |p_b, p_j| − d_b ≥ d_b` cannot win).
+    ///
+    /// Surviving candidates are compared in rank space (squared distances
+    /// under L2 — no `sqrt`, no enum dispatch).  They are computed with the
+    /// full (non-early-exit) kernels: the window and Elkan bounds have
+    /// already discarded the far candidates a partial-sum exit would have
+    /// saved, and an unconditional kernel body measures faster than one with
+    /// a bound check in the middle.  Exact ties at the pruning boundary are
+    /// deliberately *not* skipped (both rules fire strictly), so the result
+    /// is the same `(pivot index, distance)` as the brute-force argmin —
+    /// smallest index on exact ties — together with the number of distance
+    /// computations *actually* spent (it used to be reported as "always
+    /// `|P|`"; see [`PivotAssignment::computations`]).  The fewer-objects
+    /// tie-break of footnote 1 is applied by
     /// [`VoronoiPartitioner::partition`], which knows the current partition
     /// sizes.
-    pub fn assign(&self, p: &Point) -> (usize, f64) {
+    pub fn nearest_pivot(&self, query: &[f64]) -> PivotAssignment {
+        // One dispatch per query; each arm monomorphizes the search with the
+        // metric's kernels inlined into the candidate loop.
+        match self.metric {
+            DistanceMetric::Euclidean => {
+                self.nearest_pivot_impl(query, geom::kernels::squared_euclidean, f64::sqrt)
+            }
+            DistanceMetric::Manhattan => {
+                self.nearest_pivot_impl(query, geom::kernels::manhattan, |r| r)
+            }
+            DistanceMetric::Chebyshev => {
+                self.nearest_pivot_impl(query, geom::kernels::chebyshev, |r| r)
+            }
+        }
+    }
+
+    /// The monomorphized search behind [`VoronoiPartitioner::nearest_pivot`]:
+    /// `rank_full` computes the metric's comparison rank and `to_distance`
+    /// converts a rank back to a true distance.
+    // The final `flush!` expansion leaves its state updates dead, which is
+    // inherent to reusing the macros for both walk directions.
+    #[allow(unused_assignments)]
+    #[inline]
+    fn nearest_pivot_impl(
+        &self,
+        query: &[f64],
+        rank_full: impl Fn(&[f64], &[f64]) -> f64,
+        to_distance: impl Fn(f64) -> f64,
+    ) -> PivotAssignment {
+        let t = self.matrix.len();
+        let mut best = self.ref_pivot;
+        let mut best_rank = rank_full(query, self.matrix.row(best));
+        let mut best_d = to_distance(best_rank);
+        let mut computations = 1u64;
+        if t == 1 {
+            return PivotAssignment {
+                partition: 0,
+                distance: best_d,
+                computations,
+            };
+        }
+        let d0 = best_d;
+        let ref_dists = &self.ref_dists[..t];
+        let ref_order = &self.ref_order[..t];
+        // Branchless lower bound: first position with `ref_dists[pos] >= d0`.
+        let pos = {
+            let mut left = 0usize;
+            let mut size = t;
+            while size > 1 {
+                let half = size / 2;
+                let mid = left + half;
+                left = if ref_dists[mid] < d0 { mid } else { left };
+                size -= half;
+            }
+            left + usize::from(ref_dists[left] < d0)
+        };
+        // Walk the reference-sorted pivots outwards from d0, one monotone
+        // direction at a time; each stops once its reference bound passes the
+        // shrinking best distance.  The reference pivot is already computed;
+        // the Elkan bound against the running best is strict, so exact ties
+        // are still computed and resolved towards the smaller index (the
+        // reference may start as `best` with a non-minimal index, but any
+        // equal-or-better candidate later replaces it through the same
+        // rules).  Surviving candidates are computed two at a time: each
+        // distance still accumulates left-to-right on its own
+        // (bit-identical), but the two chains are independent, so the CPU
+        // overlaps them.
+        let mut elkan_row = &self.pair[best * t..(best + 1) * t];
+        // Bounds hoisted out of the per-visit checks; refreshed on update.
+        let mut two_best = 2.0 * best_d;
+        let mut win_lo = d0 - best_d;
+        let mut win_hi = d0 + best_d;
+        macro_rules! resolve {
+            ($j:expr, $rank:expr) => {
+                if $rank < best_rank || ($rank == best_rank && $j < best) {
+                    best_rank = $rank;
+                    best = $j;
+                    best_d = to_distance($rank);
+                    elkan_row = &self.pair[best * t..(best + 1) * t];
+                    two_best = 2.0 * best_d;
+                    win_lo = d0 - best_d;
+                    win_hi = d0 + best_d;
+                }
+            };
+        }
+        const NONE: usize = usize::MAX;
+        let mut pending = NONE;
+        let ref_pivot = self.ref_pivot;
+        macro_rules! admit {
+            ($cand:expr) => {
+                let j = $cand;
+                if j != ref_pivot && elkan_row[j] <= two_best {
+                    if pending == NONE {
+                        pending = j;
+                    } else {
+                        let j1 = pending;
+                        pending = NONE;
+                        let r1 = rank_full(query, self.matrix.row(j1));
+                        let r2 = rank_full(query, self.matrix.row(j));
+                        computations += 2;
+                        resolve!(j1, r1);
+                        resolve!(j, r2);
+                    }
+                }
+            };
+        }
+        macro_rules! flush {
+            () => {
+                if pending != NONE {
+                    let r = rank_full(query, self.matrix.row(pending));
+                    computations += 1;
+                    resolve!(pending, r);
+                    pending = NONE;
+                }
+            };
+        }
+        for i in pos..t {
+            if ref_dists[i] > win_hi {
+                break;
+            }
+            admit!(ref_order[i] as usize);
+        }
+        flush!();
+        for i in (0..pos).rev() {
+            if ref_dists[i] < win_lo {
+                break;
+            }
+            admit!(ref_order[i] as usize);
+        }
+        flush!();
+        PivotAssignment {
+            partition: best,
+            distance: best_d,
+            computations,
+        }
+    }
+
+    /// The unpruned reference scan: computes all `|P|` pivot distances.  Kept
+    /// as the correctness oracle for [`VoronoiPartitioner::nearest_pivot`]
+    /// and as the baseline the criterion benches compare against.
+    ///
+    /// The argmin runs in the same rank space as the pruned search (squared
+    /// distances under L2): `sqrt` is monotone but can collapse two ranks a
+    /// single ulp apart onto the same distance double, so comparing in one
+    /// domain everywhere is what makes the two paths agree *exactly*, ties
+    /// included.
+    pub fn nearest_pivot_bruteforce(&self, query: &[f64]) -> PivotAssignment {
+        let rank_kernel = self.metric.rank_kernel();
         let mut best = 0usize;
-        let mut best_d = f64::INFINITY;
-        for (i, pivot) in self.pivots.iter().enumerate() {
-            let d = self.metric.distance(p, pivot);
-            if d < best_d {
-                best_d = d;
+        let mut best_rank = f64::INFINITY;
+        for (i, row) in self.matrix.rows().enumerate() {
+            let rank = rank_kernel(query, row);
+            if rank < best_rank {
+                best_rank = rank;
                 best = i;
             }
         }
-        (best, best_d)
+        PivotAssignment {
+            partition: best,
+            distance: self.metric.rank_to_distance(best_rank),
+            computations: self.matrix.len() as u64,
+        }
     }
 
     /// Partitions a whole dataset, applying the paper's tie-breaking rule
     /// (ties go to the partition currently holding fewer objects).
+    ///
+    /// Uses the same triangle-inequality pruning as
+    /// [`VoronoiPartitioner::nearest_pivot`], with the skip threshold widened
+    /// by the tie tolerance: a pivot is only skipped when it provably can
+    /// neither improve the minimum *nor* tie with it within `f64::EPSILON`,
+    /// so the tie set (and therefore the size-balancing assignment) is
+    /// identical to the exhaustive scan's.
     pub fn partition(&self, data: &PointSet) -> PartitionedDataset {
-        let mut partitions: Vec<Vec<(Point, f64)>> = vec![Vec::new(); self.pivots.len()];
+        let t = self.matrix.len();
+        let rank_full = self.metric.rank_kernel();
+        let mut partitions: Vec<Vec<(Point, f64)>> = vec![Vec::new(); t];
+        let mut ties: Vec<usize> = Vec::new();
         for p in data {
-            let mut best_d = f64::INFINITY;
-            let mut ties: Vec<usize> = Vec::new();
-            for (i, pivot) in self.pivots.iter().enumerate() {
-                let d = self.metric.distance(p, pivot);
+            let mut best = 0usize;
+            let mut best_d = self
+                .metric
+                .rank_to_distance(rank_full(&p.coords, self.matrix.row(0)));
+            ties.clear();
+            ties.push(0);
+            for j in 1..t {
+                // Skip only when |q, p_j| ≥ |p_best, p_j| − best_d lies
+                // strictly above the tie band around best_d (the small
+                // absolute cushion absorbs the rounding of the precomputed
+                // pair distance).
+                let threshold = 2.0 * best_d + 2.0 * f64::EPSILON;
+                if self.pair[best * t + j] > threshold + threshold.abs() * 1e-12 {
+                    continue;
+                }
+                let d = self
+                    .metric
+                    .rank_to_distance(rank_full(&p.coords, self.matrix.row(j)));
                 if d < best_d - f64::EPSILON {
                     best_d = d;
+                    best = j;
                     ties.clear();
-                    ties.push(i);
+                    ties.push(j);
                 } else if (d - best_d).abs() <= f64::EPSILON {
-                    ties.push(i);
+                    ties.push(j);
                 }
             }
             let target = ties
@@ -245,6 +535,125 @@ mod tests {
     #[should_panic(expected = "at least one pivot")]
     fn empty_pivots_panic() {
         let _ = VoronoiPartitioner::new(Vec::new(), DistanceMetric::Euclidean);
+    }
+
+    #[test]
+    fn nearest_pivot_reports_actual_computations() {
+        // Well-separated pivots + a query close to one of them: the triangle
+        // inequality must rule out most pivots without computing them.
+        let pivots: Vec<Point> = uniform(64, 3, 1000.0, 17).into_points();
+        let part = VoronoiPartitioner::new(pivots, DistanceMetric::Euclidean);
+        let data = uniform(200, 3, 1000.0, 18);
+        let mut total = 0u64;
+        for p in &data {
+            let a = part.nearest_pivot(&p.coords);
+            assert!(a.computations >= 1);
+            assert!(a.computations <= 64);
+            total += a.computations;
+        }
+        assert!(
+            total < 200 * 64,
+            "pruned assignment spent the full |P| budget ({total} computations) — no pruning"
+        );
+        // The brute-force oracle always reports exactly |P|.
+        let brute = part.nearest_pivot_bruteforce(&data.points()[0].coords);
+        assert_eq!(brute.computations, 64);
+    }
+
+    #[test]
+    fn pruned_and_bruteforce_agree_on_lattice_ties() {
+        // Symmetric lattice: exact distance ties between pivots exercise the
+        // `>=` skip rule at equality.
+        let pivots = vec![
+            Point::new(0, vec![-1.0, 0.0]),
+            Point::new(1, vec![1.0, 0.0]),
+            Point::new(2, vec![0.0, 2.0]),
+        ];
+        for metric in [
+            DistanceMetric::Euclidean,
+            DistanceMetric::Manhattan,
+            DistanceMetric::Chebyshev,
+        ] {
+            let part = VoronoiPartitioner::new(pivots.clone(), metric);
+            for y in -3..=3 {
+                for x in -3..=3 {
+                    let q = [x as f64, y as f64];
+                    let pruned = part.nearest_pivot(&q);
+                    let brute = part.nearest_pivot_bruteforce(&q);
+                    assert_eq!(pruned.partition, brute.partition, "{metric:?} at {q:?}");
+                    assert_eq!(
+                        pruned.distance.to_bits(),
+                        brute.distance.to_bits(),
+                        "{metric:?} at {q:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// The pruned scan must return the *identical* `(pivot, distance)` as
+        /// the brute-force argmin for every metric — pruning may only skip
+        /// pivots that provably cannot win.
+        #[test]
+        fn pruned_nearest_pivot_equals_bruteforce(
+            n_pivots in 1usize..48,
+            n_queries in 1usize..40,
+            dims in 1usize..6,
+            seed in 0u64..1000,
+            which in 0usize..3,
+        ) {
+            let metric = [
+                DistanceMetric::Euclidean,
+                DistanceMetric::Manhattan,
+                DistanceMetric::Chebyshev,
+            ][which];
+            let pivots: Vec<Point> = uniform(n_pivots, dims, 100.0, seed).into_points();
+            let part = VoronoiPartitioner::new(pivots, metric);
+            for q in &uniform(n_queries, dims, 100.0, seed ^ 0x1234) {
+                let pruned = part.nearest_pivot(&q.coords);
+                let brute = part.nearest_pivot_bruteforce(&q.coords);
+                prop_assert_eq!(pruned.partition, brute.partition);
+                prop_assert_eq!(pruned.distance.to_bits(), brute.distance.to_bits());
+                prop_assert!(pruned.computations <= brute.computations);
+            }
+        }
+
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        /// Pruning inside `partition` must not change any assignment (the
+        /// epsilon tie-band is preserved, so the size-balancing tie-break sees
+        /// the same candidate sets).
+        #[test]
+        fn pruned_partitioning_matches_exhaustive_semantics(
+            n in 1usize..150,
+            n_pivots in 1usize..16,
+            seed in 0u64..300,
+            which in 0usize..3,
+        ) {
+            let metric = [
+                DistanceMetric::Euclidean,
+                DistanceMetric::Manhattan,
+                DistanceMetric::Chebyshev,
+            ][which];
+            let data = uniform(n, 3, 100.0, seed);
+            let pivots: Vec<Point> = uniform(n_pivots, 3, 100.0, seed ^ 0xbeef).into_points();
+            let part = VoronoiPartitioner::new(pivots.clone(), metric);
+            let pd = part.partition(&data);
+            prop_assert_eq!(pd.len(), n);
+            for (i, bucket) in pd.partitions.iter().enumerate() {
+                for (p, d) in bucket {
+                    let brute = part.nearest_pivot_bruteforce(&p.coords);
+                    prop_assert_eq!(brute.distance.to_bits(), d.to_bits());
+                    // The assigned pivot is a true minimiser (up to the tie band).
+                    let assigned = metric.distance(p, &pivots[i]);
+                    prop_assert!((assigned - brute.distance).abs() <= f64::EPSILON);
+                }
+            }
+        }
     }
 
     proptest! {

@@ -11,7 +11,7 @@
 //! * **k-means selection** — run k-means on a sample and use the cluster
 //!   centroids (which need not be dataset objects) as pivots.
 
-use geom::{DistanceMetric, Point, PointSet};
+use geom::{CoordMatrix, DistanceMetric, Point, PointSet};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -139,11 +139,15 @@ fn farthest_selection(
     metric: DistanceMetric,
     rng: &mut StdRng,
 ) -> Vec<Point> {
+    let kernel = metric.kernel();
     let mut pivots: Vec<Point> = Vec::with_capacity(count);
     let first = sample[rng.gen_range(0..sample.len())].clone();
     // Summed distance from every sample object to the chosen pivots,
     // maintained incrementally so selection is O(count · |sample|).
-    let mut summed: Vec<f64> = sample.iter().map(|p| metric.distance(p, &first)).collect();
+    let mut summed: Vec<f64> = sample
+        .iter()
+        .map(|p| kernel(&p.coords, &first.coords))
+        .collect();
     pivots.push(first);
     while pivots.len() < count {
         let (best_idx, _) = summed
@@ -153,7 +157,7 @@ fn farthest_selection(
             .expect("sample is non-empty");
         let next = sample[best_idx].clone();
         for (i, p) in sample.iter().enumerate() {
-            summed[i] += metric.distance(p, &next);
+            summed[i] += kernel(&p.coords, &next.coords);
         }
         // Prevent re-selection by zeroing out the chosen object's score.
         summed[best_idx] = f64::NEG_INFINITY;
@@ -162,6 +166,10 @@ fn farthest_selection(
     pivots
 }
 
+/// Lloyd's algorithm over flat coordinate storage: the sample and the centres
+/// both live in [`CoordMatrix`]es, and the assignment argmin compares ranks
+/// (squared distances under L2) with an early-exit partial sum — the same
+/// kernel discipline as `VoronoiPartitioner::nearest_pivot`.
 fn kmeans_selection(
     sample: &[Point],
     count: usize,
@@ -170,49 +178,51 @@ fn kmeans_selection(
     rng: &mut StdRng,
 ) -> Vec<Point> {
     let dims = sample[0].dims();
+    let flat_sample = CoordMatrix::from_points(sample);
     // Initialise centres with a random subset of the sample.
-    let mut centers: Vec<Vec<f64>> = sample
-        .choose_multiple(rng, count)
-        .map(|p| p.coords.clone())
-        .collect();
+    let mut centers = CoordMatrix::with_capacity(dims, count);
+    for p in sample.choose_multiple(rng, count) {
+        centers.push_row(&p.coords);
+    }
 
+    let rank_full = metric.rank_kernel();
+    let rank_bounded = metric.rank_kernel_bounded();
     let mut assignment = vec![0usize; sample.len()];
     for _ in 0..iterations {
-        // Assignment step.
-        for (i, p) in sample.iter().enumerate() {
+        // Assignment step: first-index-wins argmin in rank space.
+        for (i, row) in flat_sample.rows().enumerate() {
             let mut best = 0;
-            let mut best_d = f64::INFINITY;
-            for (c, center) in centers.iter().enumerate() {
-                let d = metric.distance_coords(&p.coords, center);
-                if d < best_d {
-                    best_d = d;
+            let mut best_rank = rank_full(row, centers.row(0));
+            for c in 1..centers.len() {
+                let rank = rank_bounded(row, centers.row(c), best_rank);
+                if rank < best_rank {
+                    best_rank = rank;
                     best = c;
                 }
             }
             assignment[i] = best;
         }
         // Update step (empty clusters keep their previous centre).
-        let mut sums = vec![vec![0.0; dims]; count];
+        let mut sums = CoordMatrix::from_raw(vec![0.0; dims * count], dims);
         let mut counts = vec![0usize; count];
-        for (i, p) in sample.iter().enumerate() {
+        for (i, row) in flat_sample.rows().enumerate() {
             let c = assignment[i];
             counts[c] += 1;
-            for (sum, coord) in sums[c].iter_mut().zip(&p.coords) {
+            for (sum, coord) in sums.row_mut(c).iter_mut().zip(row) {
                 *sum += coord;
             }
         }
-        for c in 0..count {
-            if counts[c] > 0 {
+        for (c, &cnt) in counts.iter().enumerate() {
+            if cnt > 0 {
                 for d in 0..dims {
-                    centers[c][d] = sums[c][d] / counts[c] as f64;
+                    centers.row_mut(c)[d] = sums.row(c)[d] / cnt as f64;
                 }
             }
         }
     }
 
-    centers
-        .into_iter()
-        .map(|coords| Point::new(0, coords))
+    (0..centers.len())
+        .map(|c| centers.row_point(c, 0))
         .collect()
 }
 

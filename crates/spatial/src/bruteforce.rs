@@ -4,29 +4,40 @@
 //! MapReduce join algorithms are validated, and (b) the distance-computation
 //! workhorse inside reducers when an index would not pay off.
 
-use geom::{DistanceMetric, Neighbor, NeighborList, Point};
+use geom::{CoordMatrix, DistanceMetric, Neighbor, NeighborList, Point, PointId};
 
 /// A "no index" index: answers kNN and range queries by scanning all points.
+///
+/// Coordinates are stored in a flat [`CoordMatrix`] (ids in a parallel
+/// vector), so the scan is a linear walk over contiguous memory with the
+/// metric's kernel hoisted out of the loop.
 #[derive(Debug, Clone)]
 pub struct BruteForceIndex {
-    points: Vec<Point>,
+    ids: Vec<PointId>,
+    coords: CoordMatrix,
     metric: DistanceMetric,
 }
 
 impl BruteForceIndex {
-    /// Builds the index (i.e. stores the points).
+    /// Builds the index (i.e. flattens the points into columnar storage).
     pub fn new(points: Vec<Point>, metric: DistanceMetric) -> Self {
-        Self { points, metric }
+        let coords = CoordMatrix::from_points(&points);
+        let ids = points.into_iter().map(|p| p.id).collect();
+        Self {
+            ids,
+            coords,
+            metric,
+        }
     }
 
     /// Number of indexed points.
     pub fn len(&self) -> usize {
-        self.points.len()
+        self.ids.len()
     }
 
     /// Whether the index is empty.
     pub fn is_empty(&self) -> bool {
-        self.points.is_empty()
+        self.ids.is_empty()
     }
 
     /// The metric the index was built with.
@@ -40,9 +51,10 @@ impl BruteForceIndex {
         if k == 0 {
             return Vec::new();
         }
+        let kernel = self.metric.kernel();
         let mut list = NeighborList::new(k);
-        for p in &self.points {
-            list.offer(p.id, self.metric.distance(query, p));
+        for (i, row) in self.coords.rows().enumerate() {
+            list.offer(self.ids[i], kernel(&query.coords, row));
         }
         list.into_sorted()
     }
@@ -50,15 +62,17 @@ impl BruteForceIndex {
     /// All points within distance `radius` of `query` (inclusive), sorted by
     /// ascending distance.
     pub fn range(&self, query: &Point, radius: f64) -> Vec<Neighbor> {
+        let kernel = self.metric.kernel();
         let mut out: Vec<Neighbor> = self
-            .points
-            .iter()
-            .filter_map(|p| {
-                let d = self.metric.distance(query, p);
-                (d <= radius).then_some(Neighbor::new(p.id, d))
+            .coords
+            .rows()
+            .enumerate()
+            .filter_map(|(i, row)| {
+                let d = kernel(&query.coords, row);
+                (d <= radius).then_some(Neighbor::new(self.ids[i], d))
             })
             .collect();
-        out.sort();
+        out.sort_unstable();
         out
     }
 }

@@ -11,15 +11,25 @@
 //! paper's *computation selectivity* metric.
 
 use crate::rect::Rect;
-use geom::{DistanceMetric, Neighbor, NeighborList, Point};
+use geom::{CoordMatrix, DistanceMetric, Neighbor, NeighborList, Point, PointId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-/// A node of the R-tree.
+/// A node of the R-tree.  Leaves hold their points in flat structure-of-data
+/// layout (ids parallel to [`CoordMatrix`] rows): a leaf scan is the hot loop
+/// of every kNN probe, and walking one contiguous coordinate block beats
+/// chasing a heap-allocated `Point` per entry.
 #[derive(Debug, Clone)]
 enum Node {
-    Leaf { mbr: Rect, points: Vec<Point> },
-    Internal { mbr: Rect, children: Vec<Node> },
+    Leaf {
+        mbr: Rect,
+        ids: Vec<PointId>,
+        coords: CoordMatrix,
+    },
+    Internal {
+        mbr: Rect,
+        children: Vec<Node>,
+    },
 }
 
 impl Node {
@@ -27,6 +37,13 @@ impl Node {
         match self {
             Node::Leaf { mbr, .. } | Node::Internal { mbr, .. } => mbr,
         }
+    }
+
+    fn leaf(points: Vec<Point>) -> Self {
+        let mbr = Rect::bounding(&points);
+        let coords = CoordMatrix::from_points(&points);
+        let ids = points.into_iter().map(|p| p.id).collect();
+        Node::Leaf { mbr, ids, coords }
     }
 }
 
@@ -70,7 +87,7 @@ pub struct RTree {
 /// keyed by its minimum possible distance to the query.
 enum QueueEntry<'a> {
     Node(&'a Node),
-    Point(&'a Point, f64),
+    Point(PointId, f64),
 }
 
 struct Prioritized<'a> {
@@ -131,13 +148,7 @@ impl RTree {
         }
         let dims = points[0].dims().max(1);
         let leaf_groups = str_pack(points, 0, dims, fanout);
-        let mut level: Vec<Node> = leaf_groups
-            .into_iter()
-            .map(|pts| Node::Leaf {
-                mbr: Rect::bounding(&pts),
-                points: pts,
-            })
-            .collect();
+        let mut level: Vec<Node> = leaf_groups.into_iter().map(Node::leaf).collect();
         let mut height = 1;
         while level.len() > 1 {
             level = pack_nodes(level, fanout);
@@ -189,6 +200,7 @@ impl RTree {
         if k == 0 || self.root.is_none() {
             return (Vec::new(), 0);
         }
+        let kernel = self.metric.kernel();
         let mut distance_computations = 0u64;
         let mut result = NeighborList::new(k);
         let mut heap: BinaryHeap<Prioritized<'_>> = BinaryHeap::new();
@@ -204,17 +216,17 @@ impl RTree {
                 break;
             }
             match entry {
-                QueueEntry::Point(p, d) => {
-                    result.offer(p.id, d);
+                QueueEntry::Point(id, d) => {
+                    result.offer(id, d);
                 }
-                QueueEntry::Node(Node::Leaf { points, .. }) => {
-                    for p in points {
-                        let d = self.metric.distance(query, p);
+                QueueEntry::Node(Node::Leaf { ids, coords, .. }) => {
+                    for (i, row) in coords.rows().enumerate() {
+                        let d = kernel(&query.coords, row);
                         distance_computations += 1;
                         if d <= result.threshold() {
                             heap.push(Prioritized {
                                 dist: d,
-                                entry: QueueEntry::Point(p, d),
+                                entry: QueueEntry::Point(ids[i], d),
                             });
                         }
                     }
@@ -251,11 +263,12 @@ impl RTree {
             return;
         }
         match node {
-            Node::Leaf { points, .. } => {
-                for p in points {
-                    let d = self.metric.distance(query, p);
+            Node::Leaf { ids, coords, .. } => {
+                let kernel = self.metric.kernel();
+                for (i, row) in coords.rows().enumerate() {
+                    let d = kernel(&query.coords, row);
                     if d <= radius {
-                        out.push(Neighbor::new(p.id, d));
+                        out.push(Neighbor::new(ids[i], d));
                     }
                 }
             }

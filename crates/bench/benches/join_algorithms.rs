@@ -1,11 +1,13 @@
-//! End-to-end comparison of PGBJ, PBJ, H-BRJ and the centralized nested-loop
-//! join on the default workload (supports the "who wins" headline of
-//! Figures 8–12).
+//! End-to-end comparison of PGBJ, PBJ, H-BRJ, the approximate H-zkNNJ and
+//! the centralized nested-loop join on the default workload (supports the
+//! "who wins" headline of Figures 8–12).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use datagen::{forest_like, ForestConfig};
 use geom::DistanceMetric;
-use knnjoin::algorithms::{Hbrj, HbrjConfig, KnnJoinAlgorithm, Pbj, PbjConfig, Pgbj, PgbjConfig};
+use knnjoin::algorithms::{
+    Hbrj, HbrjConfig, KnnJoinAlgorithm, Pbj, PbjConfig, Pgbj, PgbjConfig, Zknn, ZknnConfig,
+};
 use knnjoin::NestedLoopJoin;
 
 fn bench_join_algorithms(c: &mut Criterion) {
@@ -44,6 +46,16 @@ fn bench_join_algorithms(c: &mut Criterion) {
             Box::new(Pgbj::new(PgbjConfig {
                 pivot_count: 32,
                 reducers: 9,
+                ..Default::default()
+            })),
+        ),
+        (
+            // The approximate join: constant candidates per object, so it
+            // should sit well below every exact algorithm here.
+            "H-zkNNJ",
+            Box::new(Zknn::new(ZknnConfig {
+                reducers: 9,
+                z_window: 8,
                 ..Default::default()
             })),
         ),

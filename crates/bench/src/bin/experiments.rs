@@ -4,17 +4,86 @@
 //!
 //! ```text
 //! experiments <id|all> [--quick] [--markdown <path>] [--json <path>]
+//!                      [--check <committed.json>]
 //! ```
 //!
 //! where `<id>` is one of `table2 table3 fig6 fig7 fig8 fig9 fig10 fig11
-//! fig12`.  Without `--quick` the full (report) scale is used; with it, a
-//! much smaller smoke-test scale.  Tables are always printed to stdout;
-//! `--markdown`/`--json` additionally write them to files.
+//! fig12 perf_baseline`.  Without `--quick` the full (report) scale is used;
+//! with it, a much smaller smoke-test scale.  Tables are always printed to
+//! stdout; `--markdown`/`--json` additionally write them to files.
+//!
+//! `--check` compares the run's `perf_baseline` rows against a committed
+//! reference JSON (e.g. `BENCH_baseline_quick.json`) and exits non-zero on
+//! any drift in the *deterministic* quantities — distance computations,
+//! pivot-assignment computations, index builds, shuffle volume, recall and
+//! distance ratio.  Wall times are machine-dependent and never compared.
+//! CI runs this on every push, so an unexplained counter regression fails
+//! the build instead of silently shifting the baseline.
 
 use bench::experiments::{run_by_id, ExperimentOutput, ALL_EXPERIMENTS};
+use bench::json::Value;
 use bench::ExperimentScale;
 use std::io::Write;
 use std::process::ExitCode;
+
+/// The perf-baseline fields that must be bit-stable for a fixed seed.
+/// `wall_time_s` is deliberately absent.
+const DETERMINISTIC_FIELDS: [&str; 7] = [
+    "distance_computations",
+    "pivot_assignment_computations",
+    "index_builds",
+    "shuffle_bytes",
+    "shuffle_records",
+    "recall",
+    "distance_ratio",
+];
+
+/// Compares a fresh `perf_baseline` run against the committed reference,
+/// returning a description of every drifted quantity.
+fn diff_baseline(got: &Value, committed: &Value) -> Vec<String> {
+    let mut problems = Vec::new();
+    let (Some(got_rows), Some(want_rows)) = (got.as_array(), committed.as_array()) else {
+        return vec!["both the run and the reference must be row arrays".into()];
+    };
+    let find = |rows: &[Value], name: &str| -> Option<Value> {
+        rows.iter()
+            .find(|r| r["algorithm"].as_str() == Some(name))
+            .cloned()
+    };
+    for want in want_rows {
+        let Some(name) = want["algorithm"].as_str() else {
+            problems.push("reference row without an algorithm name".into());
+            continue;
+        };
+        let Some(got_row) = find(got_rows, name) else {
+            problems.push(format!("{name}: missing from this run"));
+            continue;
+        };
+        for field in DETERMINISTIC_FIELDS {
+            let (g, w) = (got_row[field].as_f64(), want[field].as_f64());
+            match (g, w) {
+                (Some(g), Some(w)) => {
+                    // Counters are integral and compare exactly; the quality
+                    // ratios tolerate last-ulp float differences.
+                    if (g - w).abs() > 1e-9 {
+                        problems.push(format!("{name}.{field}: got {g}, reference {w}"));
+                    }
+                }
+                _ => problems.push(format!("{name}.{field}: missing on one side")),
+            }
+        }
+    }
+    for got_row in got_rows {
+        if let Some(name) = got_row["algorithm"].as_str() {
+            if find(want_rows, name).is_none() {
+                problems.push(format!(
+                    "{name}: new in this run — regenerate the committed baseline"
+                ));
+            }
+        }
+    }
+    problems
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,6 +96,7 @@ fn main() -> ExitCode {
     let mut scale = ExperimentScale::Full;
     let mut markdown_path: Option<String> = None;
     let mut json_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -44,6 +114,14 @@ fn main() -> ExitCode {
                 json_path = args.get(i).cloned();
                 if json_path.is_none() {
                     eprintln!("--json requires a path");
+                    return ExitCode::FAILURE;
+                }
+            }
+            "--check" => {
+                i += 1;
+                check_path = args.get(i).cloned();
+                if check_path.is_none() {
+                    eprintln!("--check requires a path");
                     return ExitCode::FAILURE;
                 }
             }
@@ -102,6 +180,47 @@ fn main() -> ExitCode {
         }
         eprintln!("wrote {path}");
     }
+
+    if let Some(path) = check_path {
+        let Some(baseline) = outputs.iter().find(|o| o.id == "perf_baseline") else {
+            eprintln!("--check requires the perf_baseline experiment to have run");
+            return ExitCode::FAILURE;
+        };
+        let committed = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("failed to read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let committed = match Value::parse(&committed) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("failed to parse {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        // Accept both the bare row array and the {"perf_baseline": [...]}
+        // wrapper the --json flag writes.
+        let reference = match &committed {
+            Value::Object(_) => committed["perf_baseline"].clone(),
+            other => other.clone(),
+        };
+        let problems = diff_baseline(&baseline.json, &reference);
+        if problems.is_empty() {
+            eprintln!("baseline check against {path}: all deterministic counters match");
+        } else {
+            eprintln!("baseline check against {path} FAILED:");
+            for p in &problems {
+                eprintln!("  {p}");
+            }
+            eprintln!(
+                "if the change is intentional, regenerate the committed baseline \
+                 (see README, \"The persistent perf baseline\")"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }
 
@@ -111,6 +230,13 @@ fn write_file(path: &str, contents: &[u8]) -> std::io::Result<()> {
 }
 
 fn print_usage() {
-    eprintln!("usage: experiments <id|all> [--quick] [--markdown <path>] [--json <path>]");
+    eprintln!(
+        "usage: experiments <id|all> [--quick] [--markdown <path>] [--json <path>] \
+         [--check <committed.json>]"
+    );
     eprintln!("  ids: {}", ALL_EXPERIMENTS.join(" "));
+    eprintln!(
+        "  --check: diff perf_baseline's deterministic counters against a \
+         committed reference; non-zero exit on drift"
+    );
 }

@@ -3,19 +3,21 @@
 //!
 //! Unlike the figure experiments (which sweep a parameter), `perf_baseline`
 //! runs each join algorithm once on the default Forest-like workload and
-//! records wall time, distance computations, pivot-assignment computations
-//! and shuffle volume.  The JSON is written to `BENCH_baseline.json` (see the
-//! README) so the repository always carries a reference trajectory:
-//! computation and shuffle counts are deterministic for the fixed seed and
-//! must not regress silently; wall times are machine-dependent and
-//! indicative only.
+//! records wall time, distance computations, pivot-assignment computations,
+//! index builds, shuffle volume, and — against the nested-loop oracle — the
+//! approximation quality (recall and distance ratio; exactly 1 for the exact
+//! algorithms, the interesting row is H-zkNNJ's).  The JSON is written to
+//! `BENCH_baseline.json` (see the README) so the repository always carries a
+//! reference trajectory: computation, shuffle and quality numbers are
+//! deterministic for the fixed seed and must not regress silently; wall
+//! times are machine-dependent and indicative only.
 
 use super::ExperimentOutput;
 use crate::json::Value;
 use crate::report::{fmt_f64, Table};
 use crate::workloads::{ExperimentScale, Workloads};
 use geom::DistanceMetric;
-use knnjoin::{Algorithm, JoinBuilder};
+use knnjoin::{Algorithm, JoinBuilder, JoinResult};
 
 /// One algorithm's baseline measurements.
 #[derive(Debug, Clone)]
@@ -28,10 +30,16 @@ pub struct BaselineRow {
     pub distance_computations: u64,
     /// Pruned pivot-assignment computations (PGBJ job 1 only; 0 elsewhere).
     pub pivot_assignment_computations: u64,
+    /// Spatial indexes built by reducers (H-BRJ: one per S block).
+    pub index_builds: u64,
     /// Bytes crossing the shuffle across all jobs.
     pub shuffle_bytes: u64,
     /// Records crossing the shuffle across all jobs (post-combine).
     pub shuffle_records: u64,
+    /// Recall against the nested-loop oracle (1.0 for exact algorithms).
+    pub recall: f64,
+    /// Mean distance-approximation ratio against the oracle (1.0 = exact).
+    pub distance_ratio: f64,
 }
 
 /// Runs the baseline workload through every algorithm.
@@ -42,32 +50,50 @@ pub fn perf_baseline(scale: ExperimentScale) -> ExperimentOutput {
     let reducers = workloads.default_reducers();
     let pivots = workloads.default_pivots();
 
+    let run = |algorithm: Algorithm| -> JoinResult {
+        JoinBuilder::new(&data, &data)
+            .k(k)
+            .metric(DistanceMetric::Euclidean)
+            .algorithm(algorithm)
+            .pivot_count(pivots)
+            .reducers(reducers)
+            .shift_copies(workloads.default_shift_copies())
+            .z_window(workloads.default_z_window())
+            .run(workloads.context())
+            .expect("baseline join must succeed")
+    };
+
+    // The oracle anchors the quality columns for every algorithm.
+    let oracle = run(Algorithm::NestedLoopJoin);
+
     let algorithms = [
         Algorithm::Hbrj,
         Algorithm::Pbj,
         Algorithm::Pgbj,
+        Algorithm::Zknn,
         Algorithm::BroadcastJoin,
         Algorithm::NestedLoopJoin,
     ];
     let rows: Vec<BaselineRow> = algorithms
         .iter()
         .map(|&algorithm| {
-            let result = JoinBuilder::new(&data, &data)
-                .k(k)
-                .metric(DistanceMetric::Euclidean)
-                .algorithm(algorithm)
-                .pivot_count(pivots)
-                .reducers(reducers)
-                .run(workloads.context())
-                .expect("baseline join must succeed");
+            let result = if algorithm == Algorithm::NestedLoopJoin {
+                oracle.clone()
+            } else {
+                run(algorithm)
+            };
+            let quality = result.quality_against(&oracle);
             let m = &result.metrics;
             BaselineRow {
                 algorithm: algorithm.name().to_string(),
                 wall_time_s: m.total_time().as_secs_f64(),
                 distance_computations: m.distance_computations,
                 pivot_assignment_computations: m.pivot_assignment_computations,
+                index_builds: m.index_builds,
                 shuffle_bytes: m.shuffle_bytes,
                 shuffle_records: m.shuffle_records,
+                recall: quality.recall,
+                distance_ratio: quality.distance_ratio,
             }
         })
         .collect();
@@ -79,8 +105,11 @@ pub fn perf_baseline(scale: ExperimentScale) -> ExperimentOutput {
             "wall time [s]",
             "distance comps",
             "pivot-assign comps",
+            "index builds",
             "shuffle bytes",
             "shuffle records",
+            "recall",
+            "distance ratio",
         ],
     );
     for row in &rows {
@@ -89,8 +118,11 @@ pub fn perf_baseline(scale: ExperimentScale) -> ExperimentOutput {
             fmt_f64(row.wall_time_s),
             row.distance_computations.to_string(),
             row.pivot_assignment_computations.to_string(),
+            row.index_builds.to_string(),
             row.shuffle_bytes.to_string(),
             row.shuffle_records.to_string(),
+            fmt_f64(row.recall),
+            fmt_f64(row.distance_ratio),
         ]);
     }
 
@@ -108,8 +140,11 @@ pub fn perf_baseline(scale: ExperimentScale) -> ExperimentOutput {
                         "pivot_assignment_computations",
                         (row.pivot_assignment_computations as f64).into(),
                     ),
+                    ("index_builds", (row.index_builds as f64).into()),
                     ("shuffle_bytes", (row.shuffle_bytes as f64).into()),
                     ("shuffle_records", (row.shuffle_records as f64).into()),
+                    ("recall", row.recall.into()),
+                    ("distance_ratio", row.distance_ratio.into()),
                 ])
             })
             .collect(),
@@ -132,21 +167,21 @@ mod tests {
         let out = perf_baseline(ExperimentScale::Quick);
         assert_eq!(out.id, "perf_baseline");
         let rows = out.json.as_array().expect("array of rows");
-        assert_eq!(rows.len(), 5);
+        assert_eq!(rows.len(), 6);
         let names: Vec<&str> = rows
             .iter()
             .map(|r| r["algorithm"].as_str().expect("name"))
             .collect();
         assert_eq!(
             names,
-            vec!["H-BRJ", "PBJ", "PGBJ", "Broadcast", "NestedLoop"]
+            vec!["H-BRJ", "PBJ", "PGBJ", "H-zkNNJ", "Broadcast", "NestedLoop"]
         );
         for row in rows {
             assert!(row["wall_time_s"].as_f64().expect("time") >= 0.0);
             assert!(row["distance_computations"].as_u64().expect("comps") > 0);
         }
         // Only PGBJ runs the partitioning MapReduce job, so only it reports
-        // pivot-assignment computations.
+        // pivot-assignment computations; only H-BRJ builds indexes.
         for row in rows {
             let assign = row["pivot_assignment_computations"]
                 .as_u64()
@@ -156,10 +191,76 @@ mod tests {
             } else {
                 assert_eq!(assign, 0);
             }
+            let builds = row["index_builds"].as_u64().expect("index builds");
+            if row["algorithm"].as_str() == Some("H-BRJ") {
+                // √N tree builds, one per distinct S block.
+                assert!(builds > 0);
+            } else {
+                assert_eq!(builds, 0);
+            }
         }
         // Distributed algorithms shuffle; the nested-loop oracle does not.
         assert!(rows[0]["shuffle_bytes"].as_u64().expect("bytes") > 0);
-        assert_eq!(rows[4]["shuffle_bytes"].as_u64(), Some(0));
+        assert_eq!(rows[5]["shuffle_bytes"].as_u64(), Some(0));
+    }
+
+    #[test]
+    fn zknn_meets_the_quality_and_cost_bar_on_the_baseline() {
+        let out = perf_baseline(ExperimentScale::Quick);
+        let rows = out.json.as_array().expect("rows");
+        let by_name = |name: &str| {
+            rows.iter()
+                .find(|r| r["algorithm"].as_str() == Some(name))
+                .expect("row")
+        };
+        let zknn = by_name("H-zkNNJ");
+        let hbrj = by_name("H-BRJ");
+        // The approximate join must be worth its approximation: far fewer
+        // distance computations than the R-tree baseline, with recall ≥ 0.9
+        // at the default α = 2 shifted copies.
+        assert!(
+            zknn["distance_computations"].as_u64() < hbrj["distance_computations"].as_u64(),
+            "H-zkNNJ must compute fewer distances than H-BRJ"
+        );
+        assert!(zknn["recall"].as_f64().expect("recall") >= 0.9);
+        assert!(zknn["distance_ratio"].as_f64().expect("ratio") >= 1.0 - 1e-9);
+        // Exact algorithms trivially score perfect quality.
+        for name in ["H-BRJ", "PBJ", "PGBJ", "Broadcast", "NestedLoop"] {
+            let row = by_name(name);
+            assert!(
+                (row["recall"].as_f64().unwrap() - 1.0).abs() < 1e-12,
+                "{name}"
+            );
+            assert!((row["distance_ratio"].as_f64().unwrap() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zknn_holds_recall_on_the_osm_workload_too() {
+        // The baseline table runs the Forest-like workload; the second bench
+        // dataset (2-d OSM-like) must clear the same recall bar at α = 2.
+        let workloads = Workloads::new(ExperimentScale::Quick);
+        let data = workloads.osm_default();
+        let k = workloads.default_k();
+        let run = |algorithm| {
+            JoinBuilder::new(&data, &data)
+                .k(k)
+                .algorithm(algorithm)
+                .reducers(workloads.default_reducers())
+                .shift_copies(workloads.default_shift_copies())
+                .z_window(workloads.default_z_window())
+                .run(workloads.context())
+                .expect("join must succeed")
+        };
+        let oracle = run(Algorithm::NestedLoopJoin);
+        let approx = run(Algorithm::Zknn);
+        let quality = approx.quality_against(&oracle);
+        assert!(quality.recall >= 0.9, "OSM recall {}", quality.recall);
+        assert!(quality.distance_ratio >= 1.0 - 1e-9);
+        assert!(
+            approx.metrics.distance_computations < oracle.metrics.distance_computations,
+            "approximate join must compute fewer distances than the oracle"
+        );
     }
 
     #[test]
@@ -174,19 +275,17 @@ mod tests {
             .zip(b.json.as_array().expect("rows"))
         {
             // Everything except wall time must be identical run to run.
-            assert_eq!(
-                ra["distance_computations"].as_u64(),
-                rb["distance_computations"].as_u64()
-            );
-            assert_eq!(
-                ra["pivot_assignment_computations"].as_u64(),
-                rb["pivot_assignment_computations"].as_u64()
-            );
-            assert_eq!(ra["shuffle_bytes"].as_u64(), rb["shuffle_bytes"].as_u64());
-            assert_eq!(
-                ra["shuffle_records"].as_u64(),
-                rb["shuffle_records"].as_u64()
-            );
+            for field in [
+                "distance_computations",
+                "pivot_assignment_computations",
+                "index_builds",
+                "shuffle_bytes",
+                "shuffle_records",
+            ] {
+                assert_eq!(ra[field].as_u64(), rb[field].as_u64(), "{field}");
+            }
+            assert_eq!(ra["recall"].as_f64(), rb["recall"].as_f64());
+            assert_eq!(ra["distance_ratio"].as_f64(), rb["distance_ratio"].as_f64());
         }
     }
 }

@@ -86,6 +86,20 @@ impl Workloads {
         self.scale.scaled(128, 12)
     }
 
+    /// Default number of H-zkNNJ shifted copies (`α`), as in the EDBT paper.
+    pub fn default_shift_copies(&self) -> usize {
+        2
+    }
+
+    /// Default H-zkNNJ candidate-window multiplier.  The window needed for a
+    /// given recall grows with the dataset (denser data packs more objects
+    /// between two z-ranks), so it scales with the workload like the pivot
+    /// and reducer counts do; these values hold recall ≥ 0.9 at α = 2 on
+    /// both bench datasets at their respective scales.
+    pub fn default_z_window(&self) -> usize {
+        self.scale.scaled(24, 4)
+    }
+
     /// The pivot sweep of Table 2/3 and Figures 6–7 (paper: 2000–8000).
     pub fn pivot_sweep(&self) -> Vec<usize> {
         match self.scale {

@@ -15,7 +15,9 @@
 //! * [`Record`] / [`Record::encode`] — the compact binary encoding used by
 //!   the MapReduce layer so that shuffle volume can be accounted in bytes, and
 //! * [`Neighbor`] / [`NeighborList`] — bounded max-heaps that maintain the `k`
-//!   nearest neighbours seen so far.
+//!   nearest neighbours seen so far, and
+//! * [`zorder`] — quantized, bit-interleaved z-values and deterministic
+//!   random-shift vectors, the machinery of the H-zkNNJ approximate join.
 //!
 //! Every layer of the PGBJ pipeline speaks these types: `datagen` produces
 //! [`PointSet`]s, the `mapreduce` shuffle moves [`Record`] encodings (whose
@@ -40,9 +42,11 @@ pub mod metric;
 pub mod neighbor;
 pub mod point;
 pub mod record;
+pub mod zorder;
 
 pub use coords::CoordMatrix;
 pub use metric::DistanceMetric;
 pub use neighbor::{Neighbor, NeighborList};
 pub use point::{Point, PointId, PointSet};
 pub use record::{Record, RecordKind};
+pub use zorder::{ZQuantizer, ZValue};

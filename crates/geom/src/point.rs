@@ -113,6 +113,22 @@ impl PointSet {
         self.points.first().map_or(0, Point::dims)
     }
 
+    /// The first point whose dimensionality differs from the first point's,
+    /// as `(index, its_dims)` — `None` when the dataset is uniform.
+    ///
+    /// A ragged dataset would index-panic (or silently truncate coordinates)
+    /// deep inside the distance kernels, which only `debug_assert` the
+    /// lengths; join planning uses this to reject such inputs up front with a
+    /// typed error.
+    pub fn first_dim_mismatch(&self) -> Option<(usize, usize)> {
+        let expected = self.dims();
+        self.points
+            .iter()
+            .enumerate()
+            .find(|(_, p)| p.dims() != expected)
+            .map(|(i, p)| (i, p.dims()))
+    }
+
     /// Immutable access to the underlying points.
     pub fn points(&self) -> &[Point] {
         &self.points
@@ -218,6 +234,15 @@ mod tests {
         let proj = ps.project(2);
         assert_eq!(proj.dims(), 2);
         assert_eq!(proj.len(), 2);
+    }
+
+    #[test]
+    fn ragged_sets_report_the_first_mismatching_point() {
+        let uniform = PointSet::from_coords(vec![vec![0.0, 1.0], vec![2.0, 3.0]]);
+        assert_eq!(uniform.first_dim_mismatch(), None);
+        assert_eq!(PointSet::new().first_dim_mismatch(), None);
+        let ragged = PointSet::from_coords(vec![vec![0.0, 1.0], vec![2.0], vec![3.0]]);
+        assert_eq!(ragged.first_dim_mismatch(), Some((1, 1)));
     }
 
     #[test]

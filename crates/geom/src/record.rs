@@ -64,13 +64,28 @@ impl Record {
 
     /// Serialises the record into a compact binary form.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(self.encoded_len());
-        buf.put_u8(self.kind.tag());
-        buf.put_u32_le(self.partition);
-        buf.put_f64_le(self.pivot_distance);
-        buf.put_u64_le(self.point.id);
-        buf.put_u32_le(self.point.coords.len() as u32);
-        for c in &self.point.coords {
+        Self::encode_parts(self.kind, self.partition, self.pivot_distance, &self.point)
+    }
+
+    /// Serialises a record directly from its parts, with the point borrowed.
+    ///
+    /// Bit-identical to building a [`Record`] and calling [`Record::encode`],
+    /// but without cloning the point first — the map-phase input builders use
+    /// this so encoding `R ∪ S` does not materialise a second copy of the
+    /// datasets.
+    pub fn encode_parts(
+        kind: RecordKind,
+        partition: u32,
+        pivot_distance: f64,
+        point: &Point,
+    ) -> Bytes {
+        let mut buf = BytesMut::with_capacity(1 + 4 + 8 + 8 + 4 + 8 * point.coords.len());
+        buf.put_u8(kind.tag());
+        buf.put_u32_le(partition);
+        buf.put_f64_le(pivot_distance);
+        buf.put_u64_le(point.id);
+        buf.put_u32_le(point.coords.len() as u32);
+        for c in &point.coords {
             buf.put_f64_le(*c);
         }
         buf.freeze()
@@ -113,6 +128,14 @@ impl Record {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    #[test]
+    fn encode_parts_is_bit_identical_to_owned_encode() {
+        let point = Point::new(7, vec![1.0, -2.0, 0.5]);
+        let owned = Record::new(RecordKind::S, 42, 3.25, point.clone()).encode();
+        let borrowed = Record::encode_parts(RecordKind::S, 42, 3.25, &point);
+        assert_eq!(owned, borrowed);
+    }
 
     #[test]
     fn roundtrip_simple() {

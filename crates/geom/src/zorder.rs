@@ -1,0 +1,336 @@
+//! Z-order (Morton) curves for the H-zkNNJ approximate join.
+//!
+//! H-zkNNJ (Zhang, Li, Jestes; EDBT 2012 — the z-value competitor in the
+//! paper's evaluation) reduces a kNN search to one-dimensional range scans:
+//! every object is quantized onto a `2^bits`-cell grid per dimension and its
+//! cell coordinates are bit-interleaved into a single scalar, the *z-value*.
+//! Objects close in space tend to be close in z-order, but the curve has
+//! "seams" where spatially close points land far apart; the cure is to
+//! repeat the join over `α` randomly *shifted* copies of the data — a seam of
+//! one copy is interior to another — and keep the best candidates across all
+//! copies.
+//!
+//! This module provides the three deterministic ingredients:
+//!
+//! * [`ZValue`] — a 256-bit interleaved value ordered like the z-curve,
+//! * [`ZQuantizer`] — the coordinate→grid-cell mapping over a fixed domain,
+//! * [`random_shifts`] — seeded shift vectors (the first is always zero, so
+//!   copy 0 is the unshifted data, as in the paper).
+//!
+//! ```
+//! use geom::zorder::{ZQuantizer, ZValue};
+//!
+//! // Data in [0, 4]²; the grid spans twice that (shift headroom), so the
+//! // 2-bit grid puts the data corner at cell (1, 1) of 4.
+//! let q = ZQuantizer::new(&[0.0, 0.0], &[4.0, 4.0], 2).unwrap();
+//! let origin = q.z_value(&[0.0, 0.0], None);
+//! let far = q.z_value(&[4.0, 4.0], None);
+//! assert!(origin < far);
+//! assert_eq!(far, ZValue::from_cells(&[1, 1], 2));
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of 64-bit words in a [`ZValue`]: 256 bits total, enough for the
+/// paper's workloads (e.g. 10 dimensions × 16 bits = 160 bits).
+pub const Z_WORDS: usize = 4;
+
+/// Maximum total interleaved bits a [`ZValue`] can hold.
+pub const MAX_Z_BITS: u32 = (Z_WORDS * 64) as u32;
+
+/// A bit-interleaved z-value.
+///
+/// Word 0 holds the most significant bits, so the derived lexicographic
+/// ordering over the array equals the numeric ordering of the 256-bit value —
+/// which is exactly the z-curve ordering of the underlying grid cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ZValue(pub [u64; Z_WORDS]);
+
+impl ZValue {
+    /// The smallest possible z-value.
+    pub const MIN: ZValue = ZValue([0; Z_WORDS]);
+    /// The largest possible z-value.
+    pub const MAX: ZValue = ZValue([u64::MAX; Z_WORDS]);
+
+    /// Interleaves the low `bits` bits of each grid cell coordinate, most
+    /// significant bit level first (the classic Morton construction,
+    /// generalised to any dimensionality).
+    ///
+    /// # Panics
+    /// Panics if `cells.len() * bits` exceeds [`MAX_Z_BITS`].
+    pub fn from_cells(cells: &[u64], bits: u32) -> ZValue {
+        let total = cells.len() as u32 * bits;
+        assert!(
+            total <= MAX_Z_BITS,
+            "z-value needs {total} bits, only {MAX_Z_BITS} available"
+        );
+        let mut words = [0u64; Z_WORDS];
+        let mut t = 0usize;
+        for level in (0..bits).rev() {
+            for &cell in cells {
+                if (cell >> level) & 1 == 1 {
+                    words[t / 64] |= 1u64 << (63 - (t % 64));
+                }
+                t += 1;
+            }
+        }
+        ZValue(words)
+    }
+}
+
+/// Maps coordinates onto a `2^bits`-cell grid per dimension over a fixed
+/// domain, and composes the grid cells into [`ZValue`]s.
+///
+/// All dimensions share **one** cell size, derived from the *widest* data
+/// extent: z-order locality only tracks Euclidean (or L1/L∞) locality when a
+/// one-cell step costs the same distance along every axis.  Normalising each
+/// dimension to its own range would inflate narrow attributes — on a
+/// Forest-like dataset, a 66-unit slope range would weigh as much as a
+/// 7000-unit road distance, shredding the curve's locality.  Narrow
+/// dimensions simply occupy few distinct cells, which mirrors their small
+/// contribution to the distance.
+///
+/// The grid spans `[min_d, min_d + 2·max_width]` per dimension: twice the
+/// widest extent, so that *shifted* copies (shift magnitudes are at most one
+/// data width, see [`random_shifts`]) still quantize without clamping
+/// distortion.  Coordinates outside the domain are clamped to its edge cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZQuantizer {
+    mins: Vec<f64>,
+    /// Grid cells per unit of coordinate, shared by every dimension.
+    inv_cell: f64,
+    bits: u32,
+    max_cell: u64,
+}
+
+impl ZQuantizer {
+    /// Creates a quantizer for data bounded by `mins`/`maxs` (inclusive),
+    /// with `bits` grid bits per dimension.
+    ///
+    /// Returns `None` if `bits` is 0, `bits` exceeds 32, the dimensionality
+    /// is 0, the slices disagree in length, or `dims · bits` exceeds
+    /// [`MAX_Z_BITS`].
+    pub fn new(mins: &[f64], maxs: &[f64], bits: u32) -> Option<ZQuantizer> {
+        let dims = mins.len();
+        if dims == 0 || maxs.len() != dims || bits == 0 || bits > 32 {
+            return None;
+        }
+        if dims as u32 * bits > MAX_Z_BITS {
+            return None;
+        }
+        let max_cell = (1u64 << bits) - 1;
+        // One cell size for all dimensions, from the widest extent.  A fully
+        // degenerate dataset (every dimension a single value) maps everything
+        // to cell 0 via a zero `inv_cell` — the guard also catches widths so
+        // tiny that the division overflows, which would otherwise make
+        // `cell()` compute `0.0 × inf = NaN` and bypass its clamps.
+        let max_width = mins
+            .iter()
+            .zip(maxs)
+            .map(|(lo, hi)| hi - lo)
+            .fold(0.0f64, f64::max);
+        let mut inv_cell = max_cell as f64 / (2.0 * max_width);
+        if !inv_cell.is_finite() {
+            inv_cell = 0.0;
+        }
+        Some(ZQuantizer {
+            mins: mins.to_vec(),
+            inv_cell,
+            bits,
+            max_cell,
+        })
+    }
+
+    /// Grid bits per dimension.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Dimensionality of the quantized space.
+    pub fn dims(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// The grid cell of one coordinate along dimension `d` under an optional
+    /// shift.
+    fn cell(&self, d: usize, coord: f64, shift: f64) -> u64 {
+        let scaled = (coord + shift - self.mins[d]) * self.inv_cell;
+        if scaled <= 0.0 {
+            0
+        } else if scaled >= self.max_cell as f64 {
+            self.max_cell
+        } else {
+            scaled as u64
+        }
+    }
+
+    /// The z-value of `coords`, optionally displaced by a shift vector.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the slice lengths disagree with the
+    /// quantizer's dimensionality.
+    pub fn z_value(&self, coords: &[f64], shift: Option<&[f64]>) -> ZValue {
+        debug_assert_eq!(coords.len(), self.dims(), "dimensionality mismatch");
+        if let Some(s) = shift {
+            debug_assert_eq!(s.len(), self.dims(), "shift dimensionality mismatch");
+        }
+        let mut cells = [0u64; 32];
+        let dims = self.dims();
+        for d in 0..dims {
+            let s = shift.map_or(0.0, |s| s[d]);
+            cells[d] = self.cell(d, coords[d], s);
+        }
+        ZValue::from_cells(&cells[..dims], self.bits)
+    }
+}
+
+/// Generates `copies` deterministic shift vectors for the given per-dimension
+/// data widths.  The first vector is always zero (the unshifted copy); the
+/// rest draw each component uniformly from `[0, width_d)`, seeded so the same
+/// seed reproduces the same curve family.
+pub fn random_shifts(widths: &[f64], copies: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut shifts = Vec::with_capacity(copies);
+    for i in 0..copies {
+        if i == 0 {
+            shifts.push(vec![0.0; widths.len()]);
+        } else {
+            shifts.push(
+                widths
+                    .iter()
+                    .map(|&w| if w > 0.0 { rng.gen_range(0.0..w) } else { 0.0 })
+                    .collect(),
+            );
+        }
+    }
+    shifts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleaving_matches_hand_computed_morton_codes() {
+        // 2-d, 2 bits: cells (x=3, y=1) → bits x=11, y=01 → interleaved
+        // (x1 y1 x0 y0) = 1 0 1 1 = 0b1011 at the top of word 0.
+        let z = ZValue::from_cells(&[3, 1], 2);
+        assert_eq!(z.0[0] >> 60, 0b1011);
+        // 1-d degenerates to the plain value, left-aligned.
+        let z = ZValue::from_cells(&[5], 3);
+        assert_eq!(z.0[0] >> 61, 5);
+    }
+
+    #[test]
+    fn z_order_is_numeric_order() {
+        // Exhaustively check the 2-d, 2-bit grid: z-values sorted as numbers
+        // must enumerate cells in z-curve order.
+        let mut all: Vec<(ZValue, (u64, u64))> = Vec::new();
+        for x in 0..4u64 {
+            for y in 0..4u64 {
+                all.push((ZValue::from_cells(&[x, y], 2), (x, y)));
+            }
+        }
+        all.sort();
+        let cells: Vec<(u64, u64)> = all.iter().map(|(_, c)| *c).collect();
+        // The first four cells of the Z curve form the lower-left quad.
+        assert_eq!(
+            &cells[..4],
+            &[(0, 0), (0, 1), (1, 0), (1, 1)],
+            "z-curve quad order"
+        );
+        // All 16 distinct.
+        let distinct: std::collections::HashSet<_> = all.iter().map(|(z, _)| *z).collect();
+        assert_eq!(distinct.len(), 16);
+    }
+
+    #[test]
+    fn min_and_max_bound_everything() {
+        let z = ZValue::from_cells(&[(1 << 16) - 1; 10], 16);
+        assert!(ZValue::MIN < z);
+        assert!(z < ZValue::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "only 256 available")]
+    fn oversized_interleave_panics() {
+        ZValue::from_cells(&[0; 17], 16);
+    }
+
+    #[test]
+    fn quantizer_validates_its_inputs() {
+        assert!(ZQuantizer::new(&[], &[], 8).is_none());
+        assert!(ZQuantizer::new(&[0.0], &[1.0], 0).is_none());
+        assert!(ZQuantizer::new(&[0.0], &[1.0], 33).is_none());
+        assert!(ZQuantizer::new(&[0.0], &[1.0, 2.0], 8).is_none());
+        // 9 dims × 32 bits = 288 > 256.
+        assert!(ZQuantizer::new(&[0.0; 9], &[1.0; 9], 32).is_none());
+        assert!(ZQuantizer::new(&[0.0; 8], &[1.0; 8], 32).is_some());
+    }
+
+    #[test]
+    fn quantizer_clamps_and_orders() {
+        let q = ZQuantizer::new(&[0.0, 0.0], &[10.0, 10.0], 8).unwrap();
+        assert_eq!(q.bits(), 8);
+        assert_eq!(q.dims(), 2);
+        let below = q.z_value(&[-5.0, -5.0], None);
+        let lo = q.z_value(&[0.0, 0.0], None);
+        let hi = q.z_value(&[10.0, 10.0], None);
+        let above = q.z_value(&[1e9, 1e9], None);
+        assert_eq!(below, lo);
+        assert_eq!(above, q.z_value(&[20.0, 20.0], None));
+        assert!(lo < hi);
+    }
+
+    #[test]
+    fn shifts_displace_z_values_deterministically() {
+        let q = ZQuantizer::new(&[0.0, 0.0], &[10.0, 10.0], 8).unwrap();
+        let shifts = random_shifts(&[10.0, 10.0], 3, 42);
+        assert_eq!(shifts.len(), 3);
+        assert_eq!(shifts[0], vec![0.0, 0.0]);
+        for s in &shifts[1..] {
+            assert!(s.iter().all(|&c| (0.0..10.0).contains(&c)), "{s:?}");
+        }
+        // Shifted z-value equals the z-value of the shifted point.
+        let p = [3.0, 7.0];
+        let shifted = [3.0 + shifts[1][0], 7.0 + shifts[1][1]];
+        assert_eq!(
+            q.z_value(&p, Some(&shifts[1])),
+            q.z_value(&shifted, None),
+            "shift composes with quantization"
+        );
+        // Same seed, same shifts; different seed, (almost surely) different.
+        assert_eq!(shifts, random_shifts(&[10.0, 10.0], 3, 42));
+        assert_ne!(shifts, random_shifts(&[10.0, 10.0], 3, 43));
+    }
+
+    #[test]
+    fn degenerate_width_maps_to_cell_zero() {
+        let q = ZQuantizer::new(&[5.0], &[5.0], 8).unwrap();
+        assert_eq!(q.z_value(&[5.0], None), ZValue::MIN);
+        let shifts = random_shifts(&[0.0], 2, 1);
+        assert_eq!(shifts[1], vec![0.0]);
+    }
+
+    #[test]
+    fn nearby_points_share_z_prefixes_more_than_distant_ones() {
+        let q = ZQuantizer::new(&[0.0, 0.0], &[100.0, 100.0], 16).unwrap();
+        let a = q.z_value(&[10.0, 10.0], None);
+        let near = q.z_value(&[10.1, 10.1], None);
+        let far = q.z_value(&[90.0, 90.0], None);
+        let dist = |x: ZValue, y: ZValue| {
+            let (lo, hi) = if x < y { (x, y) } else { (y, x) };
+            // Compare as 256-bit magnitudes via the leading differing word.
+            for w in 0..Z_WORDS {
+                if lo.0[w] != hi.0[w] {
+                    return (w, hi.0[w] - lo.0[w]);
+                }
+            }
+            (Z_WORDS, 0)
+        };
+        let (w_near, d_near) = dist(a, near);
+        let (w_far, d_far) = dist(a, far);
+        assert!(w_near > w_far || (w_near == w_far && d_near < d_far));
+    }
+}

@@ -14,9 +14,7 @@ use crate::context::ExecutionContext;
 use crate::exact::validate_inputs;
 use crate::metrics::{phases, JoinMetrics};
 use crate::result::{JoinError, JoinResult, JoinRow};
-use geom::{
-    CoordMatrix, DistanceMetric, Neighbor, NeighborList, Point, PointSet, Record, RecordKind,
-};
+use geom::{CoordMatrix, DistanceMetric, Neighbor, NeighborList, Point, PointSet, RecordKind};
 use mapreduce::{IdentityPartitioner, JobBuilder, MapContext, Mapper, ReduceContext, Reducer};
 use std::time::Instant;
 
@@ -89,16 +87,10 @@ impl KnnJoinAlgorithm for BroadcastJoin {
 
         let mut input = Vec::with_capacity(r.len() + s.len());
         for p in r {
-            input.push((
-                p.id,
-                EncodedRecord::encode(&Record::new(RecordKind::R, 0, 0.0, p.clone())),
-            ));
+            input.push((p.id, EncodedRecord::from_parts(RecordKind::R, 0, 0.0, p)));
         }
         for p in s {
-            input.push((
-                p.id,
-                EncodedRecord::encode(&Record::new(RecordKind::S, 0, 0.0, p.clone())),
-            ));
+            input.push((p.id, EncodedRecord::from_parts(RecordKind::S, 0, 0.0, p)));
         }
 
         let start = Instant::now();

@@ -2,20 +2,31 @@
 //! described in Section 3 and used as the main competitor in Section 6.
 //!
 //! `R` and `S` are split into `B = ⌊√N⌋` random blocks each; every reducer
-//! receives one `(R_i, S_j)` pair, builds an R-tree over `S_j` and answers a
+//! receives one `(R_i, S_j)` pair, probes an R-tree over `S_j` and answers a
 //! kNN query for every `r ∈ R_i`; a second MapReduce job merges the `B`
 //! partial lists of every `r` into the final `k` nearest neighbours.
+//!
+//! The `B` cells of one column all receive the *same* `S_j` block (the route
+//! mapper replicates each `S` record across its column), so the tree over
+//! `S_j` is built once — by whichever cell of the column reduces first — and
+//! shared, instead of being bulk-loaded `B` times from identical input.  The
+//! engine delivers one column's `S` values in the same order to every cell
+//! (map-task order, then emission order), so the shared tree is bit-identical
+//! to the per-cell trees it replaces and the join output and distance
+//! counters are unchanged; only the number of bulk loads drops from `B²` to
+//! `B` (the `index_builds` metric).
 
-use crate::algorithms::blocks::run_block_framework;
+use crate::algorithms::blocks::{block_count, run_block_framework};
 use crate::algorithms::common::{counters, EncodedRecord, NeighborListValue};
 use crate::algorithms::KnnJoinAlgorithm;
 use crate::context::ExecutionContext;
 use crate::exact::validate_inputs;
 use crate::metrics::JoinMetrics;
 use crate::result::{JoinError, JoinResult};
-use geom::{DistanceMetric, Point, PointSet, Record, RecordKind};
+use geom::{DistanceMetric, Point, PointSet, RecordKind};
 use mapreduce::{ReduceContext, Reducer};
 use spatial::RTree;
+use std::sync::{Arc, OnceLock};
 
 /// Configuration of [`Hbrj`].
 #[derive(Debug, Clone)]
@@ -98,25 +109,23 @@ impl KnnJoinAlgorithm for Hbrj {
             ..Default::default()
         };
 
-        // H-BRJ has no preprocessing: the map job replicates raw records.
+        // H-BRJ has no preprocessing: the map job replicates raw records,
+        // encoded straight from the borrowed points (no dataset-sized clone).
         let mut input = Vec::with_capacity(r.len() + s.len());
         for p in r {
-            input.push((
-                p.id,
-                EncodedRecord::encode(&Record::new(RecordKind::R, 0, 0.0, p.clone())),
-            ));
+            input.push((p.id, EncodedRecord::from_parts(RecordKind::R, 0, 0.0, p)));
         }
         for p in s {
-            input.push((
-                p.id,
-                EncodedRecord::encode(&Record::new(RecordKind::S, 0, 0.0, p.clone())),
-            ));
+            input.push((p.id, EncodedRecord::from_parts(RecordKind::S, 0, 0.0, p)));
         }
 
+        let blocks = block_count(self.config.reducers);
         let reducer = HbrjCellReducer {
             k,
             metric,
             fanout: self.config.rtree_fanout,
+            blocks,
+            s_trees: (0..blocks).map(|_| OnceLock::new()).collect(),
         };
         let rows = run_block_framework(
             input,
@@ -135,12 +144,18 @@ impl KnnJoinAlgorithm for Hbrj {
     }
 }
 
-/// Reducer for one `(R_i, S_j)` cell: R-tree over `S_j`, best-first kNN per
+/// Reducer for one `(R_i, S_j)` cell: a shared R-tree over `S_j` (built by
+/// the column's first cell, reused by the rest), best-first kNN per
 /// `r ∈ R_i`.
 struct HbrjCellReducer {
     k: usize,
     metric: DistanceMetric,
     fanout: usize,
+    /// `B`, the number of blocks per dataset; cell `c` joins `S` block
+    /// `c % B`.
+    blocks: usize,
+    /// One lazily built tree per `S` block, shared across the column's cells.
+    s_trees: Vec<OnceLock<Arc<RTree>>>,
 }
 
 impl Reducer for HbrjCellReducer {
@@ -151,17 +166,22 @@ impl Reducer for HbrjCellReducer {
 
     fn reduce(
         &self,
-        _cell: &u32,
+        cell: &u32,
         values: &[EncodedRecord],
         ctx: &mut ReduceContext<u64, NeighborListValue>,
     ) {
         let mut r_block: Vec<Point> = Vec::new();
         let mut s_block: Vec<Point> = Vec::new();
+        let s_slot = &self.s_trees[*cell as usize % self.blocks];
+        let tree_cached = s_slot.get().is_some();
         for value in values {
             let record = value.decode();
             match record.kind {
                 RecordKind::R => r_block.push(record.point),
-                RecordKind::S => s_block.push(record.point),
+                // Another cell of this column already built the (identical)
+                // tree: skip collecting the block.
+                RecordKind::S if !tree_cached => s_block.push(record.point),
+                RecordKind::S => {}
             }
         }
         if r_block.is_empty() {
@@ -169,7 +189,14 @@ impl Reducer for HbrjCellReducer {
         }
         // Even with an empty S block every r must produce a (possibly empty)
         // candidate list so the merge job emits a row for it.
-        let tree = RTree::bulk_load_with_fanout(s_block, self.metric, self.fanout);
+        let tree = s_slot.get_or_init(|| {
+            ctx.counters().increment(counters::INDEX_BUILDS);
+            Arc::new(RTree::bulk_load_with_fanout(
+                s_block,
+                self.metric,
+                self.fanout,
+            ))
+        });
         for r_obj in &r_block {
             let (neighbors, computations) = tree.knn_counted(r_obj, self.k);
             ctx.counters()
@@ -284,6 +311,46 @@ mod tests {
         assert!((res.metrics.average_replication() - 3.0).abs() < 1e-9);
         assert!(res.metrics.shuffle_bytes > 0);
         assert!(res.metrics.distance_computations > 0);
+    }
+
+    #[test]
+    fn s_block_trees_are_built_once_per_block_not_once_per_cell() {
+        let r = clustered(240, 12);
+        let s = clustered(260, 13);
+        let k = 6;
+        let metric = DistanceMetric::Euclidean;
+        let reducers = 16; // B = 4 blocks, 16 cells
+        let res = Hbrj::new(HbrjConfig {
+            reducers,
+            ..Default::default()
+        })
+        .join(&r, &s, k, metric)
+        .unwrap();
+
+        // √n tree builds: one per distinct S block, not one per (R_i, S_j)
+        // cell.
+        let blocks = crate::algorithms::blocks::block_count(reducers) as u64;
+        assert_eq!(res.metrics.index_builds, blocks);
+
+        // The shared trees change nothing observable: the output still
+        // matches the exact oracle, and the distance counters equal what
+        // independently built per-block trees produce (each r probes every
+        // S block exactly once).
+        let expected = NestedLoopJoin.join(&r, &s, k, metric).unwrap();
+        assert!(
+            res.matches(&expected, 1e-9),
+            "{:?}",
+            res.mismatch_against(&expected, 1e-9)
+        );
+        let mut reference_computations = 0u64;
+        for j in 0..blocks {
+            let s_block: Vec<Point> = s.iter().filter(|p| p.id % blocks == j).cloned().collect();
+            let tree = RTree::bulk_load_with_fanout(s_block, metric, RTree::DEFAULT_FANOUT);
+            for r_obj in &r {
+                reference_computations += tree.knn_counted(r_obj, k).1;
+            }
+        }
+        assert_eq!(res.metrics.distance_computations, reference_computations);
     }
 
     #[test]

@@ -4,11 +4,15 @@
 //! |-----------|---------|-----------|---------|
 //! | [`Pgbj`]  | §4–5    | partition + group, single join job | Voronoi bounds (Theorems 1–6) |
 //! | [`Pbj`]   | §6      | √N × √N blocks + merge job | Voronoi bounds within each block pair |
-//! | [`Hbrj`]  | §3 (baseline, Zhang et al.) | √N × √N blocks + merge job | R-tree per reducer |
+//! | [`Hbrj`]  | §3 (baseline, Zhang et al.) | √N × √N blocks + merge job | R-tree per S block |
 //! | [`BroadcastJoin`] | §3 ("basic strategy") | R split N ways, S broadcast | none |
+//! | [`Zknn`]  | §6 competitor (Zhang, Li, Jestes) | per-copy z-order slabs + merge job | approximate: 2k z-neighbours per shifted copy |
 //!
-//! All three implement [`KnnJoinAlgorithm`] and produce a [`JoinResult`]
-//! carrying the evaluation metrics of the paper.
+//! All of them implement [`KnnJoinAlgorithm`] and produce a [`JoinResult`]
+//! carrying the evaluation metrics of the paper.  H-zkNNJ is the one
+//! *approximate* algorithm: its reported distances are true distances, but
+//! its candidate sets are z-order neighbourhoods, so recall can fall below 1
+//! (measured by [`crate::result::QualityReport`]).
 
 mod blocks;
 mod broadcast;
@@ -16,11 +20,13 @@ pub mod common;
 mod hbrj;
 mod pbj;
 mod pgbj;
+mod zknn;
 
 pub use broadcast::{BroadcastJoin, BroadcastJoinConfig};
 pub use hbrj::{Hbrj, HbrjConfig};
 pub use pbj::{Pbj, PbjConfig};
 pub use pgbj::{Pgbj, PgbjConfig};
+pub use zknn::{Zknn, ZknnConfig};
 
 use crate::context::ExecutionContext;
 use crate::result::{JoinError, JoinResult};

@@ -23,7 +23,7 @@ use crate::partition::VoronoiPartitioner;
 use crate::pivots::{select_pivots, PivotSelectionStrategy};
 use crate::result::{JoinError, JoinResult};
 use crate::summary::SummaryTables;
-use geom::{DistanceMetric, PointSet, Record, RecordKind};
+use geom::{DistanceMetric, PointSet, RecordKind};
 use mapreduce::{ReduceContext, Reducer};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -155,12 +155,7 @@ impl KnnJoinAlgorithm for Pbj {
             for (point, dist) in bucket {
                 input.push((
                     point.id,
-                    EncodedRecord::encode(&Record::new(
-                        RecordKind::R,
-                        partition as u32,
-                        *dist,
-                        point.clone(),
-                    )),
+                    EncodedRecord::from_parts(RecordKind::R, partition as u32, *dist, point),
                 ));
             }
         }
@@ -168,12 +163,7 @@ impl KnnJoinAlgorithm for Pbj {
             for (point, dist) in bucket {
                 input.push((
                     point.id,
-                    EncodedRecord::encode(&Record::new(
-                        RecordKind::S,
-                        partition as u32,
-                        *dist,
-                        point.clone(),
-                    )),
+                    EncodedRecord::from_parts(RecordKind::S, partition as u32, *dist, point),
                 ));
             }
         }

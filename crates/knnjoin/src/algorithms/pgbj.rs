@@ -27,7 +27,7 @@ use crate::partition::{PartitionedDataset, VoronoiPartitioner};
 use crate::pivots::{select_pivots, PivotSelectionStrategy};
 use crate::result::{JoinError, JoinResult, JoinRow};
 use crate::summary::SummaryTables;
-use geom::{DistanceMetric, Neighbor, Point, PointSet, Record, RecordKind};
+use geom::{DistanceMetric, Neighbor, Point, PointSet, RecordKind};
 use mapreduce::{
     ByteSize, Combiner, IdentityPartitioner, JobBuilder, MapContext, Mapper, ReduceContext, Reducer,
 };
@@ -231,16 +231,10 @@ impl KnnJoinAlgorithm for Pgbj {
 fn build_job1_input(r: &PointSet, s: &PointSet) -> Vec<(u64, EncodedRecord)> {
     let mut input = Vec::with_capacity(r.len() + s.len());
     for p in r {
-        input.push((
-            p.id,
-            EncodedRecord::encode(&Record::new(RecordKind::R, 0, 0.0, p.clone())),
-        ));
+        input.push((p.id, EncodedRecord::from_parts(RecordKind::R, 0, 0.0, p)));
     }
     for p in s {
-        input.push((
-            p.id,
-            EncodedRecord::encode(&Record::new(RecordKind::S, 0, 0.0, p.clone())),
-        ));
+        input.push((p.id, EncodedRecord::from_parts(RecordKind::S, 0, 0.0, p)));
     }
     input
 }
@@ -285,16 +279,13 @@ impl Mapper for PartitionMapper {
             counters::PIVOT_ASSIGNMENT_COMPUTATIONS,
             assignment.computations,
         );
-        let out = Record::new(
+        let out = EncodedRecord::from_parts(
             record.kind,
             assignment.partition as u32,
             assignment.distance,
-            record.point,
+            &record.point,
         );
-        ctx.emit(
-            assignment.partition as u32,
-            RecordBatch(vec![EncodedRecord::encode(&out)]),
-        );
+        ctx.emit(assignment.partition as u32, RecordBatch(vec![out]));
     }
 }
 
@@ -382,12 +373,7 @@ fn build_job2_input(
         for (point, dist) in bucket {
             input.push((
                 partition as u32,
-                EncodedRecord::encode(&Record::new(
-                    RecordKind::R,
-                    partition as u32,
-                    *dist,
-                    point.clone(),
-                )),
+                EncodedRecord::from_parts(RecordKind::R, partition as u32, *dist, point),
             ));
         }
     }
@@ -395,12 +381,7 @@ fn build_job2_input(
         for (point, dist) in bucket {
             input.push((
                 partition as u32,
-                EncodedRecord::encode(&Record::new(
-                    RecordKind::S,
-                    partition as u32,
-                    *dist,
-                    point.clone(),
-                )),
+                EncodedRecord::from_parts(RecordKind::S, partition as u32, *dist, point),
             ));
         }
     }

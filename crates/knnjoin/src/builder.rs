@@ -55,6 +55,9 @@ pub struct JoinBuilder<'a> {
     reducers: Option<usize>,
     map_tasks: Option<usize>,
     rtree_fanout: usize,
+    shift_copies: usize,
+    quantization_bits: u32,
+    z_window: usize,
     combiner: bool,
     seed: u64,
 }
@@ -77,6 +80,9 @@ impl<'a> JoinBuilder<'a> {
             reducers: None,
             map_tasks: None,
             rtree_fanout: RTree::DEFAULT_FANOUT,
+            shift_copies: defaults.shift_copies,
+            quantization_bits: defaults.quantization_bits,
+            z_window: defaults.z_window,
             combiner: defaults.combiner,
             seed: defaults.seed,
         }
@@ -144,6 +150,33 @@ impl<'a> JoinBuilder<'a> {
         self
     }
 
+    /// Sets `α`, the number of randomly shifted data copies H-zkNNJ joins
+    /// over (default 2).  This is the accuracy knob: each copy adds 2k
+    /// z-order candidates per `R` object, healing z-curve seams the other
+    /// copies miss, at proportionally more shuffle volume.
+    pub fn shift_copies(mut self, copies: usize) -> Self {
+        self.shift_copies = copies;
+        self
+    }
+
+    /// Sets the grid bits per dimension of H-zkNNJ's z-value quantization
+    /// (default 16).  More bits resolve finer spatial detail; `dims · bits`
+    /// must fit the 256-bit z-value.
+    pub fn quantization_bits(mut self, bits: u32) -> Self {
+        self.quantization_bits = bits;
+        self
+    }
+
+    /// Sets H-zkNNJ's candidate-window multiplier (default 4): each `R`
+    /// object considers `z_window · k` z-neighbours per side per shifted
+    /// copy.  The second accuracy knob, trading distance computations for
+    /// recall at fixed shuffle volume (wider windows cost no extra shuffle,
+    /// unlike more `shift_copies`).
+    pub fn z_window(mut self, multiplier: usize) -> Self {
+        self.z_window = multiplier;
+        self
+    }
+
     /// Enables or disables the map-side combiners (PGBJ's partitioning job,
     /// the block algorithms' merge job).  On by default; disable to measure
     /// the uncombined shuffle volume (byte accounting is framing-neutral, so
@@ -177,6 +210,20 @@ impl<'a> JoinBuilder<'a> {
         }
         if self.s.is_empty() {
             return Err(JoinError::EmptyInput("S"));
+        }
+        // Intra-set raggedness is caught before the cross-set comparison: the
+        // distance kernels only `debug_assert` slice lengths, so a ragged set
+        // slipping past planning would index-panic (or silently truncate
+        // coordinates) in release builds.
+        for (name, set) in [("R", self.r), ("S", self.s)] {
+            if let Some((index, dims)) = set.first_dim_mismatch() {
+                return Err(JoinError::RaggedInput {
+                    dataset: name,
+                    index,
+                    dims,
+                    expected: set.dims(),
+                });
+            }
         }
         if self.r.dims() != self.s.dims() {
             return Err(JoinError::DimensionalityMismatch {
@@ -234,6 +281,32 @@ impl<'a> JoinBuilder<'a> {
                 self.rtree_fanout
             )));
         }
+        if self.shift_copies == 0 {
+            return Err(JoinError::InvalidConfig(
+                "shift_copies must be at least 1".into(),
+            ));
+        }
+        if self.quantization_bits == 0 || self.quantization_bits > 32 {
+            return Err(JoinError::InvalidConfig(format!(
+                "quantization_bits must be in 1..=32 (got {})",
+                self.quantization_bits
+            )));
+        }
+        if self.z_window == 0 {
+            return Err(JoinError::InvalidConfig(
+                "z_window must be at least 1".into(),
+            ));
+        }
+        if self.algorithm == Algorithm::Zknn
+            && self.r.dims() as u32 * self.quantization_bits > geom::zorder::MAX_Z_BITS
+        {
+            return Err(JoinError::InvalidConfig(format!(
+                "{} dims × {} quantization bits exceeds the {}-bit z-value",
+                self.r.dims(),
+                self.quantization_bits,
+                geom::zorder::MAX_Z_BITS
+            )));
+        }
 
         let reducers = self.reducers.unwrap_or(DEFAULT_REDUCERS);
         let map_tasks = self.map_tasks.unwrap_or(reducers * 2);
@@ -250,6 +323,9 @@ impl<'a> JoinBuilder<'a> {
             reducers,
             map_tasks,
             rtree_fanout: self.rtree_fanout,
+            shift_copies: self.shift_copies,
+            quantization_bits: self.quantization_bits,
+            z_window: self.z_window,
             combiner: self.combiner,
             seed: self.seed,
         })
@@ -364,6 +440,103 @@ mod tests {
             .plan()
             .unwrap_err();
         assert!(matches!(err, JoinError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn ragged_inputs_are_rejected_at_planning_time() {
+        use geom::{Point, PointSet};
+        let good = uniform(10, 3, 10.0, 20);
+        let mut ragged = uniform(10, 3, 10.0, 21);
+        ragged.points_mut()[4] = Point::new(99, vec![1.0, 2.0]);
+        let err = JoinBuilder::new(&ragged, &good).k(2).plan().unwrap_err();
+        assert_eq!(
+            err,
+            JoinError::RaggedInput {
+                dataset: "R",
+                index: 4,
+                dims: 2,
+                expected: 3
+            }
+        );
+        let err = JoinBuilder::new(&good, &ragged).k(2).plan().unwrap_err();
+        assert!(matches!(err, JoinError::RaggedInput { dataset: "S", .. }));
+        // A ragged set whose *first* point matches the other set's dims used
+        // to slip through the cross-set check entirely.
+        let sneaky = PointSet::from_points(vec![
+            Point::new(0, vec![0.0, 0.0, 0.0]),
+            Point::new(1, vec![1.0]),
+        ]);
+        let err = JoinBuilder::new(&good, &sneaky).k(1).plan().unwrap_err();
+        assert!(matches!(err, JoinError::RaggedInput { dataset: "S", .. }));
+    }
+
+    #[test]
+    fn zknn_knobs_resolve_into_the_plan_and_are_validated() {
+        let r = uniform(50, 2, 10.0, 22);
+        let plan = JoinBuilder::new(&r, &r)
+            .k(3)
+            .algorithm(Algorithm::Zknn)
+            .shift_copies(4)
+            .quantization_bits(12)
+            .plan()
+            .unwrap();
+        assert_eq!(plan.shift_copies, 4);
+        assert_eq!(plan.quantization_bits, 12);
+        assert_eq!(plan.instantiate().name(), "H-zkNNJ");
+
+        let err = JoinBuilder::new(&r, &r)
+            .k(3)
+            .shift_copies(0)
+            .plan()
+            .unwrap_err();
+        assert!(matches!(err, JoinError::InvalidConfig(_)), "{err}");
+        let err = JoinBuilder::new(&r, &r)
+            .k(3)
+            .quantization_bits(0)
+            .plan()
+            .unwrap_err();
+        assert!(matches!(err, JoinError::InvalidConfig(_)), "{err}");
+        let err = JoinBuilder::new(&r, &r)
+            .k(3)
+            .quantization_bits(40)
+            .plan()
+            .unwrap_err();
+        assert!(matches!(err, JoinError::InvalidConfig(_)), "{err}");
+        // 12 dims × 32 bits = 384 > 256 interleaved bits, but only Zknn
+        // interleaves, so the plan is only rejected when Zknn is selected.
+        let wide = uniform(20, 12, 10.0, 23);
+        assert!(JoinBuilder::new(&wide, &wide)
+            .k(3)
+            .quantization_bits(32)
+            .plan()
+            .is_ok());
+        let err = JoinBuilder::new(&wide, &wide)
+            .k(3)
+            .algorithm(Algorithm::Zknn)
+            .quantization_bits(32)
+            .plan()
+            .unwrap_err();
+        assert!(matches!(err, JoinError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn builder_runs_zknn_with_high_recall() {
+        let r = uniform(150, 2, 60.0, 24);
+        let s = uniform(180, 2, 60.0, 25);
+        let ctx = ExecutionContext::default();
+        let result = JoinBuilder::new(&r, &s)
+            .k(5)
+            .algorithm(Algorithm::Zknn)
+            .reducers(4)
+            .run(&ctx)
+            .unwrap();
+        assert_eq!(result.rows.len(), 150);
+        let oracle = NestedLoopJoin
+            .join(&r, &s, 5, DistanceMetric::Euclidean)
+            .unwrap();
+        let quality = result.quality_against(&oracle);
+        assert!(quality.recall >= 0.9, "recall {}", quality.recall);
+        assert!(quality.distance_ratio >= 1.0 - 1e-9);
     }
 
     #[test]

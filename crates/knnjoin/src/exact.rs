@@ -70,6 +70,20 @@ pub(crate) fn validate_inputs(r: &PointSet, s: &PointSet, k: usize) -> Result<()
     if s.is_empty() {
         return Err(JoinError::EmptyInput("S"));
     }
+    // Intra-set raggedness is checked before the cross-set comparison: the
+    // kernels only `debug_assert` slice lengths, so a ragged set that happens
+    // to share its first point's dims with the other set would otherwise
+    // reach them.
+    for (name, set) in [("R", r), ("S", s)] {
+        if let Some((index, dims)) = set.first_dim_mismatch() {
+            return Err(JoinError::RaggedInput {
+                dataset: name,
+                index,
+                dims,
+                expected: set.dims(),
+            });
+        }
+    }
     if r.dims() != s.dims() {
         return Err(JoinError::DimensionalityMismatch {
             r_dims: r.dims(),
@@ -166,6 +180,34 @@ mod tests {
                 .unwrap_err(),
             JoinError::DimensionalityMismatch { .. }
         ));
+    }
+
+    #[test]
+    fn ragged_inputs_are_rejected_not_a_release_mode_panic() {
+        let good = uniform(5, 2, 1.0, 0);
+        let ragged = PointSet::from_coords(vec![vec![0.0, 1.0], vec![2.0], vec![3.0, 4.0]]);
+        assert_eq!(
+            NestedLoopJoin
+                .join(&ragged, &good, 1, DistanceMetric::Euclidean)
+                .unwrap_err(),
+            JoinError::RaggedInput {
+                dataset: "R",
+                index: 1,
+                dims: 1,
+                expected: 2
+            }
+        );
+        assert_eq!(
+            NestedLoopJoin
+                .join(&good, &ragged, 1, DistanceMetric::Euclidean)
+                .unwrap_err(),
+            JoinError::RaggedInput {
+                dataset: "S",
+                index: 1,
+                dims: 1,
+                expected: 2
+            }
+        );
     }
 
     #[test]

@@ -40,8 +40,9 @@
 //!
 //! # The algorithms behind it
 //!
-//! [`Algorithm`] selects among five exact implementations at runtime, all
-//! running on the in-process MapReduce runtime from the [`mapreduce`] crate:
+//! [`Algorithm`] selects among six implementations at runtime — five exact,
+//! one approximate — all running on the in-process MapReduce runtime from the
+//! [`mapreduce`] crate:
 //!
 //! * [`Algorithm::Pgbj`] — the paper's contribution: Voronoi-diagram
 //!   partitioning around pivots, per-partition distance bounds, and partition
@@ -50,7 +51,12 @@
 //! * [`Algorithm::Pbj`] — the same pruning bounds inside the block-based
 //!   (√N × √N) framework, without grouping (§6).
 //! * [`Algorithm::Hbrj`] — the baseline of Zhang et al. (EDBT 2012): random
-//!   √N × √N blocks, an R-tree per reducer, and a merge job (§3).
+//!   √N × √N blocks, an R-tree per `S` block, and a merge job (§3).
+//! * [`Algorithm::Zknn`] — the *approximate* z-value join H-zkNNJ (Zhang, Li,
+//!   Jestes; the third competitor of §6): each `R` object's candidates are
+//!   its 2k z-order neighbours in every randomly shifted copy of the data,
+//!   so recall trades against shuffle and distance work.  Measure the trade
+//!   with [`JoinResult::quality_against`] / [`QualityReport`].
 //! * [`Algorithm::BroadcastJoin`] — the naive "split R, broadcast S"
 //!   strategy (§3).
 //! * [`Algorithm::NestedLoopJoin`] — the single-machine exact oracle.
@@ -76,7 +82,7 @@ pub mod summary;
 
 pub use algorithms::{
     BroadcastJoin, BroadcastJoinConfig, Hbrj, HbrjConfig, KnnJoinAlgorithm, Pbj, PbjConfig, Pgbj,
-    PgbjConfig,
+    PgbjConfig, Zknn, ZknnConfig,
 };
 pub use builder::JoinBuilder;
 pub use context::{
@@ -90,5 +96,5 @@ pub use metrics::JoinMetrics;
 pub use partition::{PartitionedDataset, VoronoiPartitioner};
 pub use pivots::{select_pivots, PivotSelectionStrategy};
 pub use plan::{Algorithm, JoinPlan};
-pub use result::{JoinError, JoinErrorKind, JoinResult, JoinRow};
+pub use result::{JoinError, JoinErrorKind, JoinResult, JoinRow, QualityReport};
 pub use summary::{RPartitionSummary, SPartitionSummary, SummaryTables};

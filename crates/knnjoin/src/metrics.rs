@@ -30,6 +30,11 @@ pub mod counters {
     /// Number of `S` records (replicas included) emitted by the join job's
     /// mappers.
     pub const S_RECORDS: &str = "s_records_shuffled";
+    /// Number of spatial indexes (R-trees) actually constructed by the join
+    /// job's reducers.  H-BRJ builds one per *distinct* `S` block (`⌊√N⌋`
+    /// total) and shares it across the row of reducer cells; a regression to
+    /// one-per-cell shows up here as a jump to `⌊√N⌋²`.
+    pub const INDEX_BUILDS: &str = "index_builds";
 }
 
 /// Phase names used by the harness; kept as constants so experiment tables use
@@ -68,6 +73,9 @@ pub struct JoinMetrics {
     /// Number of `S` records (replicas included) shuffled to reducers in the
     /// join job.
     pub s_records_shuffled: u64,
+    /// Number of spatial indexes built by the reducers (H-BRJ: one per
+    /// distinct `S` block; zero for the index-free algorithms).
+    pub index_builds: u64,
     /// Total bytes crossing the shuffle, across all MapReduce jobs involved.
     pub shuffle_bytes: u64,
     /// Total records crossing the shuffle (post-combine), across all jobs.
@@ -106,6 +114,7 @@ impl JoinMetrics {
             job.counters.get(counters::PIVOT_ASSIGNMENT_COMPUTATIONS);
         self.r_records_shuffled += job.counters.get(counters::R_RECORDS);
         self.s_records_shuffled += job.counters.get(counters::S_RECORDS);
+        self.index_builds += job.counters.get(counters::INDEX_BUILDS);
     }
 
     /// Total running time across phases.
@@ -200,6 +209,7 @@ mod tests {
         job.counters.add(counters::DISTANCE_COMPUTATIONS, 7);
         job.counters.add(counters::PIVOT_ASSIGNMENT_COMPUTATIONS, 5);
         job.counters.add(counters::R_RECORDS, 40);
+        job.counters.add(counters::INDEX_BUILDS, 3);
         join.absorb_job(&job);
         join.absorb_job(&job); // a second job of the same algorithm
         assert_eq!(join.shuffle_records, 200);
@@ -210,6 +220,7 @@ mod tests {
         assert_eq!(join.pivot_assignment_computations, 10);
         assert_eq!(join.r_records_shuffled, 80);
         assert_eq!(join.s_records_shuffled, 0);
+        assert_eq!(join.index_builds, 6);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use crate::algorithms::{
     BroadcastJoin, BroadcastJoinConfig, Hbrj, HbrjConfig, KnnJoinAlgorithm, Pbj, PbjConfig, Pgbj,
-    PgbjConfig,
+    PgbjConfig, Zknn, ZknnConfig,
 };
 use crate::context::ExecutionContext;
 use crate::exact::NestedLoopJoin;
@@ -21,8 +21,12 @@ use spatial::RTree;
 
 /// The join algorithms selectable at runtime.
 ///
-/// All five produce identical results (they are exact algorithms); they differ
-/// in cost structure, which is exactly what the paper's evaluation compares.
+/// The exact algorithms all produce identical results and differ only in cost
+/// structure — exactly what the paper's evaluation compares.  [`Zknn`] is the
+/// one approximate algorithm (the z-value competitor of §6): its reported
+/// distances are true distances, but its candidate sets are z-order
+/// neighbourhoods, so recall can fall below 1 (see
+/// [`Algorithm::is_exact`] and [`crate::result::QualityReport`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Algorithm {
     /// The paper's contribution: Voronoi partitioning + grouping (§4–5).
@@ -32,6 +36,9 @@ pub enum Algorithm {
     Pbj,
     /// The R-tree block baseline of Zhang et al. (§3).
     Hbrj,
+    /// The z-value-based *approximate* join of Zhang, Li and Jestes (the
+    /// H-zkNNJ competitor of §6).
+    Zknn,
     /// The naive "broadcast S everywhere" strategy (§3).
     BroadcastJoin,
     /// The single-machine exact oracle.
@@ -40,10 +47,11 @@ pub enum Algorithm {
 
 impl Algorithm {
     /// Every selectable algorithm, in paper order.
-    pub const ALL: [Algorithm; 5] = [
+    pub const ALL: [Algorithm; 6] = [
         Algorithm::Pgbj,
         Algorithm::Pbj,
         Algorithm::Hbrj,
+        Algorithm::Zknn,
         Algorithm::BroadcastJoin,
         Algorithm::NestedLoopJoin,
     ];
@@ -54,6 +62,7 @@ impl Algorithm {
             Algorithm::Pgbj => "PGBJ",
             Algorithm::Pbj => "PBJ",
             Algorithm::Hbrj => "H-BRJ",
+            Algorithm::Zknn => "H-zkNNJ",
             Algorithm::BroadcastJoin => "Broadcast",
             Algorithm::NestedLoopJoin => "NestedLoop",
         }
@@ -68,6 +77,14 @@ impl Algorithm {
     /// Whether the algorithm consumes the Voronoi pivot machinery.
     pub fn uses_pivots(&self) -> bool {
         matches!(self, Algorithm::Pgbj | Algorithm::Pbj)
+    }
+
+    /// Whether the algorithm returns the exact kNN join.  Everything except
+    /// [`Algorithm::Zknn`] does; H-zkNNJ trades recall for a much cheaper
+    /// join, and its deviation from exact is measured by
+    /// [`crate::result::QualityReport`].
+    pub fn is_exact(&self) -> bool {
+        !matches!(self, Algorithm::Zknn)
     }
 }
 
@@ -105,6 +122,15 @@ pub struct JoinPlan {
     pub map_tasks: usize,
     /// R-tree fanout (H-BRJ).
     pub rtree_fanout: usize,
+    /// `α`, the number of randomly shifted copies (H-zkNNJ).  More copies
+    /// heal more z-curve seams (higher recall) at proportionally more shuffle
+    /// and candidate work.
+    pub shift_copies: usize,
+    /// Grid bits per dimension of the z-value quantization (H-zkNNJ).
+    pub quantization_bits: u32,
+    /// Candidate-window multiplier (H-zkNNJ): `z_window · k` z-neighbours per
+    /// side per shifted copy.
+    pub z_window: usize,
     /// Whether map-side combiners run (PGBJ's partitioning job, the block
     /// algorithms' merge job) to cut shuffle volume.
     pub combiner: bool,
@@ -142,6 +168,15 @@ impl JoinPlan {
                 rtree_fanout: self.rtree_fanout,
                 combiner: self.combiner,
             })),
+            Algorithm::Zknn => Box::new(Zknn::new(ZknnConfig {
+                shift_copies: self.shift_copies,
+                quantization_bits: self.quantization_bits,
+                z_window: self.z_window,
+                reducers: self.reducers,
+                map_tasks: self.map_tasks,
+                combiner: self.combiner,
+                seed: self.seed,
+            })),
             Algorithm::BroadcastJoin => Box::new(BroadcastJoin::new(BroadcastJoinConfig {
                 reducers: self.reducers,
                 map_tasks: self.map_tasks,
@@ -169,6 +204,7 @@ impl JoinPlan {
 impl Default for JoinPlan {
     fn default() -> Self {
         let pgbj = PgbjConfig::default();
+        let zknn = ZknnConfig::default();
         Self {
             algorithm: Algorithm::default(),
             k: 1,
@@ -181,6 +217,9 @@ impl Default for JoinPlan {
             reducers: pgbj.reducers,
             map_tasks: pgbj.map_tasks,
             rtree_fanout: RTree::DEFAULT_FANOUT,
+            shift_copies: zknn.shift_copies,
+            quantization_bits: zknn.quantization_bits,
+            z_window: zknn.z_window,
             combiner: pgbj.combiner,
             seed: pgbj.seed,
         }
@@ -196,15 +235,24 @@ mod tests {
         assert_eq!(Algorithm::Pgbj.name(), "PGBJ");
         assert_eq!(Algorithm::Pbj.name(), "PBJ");
         assert_eq!(Algorithm::Hbrj.name(), "H-BRJ");
+        assert_eq!(Algorithm::Zknn.name(), "H-zkNNJ");
         assert_eq!(Algorithm::BroadcastJoin.name(), "Broadcast");
         assert_eq!(Algorithm::NestedLoopJoin.name(), "NestedLoop");
         assert_eq!(Algorithm::default(), Algorithm::Pgbj);
         assert_eq!(format!("{}", Algorithm::Hbrj), "H-BRJ");
         assert!(Algorithm::Pgbj.is_distributed());
+        assert!(Algorithm::Zknn.is_distributed());
         assert!(!Algorithm::NestedLoopJoin.is_distributed());
         assert!(Algorithm::Pbj.uses_pivots());
         assert!(!Algorithm::Hbrj.uses_pivots());
-        assert_eq!(Algorithm::ALL.len(), 5);
+        assert!(!Algorithm::Zknn.uses_pivots());
+        assert_eq!(Algorithm::ALL.len(), 6);
+        // Exactly one algorithm is approximate.
+        let approx: Vec<Algorithm> = Algorithm::ALL
+            .into_iter()
+            .filter(|a| !a.is_exact())
+            .collect();
+        assert_eq!(approx, vec![Algorithm::Zknn]);
     }
 
     #[test]

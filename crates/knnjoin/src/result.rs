@@ -30,6 +30,20 @@ pub enum JoinError {
         /// Dimensionality of `S`.
         s_dims: usize,
     },
+    /// One dataset is internally ragged: a point's dimensionality differs
+    /// from the dataset's.  Rejected up front because the distance kernels
+    /// only `debug_assert` slice lengths — a ragged set would index-panic or
+    /// silently truncate coordinates in release builds.
+    RaggedInput {
+        /// Which dataset (`"R"` or `"S"`).
+        dataset: &'static str,
+        /// Index of the first offending point.
+        index: usize,
+        /// That point's dimensionality.
+        dims: usize,
+        /// The dataset's dimensionality (from its first point).
+        expected: usize,
+    },
     /// An explicitly requested pivot count was zero or exceeded the datasets.
     PivotCountOutOfRange {
         /// The requested number of pivots.
@@ -81,6 +95,7 @@ impl JoinError {
             JoinError::InvalidK
             | JoinError::EmptyInput(_)
             | JoinError::DimensionalityMismatch { .. }
+            | JoinError::RaggedInput { .. }
             | JoinError::PivotCountOutOfRange { .. }
             | JoinError::ZeroReducers
             | JoinError::ZeroMapTasks => JoinErrorKind::PlanValidation,
@@ -98,6 +113,16 @@ impl std::fmt::Display for JoinError {
             JoinError::DimensionalityMismatch { r_dims, s_dims } => {
                 write!(f, "R has {r_dims} dimensions but S has {s_dims}")
             }
+            JoinError::RaggedInput {
+                dataset,
+                index,
+                dims,
+                expected,
+            } => write!(
+                f,
+                "dataset {dataset} is ragged: point at index {index} has {dims} \
+                 dimensions, expected {expected}"
+            ),
             JoinError::PivotCountOutOfRange {
                 pivot_count,
                 r_len,
@@ -208,6 +233,85 @@ impl JoinResult {
     pub fn matches(&self, expected: &JoinResult, tolerance: f64) -> bool {
         self.mismatch_against(expected, tolerance).is_none()
     }
+
+    /// Measures the approximation quality of this result against an exact
+    /// oracle (normally the nested-loop join over the same inputs).
+    ///
+    /// The exact algorithms trivially score `recall = distance_ratio = 1.0`;
+    /// the interesting caller is H-zkNNJ, whose candidate sets are z-order
+    /// neighbourhoods rather than true neighbourhoods.  Rows are matched by
+    /// `r_id`; an `R` object missing from this result contributes zero
+    /// recall.
+    pub fn quality_against(&self, exact: &JoinResult) -> QualityReport {
+        const TOL: f64 = 1e-9;
+        let mut recall_sum = 0.0;
+        let mut ratio_sum = 0.0;
+        let mut ratio_pairs = 0usize;
+        let mut rows = 0usize;
+        for exact_row in &exact.rows {
+            if exact_row.neighbors.is_empty() {
+                continue;
+            }
+            rows += 1;
+            let Some(mine) = self.row(exact_row.r_id) else {
+                continue;
+            };
+            // A reported neighbour is a hit if it is at least as close as the
+            // oracle's k-th distance (id-agnostic, so ties don't penalise).
+            let kth = exact_row.neighbors.last().expect("non-empty").distance;
+            let hits = mine
+                .neighbors
+                .iter()
+                .filter(|n| n.distance <= kth + TOL)
+                .count()
+                .min(exact_row.neighbors.len());
+            recall_sum += hits as f64 / exact_row.neighbors.len() as f64;
+            for (got, want) in mine.neighbors.iter().zip(&exact_row.neighbors) {
+                if want.distance > TOL {
+                    ratio_sum += got.distance / want.distance;
+                    ratio_pairs += 1;
+                } else if got.distance <= TOL {
+                    // Both exact-zero: a perfect pair (self-joins hit this).
+                    ratio_sum += 1.0;
+                    ratio_pairs += 1;
+                }
+                // Exact zero but approximate positive: the pair has no finite
+                // ratio; recall already records the miss.
+            }
+        }
+        QualityReport {
+            rows_compared: rows,
+            recall: if rows == 0 {
+                1.0
+            } else {
+                recall_sum / rows as f64
+            },
+            distance_ratio: if ratio_pairs == 0 {
+                1.0
+            } else {
+                ratio_sum / ratio_pairs as f64
+            },
+        }
+    }
+}
+
+/// How close an (approximate) join result is to the exact answer; produced by
+/// [`JoinResult::quality_against`] and reported by the bench harness next to
+/// the cost metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityReport {
+    /// Number of `R` objects compared (oracle rows with at least one
+    /// neighbour).
+    pub rows_compared: usize,
+    /// Mean fraction of each object's true `k` nearest neighbours that the
+    /// result found (distance-based, so equidistant ties count as found).
+    /// `1.0` means exact.
+    pub recall: f64,
+    /// Mean per-rank ratio `d(r, reported_i) / d(r, true_i)` over all pairs
+    /// with a positive true distance (zero-distance pairs count as perfect
+    /// when reproduced).  `1.0` means exact; `1.05` means reported
+    /// neighbours are on average 5% farther than the true ones.
+    pub distance_ratio: f64,
 }
 
 #[cfg(test)]
@@ -308,6 +412,71 @@ mod tests {
     }
 
     #[test]
+    fn quality_of_an_exact_result_is_perfect() {
+        let exact = JoinResult {
+            rows: vec![row(1, &[1.0, 2.0]), row(2, &[0.5, 3.0])],
+            metrics: JoinMetrics::default(),
+        };
+        let q = exact.quality_against(&exact);
+        assert_eq!(q.rows_compared, 2);
+        assert!((q.recall - 1.0).abs() < 1e-12);
+        assert!((q.distance_ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quality_counts_misses_and_farther_neighbours() {
+        let exact = JoinResult {
+            rows: vec![row(1, &[1.0, 2.0])],
+            metrics: JoinMetrics::default(),
+        };
+        // One true neighbour found (distance 1.0 ≤ kth 2.0), one replaced by
+        // a farther candidate: recall 1/2... the 4.0 candidate is beyond the
+        // kth distance so only the first counts.
+        let approx = JoinResult {
+            rows: vec![row(1, &[1.0, 4.0])],
+            metrics: JoinMetrics::default(),
+        };
+        let q = approx.quality_against(&exact);
+        assert_eq!(q.rows_compared, 1);
+        assert!((q.recall - 0.5).abs() < 1e-12, "recall {}", q.recall);
+        // Ratio pairs: 1.0/1.0 and 4.0/2.0 → mean 1.5.
+        assert!((q.distance_ratio - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quality_handles_missing_rows_and_zero_distances() {
+        let exact = JoinResult {
+            rows: vec![
+                JoinRow {
+                    r_id: 1,
+                    neighbors: vec![Neighbor::new(1, 0.0), Neighbor::new(9, 2.0)],
+                },
+                row(2, &[1.0]),
+            ],
+            metrics: JoinMetrics::default(),
+        };
+        // Row 2 is missing entirely; row 1 reproduces the zero-distance self
+        // match and the true second neighbour.
+        let approx = JoinResult {
+            rows: vec![JoinRow {
+                r_id: 1,
+                neighbors: vec![Neighbor::new(1, 0.0), Neighbor::new(9, 2.0)],
+            }],
+            metrics: JoinMetrics::default(),
+        };
+        let q = approx.quality_against(&exact);
+        assert_eq!(q.rows_compared, 2);
+        assert!((q.recall - 0.5).abs() < 1e-12, "recall {}", q.recall);
+        assert!((q.distance_ratio - 1.0).abs() < 1e-12);
+        // Degenerate oracle: nothing to compare is reported as perfect.
+        let empty = JoinResult::default();
+        let q = empty.quality_against(&empty);
+        assert_eq!(q.rows_compared, 0);
+        assert_eq!(q.recall, 1.0);
+        assert_eq!(q.distance_ratio, 1.0);
+    }
+
+    #[test]
     fn error_display() {
         assert!(JoinError::InvalidK.to_string().contains("k"));
         assert!(JoinError::EmptyInput("R").to_string().contains("R"));
@@ -329,6 +498,14 @@ mod tests {
         assert!(JoinError::InvalidConfig("nope".into())
             .to_string()
             .contains("nope"));
+        let ragged = JoinError::RaggedInput {
+            dataset: "S",
+            index: 7,
+            dims: 1,
+            expected: 3,
+        };
+        assert!(ragged.to_string().contains("S is ragged"));
+        assert!(ragged.to_string().contains("index 7"));
         let substrate = JoinError::substrate("pgbj-join", mapreduce::JobError::NoReducers);
         assert!(substrate.to_string().contains("pgbj-join"));
     }
@@ -352,6 +529,12 @@ mod tests {
             },
             JoinError::ZeroReducers,
             JoinError::ZeroMapTasks,
+            JoinError::RaggedInput {
+                dataset: "R",
+                index: 3,
+                dims: 2,
+                expected: 4,
+            },
         ] {
             assert_eq!(e.kind(), JoinErrorKind::PlanValidation, "{e}");
             assert!(e.source().is_none());

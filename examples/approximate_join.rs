@@ -1,0 +1,90 @@
+//! The accuracy/speed trade of the approximate H-zkNNJ join: run the same
+//! workload through exact PGBJ and through H-zkNNJ at several accuracy-knob
+//! settings, and report cost next to the quality report (recall and distance
+//! ratio against the nested-loop oracle).
+//!
+//! ```text
+//! cargo run --release --example approximate_join
+//! ```
+
+use pgbj::prelude::*;
+
+fn main() {
+    // A clustered 6-d self-join population — dense enough that the exact
+    // algorithms do real pruning work and the approximate join's constant
+    // per-object candidate cost pays off.
+    let data = gaussian_clusters(
+        &ClusterConfig {
+            n_points: 4000,
+            dims: 6,
+            n_clusters: 8,
+            std_dev: 6.0,
+            extent: 400.0,
+            skew: 0.5,
+        },
+        7,
+    );
+    let k = 10;
+    let ctx = ExecutionContext::default();
+
+    // Ground truth for the quality report.
+    let oracle = Join::new(&data, &data)
+        .k(k)
+        .algorithm(Algorithm::NestedLoopJoin)
+        .run(&ctx)
+        .expect("oracle join");
+
+    println!("kNN self-join, |R| = |S| = {}, k = {k}\n", data.len());
+    println!(
+        "{:<28} {:>12} {:>12} {:>8} {:>8}",
+        "configuration", "dist comps", "shuffle B", "recall", "ratio"
+    );
+
+    // The exact reference point.
+    let exact = Join::new(&data, &data)
+        .k(k)
+        .algorithm(Algorithm::Pgbj)
+        .reducers(8)
+        .run(&ctx)
+        .expect("exact join");
+    report("PGBJ (exact)", &exact, &oracle);
+
+    // The two accuracy knobs of H-zkNNJ:
+    //  * shift_copies (α): more shifted copies heal more z-curve seams and
+    //    cost proportionally more shuffle;
+    //  * z_window: a wider candidate window costs distance computations but
+    //    no extra shuffle.
+    for (copies, window) in [(1, 1), (2, 1), (2, 4), (2, 8), (4, 4)] {
+        let approx = Join::new(&data, &data)
+            .k(k)
+            .algorithm(Algorithm::Zknn)
+            .shift_copies(copies)
+            .z_window(window)
+            .reducers(8)
+            .run(&ctx)
+            .expect("approximate join");
+        report(
+            &format!("H-zkNNJ alpha={copies} window={window}k"),
+            &approx,
+            &oracle,
+        );
+    }
+
+    println!(
+        "\nEvery H-zkNNJ distance above is a true distance — only the\n\
+         candidate sets are approximate, so ratio >= 1 always holds and\n\
+         rising alpha/window buys recall with more work."
+    );
+}
+
+fn report(label: &str, result: &JoinResult, oracle: &JoinResult) {
+    let quality = result.quality_against(oracle);
+    println!(
+        "{:<28} {:>12} {:>12} {:>8.3} {:>8.3}",
+        label,
+        result.metrics.distance_computations,
+        result.metrics.shuffle_bytes,
+        quality.recall,
+        quality.distance_ratio,
+    );
+}

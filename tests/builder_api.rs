@@ -25,9 +25,10 @@ fn clustered(n: usize, dims: usize, seed: u64) -> PointSet {
     )
 }
 
-/// Every distributed algorithm must match the `NestedLoopJoin` oracle, row for
-/// row (ties broken by id, per `geom::neighbor` ordering), when driven through
-/// the builder.
+/// Every distributed algorithm must match the `NestedLoopJoin` oracle, row
+/// for row (ties broken by id, per `geom::neighbor` ordering), when driven
+/// through the builder — except the approximate H-zkNNJ, which must keep its
+/// shape (one row per `R` object, true distances) and high recall.
 fn assert_all_algorithms_agree(r: &PointSet, s: &PointSet, k: usize, label: &str) {
     let ctx = ExecutionContext::default();
     let oracle = Join::new(r, s)
@@ -35,32 +36,48 @@ fn assert_all_algorithms_agree(r: &PointSet, s: &PointSet, k: usize, label: &str
         .algorithm(Algorithm::NestedLoopJoin)
         .run(&ctx)
         .expect("oracle join");
-    for algorithm in [
-        Algorithm::Pgbj,
-        Algorithm::Pbj,
-        Algorithm::Hbrj,
-        Algorithm::BroadcastJoin,
-    ] {
-        let result = Join::new(r, s)
+    for algorithm in Algorithm::ALL {
+        let mut builder = Join::new(r, s)
             .k(k)
             .algorithm(algorithm)
             .pivot_count(16.min(r.len()).min(s.len()))
             .reducers(6)
-            .seed(2012)
+            .seed(2012);
+        if !algorithm.is_exact() {
+            // Turn the accuracy knob up for the quality assertion below:
+            // a wider candidate window costs distance computations, not
+            // shuffle volume.
+            builder = builder.z_window(8);
+        }
+        let result = builder
             .run(&ctx)
             .unwrap_or_else(|e| panic!("{algorithm} failed on {label}: {e}"));
-        // Distances must agree everywhere; with the shared deterministic
-        // tie-break, ids agree too wherever distances are unique.
-        assert!(
-            result.matches(&oracle, 1e-9),
-            "{algorithm} deviates from the oracle on {label}: {:?}",
-            result.mismatch_against(&oracle, 1e-9)
-        );
         assert_eq!(
             result.rows.len(),
             r.len(),
             "{algorithm} row count on {label}"
         );
+        if algorithm.is_exact() {
+            // Distances must agree everywhere; with the shared deterministic
+            // tie-break, ids agree too wherever distances are unique.
+            assert!(
+                result.matches(&oracle, 1e-9),
+                "{algorithm} deviates from the oracle on {label}: {:?}",
+                result.mismatch_against(&oracle, 1e-9)
+            );
+        } else {
+            let quality = result.quality_against(&oracle);
+            assert!(
+                quality.recall >= 0.85,
+                "{algorithm} recall {} on {label}",
+                quality.recall
+            );
+            assert!(
+                quality.distance_ratio >= 1.0 - 1e-9,
+                "{algorithm} ratio {} on {label}",
+                quality.distance_ratio
+            );
+        }
     }
 }
 

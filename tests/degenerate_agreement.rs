@@ -1,0 +1,135 @@
+//! Cross-algorithm agreement on degenerate inputs, driven by proptest.
+//!
+//! The exact algorithms (everything but H-zkNNJ) must match the
+//! `NestedLoopJoin` oracle on the inputs that historically break spatial
+//! code: duplicate points, all-identical coordinates, 1-d data, and
+//! `k ≥ |S|`.  H-zkNNJ is held to its own contract instead — one row per `R`
+//! object, true distances, and recall against the oracle above a threshold.
+
+use pgbj::prelude::*;
+use proptest::prelude::*;
+
+/// Runs one algorithm through the builder with small-topology settings.
+fn run(algorithm: Algorithm, r: &PointSet, s: &PointSet, k: usize, reducers: usize) -> JoinResult {
+    Join::new(r, s)
+        .k(k)
+        .algorithm(algorithm)
+        .pivot_count(8.min(r.len()).min(s.len()))
+        .reducers(reducers)
+        .map_tasks(3)
+        .seed(2012)
+        .run(&ExecutionContext::default())
+        .unwrap_or_else(|e| panic!("{algorithm} failed: {e}"))
+}
+
+/// Asserts the full six-algorithm contract for one input pair: the five
+/// exact algorithms match the oracle bit for bit (up to distance ties), and
+/// H-zkNNJ keeps its shape and at least `zknn_recall` recall.
+fn check_all_six(r: &PointSet, s: &PointSet, k: usize, reducers: usize, zknn_recall: f64) {
+    let oracle = NestedLoopJoin
+        .join(r, s, k, DistanceMetric::Euclidean)
+        .expect("oracle");
+    for algorithm in Algorithm::ALL {
+        if !algorithm.is_exact() {
+            continue;
+        }
+        let result = run(algorithm, r, s, k, reducers);
+        assert!(
+            result.matches(&oracle, 1e-9),
+            "{algorithm} deviates: {:?}",
+            result.mismatch_against(&oracle, 1e-9)
+        );
+    }
+    let approx = run(Algorithm::Zknn, r, s, k, reducers);
+    assert_eq!(approx.rows.len(), r.len(), "H-zkNNJ row count");
+    let quality = approx.quality_against(&oracle);
+    assert!(
+        quality.recall >= zknn_recall,
+        "H-zkNNJ recall {} below {zknn_recall}",
+        quality.recall
+    );
+    assert!(
+        quality.distance_ratio >= 1.0 - 1e-9,
+        "H-zkNNJ ratio {} below 1",
+        quality.distance_ratio
+    );
+}
+
+/// Builds a 2-d dataset from flat coordinates, then duplicates roughly a
+/// third of the points (picked deterministically from `seed`).
+fn with_duplicates(flat: &[f64], seed: u64) -> PointSet {
+    let mut rows: Vec<Vec<f64>> = flat.chunks_exact(2).map(|c| c.to_vec()).collect();
+    let n = rows.len();
+    for i in 0..n / 3 {
+        let src = (seed as usize + i * 7) % n;
+        rows.push(rows[src].clone());
+    }
+    PointSet::from_coords(rows)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn agreement_with_duplicate_points(
+        r_flat in proptest::collection::vec(-50.0f64..50.0, 8..60),
+        s_flat in proptest::collection::vec(-50.0f64..50.0, 8..60),
+        seed in 0u64..1000,
+        k in 1usize..6,
+        reducers in 1usize..8,
+    ) {
+        let r = with_duplicates(&r_flat, seed);
+        let s = with_duplicates(&s_flat, seed ^ 0x33);
+        // Arbitrary tiny scatters are the z-curve's worst case (every point
+        // near a seam matters), so the recall floor here is deliberately
+        // looser than the ≥ 0.9 the bench workloads are held to.
+        check_all_six(&r, &s, k, reducers, 0.7);
+    }
+
+    #[test]
+    fn agreement_on_one_dimensional_data(
+        r_rows in proptest::collection::vec(-100.0f64..100.0, 4..50),
+        s_rows in proptest::collection::vec(-100.0f64..100.0, 4..50),
+        k in 1usize..6,
+        reducers in 1usize..8,
+    ) {
+        let r = PointSet::from_coords(r_rows.into_iter().map(|v| vec![v]).collect());
+        let s = PointSet::from_coords(s_rows.into_iter().map(|v| vec![v]).collect());
+        // 1-d z-order is the plain sorted order: H-zkNNJ candidates always
+        // bracket the true neighbours, so it is essentially exact here.
+        check_all_six(&r, &s, k, reducers, 0.99);
+    }
+
+    #[test]
+    fn agreement_when_every_coordinate_is_identical(
+        n_r in 2usize..25,
+        n_s in 2usize..25,
+        coord in -10.0f64..10.0,
+        dims in 1usize..5,
+        k in 1usize..30,
+        reducers in 1usize..6,
+    ) {
+        // Every pair is at distance zero: any k (even k ≥ |S|) must yield
+        // min(k, |S|) zero-distance neighbours everywhere, exactly.
+        let r = PointSet::from_coords(vec![vec![coord; dims]; n_r]);
+        let s = PointSet::from_coords(vec![vec![coord; dims]; n_s]);
+        check_all_six(&r, &s, k, reducers, 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn agreement_when_k_exceeds_s(
+        n_r in 2usize..20,
+        n_s in 1usize..8,
+        extra_k in 0usize..10,
+        reducers in 1usize..6,
+        seed in 0u64..100,
+    ) {
+        // k ≥ |S| degenerates every algorithm to a cross join: all |S|
+        // neighbours per object, so even H-zkNNJ is exact (its candidate
+        // window covers all of S).
+        let r = uniform(n_r, 3, 40.0, seed);
+        let s = uniform(n_s, 3, 40.0, seed ^ 0xEE);
+        let k = n_s + extra_k;
+        check_all_six(&r, &s, k, reducers, 1.0 - 1e-9);
+    }
+}

@@ -26,12 +26,16 @@ use bench::ExperimentScale;
 use std::io::Write;
 use std::process::ExitCode;
 
-/// The perf-baseline fields that must be bit-stable for a fixed seed.
-/// `wall_time_s` is deliberately absent.
-const DETERMINISTIC_FIELDS: [&str; 7] = [
+/// The perf-baseline fields that must be bit-stable for a fixed seed, for
+/// the cold rows and the `"(prepared)"` serving rows alike (a prepared row
+/// drifting on `index_builds` or `pivot_selections` means per-query rebuild
+/// work leaked back in).  `wall_time_s`, `build_time_s` and
+/// `cold_wall_time_s` are deliberately absent.
+const DETERMINISTIC_FIELDS: [&str; 8] = [
     "distance_computations",
     "pivot_assignment_computations",
     "index_builds",
+    "pivot_selections",
     "shuffle_bytes",
     "shuffle_records",
     "recall",

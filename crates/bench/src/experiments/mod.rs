@@ -9,7 +9,7 @@ mod sweeps;
 
 pub use effect_of_k::{fig8, fig9};
 pub use parameter_study::{fig6, fig7, table2, table3};
-pub use perf_baseline::{perf_baseline, BaselineRow};
+pub use perf_baseline::{perf_baseline, BaselineRow, PREPARED_QUERIES};
 pub use sweeps::{fig10, fig11, fig12};
 
 use crate::json::Value;

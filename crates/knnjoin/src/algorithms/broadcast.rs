@@ -192,6 +192,98 @@ impl Reducer for BroadcastReducer {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Prepared (build/probe) serving path
+// ---------------------------------------------------------------------------
+
+/// The prepared broadcast state: `S` flattened once into columnar storage.
+/// In Hadoop terms the build is the broadcast itself — `S` is staged at
+/// every node once — so probe batches ship only `R` and scan the resident
+/// copy.
+#[derive(Debug)]
+pub(crate) struct BroadcastPrepared {
+    ids: Vec<geom::PointId>,
+    coords: CoordMatrix,
+}
+
+impl BroadcastPrepared {
+    /// Flattens `S`.
+    pub(crate) fn build(s: &PointSet, metrics: &mut JoinMetrics) -> Self {
+        let start = Instant::now();
+        let prepared = Self {
+            ids: s.iter().map(|p| p.id).collect(),
+            coords: CoordMatrix::from_point_set(s),
+        };
+        metrics.record_phase(phases::PREPARE_BUILD, start.elapsed());
+        prepared
+    }
+
+    /// Answers one probe batch: exhaustive scan of the resident flat `S` per
+    /// object, one serve job.
+    pub(crate) fn probe(
+        &self,
+        r: &PointSet,
+        plan: &crate::plan::JoinPlan,
+        ctx: &ExecutionContext,
+        metrics: &mut JoinMetrics,
+    ) -> Result<Vec<JoinRow>, JoinError> {
+        use crate::algorithms::common::{encode_probe_batch, run_serve_job, HashRouteMapper};
+
+        run_serve_job(
+            "broadcast-serve",
+            encode_probe_batch(r),
+            plan.reducers,
+            plan.map_tasks,
+            ctx.workers(),
+            &HashRouteMapper {
+                reducers: plan.reducers,
+            },
+            &BroadcastServeReducer {
+                prepared: self,
+                k: plan.k,
+                metric: plan.metric,
+            },
+            metrics,
+        )
+    }
+}
+
+/// Serve reducer: the cold [`BroadcastReducer`] scan against the resident
+/// flat `S`.
+struct BroadcastServeReducer<'a> {
+    prepared: &'a BroadcastPrepared,
+    k: usize,
+    metric: DistanceMetric,
+}
+
+impl Reducer for BroadcastServeReducer<'_> {
+    type KIn = u32;
+    type VIn = EncodedRecord;
+    type KOut = u64;
+    type VOut = Vec<Neighbor>;
+
+    fn reduce(
+        &self,
+        _key: &u32,
+        values: &[EncodedRecord],
+        ctx: &mut ReduceContext<u64, Vec<Neighbor>>,
+    ) {
+        let kernel = self.metric.kernel();
+        for value in values {
+            let r_obj = value.decode().point;
+            let mut list = NeighborList::new(self.k);
+            for (i, row) in self.prepared.coords.rows().enumerate() {
+                list.offer(self.prepared.ids[i], kernel(&r_obj.coords, row));
+            }
+            ctx.counters().add(
+                counters::DISTANCE_COMPUTATIONS,
+                self.prepared.ids.len() as u64,
+            );
+            ctx.emit(r_obj.id, list.into_sorted());
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -3,12 +3,22 @@
 //! merge jobs, and counter names.
 
 use crate::bounds::{hyperplane_bound, theorem2_window};
-use crate::summary::SummaryTables;
-use geom::{
-    CoordMatrix, DistanceMetric, Neighbor, NeighborList, Point, PointId, Record, RecordKind,
+use crate::metrics::{phases, JoinMetrics};
+use crate::partition::VoronoiPartitioner;
+use crate::result::{JoinError, JoinRow};
+use crate::summary::{
+    build_s_summaries, pivot_distance_matrix, RPartitionSummary, SPartitionSummary, SummaryTables,
 };
-use mapreduce::ByteSize;
+use geom::{
+    CoordMatrix, DistanceMetric, Neighbor, NeighborList, Point, PointId, PointSet, Record,
+    RecordKind,
+};
+use mapreduce::{
+    ByteSize, IdentityPartitioner, JobBuilder, MapContext, Mapper, ReduceContext, Reducer,
+};
 use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Counter names used by the join jobs (defined next to [`crate::JoinMetrics`],
 /// which aggregates them via `absorb_job`).
@@ -247,6 +257,263 @@ pub fn bounded_knn_scan(
         }
     }
     (neighbors.into_sorted(), computations)
+}
+
+// ---------------------------------------------------------------------------
+// Prepared (build/probe) serving support
+// ---------------------------------------------------------------------------
+
+/// The long-lived S-side state shared by the prepared PGBJ and PBJ paths: the
+/// pivot machinery, the Voronoi-partitioned `S` in flat columnar layout, the
+/// `T_S` summary table and the per-partition scan orders.  Everything here
+/// depends only on `S`, the pivot set and the plan — probe batches of `R`
+/// reuse it unchanged, which is what keeps `pivot_selections` flat across
+/// queries.
+#[derive(Debug)]
+pub(crate) struct VoronoiServeState {
+    /// Pivot assignment machinery (flat pivot matrix + pruned search).
+    pub partitioner: VoronoiPartitioner,
+    /// The pivot set, shared into every per-query [`SummaryTables`].
+    pub pivots: Arc<Vec<Point>>,
+    /// Voronoi-partitioned `S` in flat layout; only non-empty partitions.
+    pub s_parts: Arc<BTreeMap<usize, FlatPartition>>,
+    /// `T_S`, built once with the plan's `k`; shared into every per-query
+    /// [`SummaryTables`].
+    pub s_summaries: Arc<Vec<SPartitionSummary>>,
+    /// Pairwise pivot distances, shared likewise.
+    pub pivot_distances: Arc<Vec<Vec<f64>>>,
+    /// For every `R` partition `i`: the non-empty `S` partitions sorted by
+    /// pivot distance from `p_i` (Algorithm 3 line 14, hoisted out of the
+    /// per-query path since it depends only on the pivots).
+    pub s_orders: Arc<Vec<Vec<usize>>>,
+}
+
+impl VoronoiServeState {
+    /// Builds the serving state from the pivot set and `S`.
+    pub(crate) fn build(
+        pivots: Vec<Point>,
+        metric: DistanceMetric,
+        s: &PointSet,
+        k: usize,
+    ) -> Self {
+        let partitioner = VoronoiPartitioner::new(pivots, metric);
+        let pivots = Arc::new(partitioner.pivots().to_vec());
+        let partitioned_s = partitioner.partition(s);
+        let s_summaries = Arc::new(build_s_summaries(&partitioned_s, k));
+        let pivot_distances = Arc::new(pivot_distance_matrix(&pivots, metric));
+        let dims = partitioner.pivot_matrix().dims();
+        let mut s_parts: BTreeMap<usize, FlatPartition> = BTreeMap::new();
+        for (j, bucket) in partitioned_s.partitions.iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let flat = s_parts.entry(j).or_insert_with(|| FlatPartition::new(dims));
+            for (point, dist) in bucket {
+                flat.push(point, *dist);
+            }
+        }
+        let non_empty: Vec<usize> = s_parts.keys().copied().collect();
+        let s_orders = (0..partitioner.partition_count())
+            .map(|i| {
+                let mut order = non_empty.clone();
+                order.sort_by(|&a, &b| {
+                    pivot_distances[i][a]
+                        .partial_cmp(&pivot_distances[i][b])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                order
+            })
+            .collect();
+        Self {
+            partitioner,
+            pivots,
+            s_parts: Arc::new(s_parts),
+            s_summaries,
+            pivot_distances,
+            s_orders: Arc::new(s_orders),
+        }
+    }
+
+    /// Assigns a probe batch to Voronoi cells, returning one `(partition,
+    /// pivot distance)` per object plus the pruned assignment computations
+    /// actually spent.
+    pub(crate) fn assign_batch(&self, r: &PointSet) -> (Vec<(u32, f64)>, u64) {
+        let mut assignments = Vec::with_capacity(r.len());
+        let mut computations = 0u64;
+        for p in r {
+            let a = self.partitioner.nearest_pivot(&p.coords);
+            computations += a.computations;
+            assignments.push((a.partition as u32, a.distance));
+        }
+        (assignments, computations)
+    }
+
+    /// Assembles the full [`SummaryTables`] for one probe batch: `T_R` is
+    /// computed from the batch's assignments; the pivot set, `T_S` and the
+    /// pivot-distance matrix are `Arc`-shared from the prebuilt state, so
+    /// assembly costs O(t) for the fresh `R` summaries and nothing else.
+    pub(crate) fn query_tables(&self, assignments: &[(u32, f64)]) -> SummaryTables {
+        let t = self.partitioner.partition_count();
+        let mut counts = vec![0usize; t];
+        let mut lowers = vec![f64::INFINITY; t];
+        let mut uppers = vec![f64::NEG_INFINITY; t];
+        for (partition, dist) in assignments {
+            let i = *partition as usize;
+            counts[i] += 1;
+            lowers[i] = lowers[i].min(*dist);
+            uppers[i] = uppers[i].max(*dist);
+        }
+        let r_summaries = (0..t)
+            .map(|i| RPartitionSummary {
+                partition: i,
+                count: counts[i],
+                lower: if counts[i] == 0 { 0.0 } else { lowers[i] },
+                upper: if counts[i] == 0 { 0.0 } else { uppers[i] },
+            })
+            .collect();
+        SummaryTables {
+            pivots: Arc::clone(&self.pivots),
+            metric: self.partitioner.metric(),
+            r_summaries,
+            s_summaries: Arc::clone(&self.s_summaries),
+            pivot_distances: Arc::clone(&self.pivot_distances),
+        }
+    }
+}
+
+/// Encodes a probe batch as job input, embedding each object's partition and
+/// pivot distance from the batch assignment.
+pub(crate) fn encode_assigned_batch(
+    r: &PointSet,
+    assignments: &[(u32, f64)],
+) -> Vec<(u64, EncodedRecord)> {
+    r.iter()
+        .zip(assignments)
+        .map(|(p, (partition, dist))| {
+            (
+                p.id,
+                EncodedRecord::from_parts(RecordKind::R, *partition, *dist, p),
+            )
+        })
+        .collect()
+}
+
+/// Encodes a probe batch as job input without partition information (the
+/// prepared paths that need no Voronoi assignment: H-BRJ, H-zkNNJ,
+/// broadcast).
+pub(crate) fn encode_probe_batch(r: &PointSet) -> Vec<(u64, EncodedRecord)> {
+    r.iter()
+        .map(|p| (p.id, EncodedRecord::from_parts(RecordKind::R, 0, 0.0, p)))
+        .collect()
+}
+
+/// Runs one prepared probe job end to end: the single MapReduce job every
+/// `*Prepared::probe` shares (only the mapper, the reducer and the reducer
+/// count differ per algorithm), including the `knn join` phase timing, the
+/// substrate error mapping and the row collection.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_serve_job<M, R>(
+    name: &'static str,
+    input: Vec<(u64, EncodedRecord)>,
+    reducers: usize,
+    map_tasks: usize,
+    workers: usize,
+    mapper: &M,
+    reducer: &R,
+    metrics: &mut JoinMetrics,
+) -> Result<Vec<JoinRow>, JoinError>
+where
+    M: Mapper<KIn = u64, VIn = EncodedRecord, KOut = u32, VOut = EncodedRecord>,
+    R: Reducer<KIn = u32, VIn = EncodedRecord, KOut = u64, VOut = Vec<Neighbor>>,
+{
+    let start = Instant::now();
+    let job = JobBuilder::new(name)
+        .reducers(reducers)
+        .map_tasks(map_tasks)
+        .workers(workers)
+        .run_with_partitioner(input, mapper, reducer, &IdentityPartitioner)
+        .map_err(|e| JoinError::substrate(name, e))?;
+    metrics.record_phase(phases::KNN_JOIN, start.elapsed());
+    metrics.absorb_job(&job.metrics);
+    Ok(job
+        .output
+        .into_iter()
+        .map(|(r_id, neighbors)| JoinRow { r_id, neighbors })
+        .collect())
+}
+
+/// Mapper of the prepared probe jobs: route each `R` record to the reducer
+/// `id mod reducers` (the same modulo placement the cold broadcast join
+/// uses).  Only `R` crosses the shuffle — the `S` side is resident in the
+/// prepared state.
+pub(crate) struct HashRouteMapper {
+    /// Number of reducers of the probe job.
+    pub reducers: usize,
+}
+
+impl Mapper for HashRouteMapper {
+    type KIn = u64;
+    type VIn = EncodedRecord;
+    type KOut = u32;
+    type VOut = EncodedRecord;
+
+    fn map(&self, key: &u64, value: &EncodedRecord, ctx: &mut MapContext<u32, EncodedRecord>) {
+        ctx.counters().increment(counters::R_RECORDS);
+        ctx.emit((key % self.reducers as u64) as u32, value.clone());
+    }
+}
+
+/// Reducer of the prepared PGBJ / PBJ probe jobs: the bounded Algorithm 3
+/// scan of one batch slice against the resident flat `S` partitions.  The
+/// Theorem 6 routing of the cold path is unnecessary here — no `S` record
+/// crosses the shuffle — so pruning is carried entirely by Corollary 1,
+/// Theorem 2 and the per-partition `θ_i` bound.
+pub(crate) struct VoronoiServeReducer {
+    /// Resident flat `S` partitions.
+    pub s_parts: Arc<BTreeMap<usize, FlatPartition>>,
+    /// Prebuilt per-partition scan orders.
+    pub s_orders: Arc<Vec<Vec<usize>>>,
+    /// Per-batch summary tables (fresh `T_R`, prebuilt `T_S`).
+    pub tables: Arc<SummaryTables>,
+    /// Per-batch `θ_i` bounds (Algorithm 1).
+    pub theta: Arc<Vec<f64>>,
+    /// Neighbours per object.
+    pub k: usize,
+    /// Distance metric.
+    pub metric: DistanceMetric,
+}
+
+impl Reducer for VoronoiServeReducer {
+    type KIn = u32;
+    type VIn = EncodedRecord;
+    type KOut = u64;
+    type VOut = Vec<Neighbor>;
+
+    fn reduce(
+        &self,
+        _key: &u32,
+        values: &[EncodedRecord],
+        ctx: &mut ReduceContext<u64, Vec<Neighbor>>,
+    ) {
+        for value in values {
+            let record = value.decode();
+            let i = record.partition as usize;
+            let (neighbors, computations) = bounded_knn_scan(
+                &record.point,
+                record.pivot_distance,
+                i,
+                &self.s_parts,
+                &self.s_orders[i],
+                &self.tables,
+                self.theta[i],
+                self.k,
+                self.metric,
+            );
+            ctx.counters()
+                .add(counters::DISTANCE_COMPUTATIONS, computations);
+            ctx.emit(record.point.id, neighbors);
+        }
+    }
 }
 
 /// Sorts the partition ids in `s_parts` by ascending pivot distance from the

@@ -206,6 +206,115 @@ impl Reducer for HbrjCellReducer {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Prepared (build/probe) serving path
+// ---------------------------------------------------------------------------
+
+/// The prepared H-BRJ state: the `B = ⌊√N⌋` per-block R-trees, bulk-loaded
+/// once at build time.  A probe batch ships only `R` records; each serve
+/// reducer probes all `B` resident trees per object and keeps the global
+/// top-`k` — no per-query tree builds (`index_builds` stays flat) and no
+/// merge job (every reducer sees the full `S` index set).
+#[derive(Debug)]
+pub(crate) struct HbrjPrepared {
+    trees: Vec<Arc<RTree>>,
+}
+
+impl HbrjPrepared {
+    /// Splits `S` into the same `id mod B` blocks as the cold path and
+    /// bulk-loads one tree per block.
+    pub(crate) fn build(
+        s: &PointSet,
+        plan: &crate::plan::JoinPlan,
+        metrics: &mut JoinMetrics,
+    ) -> Self {
+        use crate::metrics::phases;
+        let start = std::time::Instant::now();
+        let blocks = block_count(plan.reducers);
+        let mut block_points: Vec<Vec<Point>> = vec![Vec::new(); blocks];
+        for p in s {
+            block_points[(p.id % blocks as u64) as usize].push(p.clone());
+        }
+        let trees = block_points
+            .into_iter()
+            .map(|block| {
+                Arc::new(RTree::bulk_load_with_fanout(
+                    block,
+                    plan.metric,
+                    plan.rtree_fanout,
+                ))
+            })
+            .collect();
+        metrics.index_builds += blocks as u64;
+        metrics.record_phase(phases::PREPARE_BUILD, start.elapsed());
+        Self { trees }
+    }
+
+    /// Answers one probe batch with a single serve job over the resident
+    /// trees.
+    pub(crate) fn probe(
+        &self,
+        r: &PointSet,
+        plan: &crate::plan::JoinPlan,
+        ctx: &ExecutionContext,
+        metrics: &mut JoinMetrics,
+    ) -> Result<Vec<crate::result::JoinRow>, JoinError> {
+        use crate::algorithms::common::{encode_probe_batch, run_serve_job, HashRouteMapper};
+
+        run_serve_job(
+            "hbrj-serve",
+            encode_probe_batch(r),
+            plan.reducers,
+            plan.map_tasks,
+            ctx.workers(),
+            &HashRouteMapper {
+                reducers: plan.reducers,
+            },
+            &HbrjServeReducer {
+                trees: self.trees.clone(),
+                k: plan.k,
+            },
+            metrics,
+        )
+    }
+}
+
+/// Serve reducer: best-first kNN against every resident block tree, merged
+/// into the global top-`k` per object.
+struct HbrjServeReducer {
+    trees: Vec<Arc<RTree>>,
+    k: usize,
+}
+
+impl Reducer for HbrjServeReducer {
+    type KIn = u32;
+    type VIn = EncodedRecord;
+    type KOut = u64;
+    type VOut = Vec<geom::Neighbor>;
+
+    fn reduce(
+        &self,
+        _key: &u32,
+        values: &[EncodedRecord],
+        ctx: &mut ReduceContext<u64, Vec<geom::Neighbor>>,
+    ) {
+        for value in values {
+            let r_obj = value.decode().point;
+            let mut list = geom::NeighborList::new(self.k);
+            let mut computations = 0u64;
+            // One shared accumulator across the block trees: the k-th
+            // distance found in earlier trees prunes later ones, which the
+            // cold path's independent per-cell searches cannot do.
+            for tree in &self.trees {
+                computations += tree.knn_into(&r_obj, &mut list);
+            }
+            ctx.counters()
+                .add(counters::DISTANCE_COMPUTATIONS, computations);
+            ctx.emit(r_obj.id, list.into_sorted());
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

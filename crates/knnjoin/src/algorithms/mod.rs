@@ -28,6 +28,12 @@ pub use pbj::{Pbj, PbjConfig};
 pub use pgbj::{Pgbj, PgbjConfig};
 pub use zknn::{Zknn, ZknnConfig};
 
+pub(crate) use broadcast::BroadcastPrepared;
+pub(crate) use hbrj::HbrjPrepared;
+pub(crate) use pbj::PbjPrepared;
+pub(crate) use pgbj::PgbjPrepared;
+pub(crate) use zknn::ZknnPrepared;
+
 use crate::context::ExecutionContext;
 use crate::result::{JoinError, JoinResult};
 use geom::{DistanceMetric, PointSet};

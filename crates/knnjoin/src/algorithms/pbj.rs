@@ -130,6 +130,7 @@ impl KnnJoinAlgorithm for Pbj {
             cfg.seed,
         );
         metrics.record_phase(phases::PIVOT_SELECTION, start.elapsed());
+        metrics.pivot_selections = 1;
 
         // ---- Partitioning (first job of the paper, run as a driver-side scan)
         let start = Instant::now();
@@ -255,6 +256,93 @@ impl Reducer for PbjCellReducer {
                 ctx.emit(r_obj.id, NeighborListValue::new(neighbors));
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prepared (build/probe) serving path
+// ---------------------------------------------------------------------------
+
+/// The prepared PBJ state — the same Voronoi serving core as PGBJ, probed
+/// without the grouping step (batches are hash-routed to reducers), exactly
+/// mirroring how cold PBJ is "PGBJ's bounds without the grouping".
+#[derive(Debug)]
+pub(crate) struct PbjPrepared {
+    core: crate::algorithms::common::VoronoiServeState,
+}
+
+impl PbjPrepared {
+    /// Builds the S-side state (pivots from the calibration `R`, resident
+    /// partitioned `S`, `T_S`).
+    pub(crate) fn build(
+        calibration_r: &PointSet,
+        s: &PointSet,
+        plan: &crate::plan::JoinPlan,
+        metrics: &mut JoinMetrics,
+    ) -> Self {
+        let start = Instant::now();
+        let pivots = select_pivots(
+            calibration_r,
+            plan.pivot_count,
+            plan.pivot_strategy,
+            plan.pivot_sample_size,
+            plan.metric,
+            plan.seed,
+        );
+        metrics.record_phase(phases::PIVOT_SELECTION, start.elapsed());
+        metrics.pivot_selections = 1;
+        let start = Instant::now();
+        let core =
+            crate::algorithms::common::VoronoiServeState::build(pivots, plan.metric, s, plan.k);
+        metrics.record_phase(phases::DATA_PARTITIONING, start.elapsed());
+        Self { core }
+    }
+
+    /// Answers one probe batch with the bounded Algorithm 3 scan, `θ_i`
+    /// taken from the global Algorithm 1 bound (the resident `S` is the full
+    /// dataset, so the tight bound applies — cold PBJ only had the local
+    /// block's looser bound).
+    pub(crate) fn probe(
+        &self,
+        r: &PointSet,
+        plan: &crate::plan::JoinPlan,
+        ctx: &ExecutionContext,
+        metrics: &mut JoinMetrics,
+    ) -> Result<Vec<crate::result::JoinRow>, JoinError> {
+        use crate::algorithms::common::{
+            encode_assigned_batch, run_serve_job, HashRouteMapper, VoronoiServeReducer,
+        };
+
+        let start = Instant::now();
+        let (assignments, computations) = self.core.assign_batch(r);
+        metrics.pivot_assignment_computations += computations;
+        metrics.record_phase(phases::DATA_PARTITIONING, start.elapsed());
+
+        let start = Instant::now();
+        let tables = Arc::new(self.core.query_tables(&assignments));
+        let bounds = crate::bounds::PartitionBounds::compute(&tables, plan.k);
+        let theta = Arc::new(bounds.theta);
+        metrics.record_phase(phases::INDEX_MERGING, start.elapsed());
+
+        run_serve_job(
+            "pbj-serve",
+            encode_assigned_batch(r, &assignments),
+            plan.reducers,
+            plan.map_tasks,
+            ctx.workers(),
+            &HashRouteMapper {
+                reducers: plan.reducers,
+            },
+            &VoronoiServeReducer {
+                s_parts: Arc::clone(&self.core.s_parts),
+                s_orders: Arc::clone(&self.core.s_orders),
+                tables,
+                theta,
+                k: plan.k,
+                metric: plan.metric,
+            },
+            metrics,
+        )
     }
 }
 

@@ -227,6 +227,33 @@ impl KnnJoinAlgorithm for Zknn {
     }
 }
 
+/// The driver-side calibration shared by the cold and prepared paths: the
+/// quantization domain over `R ∪ S`, the [`ZQuantizer`] it induces, and the
+/// seeded shift vectors.  One definition, so the prepared path cannot drift
+/// from the cold computation it must reproduce bit for bit.
+fn z_calibration(
+    r: &PointSet,
+    s: &PointSet,
+    bits: u32,
+    copies: usize,
+    seed: u64,
+) -> (ZQuantizer, Vec<Vec<f64>>) {
+    let dims = r.dims();
+    let mut mins = vec![f64::INFINITY; dims];
+    let mut maxs = vec![f64::NEG_INFINITY; dims];
+    for p in r.iter().chain(s.iter()) {
+        for d in 0..dims {
+            mins[d] = mins[d].min(p.coords[d]);
+            maxs[d] = maxs[d].max(p.coords[d]);
+        }
+    }
+    let widths: Vec<f64> = mins.iter().zip(&maxs).map(|(lo, hi)| hi - lo).collect();
+    let quantizer =
+        ZQuantizer::new(&mins, &maxs, bits).expect("bits validated against dims before build");
+    let shifts = random_shifts(&widths, copies, seed);
+    (quantizer, shifts)
+}
+
 /// One shifted copy's range partitioning: the slab cut points over `R ∪ S`
 /// z-values, and the `k`-rank-padded z-window of `S` records each slab
 /// additionally receives (the boundary replicas of the EDBT paper).
@@ -257,19 +284,8 @@ impl ZknnShared {
     /// slab boundaries from the data (driver-side preprocessing; the shuffled
     /// work stays in the MapReduce jobs).
     fn build(r: &PointSet, s: &PointSet, k: usize, cfg: &ZknnConfig) -> ZknnShared {
-        let dims = r.dims();
-        let mut mins = vec![f64::INFINITY; dims];
-        let mut maxs = vec![f64::NEG_INFINITY; dims];
-        for p in r.iter().chain(s.iter()) {
-            for d in 0..dims {
-                mins[d] = mins[d].min(p.coords[d]);
-                maxs[d] = maxs[d].max(p.coords[d]);
-            }
-        }
-        let widths: Vec<f64> = mins.iter().zip(&maxs).map(|(lo, hi)| hi - lo).collect();
-        let quantizer = ZQuantizer::new(&mins, &maxs, cfg.quantization_bits)
-            .expect("bits validated against dims before build");
-        let shifts = random_shifts(&widths, cfg.shift_copies, cfg.seed);
+        let (quantizer, shifts) =
+            z_calibration(r, s, cfg.quantization_bits, cfg.shift_copies, cfg.seed);
         // Spread the reducer budget over the copies, at least one slab each.
         let slabs = (cfg.reducers / cfg.shift_copies).max(1);
         let window = cfg.z_window.saturating_mul(k);
@@ -456,7 +472,10 @@ impl Reducer for ZSlabReducer {
 /// the top-`k`.  Deduplicating by id before bounding is associative — an id a
 /// partial merge drops is beaten by `k` distinct ids that all survive into
 /// the next round — so the map-side combiner applies the same function.
-fn merge_distinct_candidates(lists: &[NeighborListValue], k: usize) -> Vec<geom::Neighbor> {
+pub(crate) fn merge_distinct_candidates(
+    lists: &[NeighborListValue],
+    k: usize,
+) -> Vec<geom::Neighbor> {
     // BTreeMap (not HashMap): the bounded list breaks exact-distance ties by
     // arrival order, so candidates must be offered in a deterministic (id)
     // order or equal-distance survivors would vary run to run.
@@ -510,6 +529,159 @@ impl Reducer for ZMergeReducer {
         ctx: &mut ReduceContext<u64, Vec<geom::Neighbor>>,
     ) {
         ctx.emit(*key, merge_distinct_candidates(values, self.k));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prepared (build/probe) serving path
+// ---------------------------------------------------------------------------
+
+/// One shifted copy of `S`, fully sorted by `(z-value, id)` with the
+/// coordinates in matching flat rows — the windows any probe object scans.
+#[derive(Debug)]
+struct SortedCopy {
+    z: Vec<ZValue>,
+    ids: Vec<PointId>,
+    coords: CoordMatrix,
+}
+
+/// The prepared H-zkNNJ state: the quantizer and shift vectors (calibrated
+/// from the datasets the join was prepared with, exactly as the cold driver
+/// computes them) plus one `(z, id)`-sorted copy of `S` per shift.  Because
+/// each resident copy is the *full* sorted `S`, a probe object's candidate
+/// window around its z-position is identical to the window the cold slab
+/// reducers see (slab padding exists only to reassemble this list under
+/// partitioning), so prepared answers are bit-identical to cold ones.
+#[derive(Debug)]
+pub(crate) struct ZknnPrepared {
+    quantizer: ZQuantizer,
+    shifts: Vec<Vec<f64>>,
+    /// Candidate z-neighbours per side: `z_window · k`.
+    window: usize,
+    copies: Vec<SortedCopy>,
+}
+
+impl ZknnPrepared {
+    /// Builds the sorted shifted copies of `S`.  `calibration_r` only
+    /// calibrates the quantization domain (the cold driver derives it from
+    /// `R ∪ S`); out-of-domain probe coordinates are clamped by the
+    /// quantizer.
+    pub(crate) fn build(
+        calibration_r: &PointSet,
+        s: &PointSet,
+        plan: &crate::plan::JoinPlan,
+        metrics: &mut JoinMetrics,
+    ) -> Self {
+        let start = Instant::now();
+        let dims = s.dims();
+        let (quantizer, shifts) = z_calibration(
+            calibration_r,
+            s,
+            plan.quantization_bits,
+            plan.shift_copies,
+            plan.seed,
+        );
+        let copies = shifts
+            .iter()
+            .map(|shift| {
+                let mut entries: Vec<(ZValue, &Point)> = s
+                    .iter()
+                    .map(|p| (quantizer.z_value(&p.coords, Some(shift)), p))
+                    .collect();
+                entries.sort_unstable_by_key(|(z, p)| (*z, p.id));
+                let mut coords = CoordMatrix::new(dims);
+                let mut z = Vec::with_capacity(entries.len());
+                let mut ids = Vec::with_capacity(entries.len());
+                for (zv, p) in entries {
+                    z.push(zv);
+                    ids.push(p.id);
+                    coords.push_row(&p.coords);
+                }
+                SortedCopy { z, ids, coords }
+            })
+            .collect();
+        metrics.record_phase(phases::PREPARE_BUILD, start.elapsed());
+        Self {
+            quantizer,
+            shifts,
+            window: plan.z_window.saturating_mul(plan.k),
+            copies,
+        }
+    }
+
+    /// Answers one probe batch with a single serve job: per object and per
+    /// copy, scan the `z_window · k` z-neighbours on each side, then merge
+    /// the per-copy candidates into the `k` best distinct `S` objects.
+    pub(crate) fn probe(
+        &self,
+        r: &PointSet,
+        plan: &crate::plan::JoinPlan,
+        ctx: &ExecutionContext,
+        metrics: &mut JoinMetrics,
+    ) -> Result<Vec<JoinRow>, JoinError> {
+        use crate::algorithms::common::{encode_probe_batch, run_serve_job, HashRouteMapper};
+
+        run_serve_job(
+            "zknn-serve",
+            encode_probe_batch(r),
+            plan.reducers,
+            plan.map_tasks,
+            ctx.workers(),
+            &HashRouteMapper {
+                reducers: plan.reducers,
+            },
+            &ZknnServeReducer {
+                prepared: self,
+                k: plan.k,
+                metric: plan.metric,
+            },
+            metrics,
+        )
+    }
+}
+
+/// Serve reducer: the per-copy candidate windows and the distinct merge, all
+/// against the resident sorted copies.
+struct ZknnServeReducer<'a> {
+    prepared: &'a ZknnPrepared,
+    k: usize,
+    metric: DistanceMetric,
+}
+
+impl Reducer for ZknnServeReducer<'_> {
+    type KIn = u32;
+    type VIn = EncodedRecord;
+    type KOut = u64;
+    type VOut = Vec<geom::Neighbor>;
+
+    fn reduce(
+        &self,
+        _key: &u32,
+        values: &[EncodedRecord],
+        ctx: &mut ReduceContext<u64, Vec<geom::Neighbor>>,
+    ) {
+        let kernel = self.metric.kernel();
+        let window = self.prepared.window;
+        for value in values {
+            let r_obj = value.decode().point;
+            let mut lists = Vec::with_capacity(self.prepared.copies.len());
+            let mut computations = 0u64;
+            for (copy, shift) in self.prepared.copies.iter().zip(&self.prepared.shifts) {
+                let z_r = self.prepared.quantizer.z_value(&r_obj.coords, Some(shift));
+                let pos = copy.z.partition_point(|z| *z < z_r);
+                let lo = pos.saturating_sub(window);
+                let hi = (pos + window).min(copy.z.len());
+                let mut list = NeighborList::new(self.k);
+                for idx in lo..hi {
+                    list.offer(copy.ids[idx], kernel(&r_obj.coords, copy.coords.row(idx)));
+                }
+                computations += (hi - lo) as u64;
+                lists.push(NeighborListValue::new(list.into_sorted()));
+            }
+            ctx.counters()
+                .add(counters::DISTANCE_COMPUTATIONS, computations);
+            ctx.emit(r_obj.id, merge_distinct_candidates(&lists, self.k));
+        }
     }
 }
 

@@ -97,7 +97,7 @@ pub fn bounding_knn_theta(tables: &SummaryTables, r_partition: usize, k: usize) 
     }
     // Max-heap keeps the k smallest upper bounds; its top is the current θ.
     let mut heap: BinaryHeap<OrderedF64> = BinaryHeap::with_capacity(k + 1);
-    for s_summary in &tables.s_summaries {
+    for s_summary in tables.s_summaries.iter() {
         let pivot_dist = tables.pivot_distance(r_partition, s_summary.partition);
         // knn_distances is ascending, so once one candidate fails to improve
         // the heap no later candidate of this partition can (line 8 of

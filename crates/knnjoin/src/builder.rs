@@ -340,6 +340,29 @@ impl<'a> JoinBuilder<'a> {
     pub fn run(self, ctx: &ExecutionContext) -> Result<JoinResult, JoinError> {
         self.plan()?.execute(self.r, self.s, ctx)
     }
+
+    /// Splits the join into its build and probe phases: validates the plan,
+    /// builds all S-side state once (pivot set + partitioned `S` for
+    /// PGBJ/PBJ, per-block R-trees for H-BRJ, shifted sorted z-copies for
+    /// H-zkNNJ, flat staging otherwise) and returns a
+    /// [`crate::PreparedJoin`] that answers arbitrary `R` batches without
+    /// rebuilding any of it — [`crate::PreparedJoin::query`] over this
+    /// builder's `R` produces the same neighbours as [`JoinBuilder::run`],
+    /// with the per-query `index_builds` and `pivot_selections` counters
+    /// pinned at zero.
+    ///
+    /// The builder's `R` doubles as the calibration sample (pivot selection
+    /// and the z-value domain are seeded from it, exactly as the one-shot
+    /// path does); every bound remains valid for any later batch, so the
+    /// prepared state serves them exactly.
+    ///
+    /// # Errors
+    /// Returns the planning error ([`JoinBuilder::plan`]) or any build-time
+    /// [`JoinError`].
+    pub fn prepare(self, ctx: &ExecutionContext) -> Result<crate::PreparedJoin, JoinError> {
+        let plan = self.plan()?;
+        crate::PreparedJoin::build(self.r, self.s, plan, ctx)
+    }
 }
 
 #[cfg(test)]

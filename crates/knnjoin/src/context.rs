@@ -13,6 +13,56 @@
 use crate::metrics::JoinMetrics;
 use mapreduce::InMemoryDfs;
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Session-scoped serving statistics of one [`crate::PreparedJoin`]: how
+/// many queries the prepared state has answered and how its one-time build
+/// cost amortizes over them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServingStats {
+    /// Queries answered so far (across all clones of the handle).
+    pub queries: u64,
+    /// Wall time of the one-time S-side build.
+    pub build_time: Duration,
+    /// Cumulative wall time spent answering queries.
+    pub total_query_time: Duration,
+}
+
+impl ServingStats {
+    /// Mean per-query wall time (zero before the first query).
+    pub fn mean_query_time(&self) -> Duration {
+        div_duration(self.total_query_time, self.queries)
+    }
+
+    /// The build cost amortized over the queries served: `build_time /
+    /// queries` (the full build cost before the first query).
+    pub fn amortized_build_time(&self) -> Duration {
+        if self.queries == 0 {
+            self.build_time
+        } else {
+            div_duration(self.build_time, self.queries)
+        }
+    }
+
+    /// Mean end-to-end cost per query with the build amortized in:
+    /// `(build_time + total_query_time) / queries`.
+    pub fn amortized_query_time(&self) -> Duration {
+        if self.queries == 0 {
+            self.build_time
+        } else {
+            div_duration(self.build_time + self.total_query_time, self.queries)
+        }
+    }
+}
+
+/// `d / n`, zero when `n` is zero (nanosecond precision).
+fn div_duration(d: Duration, n: u64) -> Duration {
+    if n == 0 {
+        Duration::ZERO
+    } else {
+        Duration::from_nanos((d.as_nanos() / n as u128) as u64)
+    }
+}
 
 /// Observes the metrics of completed joins.
 ///
@@ -227,6 +277,75 @@ mod tests {
         assert_eq!(names, vec!["PBJ".to_string(), "PGBJ".to_string()]);
         sink.clear();
         assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn memory_sink_survives_concurrent_record_join_calls() {
+        // Parallel prepared queries all report into one shared context; the
+        // sink must lose nothing and tear nothing.
+        const THREADS: usize = 8;
+        const RECORDS_PER_THREAD: usize = 50;
+        let sink = Arc::new(MemoryMetricsSink::new());
+        let ctx = ExecutionContext::builder()
+            .metrics_sink(sink.clone())
+            .build();
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let ctx = ctx.clone();
+                scope.spawn(move || {
+                    for i in 0..RECORDS_PER_THREAD {
+                        let mut m = JoinMetrics {
+                            r_size: t,
+                            s_size: i,
+                            distance_computations: (t * RECORDS_PER_THREAD + i) as u64,
+                            ..Default::default()
+                        };
+                        m.record_phase("knn join", Duration::from_nanos(1));
+                        ctx.record_join("PGBJ", &m);
+                    }
+                });
+            }
+        });
+        let records = sink.snapshot();
+        // No lost records...
+        assert_eq!(records.len(), THREADS * RECORDS_PER_THREAD);
+        // ...and no torn ones: every (r_size, s_size, computations) triple is
+        // internally consistent and each thread's sequence appears exactly
+        // once.
+        let mut seen = std::collections::HashSet::new();
+        for r in &records {
+            assert_eq!(r.algorithm, "PGBJ");
+            let expected = (r.metrics.r_size * RECORDS_PER_THREAD + r.metrics.s_size) as u64;
+            assert_eq!(r.metrics.distance_computations, expected, "torn record");
+            assert!(
+                seen.insert((r.metrics.r_size, r.metrics.s_size)),
+                "duplicate record"
+            );
+            assert_eq!(r.metrics.phase_times.len(), 1);
+        }
+        assert_eq!(seen.len(), THREADS * RECORDS_PER_THREAD);
+    }
+
+    #[test]
+    fn serving_stats_amortization_math() {
+        let fresh = ServingStats {
+            queries: 0,
+            build_time: Duration::from_millis(80),
+            total_query_time: Duration::ZERO,
+        };
+        // Before any query the build is unamortized.
+        assert_eq!(fresh.mean_query_time(), Duration::ZERO);
+        assert_eq!(fresh.amortized_build_time(), Duration::from_millis(80));
+        assert_eq!(fresh.amortized_query_time(), Duration::from_millis(80));
+
+        let served = ServingStats {
+            queries: 8,
+            build_time: Duration::from_millis(80),
+            total_query_time: Duration::from_millis(40),
+        };
+        assert_eq!(served.mean_query_time(), Duration::from_millis(5));
+        assert_eq!(served.amortized_build_time(), Duration::from_millis(10));
+        assert_eq!(served.amortized_query_time(), Duration::from_millis(15));
     }
 
     #[test]

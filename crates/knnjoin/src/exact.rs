@@ -59,6 +59,55 @@ impl NestedLoopJoin {
     }
 }
 
+/// The prepared nested-loop state: `S` flattened once; every probe batch is
+/// a driver-side scan (the cold path runs on no substrate either).
+#[derive(Debug)]
+pub(crate) struct NestedLoopPrepared {
+    ids: Vec<u64>,
+    coords: CoordMatrix,
+}
+
+impl NestedLoopPrepared {
+    /// Flattens `S`.
+    pub(crate) fn build(s: &PointSet, metrics: &mut JoinMetrics) -> Self {
+        let start = Instant::now();
+        let prepared = Self {
+            ids: s.iter().map(|p| p.id).collect(),
+            coords: CoordMatrix::from_point_set(s),
+        };
+        metrics.record_phase(phases::PREPARE_BUILD, start.elapsed());
+        prepared
+    }
+
+    /// Scans the resident flat `S` for every probe object.
+    pub(crate) fn probe(
+        &self,
+        r: &PointSet,
+        k: usize,
+        metric: DistanceMetric,
+        metrics: &mut JoinMetrics,
+    ) -> Vec<JoinRow> {
+        let start = Instant::now();
+        let kernel = metric.kernel();
+        let mut rows = Vec::with_capacity(r.len());
+        let mut computations = 0u64;
+        for r_obj in r {
+            let mut list = NeighborList::new(k);
+            for (i, row) in self.coords.rows().enumerate() {
+                list.offer(self.ids[i], kernel(&r_obj.coords, row));
+                computations += 1;
+            }
+            rows.push(JoinRow {
+                r_id: r_obj.id,
+                neighbors: list.into_sorted(),
+            });
+        }
+        metrics.distance_computations += computations;
+        metrics.record_phase(phases::KNN_JOIN, start.elapsed());
+        rows
+    }
+}
+
 /// Shared input validation for every join algorithm in this crate.
 pub(crate) fn validate_inputs(r: &PointSet, s: &PointSet, k: usize) -> Result<(), JoinError> {
     if k == 0 {

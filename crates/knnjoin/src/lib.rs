@@ -38,6 +38,18 @@
 //! [`JoinBuilder::plan`] to inspect the resolved [`JoinPlan`] without running
 //! it.
 //!
+//! # Serving: the build/probe split
+//!
+//! [`JoinBuilder::run`] is the one-shot batch path.  For serving many `R`
+//! batches against one corpus, [`JoinBuilder::prepare`] builds the expensive
+//! S-side state once and returns a [`PreparedJoin`] whose
+//! [`query`](PreparedJoin::query) / [`query_one`](PreparedJoin::query_one) /
+//! [`query_into`](PreparedJoin::query_into) answer arbitrary batches without
+//! re-planning or rebuilding — across repeated queries the `index_builds`
+//! and `pivot_selections` counters stay flat while outputs match the
+//! one-shot path.  [`JoinSession`] adds an LRU cache of prepared joins keyed
+//! by corpus / algorithm / metric / `k` for multi-corpus serving layers.
+//!
 //! # The algorithms behind it
 //!
 //! [`Algorithm`] selects among six implementations at runtime — five exact,
@@ -77,6 +89,7 @@ pub mod metrics;
 pub mod partition;
 pub mod pivots;
 pub mod plan;
+pub mod prepared;
 pub mod result;
 pub mod summary;
 
@@ -87,7 +100,7 @@ pub use algorithms::{
 pub use builder::JoinBuilder;
 pub use context::{
     ExecutionContext, ExecutionContextBuilder, MemoryMetricsSink, MetricsSink, NullMetricsSink,
-    RecordedJoin,
+    RecordedJoin, ServingStats,
 };
 pub use exact::NestedLoopJoin;
 pub use geom::DistanceMetric;
@@ -96,5 +109,6 @@ pub use metrics::JoinMetrics;
 pub use partition::{PartitionedDataset, VoronoiPartitioner};
 pub use pivots::{select_pivots, PivotSelectionStrategy};
 pub use plan::{Algorithm, JoinPlan};
-pub use result::{JoinError, JoinErrorKind, JoinResult, JoinRow, QualityReport};
+pub use prepared::{JoinSession, PreparedJoin, SessionKey};
+pub use result::{JoinError, JoinErrorKind, JoinResult, JoinRow, QualityReport, ResultSink};
 pub use summary::{RPartitionSummary, SPartitionSummary, SummaryTables};

@@ -52,6 +52,10 @@ pub mod phases {
     pub const KNN_JOIN: &str = "knn join";
     /// Extra MapReduce job merging partial results (H-BRJ / PBJ only).
     pub const RESULT_MERGING: &str = "result merging";
+    /// Building the long-lived S-side serving state of a
+    /// [`crate::PreparedJoin`] (spatial indexes, sorted z-copies, flat
+    /// blocks).  Only appears in build metrics, never in per-query metrics.
+    pub const PREPARE_BUILD: &str = "prepare build";
 }
 
 /// Metrics of one kNN-join execution.
@@ -76,6 +80,11 @@ pub struct JoinMetrics {
     /// Number of spatial indexes built by the reducers (H-BRJ: one per
     /// distinct `S` block; zero for the index-free algorithms).
     pub index_builds: u64,
+    /// Number of pivot-selection runs performed (PGBJ / PBJ: one per cold
+    /// join, one per [`crate::PreparedJoin`] build, zero per prepared
+    /// query).  Together with [`JoinMetrics::index_builds`] this is the
+    /// counter pair that must stay flat across repeated prepared queries.
+    pub pivot_selections: u64,
     /// Total bytes crossing the shuffle, across all MapReduce jobs involved.
     pub shuffle_bytes: u64,
     /// Total records crossing the shuffle (post-combine), across all jobs.
@@ -115,6 +124,32 @@ impl JoinMetrics {
         self.r_records_shuffled += job.counters.get(counters::R_RECORDS);
         self.s_records_shuffled += job.counters.get(counters::S_RECORDS);
         self.index_builds += job.counters.get(counters::INDEX_BUILDS);
+    }
+
+    /// Folds another join's metrics into this one: counters and shuffle
+    /// volume add up, phase times append in order, and the dataset sizes are
+    /// taken from `other` when unset.  [`crate::PreparedJoin`] uses this to
+    /// accumulate per-query metrics into a session-wide total.
+    pub fn absorb(&mut self, other: &JoinMetrics) {
+        for (name, d) in &other.phase_times {
+            self.record_phase(name, *d);
+        }
+        self.distance_computations += other.distance_computations;
+        self.pivot_assignment_computations += other.pivot_assignment_computations;
+        self.r_records_shuffled += other.r_records_shuffled;
+        self.s_records_shuffled += other.s_records_shuffled;
+        self.index_builds += other.index_builds;
+        self.pivot_selections += other.pivot_selections;
+        self.shuffle_bytes += other.shuffle_bytes;
+        self.shuffle_records += other.shuffle_records;
+        self.combine_input_records += other.combine_input_records;
+        self.combine_output_records += other.combine_output_records;
+        if self.r_size == 0 {
+            self.r_size = other.r_size;
+        }
+        if self.s_size == 0 {
+            self.s_size = other.s_size;
+        }
     }
 
     /// Total running time across phases.
@@ -221,6 +256,35 @@ mod tests {
         assert_eq!(join.r_records_shuffled, 80);
         assert_eq!(join.s_records_shuffled, 0);
         assert_eq!(join.index_builds, 6);
+    }
+
+    #[test]
+    fn absorb_accumulates_counters_and_phases() {
+        let mut total = JoinMetrics::default();
+        let mut per_query = JoinMetrics {
+            distance_computations: 10,
+            pivot_assignment_computations: 4,
+            r_records_shuffled: 3,
+            index_builds: 1,
+            pivot_selections: 1,
+            shuffle_bytes: 100,
+            shuffle_records: 5,
+            r_size: 30,
+            s_size: 40,
+            ..Default::default()
+        };
+        per_query.record_phase(phases::KNN_JOIN, Duration::from_millis(2));
+        total.absorb(&per_query);
+        total.absorb(&per_query);
+        assert_eq!(total.distance_computations, 20);
+        assert_eq!(total.pivot_assignment_computations, 8);
+        assert_eq!(total.r_records_shuffled, 6);
+        assert_eq!(total.index_builds, 2);
+        assert_eq!(total.pivot_selections, 2);
+        assert_eq!(total.shuffle_bytes, 200);
+        assert_eq!(total.shuffle_records, 10);
+        assert_eq!(total.phase(phases::KNN_JOIN), Duration::from_millis(4));
+        assert_eq!((total.r_size, total.s_size), (30, 40));
     }
 
     #[test]

@@ -1,0 +1,443 @@
+//! The prepared (build/probe) serving surface: [`PreparedJoin`] and
+//! [`JoinSession`].
+//!
+//! Every algorithm in this crate shares a two-phase shape: an expensive
+//! S-side *build* (pivot selection + Voronoi partitioning for PGBJ/PBJ,
+//! per-block R-trees for H-BRJ, shifted sorted z-copies for H-zkNNJ, flat
+//! staging for broadcast/nested-loop) followed by a *probe* over `R`.  The
+//! one-shot [`crate::JoinBuilder::run`] fuses the two, so every call rebuilds
+//! the S-side state from scratch — fine for the paper's batch experiments,
+//! wasteful for a serving system answering many `R` batches against one
+//! corpus.
+//!
+//! [`crate::JoinBuilder::prepare`] splits the phases: it captures all
+//! S-side state behind a cheaply-cloneable [`PreparedJoin`] handle, and
+//! [`PreparedJoin::query`] answers arbitrary `R` batches against it without
+//! re-planning or rebuilding.  Across repeated queries the
+//! [`crate::JoinMetrics::index_builds`] and
+//! [`crate::JoinMetrics::pivot_selections`] counters stay at zero, and the
+//! outputs are bit-identical (in the repo's distance-exact sense, see
+//! [`crate::JoinResult::mismatch_against`]) to what the cold path produces —
+//! the exact algorithms by the theorems' exactness, H-zkNNJ because the
+//! resident sorted copies reproduce the cold candidate windows verbatim.
+//!
+//! ```
+//! use datagen::uniform;
+//! use knnjoin::{Algorithm, ExecutionContext, JoinBuilder};
+//!
+//! let corpus = uniform(300, 2, 100.0, 1);
+//! let batch = uniform(50, 2, 100.0, 2);
+//! let ctx = ExecutionContext::default();
+//!
+//! // Build once...
+//! let prepared = JoinBuilder::new(&batch, &corpus)
+//!     .k(5)
+//!     .algorithm(Algorithm::Pgbj)
+//!     .prepare(&ctx)
+//!     .unwrap();
+//! // ...serve many batches.
+//! let result = prepared.query(&batch).unwrap();
+//! assert_eq!(result.len(), 50);
+//! assert_eq!(result.metrics.index_builds, 0);
+//! assert_eq!(result.metrics.pivot_selections, 0);
+//! ```
+
+use crate::algorithms::{BroadcastPrepared, HbrjPrepared, PbjPrepared, PgbjPrepared, ZknnPrepared};
+use crate::context::{ExecutionContext, ServingStats};
+use crate::exact::NestedLoopPrepared;
+use crate::metrics::JoinMetrics;
+use crate::plan::{Algorithm, JoinPlan};
+use crate::result::{JoinError, JoinResult, JoinRow, ResultSink};
+use geom::{DistanceMetric, Point, PointSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The per-algorithm S-side state (see each algorithm module's `*Prepared`
+/// type for what exactly is captured).
+#[derive(Debug)]
+enum PreparedState {
+    Pgbj(PgbjPrepared),
+    Pbj(PbjPrepared),
+    Hbrj(HbrjPrepared),
+    Zknn(ZknnPrepared),
+    Broadcast(BroadcastPrepared),
+    NestedLoop(NestedLoopPrepared),
+}
+
+#[derive(Debug)]
+struct Inner {
+    plan: JoinPlan,
+    ctx: ExecutionContext,
+    s_len: usize,
+    s_dims: usize,
+    state: PreparedState,
+    build_metrics: JoinMetrics,
+    build_time: Duration,
+    queries: AtomicU64,
+    query_nanos: AtomicU64,
+    cumulative: Mutex<JoinMetrics>,
+}
+
+/// A join whose S-side state has been built once and can serve arbitrary `R`
+/// batches.
+///
+/// Created by [`crate::JoinBuilder::prepare`].  Cloning is cheap (the state
+/// sits behind an [`Arc`]) and clones share the serving statistics, like
+/// several request handlers serving one resident index.
+#[derive(Debug, Clone)]
+pub struct PreparedJoin {
+    inner: Arc<Inner>,
+}
+
+impl PreparedJoin {
+    /// Builds the S-side state for the given validated plan.
+    /// `calibration_r` is the builder's `R`: it seeds pivot selection and
+    /// the z-domain exactly as the cold path would, so `query` over the same
+    /// batch reproduces [`crate::JoinBuilder::run`] bit for bit; the built
+    /// state remains valid for every other batch because no bound depends on
+    /// where the pivots (or the quantization domain) came from.
+    pub(crate) fn build(
+        calibration_r: &PointSet,
+        s: &PointSet,
+        plan: JoinPlan,
+        ctx: &ExecutionContext,
+    ) -> Result<Self, JoinError> {
+        let mut build_metrics = JoinMetrics {
+            s_size: s.len(),
+            ..Default::default()
+        };
+        let start = Instant::now();
+        let state = match plan.algorithm {
+            Algorithm::Pgbj => PreparedState::Pgbj(PgbjPrepared::build(
+                calibration_r,
+                s,
+                &plan,
+                &mut build_metrics,
+            )),
+            Algorithm::Pbj => PreparedState::Pbj(PbjPrepared::build(
+                calibration_r,
+                s,
+                &plan,
+                &mut build_metrics,
+            )),
+            Algorithm::Hbrj => {
+                PreparedState::Hbrj(HbrjPrepared::build(s, &plan, &mut build_metrics))
+            }
+            Algorithm::Zknn => PreparedState::Zknn(ZknnPrepared::build(
+                calibration_r,
+                s,
+                &plan,
+                &mut build_metrics,
+            )),
+            Algorithm::BroadcastJoin => {
+                PreparedState::Broadcast(BroadcastPrepared::build(s, &mut build_metrics))
+            }
+            Algorithm::NestedLoopJoin => {
+                PreparedState::NestedLoop(NestedLoopPrepared::build(s, &mut build_metrics))
+            }
+        };
+        let build_time = start.elapsed();
+        Ok(Self {
+            inner: Arc::new(Inner {
+                s_len: s.len(),
+                s_dims: s.dims(),
+                ctx: ctx.clone(),
+                plan,
+                state,
+                build_metrics,
+                build_time,
+                queries: AtomicU64::new(0),
+                query_nanos: AtomicU64::new(0),
+                cumulative: Mutex::new(JoinMetrics::default()),
+            }),
+        })
+    }
+
+    /// The validated plan this join serves.
+    pub fn plan(&self) -> &JoinPlan {
+        &self.inner.plan
+    }
+
+    /// The algorithm behind the handle.
+    pub fn algorithm(&self) -> Algorithm {
+        self.inner.plan.algorithm
+    }
+
+    /// Neighbours returned per probe object.
+    pub fn k(&self) -> usize {
+        self.inner.plan.k
+    }
+
+    /// The distance metric.
+    pub fn metric(&self) -> DistanceMetric {
+        self.inner.plan.metric
+    }
+
+    /// Size of the resident `S` corpus.
+    pub fn s_len(&self) -> usize {
+        self.inner.s_len
+    }
+
+    /// The metrics of the build phase (pivot selection, partitioning, index
+    /// builds); per-query metrics never include these costs again.
+    pub fn build_metrics(&self) -> &JoinMetrics {
+        &self.inner.build_metrics
+    }
+
+    /// Serving statistics: queries answered, build time, cumulative query
+    /// time (amortization helpers included).
+    pub fn stats(&self) -> ServingStats {
+        ServingStats {
+            queries: self.inner.queries.load(Ordering::Relaxed),
+            build_time: self.inner.build_time,
+            total_query_time: Duration::from_nanos(self.inner.query_nanos.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// The session-wide accumulation of every query's [`JoinMetrics`]
+    /// (shared across clones of the handle).
+    pub fn cumulative_metrics(&self) -> JoinMetrics {
+        self.inner.cumulative.lock().expect("metrics lock").clone()
+    }
+
+    /// Validates a probe batch against the prepared corpus, then runs the
+    /// algorithm's probe.
+    fn run_probe(&self, r: &PointSet) -> Result<(Vec<JoinRow>, JoinMetrics), JoinError> {
+        if r.is_empty() {
+            return Err(JoinError::EmptyInput("R"));
+        }
+        if let Some((index, dims)) = r.first_dim_mismatch() {
+            return Err(JoinError::RaggedInput {
+                dataset: "R",
+                index,
+                dims,
+                expected: r.dims(),
+            });
+        }
+        if r.dims() != self.inner.s_dims {
+            return Err(JoinError::DimensionalityMismatch {
+                r_dims: r.dims(),
+                s_dims: self.inner.s_dims,
+            });
+        }
+        let inner = &*self.inner;
+        let mut metrics = JoinMetrics {
+            r_size: r.len(),
+            s_size: inner.s_len,
+            ..Default::default()
+        };
+        let start = Instant::now();
+        let mut rows = match &inner.state {
+            PreparedState::Pgbj(p) => p.probe(r, &inner.plan, &inner.ctx, &mut metrics)?,
+            PreparedState::Pbj(p) => p.probe(r, &inner.plan, &inner.ctx, &mut metrics)?,
+            PreparedState::Hbrj(p) => p.probe(r, &inner.plan, &inner.ctx, &mut metrics)?,
+            PreparedState::Zknn(p) => p.probe(r, &inner.plan, &inner.ctx, &mut metrics)?,
+            PreparedState::Broadcast(p) => p.probe(r, &inner.plan, &inner.ctx, &mut metrics)?,
+            PreparedState::NestedLoop(p) => {
+                p.probe(r, inner.plan.k, inner.plan.metric, &mut metrics)
+            }
+        };
+        let elapsed = start.elapsed();
+        rows.sort_by_key(|row| row.r_id);
+        for row in &mut rows {
+            row.neighbors.sort();
+        }
+        inner.queries.fetch_add(1, Ordering::Relaxed);
+        inner
+            .query_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        inner
+            .cumulative
+            .lock()
+            .expect("metrics lock")
+            .absorb(&metrics);
+        inner.ctx.record_join(inner.plan.algorithm.name(), &metrics);
+        Ok((rows, metrics))
+    }
+
+    /// Answers one probe batch: the `k` nearest resident `S` objects of every
+    /// object of `r`.
+    ///
+    /// # Errors
+    /// Returns [`JoinError`] when the batch is empty, ragged, of the wrong
+    /// dimensionality, or the substrate fails.
+    pub fn query(&self, r: &PointSet) -> Result<JoinResult, JoinError> {
+        let (rows, metrics) = self.run_probe(r)?;
+        Ok(JoinResult { rows, metrics })
+    }
+
+    /// Answers a single-point query: the `k` nearest resident `S` objects of
+    /// `point`.
+    ///
+    /// # Errors
+    /// Returns [`JoinError`] on a dimensionality mismatch or substrate
+    /// failure.
+    pub fn query_one(&self, point: &Point) -> Result<JoinRow, JoinError> {
+        let singleton = PointSet::from_points(vec![point.clone()]);
+        let (mut rows, _) = self.run_probe(&singleton)?;
+        Ok(rows.pop().expect("one row per probe object"))
+    }
+
+    /// Streams one probe batch's rows (in `r_id` order) into `sink` instead
+    /// of materializing a [`JoinResult`], returning only the query's
+    /// metrics.  Use this to serve large `R` without holding `|R| · k`
+    /// neighbours alive in one result value.
+    ///
+    /// # Errors
+    /// Same conditions as [`PreparedJoin::query`].
+    pub fn query_into(
+        &self,
+        r: &PointSet,
+        sink: &mut dyn ResultSink,
+    ) -> Result<JoinMetrics, JoinError> {
+        let (rows, metrics) = self.run_probe(r)?;
+        for row in rows {
+            sink.accept(row);
+        }
+        Ok(metrics)
+    }
+}
+
+/// The key a [`JoinSession`] caches prepared joins under: a caller-chosen
+/// corpus label plus the query-compatibility knobs (algorithm, metric, `k`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SessionKey {
+    /// Caller-chosen corpus label (which `S` the state was built over).
+    pub corpus: String,
+    /// Algorithm of the cached state.
+    pub algorithm: Algorithm,
+    /// Metric of the cached state.
+    pub metric: DistanceMetric,
+    /// `k` of the cached state.
+    pub k: usize,
+}
+
+/// An LRU cache of [`PreparedJoin`]s keyed by corpus and query shape, for
+/// serving layers that juggle several corpora / algorithms / `k` values.
+///
+/// [`JoinSession::get_or_prepare`] returns the cached handle when a
+/// compatible one exists — same corpus label, same [`SessionKey`] shape
+/// *and* an identical resolved [`JoinPlan`] (every tuning knob) — and
+/// builds + caches it otherwise, evicting the least-recently-used entry
+/// beyond `capacity`.
+#[derive(Debug)]
+pub struct JoinSession {
+    ctx: ExecutionContext,
+    capacity: usize,
+    /// LRU order: least-recently-used first.
+    entries: Mutex<Vec<(SessionKey, Arc<PreparedJoin>)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl JoinSession {
+    /// Creates a session serving from `ctx`, caching at most `capacity`
+    /// prepared joins (clamped to at least 1).
+    pub fn new(ctx: ExecutionContext, capacity: usize) -> Self {
+        Self {
+            ctx,
+            capacity: capacity.max(1),
+            entries: Mutex::new(Vec::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The execution context the session prepares and serves from.
+    pub fn context(&self) -> &ExecutionContext {
+        &self.ctx
+    }
+
+    /// Returns the cached [`PreparedJoin`] compatible with `builder` over
+    /// the corpus labelled `corpus`, preparing and caching it on a miss.
+    ///
+    /// Compatibility is the *entire* resolved plan, not just the lookup
+    /// key: a cached entry under the same `(corpus, algorithm, metric, k)`
+    /// whose other knobs differ (pivot count, seed, `z_window`,
+    /// reducers, …) is treated as stale and replaced, never silently
+    /// served — otherwise a lower-accuracy configuration could answer a
+    /// request for a higher-accuracy one.
+    ///
+    /// # Errors
+    /// Returns the builder's planning error or any build-time
+    /// [`JoinError`].
+    pub fn get_or_prepare(
+        &self,
+        corpus: &str,
+        builder: crate::JoinBuilder<'_>,
+    ) -> Result<Arc<PreparedJoin>, JoinError> {
+        let plan = builder.plan()?;
+        let key = SessionKey {
+            corpus: corpus.to_string(),
+            algorithm: plan.algorithm,
+            metric: plan.metric,
+            k: plan.k,
+        };
+        let take_exact_hit = |entries: &mut Vec<(SessionKey, Arc<PreparedJoin>)>| {
+            let pos = entries
+                .iter()
+                .position(|(k, handle)| *k == key && *handle.plan() == plan)?;
+            let entry = entries.remove(pos);
+            let handle = Arc::clone(&entry.1);
+            entries.push(entry);
+            Some(handle)
+        };
+        {
+            let mut entries = self.entries.lock().expect("session lock");
+            if let Some(handle) = take_exact_hit(&mut entries) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(handle);
+            }
+        }
+        // Build outside the lock (preparation can be slow); a concurrent
+        // preparer of the same plan may win the re-check below, in which
+        // case its handle is reused and this build is dropped.
+        let prepared = Arc::new(builder.prepare(&self.ctx)?);
+        let mut entries = self.entries.lock().expect("session lock");
+        if let Some(handle) = take_exact_hit(&mut entries) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(handle);
+        }
+        // A same-key entry with a different plan is stale for this request:
+        // evict it rather than leave two entries answering one key.
+        if let Some(pos) = entries.iter().position(|(k, _)| *k == key) {
+            entries.remove(pos);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        entries.push((key, Arc::clone(&prepared)));
+        if entries.len() > self.capacity {
+            entries.remove(0);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(prepared)
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (i.e. builds) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached prepared joins.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("session lock").len()
+    }
+
+    /// Whether nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

@@ -171,6 +171,21 @@ pub struct JoinResult {
 }
 
 impl JoinResult {
+    /// Number of output rows (one per `R` object).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the result holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterates over the output rows in `r_id` order.
+    pub fn iter(&self) -> std::slice::Iter<'_, JoinRow> {
+        self.rows.iter()
+    }
+
     /// Sorts rows by `r_id`; algorithms call this before returning so results
     /// are directly comparable.
     pub fn normalize(&mut self) {
@@ -292,6 +307,50 @@ impl JoinResult {
                 ratio_sum / ratio_pairs as f64
             },
         }
+    }
+}
+
+impl IntoIterator for JoinResult {
+    type Item = JoinRow;
+    type IntoIter = std::vec::IntoIter<JoinRow>;
+
+    /// Consumes the result, yielding rows in `r_id` order (the metrics are
+    /// dropped — snapshot them first if needed).
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a JoinResult {
+    type Item = &'a JoinRow;
+    type IntoIter = std::slice::Iter<'a, JoinRow>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows.iter()
+    }
+}
+
+/// Receives join rows one at a time, in `r_id` order.
+///
+/// [`crate::PreparedJoin::query_into`] streams its output through a sink
+/// instead of materializing a full [`JoinResult`], so a serving loop can
+/// forward rows (to a socket, a file, an aggregate) without holding
+/// `|R| · k` neighbours in one allocation.  Any `FnMut(JoinRow)` closure is a
+/// sink, and so is a plain `Vec<JoinRow>`.
+pub trait ResultSink {
+    /// Accepts the next output row.
+    fn accept(&mut self, row: JoinRow);
+}
+
+impl ResultSink for Vec<JoinRow> {
+    fn accept(&mut self, row: JoinRow) {
+        self.push(row);
+    }
+}
+
+impl<F: FnMut(JoinRow)> ResultSink for F {
+    fn accept(&mut self, row: JoinRow) {
+        self(row);
     }
 }
 
@@ -474,6 +533,90 @@ mod tests {
         assert_eq!(q.rows_compared, 0);
         assert_eq!(q.recall, 1.0);
         assert_eq!(q.distance_ratio, 1.0);
+    }
+
+    #[test]
+    fn quality_against_all_empty_oracle_rows_is_defined_not_nan() {
+        // Regression: k ≥ |S| joins over filtered sets can legitimately
+        // produce rows with zero neighbours on BOTH sides (every S object
+        // filtered away).  The report must be the defined perfect score, not
+        // a 0/0 NaN.
+        let empty_rows = JoinResult {
+            rows: vec![
+                JoinRow {
+                    r_id: 1,
+                    neighbors: vec![],
+                },
+                JoinRow {
+                    r_id: 2,
+                    neighbors: vec![],
+                },
+            ],
+            metrics: JoinMetrics::default(),
+        };
+        let q = empty_rows.quality_against(&empty_rows);
+        assert_eq!(q.rows_compared, 0);
+        assert_eq!(q.recall, 1.0);
+        assert_eq!(q.distance_ratio, 1.0);
+        assert!(q.recall.is_finite() && q.distance_ratio.is_finite());
+
+        // Same when the approximate side reports neighbours the (empty)
+        // oracle could never confirm: nothing is comparable, score defined.
+        let with_neighbors = JoinResult {
+            rows: vec![row(1, &[0.5]), row(2, &[0.25])],
+            metrics: JoinMetrics::default(),
+        };
+        let q = with_neighbors.quality_against(&empty_rows);
+        assert_eq!(q.rows_compared, 0);
+        assert_eq!((q.recall, q.distance_ratio), (1.0, 1.0));
+
+        // And against a fully empty oracle result.
+        let q = with_neighbors.quality_against(&JoinResult::default());
+        assert_eq!((q.recall, q.distance_ratio), (1.0, 1.0));
+        assert!(!q.recall.is_nan() && !q.distance_ratio.is_nan());
+    }
+
+    #[test]
+    fn result_iteration_len_and_into_iterator() {
+        let res = JoinResult {
+            rows: vec![row(1, &[1.0]), row(2, &[2.0]), row(3, &[3.0])],
+            metrics: JoinMetrics::default(),
+        };
+        assert_eq!(res.len(), 3);
+        assert!(!res.is_empty());
+        let ids: Vec<PointId> = res.iter().map(|r| r.r_id).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+        // Borrowed IntoIterator (for loops without `.rows`).
+        let mut count = 0;
+        for row in &res {
+            assert!(!row.neighbors.is_empty());
+            count += 1;
+        }
+        assert_eq!(count, 3);
+        // Owned IntoIterator consumes the result.
+        let owned_ids: Vec<PointId> = res.into_iter().map(|r| r.r_id).collect();
+        assert_eq!(owned_ids, vec![1, 2, 3]);
+        assert!(JoinResult::default().is_empty());
+    }
+
+    #[test]
+    fn result_sinks_accept_rows() {
+        let rows = vec![row(1, &[1.0]), row(2, &[2.0])];
+        // A Vec is a sink.
+        let mut vec_sink: Vec<JoinRow> = Vec::new();
+        for r in rows.clone() {
+            ResultSink::accept(&mut vec_sink, r);
+        }
+        assert_eq!(vec_sink.len(), 2);
+        // Any FnMut(JoinRow) is a sink.
+        let mut seen = 0usize;
+        {
+            let mut closure_sink = |row: JoinRow| seen += row.neighbors.len();
+            for r in rows {
+                ResultSink::accept(&mut closure_sink, r);
+            }
+        }
+        assert_eq!(seen, 2);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 
 use crate::partition::PartitionedDataset;
 use geom::{DistanceMetric, Point};
+use std::sync::Arc;
 
 /// Summary of one partition of `R`.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,19 +45,25 @@ pub struct SPartitionSummary {
 }
 
 /// The pair of summary tables plus the pivot set they refer to.
+///
+/// The S-side fields (`pivots`, `s_summaries`, `pivot_distances`) sit behind
+/// [`Arc`]s: the prepared serving path assembles fresh tables per probe
+/// batch — only `T_R` changes — and sharing the heavy parts keeps that
+/// assembly O(1) instead of re-copying the pivot set and the `t × t`
+/// distance matrix on every query.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SummaryTables {
     /// Pivots defining the Voronoi cells (ids are positional: pivot `i` is
     /// partition `i`).
-    pub pivots: Vec<Point>,
+    pub pivots: Arc<Vec<Point>>,
     /// Metric used throughout.
     pub metric: DistanceMetric,
     /// One entry per partition of `R` (indexed by partition id).
     pub r_summaries: Vec<RPartitionSummary>,
     /// One entry per partition of `S` (indexed by partition id).
-    pub s_summaries: Vec<SPartitionSummary>,
+    pub s_summaries: Arc<Vec<SPartitionSummary>>,
     /// Pairwise pivot distances: `pivot_distances[i][j] = |p_i, p_j|`.
-    pub pivot_distances: Vec<Vec<f64>>,
+    pub pivot_distances: Arc<Vec<Vec<f64>>>,
 }
 
 impl SummaryTables {
@@ -85,44 +92,12 @@ impl SummaryTables {
             "S partitioning does not match pivot count"
         );
 
-        let r_summaries = partitioned_r
-            .partitions
-            .iter()
-            .enumerate()
-            .map(|(i, bucket)| {
-                let (lower, upper) = bounds_of(bucket);
-                RPartitionSummary {
-                    partition: i,
-                    count: bucket.len(),
-                    lower,
-                    upper,
-                }
-            })
-            .collect();
-
-        let s_summaries = partitioned_s
-            .partitions
-            .iter()
-            .enumerate()
-            .map(|(i, bucket)| {
-                let (lower, upper) = bounds_of(bucket);
-                let mut dists: Vec<f64> = bucket.iter().map(|(_, d)| *d).collect();
-                dists.sort_by(|a, b| a.partial_cmp(b).expect("distances are finite"));
-                dists.truncate(k);
-                SPartitionSummary {
-                    partition: i,
-                    count: bucket.len(),
-                    lower,
-                    upper,
-                    knn_distances: dists,
-                }
-            })
-            .collect();
-
-        let pivot_distances = pivot_distance_matrix(&pivots, metric);
+        let r_summaries = build_r_summaries(partitioned_r);
+        let s_summaries = Arc::new(build_s_summaries(partitioned_s, k));
+        let pivot_distances = Arc::new(pivot_distance_matrix(&pivots, metric));
 
         Self {
-            pivots,
+            pivots: Arc::new(pivots),
             metric,
             r_summaries,
             s_summaries,
@@ -155,6 +130,48 @@ impl SummaryTables {
     }
 }
 
+/// Builds the `T_R` side of the tables alone.  The prepared serving path uses
+/// this per query: `R` summaries depend on the probe batch, while the `S`
+/// summaries and pivot matrix are captured once at build time.
+pub fn build_r_summaries(partitioned_r: &PartitionedDataset) -> Vec<RPartitionSummary> {
+    partitioned_r
+        .partitions
+        .iter()
+        .enumerate()
+        .map(|(i, bucket)| {
+            let (lower, upper) = bounds_of(bucket);
+            RPartitionSummary {
+                partition: i,
+                count: bucket.len(),
+                lower,
+                upper,
+            }
+        })
+        .collect()
+}
+
+/// Builds the `T_S` side of the tables alone (see [`build_r_summaries`]).
+pub fn build_s_summaries(partitioned_s: &PartitionedDataset, k: usize) -> Vec<SPartitionSummary> {
+    partitioned_s
+        .partitions
+        .iter()
+        .enumerate()
+        .map(|(i, bucket)| {
+            let (lower, upper) = bounds_of(bucket);
+            let mut dists: Vec<f64> = bucket.iter().map(|(_, d)| *d).collect();
+            dists.sort_by(|a, b| a.partial_cmp(b).expect("distances are finite"));
+            dists.truncate(k);
+            SPartitionSummary {
+                partition: i,
+                count: bucket.len(),
+                lower,
+                upper,
+                knn_distances: dists,
+            }
+        })
+        .collect()
+}
+
 /// `(L, U)` of a partition; empty partitions report `(0, 0)` like an absent
 /// row in the paper's tables.
 fn bounds_of(bucket: &[(Point, f64)]) -> (f64, f64) {
@@ -171,7 +188,7 @@ fn bounds_of(bucket: &[(Point, f64)]) -> (f64, f64) {
 }
 
 /// Full pairwise pivot distance matrix.
-fn pivot_distance_matrix(pivots: &[Point], metric: DistanceMetric) -> Vec<Vec<f64>> {
+pub fn pivot_distance_matrix(pivots: &[Point], metric: DistanceMetric) -> Vec<Vec<f64>> {
     let n = pivots.len();
     let mut m = vec![vec![0.0; n]; n];
     for i in 0..n {
@@ -220,7 +237,7 @@ mod tests {
     fn bounds_are_consistent_with_assignments() {
         let (tables, _, s, partitioner) = setup(10);
         let ps = partitioner.partition(&s);
-        for summary in &tables.s_summaries {
+        for summary in tables.s_summaries.iter() {
             let bucket = &ps.partitions[summary.partition];
             if bucket.is_empty() {
                 assert_eq!((summary.lower, summary.upper), (0.0, 0.0));
@@ -237,7 +254,7 @@ mod tests {
     #[test]
     fn knn_distances_are_sorted_ascending_and_truncated_to_k() {
         let (tables, _, _, _) = setup(5);
-        for summary in &tables.s_summaries {
+        for summary in tables.s_summaries.iter() {
             assert!(summary.knn_distances.len() <= 5);
             assert!(summary.knn_distances.windows(2).all(|w| w[0] <= w[1]));
             // and they are the smallest distances: all ≤ upper bound

@@ -200,9 +200,30 @@ impl RTree {
         if k == 0 || self.root.is_none() {
             return (Vec::new(), 0);
         }
+        let mut result = NeighborList::new(k);
+        let computations = self.knn_into(query, &mut result);
+        (result.into_sorted(), computations)
+    }
+
+    /// Continues a kNN search into an existing accumulator: offers this
+    /// tree's candidates to `result`, pruning the best-first descent with the
+    /// accumulator's *current* threshold.
+    ///
+    /// This is the serving-path primitive behind probing several block trees
+    /// for one query: the `k`-th distance found in earlier trees immediately
+    /// prunes subtrees of later ones, which independent per-block searches
+    /// (one reducer per block, as cold H-BRJ must run) cannot do.  Seeding
+    /// never changes the final `k` best distances — a subtree pruned by the
+    /// running threshold can only contain points that would not enter the
+    /// accumulator anyway.
+    ///
+    /// Returns the number of point-to-point distance computations spent.
+    pub fn knn_into(&self, query: &Point, result: &mut NeighborList) -> u64 {
+        if result.k() == 0 || self.root.is_none() {
+            return 0;
+        }
         let kernel = self.metric.kernel();
         let mut distance_computations = 0u64;
-        let mut result = NeighborList::new(k);
         let mut heap: BinaryHeap<Prioritized<'_>> = BinaryHeap::new();
         let root = self.root.as_ref().expect("checked above");
         heap.push(Prioritized {
@@ -244,7 +265,7 @@ impl RTree {
                 }
             }
         }
-        (result.into_sorted(), distance_computations)
+        distance_computations
     }
 
     /// All points within `radius` of `query` (inclusive), sorted by ascending

@@ -67,7 +67,7 @@ fn main() {
         let mut sums = vec![vec![0.0; data.dims()]; CLUSTERS];
         let mut counts = [0usize; CLUSTERS];
         let mut sse = 0.0;
-        for row in &result.rows {
+        for row in &result {
             let nearest = row.neighbors[0];
             let cluster = nearest.id;
             if assignment.insert(row.r_id, cluster) != Some(cluster) {

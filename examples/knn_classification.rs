@@ -90,7 +90,7 @@ fn main() {
         .expect("classification join should succeed");
 
     let mut correct = 0usize;
-    for row in &result.rows {
+    for row in &result {
         // Majority vote over the k nearest training labels.
         let mut votes: HashMap<usize, usize> = HashMap::new();
         for n in &row.neighbors {
@@ -112,10 +112,10 @@ fn main() {
         }
     }
 
-    let accuracy = correct as f64 / result.rows.len() as f64;
+    let accuracy = correct as f64 / result.len() as f64;
     println!(
         "classified {} test objects against {} training objects (k = {k})",
-        result.rows.len(),
+        result.len(),
         train.len()
     );
     println!("accuracy: {:.1}%", accuracy * 100.0);

@@ -52,7 +52,6 @@ fn main() {
 
     // Outlier score = distance to the k-th non-self neighbour.
     let mut scores: Vec<(u64, f64)> = result
-        .rows
         .iter()
         .map(|row| {
             let kth = row

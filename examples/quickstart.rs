@@ -58,10 +58,10 @@ fn main() {
         r.len(),
         s.len()
     );
-    println!("produced {} result rows\n", result.rows.len());
+    println!("produced {} result rows\n", result.len());
 
     // Show the neighbours of the first few R objects.
-    for row in result.rows.iter().take(3) {
+    for row in result.iter().take(3) {
         let ids: Vec<String> = row
             .neighbors
             .iter()

@@ -41,8 +41,15 @@
 //!     .run(&ctx)
 //!     .unwrap();
 //!
-//! assert_eq!(result.rows.len(), 200);
+//! assert_eq!(result.len(), 200);
 //! println!("shuffled {} MiB", result.metrics.shuffle_mib());
+//!
+//! // Serving many batches against one corpus?  Build the S-side state once
+//! // and query the prepared handle instead (see `knnjoin::PreparedJoin`):
+//! let prepared = Join::new(&r, &s).k(5).algorithm(Algorithm::Pgbj).prepare(&ctx).unwrap();
+//! let served = prepared.query(&r).unwrap();
+//! assert_eq!(served.len(), 200);
+//! assert_eq!(served.metrics.pivot_selections, 0);
 //! ```
 
 pub use datagen;
@@ -69,8 +76,9 @@ pub mod prelude {
     };
     pub use knnjoin::{
         Algorithm, ExecutionContext, GroupingStrategy, JoinBuilder, JoinError, JoinErrorKind,
-        JoinPlan, JoinResult, JoinRow, MemoryMetricsSink, MetricsSink, NestedLoopJoin,
-        NullMetricsSink, PivotSelectionStrategy, QualityReport,
+        JoinPlan, JoinResult, JoinRow, JoinSession, MemoryMetricsSink, MetricsSink, NestedLoopJoin,
+        NullMetricsSink, PivotSelectionStrategy, PreparedJoin, QualityReport, ResultSink,
+        ServingStats,
     };
 }
 

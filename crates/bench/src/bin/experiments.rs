@@ -8,17 +8,21 @@
 //! ```
 //!
 //! where `<id>` is one of `table2 table3 fig6 fig7 fig8 fig9 fig10 fig11
-//! fig12 perf_baseline`.  Without `--quick` the full (report) scale is used;
+//! fig12 perf_baseline mutable_corpus`.  Without `--quick` the full
+//! (report) scale is used;
 //! with it, a much smaller smoke-test scale.  Tables are always printed to
 //! stdout; `--markdown`/`--json` additionally write them to files.
 //!
-//! `--check` compares the run's `perf_baseline` rows against a committed
-//! reference JSON (e.g. `BENCH_baseline_quick.json`) and exits non-zero on
-//! any drift in the *deterministic* quantities — distance computations,
+//! `--check` compares the run's rows against a committed reference JSON and
+//! exits non-zero on any drift in the *deterministic* quantities.  Two
+//! experiments carry committed references: `perf_baseline` (keyed by
+//! `algorithm`; e.g. `BENCH_baseline_quick.json` — distance computations,
 //! pivot-assignment computations, index builds, shuffle volume, recall and
-//! distance ratio.  Wall times are machine-dependent and never compared.
-//! CI runs this on every push, so an unexplained counter regression fails
-//! the build instead of silently shifting the baseline.
+//! distance ratio) and `mutable_corpus` (keyed by `label`; e.g.
+//! `BENCH_mutable.json` — delta-layer probe/tombstone/compaction counters).
+//! Wall times are machine-dependent and never compared.  CI runs both on
+//! every push, so an unexplained counter regression fails the build instead
+//! of silently shifting the baseline.
 
 use bench::experiments::{run_by_id, ExperimentOutput, ALL_EXPERIMENTS};
 use bench::json::Value;
@@ -31,7 +35,7 @@ use std::process::ExitCode;
 /// drifting on `index_builds` or `pivot_selections` means per-query rebuild
 /// work leaked back in).  `wall_time_s`, `build_time_s` and
 /// `cold_wall_time_s` are deliberately absent.
-const DETERMINISTIC_FIELDS: [&str; 8] = [
+const BASELINE_FIELDS: [&str; 8] = [
     "distance_computations",
     "pivot_assignment_computations",
     "index_builds",
@@ -42,28 +46,52 @@ const DETERMINISTIC_FIELDS: [&str; 8] = [
     "distance_ratio",
 ];
 
-/// Compares a fresh `perf_baseline` run against the committed reference,
-/// returning a description of every drifted quantity.
-fn diff_baseline(got: &Value, committed: &Value) -> Vec<String> {
+/// The mutable-corpus fields that must be bit-stable for a fixed seed.
+/// A drift in `delta_probe_computations` or `tombstone_masked` means the
+/// memtable merge changed; a drift in `distance_computations` on the
+/// `churn=0%` rows means the frozen path is no longer bit-identical when
+/// the overlay is empty.  `wall_time_s` is deliberately absent.
+const MUTABLE_FIELDS: [&str; 6] = [
+    "distance_computations",
+    "delta_probe_computations",
+    "tombstone_masked",
+    "compactions",
+    "compacted_points",
+    "live_points",
+];
+
+/// Which experiments carry a committed reference, which field uniquely keys
+/// their rows, and which columns must match bit-for-bit.
+fn check_spec(id: &str) -> Option<(&'static str, &'static [&'static str])> {
+    match id {
+        "perf_baseline" => Some(("algorithm", &BASELINE_FIELDS)),
+        "mutable_corpus" => Some(("label", &MUTABLE_FIELDS)),
+        _ => None,
+    }
+}
+
+/// Compares a fresh run's rows against the committed reference, matching
+/// rows on `key_field`, returning a description of every drifted quantity.
+fn diff_rows(got: &Value, committed: &Value, key_field: &str, fields: &[&str]) -> Vec<String> {
     let mut problems = Vec::new();
     let (Some(got_rows), Some(want_rows)) = (got.as_array(), committed.as_array()) else {
         return vec!["both the run and the reference must be row arrays".into()];
     };
     let find = |rows: &[Value], name: &str| -> Option<Value> {
         rows.iter()
-            .find(|r| r["algorithm"].as_str() == Some(name))
+            .find(|r| r[key_field].as_str() == Some(name))
             .cloned()
     };
     for want in want_rows {
-        let Some(name) = want["algorithm"].as_str() else {
-            problems.push("reference row without an algorithm name".into());
+        let Some(name) = want[key_field].as_str() else {
+            problems.push(format!("reference row without a {key_field} key"));
             continue;
         };
         let Some(got_row) = find(got_rows, name) else {
             problems.push(format!("{name}: missing from this run"));
             continue;
         };
-        for field in DETERMINISTIC_FIELDS {
+        for &field in fields {
             let (g, w) = (got_row[field].as_f64(), want[field].as_f64());
             match (g, w) {
                 (Some(g), Some(w)) => {
@@ -78,7 +106,7 @@ fn diff_baseline(got: &Value, committed: &Value) -> Vec<String> {
         }
     }
     for got_row in got_rows {
-        if let Some(name) = got_row["algorithm"].as_str() {
+        if let Some(name) = got_row[key_field].as_str() {
             if find(want_rows, name).is_none() {
                 problems.push(format!(
                     "{name}: new in this run — regenerate the committed baseline"
@@ -186,10 +214,6 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = check_path {
-        let Some(baseline) = outputs.iter().find(|o| o.id == "perf_baseline") else {
-            eprintln!("--check requires the perf_baseline experiment to have run");
-            return ExitCode::FAILURE;
-        };
         let committed = match std::fs::read_to_string(&path) {
             Ok(text) => text,
             Err(e) => {
@@ -204,13 +228,37 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        // Accept both the bare row array and the {"perf_baseline": [...]}
-        // wrapper the --json flag writes.
-        let reference = match &committed {
-            Value::Object(_) => committed["perf_baseline"].clone(),
-            other => other.clone(),
-        };
-        let problems = diff_baseline(&baseline.json, &reference);
+        let mut checked = 0usize;
+        let mut problems: Vec<String> = Vec::new();
+        for output in &outputs {
+            let Some((key_field, fields)) = check_spec(&output.id) else {
+                continue;
+            };
+            // Accept both the {"<id>": [...]} wrapper the --json flag
+            // writes and (for perf_baseline back-compat) a bare row array.
+            let reference = match &committed {
+                Value::Object(_) => committed[output.id.as_str()].clone(),
+                other if output.id == "perf_baseline" => other.clone(),
+                _ => Value::Null,
+            };
+            if reference.as_array().is_none() {
+                eprintln!("{path} has no {} rows — skipping that check", output.id);
+                continue;
+            }
+            checked += 1;
+            problems.extend(
+                diff_rows(&output.json, &reference, key_field, fields)
+                    .into_iter()
+                    .map(|p| format!("{}: {p}", output.id)),
+            );
+        }
+        if checked == 0 {
+            eprintln!(
+                "--check requires a checkable experiment (one of: perf_baseline, \
+                 mutable_corpus) to have run with reference rows in {path}"
+            );
+            return ExitCode::FAILURE;
+        }
         if problems.is_empty() {
             eprintln!("baseline check against {path}: all deterministic counters match");
         } else {
@@ -240,7 +288,7 @@ fn print_usage() {
     );
     eprintln!("  ids: {}", ALL_EXPERIMENTS.join(" "));
     eprintln!(
-        "  --check: diff perf_baseline's deterministic counters against a \
-         committed reference; non-zero exit on drift"
+        "  --check: diff the deterministic counters of perf_baseline and/or \
+         mutable_corpus against a committed reference; non-zero exit on drift"
     );
 }

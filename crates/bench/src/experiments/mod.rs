@@ -3,11 +3,13 @@
 //! human-readable markdown tables and machine-readable JSON rows.
 
 mod effect_of_k;
+mod mutable_corpus;
 mod parameter_study;
 mod perf_baseline;
 mod sweeps;
 
 pub use effect_of_k::{fig8, fig9};
+pub use mutable_corpus::{mutable_corpus, MutableRow};
 pub use parameter_study::{fig6, fig7, table2, table3};
 pub use perf_baseline::{perf_baseline, BaselineRow, PREPARED_QUERIES};
 pub use sweeps::{fig10, fig11, fig12};
@@ -43,8 +45,9 @@ impl ExperimentOutput {
     }
 }
 
-/// All experiment ids, in paper order; `perf_baseline` (not a paper
-/// artifact) regenerates the committed `BENCH_baseline.json`.
+/// All experiment ids, in paper order; `perf_baseline` and
+/// `mutable_corpus` (not paper artifacts) regenerate the committed
+/// `BENCH_baseline.json` and `BENCH_mutable.json`.
 pub const ALL_EXPERIMENTS: &[&str] = &[
     "table2",
     "table3",
@@ -56,6 +59,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "fig11",
     "fig12",
     "perf_baseline",
+    "mutable_corpus",
 ];
 
 /// Runs one experiment by id.  Returns `None` for an unknown id.
@@ -71,6 +75,7 @@ pub fn run_by_id(id: &str, scale: ExperimentScale) -> Option<ExperimentOutput> {
         "fig11" => fig11(scale),
         "fig12" => fig12(scale),
         "perf_baseline" => perf_baseline(scale),
+        "mutable_corpus" => mutable_corpus(scale),
         _ => return None,
     };
     Some(out)

@@ -11,11 +11,13 @@
 use crate::algorithms::common::{counters, EncodedRecord};
 use crate::algorithms::KnnJoinAlgorithm;
 use crate::context::ExecutionContext;
+use crate::delta::DeltaOverlay;
 use crate::exact::validate_inputs;
 use crate::metrics::{phases, JoinMetrics};
 use crate::result::{JoinError, JoinResult, JoinRow};
 use geom::{CoordMatrix, DistanceMetric, Neighbor, NeighborList, Point, PointSet, RecordKind};
 use mapreduce::{IdentityPartitioner, JobBuilder, MapContext, Mapper, ReduceContext, Reducer};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Configuration of [`BroadcastJoin`].
@@ -218,13 +220,15 @@ impl BroadcastPrepared {
         prepared
     }
 
-    /// Answers one probe batch: exhaustive scan of the resident flat `S` per
-    /// object, one serve job.
+    /// Answers one probe batch: exhaustive scan of the resident flat `S`
+    /// (minus tombstones, plus the memtable's adds) per object, one serve
+    /// job.
     pub(crate) fn probe(
         &self,
         r: &PointSet,
         plan: &crate::plan::JoinPlan,
         ctx: &ExecutionContext,
+        delta: Option<&Arc<DeltaOverlay>>,
         metrics: &mut JoinMetrics,
     ) -> Result<Vec<JoinRow>, JoinError> {
         use crate::algorithms::common::{encode_probe_batch, run_serve_job, HashRouteMapper};
@@ -242,18 +246,30 @@ impl BroadcastPrepared {
                 prepared: self,
                 k: plan.k,
                 metric: plan.metric,
+                delta: delta.map(Arc::clone),
             },
             metrics,
         )
     }
+
+    /// Re-flattens the materialized corpus (frozen survivors in arrival
+    /// order, then adds in ascending id order — the canonical
+    /// materialization order, so the compacted scan is bit-identical to a
+    /// cold build over the same corpus).
+    pub(crate) fn compact(materialized: &PointSet, metrics: &mut JoinMetrics) -> Self {
+        metrics.compacted_points += materialized.len() as u64;
+        Self::build(materialized, metrics)
+    }
 }
 
 /// Serve reducer: the cold [`BroadcastReducer`] scan against the resident
-/// flat `S`.
+/// flat `S`, with tombstoned rows masked and the memtable's adds appended
+/// when a delta overlay is present.
 struct BroadcastServeReducer<'a> {
     prepared: &'a BroadcastPrepared,
     k: usize,
     metric: DistanceMetric,
+    delta: Option<Arc<DeltaOverlay>>,
 }
 
 impl Reducer for BroadcastServeReducer<'_> {
@@ -272,13 +288,39 @@ impl Reducer for BroadcastServeReducer<'_> {
         for value in values {
             let r_obj = value.decode().point;
             let mut list = NeighborList::new(self.k);
-            for (i, row) in self.prepared.coords.rows().enumerate() {
-                list.offer(self.prepared.ids[i], kernel(&r_obj.coords, row));
+            match self.delta.as_deref() {
+                None => {
+                    for (i, row) in self.prepared.coords.rows().enumerate() {
+                        list.offer(self.prepared.ids[i], kernel(&r_obj.coords, row));
+                    }
+                    ctx.counters().add(
+                        counters::DISTANCE_COMPUTATIONS,
+                        self.prepared.ids.len() as u64,
+                    );
+                }
+                Some(overlay) => {
+                    let mut masked = 0u64;
+                    for (i, row) in self.prepared.coords.rows().enumerate() {
+                        if overlay.is_tombstoned(self.prepared.ids[i]) {
+                            masked += 1;
+                            continue;
+                        }
+                        list.offer(self.prepared.ids[i], kernel(&r_obj.coords, row));
+                    }
+                    let mut delta_computations = 0u64;
+                    for (id, coords) in overlay.adds() {
+                        list.offer(id, kernel(&r_obj.coords, coords));
+                        delta_computations += 1;
+                    }
+                    ctx.counters().add(
+                        counters::DISTANCE_COMPUTATIONS,
+                        self.prepared.ids.len() as u64 - masked,
+                    );
+                    ctx.counters()
+                        .add(counters::DELTA_PROBE_COMPUTATIONS, delta_computations);
+                    ctx.counters().add(counters::TOMBSTONE_MASKED, masked);
+                }
             }
-            ctx.counters().add(
-                counters::DISTANCE_COMPUTATIONS,
-                self.prepared.ids.len() as u64,
-            );
             ctx.emit(r_obj.id, list.into_sorted());
         }
     }

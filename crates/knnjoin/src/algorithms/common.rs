@@ -3,6 +3,7 @@
 //! merge jobs, and counter names.
 
 use crate::bounds::{hyperplane_bound, theorem2_window};
+use crate::delta::DeltaOverlay;
 use crate::metrics::{phases, JoinMetrics};
 use crate::partition::VoronoiPartitioner;
 use crate::result::{JoinError, JoinRow};
@@ -16,7 +17,8 @@ use geom::{
 use mapreduce::{
     ByteSize, IdentityPartitioner, JobBuilder, MapContext, Mapper, ReduceContext, Reducer,
 };
-use std::collections::BTreeMap;
+use std::borrow::Borrow;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -202,27 +204,85 @@ pub(crate) fn split_reducer_records(values: &[EncodedRecord], dims: usize) -> Re
 /// computations spent (object-to-object plus object-to-pivot, per the paper's
 /// selectivity definition).
 #[allow(clippy::too_many_arguments)]
-pub fn bounded_knn_scan(
+pub fn bounded_knn_scan<P: Borrow<FlatPartition>>(
     r_obj: &Point,
     r_pivot_dist: f64,
     r_partition: usize,
-    s_parts: &BTreeMap<usize, FlatPartition>,
+    s_parts: &BTreeMap<usize, P>,
     s_order: &[usize],
     tables: &SummaryTables,
     theta_i: f64,
     k: usize,
     metric: DistanceMetric,
 ) -> (Vec<Neighbor>, u64) {
+    let (neighbors, counts) = bounded_knn_scan_delta(
+        r_obj,
+        r_pivot_dist,
+        r_partition,
+        s_parts,
+        s_order,
+        tables,
+        theta_i,
+        k,
+        metric,
+        None,
+    );
+    (neighbors, counts.frozen)
+}
+
+/// Distance-computation breakdown of one delta-aware candidate scan.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ScanCounts {
+    /// Kernel evaluations against frozen structures (objects or pivots).
+    pub frozen: u64,
+    /// Kernel evaluations against the delta memtable's added points.
+    pub delta: u64,
+    /// Frozen candidates discarded because their id is tombstoned.
+    pub masked: u64,
+}
+
+/// [`bounded_knn_scan`] extended with the S-delta memtable of a mutated
+/// [`crate::PreparedJoin`]: the overlay's added points are offered into the
+/// accumulator *first* (tightening the running θ before any frozen candidate
+/// is scanned), and tombstoned frozen candidates are masked just before their
+/// kernel evaluation.  With `delta == None` the scan is bit-for-bit the
+/// frozen-only Algorithm 3 loop.
+///
+/// Correctness note for callers: the per-partition `θ_i` bound is derived
+/// from the frozen `T_S` table, whose guarantee ("partition `i` alone holds
+/// `k` objects within `θ_i`") deletions can break — pass `θ_i = ∞` whenever
+/// the overlay carries tombstones.  Added points never invalidate `θ_i`;
+/// they only shrink the true kth distance.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn bounded_knn_scan_delta<P: Borrow<FlatPartition>>(
+    r_obj: &Point,
+    r_pivot_dist: f64,
+    r_partition: usize,
+    s_parts: &BTreeMap<usize, P>,
+    s_order: &[usize],
+    tables: &SummaryTables,
+    theta_i: f64,
+    k: usize,
+    metric: DistanceMetric,
+    delta: Option<&DeltaOverlay>,
+) -> (Vec<Neighbor>, ScanCounts) {
     let kernel = metric.kernel();
     let mut neighbors = NeighborList::new(k);
-    let mut computations = 0u64;
+    let mut counts = ScanCounts::default();
+    if let Some(overlay) = delta {
+        for (id, coords) in overlay.adds() {
+            let d = kernel(&r_obj.coords, coords);
+            counts.delta += 1;
+            neighbors.offer(id, d);
+        }
+    }
     for &j in s_order {
         let theta = theta_i.min(neighbors.threshold());
         let pivot_dist = tables.pivot_distance(r_partition, j);
         // Distance from r to the pivot of partition j; pivots count as
         // objects in the paper's selectivity metric.
         let d_r_pj = kernel(&r_obj.coords, &tables.pivots[j].coords);
-        computations += 1;
+        counts.frozen += 1;
         // Corollary 1: skip the whole partition if the hyperplane between
         // p_i and p_j is already farther away than θ.
         if j != r_partition
@@ -239,6 +299,7 @@ pub fn bounded_knn_scan(
             continue;
         }
         if let Some(s_bucket) = s_parts.get(&j) {
+            let s_bucket = s_bucket.borrow();
             for idx in 0..s_bucket.len() {
                 let s_pivot_dist = s_bucket.pivot_dists[idx];
                 if s_pivot_dist < lo || s_pivot_dist > hi {
@@ -250,13 +311,19 @@ pub fn bounded_knn_scan(
                 if (s_pivot_dist - d_r_pj).abs() > theta_now {
                     continue;
                 }
+                if let Some(overlay) = delta {
+                    if overlay.is_tombstoned(s_bucket.ids[idx]) {
+                        counts.masked += 1;
+                        continue;
+                    }
+                }
                 let d = kernel(&r_obj.coords, s_bucket.coords.row(idx));
-                computations += 1;
+                counts.frozen += 1;
                 neighbors.offer(s_bucket.ids[idx], d);
             }
         }
     }
-    (neighbors.into_sorted(), computations)
+    (neighbors.into_sorted(), counts)
 }
 
 // ---------------------------------------------------------------------------
@@ -271,12 +338,15 @@ pub fn bounded_knn_scan(
 /// queries.
 #[derive(Debug)]
 pub(crate) struct VoronoiServeState {
-    /// Pivot assignment machinery (flat pivot matrix + pruned search).
-    pub partitioner: VoronoiPartitioner,
+    /// Pivot assignment machinery (flat pivot matrix + pruned search);
+    /// `Arc`-shared so compaction epochs reuse it untouched.
+    pub partitioner: Arc<VoronoiPartitioner>,
     /// The pivot set, shared into every per-query [`SummaryTables`].
     pub pivots: Arc<Vec<Point>>,
     /// Voronoi-partitioned `S` in flat layout; only non-empty partitions.
-    pub s_parts: Arc<BTreeMap<usize, FlatPartition>>,
+    /// Each cell sits behind its own `Arc` so a compaction rebuilds only the
+    /// cells the delta touched and shares the rest.
+    pub s_parts: Arc<BTreeMap<usize, Arc<FlatPartition>>>,
     /// `T_S`, built once with the plan's `k`; shared into every per-query
     /// [`SummaryTables`].
     pub s_summaries: Arc<Vec<SPartitionSummary>>,
@@ -296,41 +366,125 @@ impl VoronoiServeState {
         s: &PointSet,
         k: usize,
     ) -> Self {
-        let partitioner = VoronoiPartitioner::new(pivots, metric);
+        let partitioner = Arc::new(VoronoiPartitioner::new(pivots, metric));
         let pivots = Arc::new(partitioner.pivots().to_vec());
         let partitioned_s = partitioner.partition(s);
         let s_summaries = Arc::new(build_s_summaries(&partitioned_s, k));
         let pivot_distances = Arc::new(pivot_distance_matrix(&pivots, metric));
         let dims = partitioner.pivot_matrix().dims();
-        let mut s_parts: BTreeMap<usize, FlatPartition> = BTreeMap::new();
+        let mut s_parts: BTreeMap<usize, Arc<FlatPartition>> = BTreeMap::new();
         for (j, bucket) in partitioned_s.partitions.iter().enumerate() {
             if bucket.is_empty() {
                 continue;
             }
-            let flat = s_parts.entry(j).or_insert_with(|| FlatPartition::new(dims));
+            let mut flat = FlatPartition::new(dims);
             for (point, dist) in bucket {
                 flat.push(point, *dist);
             }
+            s_parts.insert(j, Arc::new(flat));
         }
         let non_empty: Vec<usize> = s_parts.keys().copied().collect();
-        let s_orders = (0..partitioner.partition_count())
-            .map(|i| {
-                let mut order = non_empty.clone();
-                order.sort_by(|&a, &b| {
-                    pivot_distances[i][a]
-                        .partial_cmp(&pivot_distances[i][b])
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                });
-                order
-            })
-            .collect();
+        let s_orders = Arc::new(compute_s_orders(
+            &non_empty,
+            &pivot_distances,
+            partitioner.partition_count(),
+        ));
         Self {
             partitioner,
             pivots,
             s_parts: Arc::new(s_parts),
             s_summaries,
             pivot_distances,
-            s_orders: Arc::new(s_orders),
+            s_orders,
+        }
+    }
+
+    /// Folds a delta overlay into the serving state, rebuilding *only* the
+    /// Voronoi cells the delta touches: cells holding a tombstoned object
+    /// and cells an added point is assigned to.  Untouched cells (and the
+    /// pivot machinery, distance matrix and — when the non-empty cell set is
+    /// unchanged — the scan orders) are `Arc`-shared into the new state.
+    ///
+    /// The rebuilt cells keep frozen arrival order followed by adds in
+    /// ascending id order, and their `T_S` rows are recomputed with the same
+    /// (order-insensitive) formulas as the full build, so the compacted
+    /// state is distance-identical to a cold build over the materialized
+    /// corpus.
+    pub(crate) fn compact(
+        &self,
+        delta: &DeltaOverlay,
+        k: usize,
+        metrics: &mut JoinMetrics,
+    ) -> Self {
+        let dims = self.partitioner.pivot_matrix().dims();
+        let mut affected: BTreeSet<usize> = BTreeSet::new();
+        if delta.tombstones_len() > 0 {
+            for (&j, part) in self.s_parts.iter() {
+                if part.ids.iter().any(|id| delta.is_tombstoned(*id)) {
+                    affected.insert(j);
+                }
+            }
+        }
+        let mut add_cells: BTreeMap<usize, Vec<(Point, f64)>> = BTreeMap::new();
+        for (id, coords) in delta.adds() {
+            let a = self.partitioner.nearest_pivot(coords);
+            metrics.pivot_assignment_computations += a.computations;
+            affected.insert(a.partition);
+            add_cells
+                .entry(a.partition)
+                .or_default()
+                .push((Point::new(id, coords.to_vec()), a.distance));
+        }
+
+        let mut s_parts: BTreeMap<usize, Arc<FlatPartition>> = BTreeMap::new();
+        for (&j, part) in self.s_parts.iter() {
+            if !affected.contains(&j) {
+                s_parts.insert(j, Arc::clone(part));
+            }
+        }
+        let mut s_summaries = (*self.s_summaries).clone();
+        for &j in &affected {
+            let mut flat = FlatPartition::new(dims);
+            if let Some(old) = self.s_parts.get(&j) {
+                for idx in 0..old.len() {
+                    if delta.is_tombstoned(old.ids[idx]) {
+                        continue;
+                    }
+                    flat.ids.push(old.ids[idx]);
+                    flat.pivot_dists.push(old.pivot_dists[idx]);
+                    flat.coords.push_row(old.coords.row(idx));
+                }
+            }
+            if let Some(adds) = add_cells.get(&j) {
+                for (point, dist) in adds {
+                    flat.push(point, *dist);
+                }
+            }
+            metrics.compacted_points += flat.len() as u64;
+            s_summaries[j] = summarize_flat_partition(j, &flat, k);
+            if !flat.is_empty() {
+                s_parts.insert(j, Arc::new(flat));
+            }
+        }
+
+        let old_non_empty: Vec<usize> = self.s_parts.keys().copied().collect();
+        let new_non_empty: Vec<usize> = s_parts.keys().copied().collect();
+        let s_orders = if new_non_empty == old_non_empty {
+            Arc::clone(&self.s_orders)
+        } else {
+            Arc::new(compute_s_orders(
+                &new_non_empty,
+                &self.pivot_distances,
+                self.partitioner.partition_count(),
+            ))
+        };
+        Self {
+            partitioner: Arc::clone(&self.partitioner),
+            pivots: Arc::clone(&self.pivots),
+            s_parts: Arc::new(s_parts),
+            s_summaries: Arc::new(s_summaries),
+            pivot_distances: Arc::clone(&self.pivot_distances),
+            s_orders,
         }
     }
 
@@ -378,6 +532,60 @@ impl VoronoiServeState {
             s_summaries: Arc::clone(&self.s_summaries),
             pivot_distances: Arc::clone(&self.pivot_distances),
         }
+    }
+}
+
+/// The per-`R`-partition scan orders over the non-empty `S` cells (ascending
+/// pivot distance, Algorithm 3 line 14), shared by the full build and the
+/// partial compaction.
+fn compute_s_orders(
+    non_empty: &[usize],
+    pivot_distances: &[Vec<f64>],
+    partition_count: usize,
+) -> Vec<Vec<usize>> {
+    (0..partition_count)
+        .map(|i| {
+            let mut order = non_empty.to_vec();
+            order.sort_by(|&a, &b| {
+                pivot_distances[i][a]
+                    .partial_cmp(&pivot_distances[i][b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            order
+        })
+        .collect()
+}
+
+/// `T_S` row of one flat cell, with exactly the semantics of
+/// [`build_s_summaries`]: `(0, 0)` bounds for empty cells, the `k` smallest
+/// pivot distances ascending otherwise.  Both are order-insensitive in the
+/// cell contents, which is what lets compaction recompute only the affected
+/// rows.
+fn summarize_flat_partition(partition: usize, flat: &FlatPartition, k: usize) -> SPartitionSummary {
+    if flat.is_empty() {
+        return SPartitionSummary {
+            partition,
+            count: 0,
+            lower: 0.0,
+            upper: 0.0,
+            knn_distances: Vec::new(),
+        };
+    }
+    let mut lower = f64::INFINITY;
+    let mut upper = f64::NEG_INFINITY;
+    for &d in &flat.pivot_dists {
+        lower = lower.min(d);
+        upper = upper.max(d);
+    }
+    let mut dists = flat.pivot_dists.clone();
+    dists.sort_by(|a, b| a.partial_cmp(b).expect("distances are finite"));
+    dists.truncate(k);
+    SPartitionSummary {
+        partition,
+        count: flat.len(),
+        lower,
+        upper,
+        knn_distances: dists,
     }
 }
 
@@ -470,17 +678,21 @@ impl Mapper for HashRouteMapper {
 /// Theorem 2 and the per-partition `θ_i` bound.
 pub(crate) struct VoronoiServeReducer {
     /// Resident flat `S` partitions.
-    pub s_parts: Arc<BTreeMap<usize, FlatPartition>>,
+    pub s_parts: Arc<BTreeMap<usize, Arc<FlatPartition>>>,
     /// Prebuilt per-partition scan orders.
     pub s_orders: Arc<Vec<Vec<usize>>>,
     /// Per-batch summary tables (fresh `T_R`, prebuilt `T_S`).
     pub tables: Arc<SummaryTables>,
-    /// Per-batch `θ_i` bounds (Algorithm 1).
+    /// Per-batch `θ_i` bounds (Algorithm 1); all `∞` when the delta overlay
+    /// carries tombstones (deletions can break the `T_S`-derived bound).
     pub theta: Arc<Vec<f64>>,
     /// Neighbours per object.
     pub k: usize,
     /// Distance metric.
     pub metric: DistanceMetric,
+    /// The S-delta memtable of a mutated prepared join; `None` keeps the
+    /// scan (and its counters) bit-identical to the frozen-only path.
+    pub delta: Option<Arc<DeltaOverlay>>,
 }
 
 impl Reducer for VoronoiServeReducer {
@@ -498,7 +710,7 @@ impl Reducer for VoronoiServeReducer {
         for value in values {
             let record = value.decode();
             let i = record.partition as usize;
-            let (neighbors, computations) = bounded_knn_scan(
+            let (neighbors, counts) = bounded_knn_scan_delta(
                 &record.point,
                 record.pivot_distance,
                 i,
@@ -508,9 +720,16 @@ impl Reducer for VoronoiServeReducer {
                 self.theta[i],
                 self.k,
                 self.metric,
+                self.delta.as_deref(),
             );
             ctx.counters()
-                .add(counters::DISTANCE_COMPUTATIONS, computations);
+                .add(counters::DISTANCE_COMPUTATIONS, counts.frozen);
+            if self.delta.is_some() {
+                ctx.counters()
+                    .add(counters::DELTA_PROBE_COMPUTATIONS, counts.delta);
+                ctx.counters()
+                    .add(counters::TOMBSTONE_MASKED, counts.masked);
+            }
             ctx.emit(record.point.id, neighbors);
         }
     }

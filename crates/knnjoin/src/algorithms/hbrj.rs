@@ -20,6 +20,7 @@ use crate::algorithms::blocks::{block_count, run_block_framework};
 use crate::algorithms::common::{counters, EncodedRecord, NeighborListValue};
 use crate::algorithms::KnnJoinAlgorithm;
 use crate::context::ExecutionContext;
+use crate::delta::DeltaOverlay;
 use crate::exact::validate_inputs;
 use crate::metrics::JoinMetrics;
 use crate::result::{JoinError, JoinResult};
@@ -251,12 +252,13 @@ impl HbrjPrepared {
     }
 
     /// Answers one probe batch with a single serve job over the resident
-    /// trees.
+    /// trees (merged with the delta overlay when one is present).
     pub(crate) fn probe(
         &self,
         r: &PointSet,
         plan: &crate::plan::JoinPlan,
         ctx: &ExecutionContext,
+        delta: Option<&Arc<DeltaOverlay>>,
         metrics: &mut JoinMetrics,
     ) -> Result<Vec<crate::result::JoinRow>, JoinError> {
         use crate::algorithms::common::{encode_probe_batch, run_serve_job, HashRouteMapper};
@@ -273,9 +275,49 @@ impl HbrjPrepared {
             &HbrjServeReducer {
                 trees: self.trees.clone(),
                 k: plan.k,
+                metric: plan.metric,
+                delta: delta.map(Arc::clone),
             },
             metrics,
         )
+    }
+
+    /// Folds a delta overlay into the resident trees, rebuilding *only* the
+    /// `id mod B` blocks the delta touches from the materialized corpus;
+    /// untouched trees are `Arc`-shared into the new state.  Block
+    /// membership is a pure function of the id, so the rebuilt blocks hold
+    /// exactly what a cold build over the materialized corpus would load —
+    /// in the same order, since both iterate the corpus front to back.
+    pub(crate) fn compact(
+        &self,
+        materialized: &PointSet,
+        delta: &DeltaOverlay,
+        plan: &crate::plan::JoinPlan,
+        metrics: &mut JoinMetrics,
+    ) -> Self {
+        let blocks = self.trees.len();
+        let affected: std::collections::BTreeSet<usize> = delta
+            .adds()
+            .map(|(id, _)| id)
+            .chain(delta.tombstones())
+            .map(|id| (id % blocks as u64) as usize)
+            .collect();
+        let mut trees = self.trees.clone();
+        for &b in &affected {
+            let block: Vec<Point> = materialized
+                .iter()
+                .filter(|p| (p.id % blocks as u64) as usize == b)
+                .cloned()
+                .collect();
+            metrics.compacted_points += block.len() as u64;
+            metrics.index_builds += 1;
+            trees[b] = Arc::new(RTree::bulk_load_with_fanout(
+                block,
+                plan.metric,
+                plan.rtree_fanout,
+            ));
+        }
+        Self { trees }
     }
 }
 
@@ -284,6 +326,8 @@ impl HbrjPrepared {
 struct HbrjServeReducer {
     trees: Vec<Arc<RTree>>,
     k: usize,
+    metric: DistanceMetric,
+    delta: Option<Arc<DeltaOverlay>>,
 }
 
 impl Reducer for HbrjServeReducer {
@@ -300,17 +344,56 @@ impl Reducer for HbrjServeReducer {
     ) {
         for value in values {
             let r_obj = value.decode().point;
-            let mut list = geom::NeighborList::new(self.k);
-            let mut computations = 0u64;
-            // One shared accumulator across the block trees: the k-th
-            // distance found in earlier trees prunes later ones, which the
-            // cold path's independent per-cell searches cannot do.
-            for tree in &self.trees {
-                computations += tree.knn_into(&r_obj, &mut list);
+            match self.delta.as_deref() {
+                None => {
+                    let mut list = geom::NeighborList::new(self.k);
+                    let mut computations = 0u64;
+                    // One shared accumulator across the block trees: the k-th
+                    // distance found in earlier trees prunes later ones, which
+                    // the cold path's independent per-cell searches cannot do.
+                    for tree in &self.trees {
+                        computations += tree.knn_into(&r_obj, &mut list);
+                    }
+                    ctx.counters()
+                        .add(counters::DISTANCE_COMPUTATIONS, computations);
+                    ctx.emit(r_obj.id, list.into_sorted());
+                }
+                Some(overlay) => {
+                    // The trees still index tombstoned objects, so up to
+                    // t = |tombstones| of the best frozen hits may be dead.
+                    // Oversampling to k + t guarantees the top-(k + t) frozen
+                    // candidates contain the top-k *live* frozen candidates;
+                    // tombstones are masked afterwards and the survivors are
+                    // re-ranked together with the memtable's adds.
+                    let t = overlay.tombstones_len();
+                    let mut frozen = geom::NeighborList::new(self.k + t);
+                    let mut computations = 0u64;
+                    for tree in &self.trees {
+                        computations += tree.knn_into(&r_obj, &mut frozen);
+                    }
+                    let kernel = self.metric.kernel();
+                    let mut list = geom::NeighborList::new(self.k);
+                    let mut delta_computations = 0u64;
+                    for (id, coords) in overlay.adds() {
+                        list.offer(id, kernel(&r_obj.coords, coords));
+                        delta_computations += 1;
+                    }
+                    let mut masked = 0u64;
+                    for n in frozen.into_sorted() {
+                        if overlay.is_tombstoned(n.id) {
+                            masked += 1;
+                            continue;
+                        }
+                        list.offer(n.id, n.distance);
+                    }
+                    ctx.counters()
+                        .add(counters::DISTANCE_COMPUTATIONS, computations);
+                    ctx.counters()
+                        .add(counters::DELTA_PROBE_COMPUTATIONS, delta_computations);
+                    ctx.counters().add(counters::TOMBSTONE_MASKED, masked);
+                    ctx.emit(r_obj.id, list.into_sorted());
+                }
             }
-            ctx.counters()
-                .add(counters::DISTANCE_COMPUTATIONS, computations);
-            ctx.emit(r_obj.id, list.into_sorted());
         }
     }
 }

@@ -17,6 +17,7 @@ use crate::algorithms::common::{
 use crate::algorithms::KnnJoinAlgorithm;
 use crate::bounds::upper_bound;
 use crate::context::ExecutionContext;
+use crate::delta::DeltaOverlay;
 use crate::exact::validate_inputs;
 use crate::metrics::{phases, JoinMetrics};
 use crate::partition::VoronoiPartitioner;
@@ -307,6 +308,7 @@ impl PbjPrepared {
         r: &PointSet,
         plan: &crate::plan::JoinPlan,
         ctx: &ExecutionContext,
+        delta: Option<&Arc<DeltaOverlay>>,
         metrics: &mut JoinMetrics,
     ) -> Result<Vec<crate::result::JoinRow>, JoinError> {
         use crate::algorithms::common::{
@@ -321,7 +323,13 @@ impl PbjPrepared {
         let start = Instant::now();
         let tables = Arc::new(self.core.query_tables(&assignments));
         let bounds = crate::bounds::PartitionBounds::compute(&tables, plan.k);
-        let theta = Arc::new(bounds.theta);
+        // Deletions can break the T_S-derived θ_i promise (see the PGBJ
+        // probe); tombstones demote θ to the running kth distance alone.
+        let theta = if delta.is_some_and(|d| d.tombstones_len() > 0) {
+            Arc::new(vec![f64::INFINITY; tables.partition_count()])
+        } else {
+            Arc::new(bounds.theta)
+        };
         metrics.record_phase(phases::INDEX_MERGING, start.elapsed());
 
         run_serve_job(
@@ -340,9 +348,24 @@ impl PbjPrepared {
                 theta,
                 k: plan.k,
                 metric: plan.metric,
+                delta: delta.map(Arc::clone),
             },
             metrics,
         )
+    }
+
+    /// Folds a delta overlay into the resident Voronoi state, sharing
+    /// everything the delta does not touch (see
+    /// [`crate::algorithms::common::VoronoiServeState::compact`]).
+    pub(crate) fn compact(
+        &self,
+        delta: &DeltaOverlay,
+        plan: &crate::plan::JoinPlan,
+        metrics: &mut JoinMetrics,
+    ) -> Self {
+        Self {
+            core: self.core.compact(delta, plan.k, metrics),
+        }
     }
 }
 

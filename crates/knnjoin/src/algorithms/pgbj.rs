@@ -20,6 +20,7 @@ use crate::algorithms::common::{
 use crate::algorithms::KnnJoinAlgorithm;
 use crate::bounds::PartitionBounds;
 use crate::context::ExecutionContext;
+use crate::delta::DeltaOverlay;
 use crate::exact::validate_inputs;
 use crate::grouping::{build_grouping, GroupingStrategy};
 use crate::metrics::{phases, JoinMetrics};
@@ -520,12 +521,14 @@ impl PgbjPrepared {
 
     /// Answers one probe batch: assign `R` to cells, derive the per-batch
     /// `T_R` / bounds / grouping, then run the serve job (Algorithm 3's
-    /// bounded scan against the resident `S`).
+    /// bounded scan against the resident `S`, merged with the delta overlay
+    /// when one is present).
     pub(crate) fn probe(
         &self,
         r: &PointSet,
         plan: &crate::plan::JoinPlan,
         ctx: &ExecutionContext,
+        delta: Option<&Arc<DeltaOverlay>>,
         metrics: &mut JoinMetrics,
     ) -> Result<Vec<JoinRow>, JoinError> {
         use crate::algorithms::common::{
@@ -542,7 +545,16 @@ impl PgbjPrepared {
         let bounds = PartitionBounds::compute(&tables, plan.k);
         let grouping = build_grouping(plan.grouping_strategy, &tables, &bounds, plan.reducers);
         let group_of = Arc::new(grouping.group_of(tables.partition_count()));
-        let theta = Arc::new(bounds.theta);
+        // θ_i promises that partition i alone holds k objects within θ_i of
+        // any r assigned there — a promise the frozen T_S cannot keep once
+        // objects are deleted, so tombstones demote θ to the running kth
+        // distance alone.  Grouping keeps the frozen bounds: it only routes
+        // work, never prunes candidates.
+        let theta = if delta.is_some_and(|d| d.tombstones_len() > 0) {
+            Arc::new(vec![f64::INFINITY; tables.partition_count()])
+        } else {
+            Arc::new(bounds.theta)
+        };
         metrics.record_phase(phases::PARTITION_GROUPING, start.elapsed());
 
         run_serve_job(
@@ -559,9 +571,26 @@ impl PgbjPrepared {
                 theta,
                 k: plan.k,
                 metric: plan.metric,
+                delta: delta.map(Arc::clone),
             },
             metrics,
         )
+    }
+
+    /// Folds a delta overlay into the resident Voronoi state (see
+    /// [`crate::algorithms::common::VoronoiServeState::compact`]); pivots and
+    /// the pivot machinery are shared unchanged, so the compacted state
+    /// serves exactly what a cold prepare over the materialized corpus
+    /// would.
+    pub(crate) fn compact(
+        &self,
+        delta: &DeltaOverlay,
+        plan: &crate::plan::JoinPlan,
+        metrics: &mut JoinMetrics,
+    ) -> Self {
+        Self {
+            core: self.core.compact(delta, plan.k, metrics),
+        }
     }
 }
 

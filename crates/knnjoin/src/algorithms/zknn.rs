@@ -37,6 +37,7 @@ use crate::algorithms::blocks::MergeMapper;
 use crate::algorithms::common::{counters, EncodedRecord, NeighborListValue};
 use crate::algorithms::KnnJoinAlgorithm;
 use crate::context::ExecutionContext;
+use crate::delta::DeltaOverlay;
 use crate::exact::validate_inputs;
 use crate::metrics::{phases, JoinMetrics};
 use crate::result::{JoinError, JoinResult, JoinRow};
@@ -612,15 +613,29 @@ impl ZknnPrepared {
     /// Answers one probe batch with a single serve job: per object and per
     /// copy, scan the `z_window · k` z-neighbours on each side, then merge
     /// the per-copy candidates into the `k` best distinct `S` objects.
+    ///
+    /// When a delta overlay is present, its adds are quantized with the
+    /// *prepared* quantizer and shifts into a `(z, id)`-sorted index per
+    /// copy, and every window is the two-pointer merge of frozen and delta
+    /// entries — exactly the window a cold build over the materialized
+    /// corpus would scan, provided cold calibration yields this quantizer.
+    /// Tombstoned frozen entries are skipped without consuming window slots.
     pub(crate) fn probe(
         &self,
         r: &PointSet,
         plan: &crate::plan::JoinPlan,
         ctx: &ExecutionContext,
+        delta: Option<&Arc<DeltaOverlay>>,
         metrics: &mut JoinMetrics,
     ) -> Result<Vec<JoinRow>, JoinError> {
         use crate::algorithms::common::{encode_probe_batch, run_serve_job, HashRouteMapper};
 
+        let delta = delta.map(|overlay| {
+            (
+                Arc::clone(overlay),
+                Arc::new(delta_sorted_copies(&self.quantizer, &self.shifts, overlay)),
+            )
+        });
         run_serve_job(
             "zknn-serve",
             encode_probe_batch(r),
@@ -634,18 +649,182 @@ impl ZknnPrepared {
                 prepared: self,
                 k: plan.k,
                 metric: plan.metric,
+                delta,
             },
             metrics,
         )
     }
+
+    /// Folds the overlay into the sorted copies: per copy, a linear merge of
+    /// the live frozen entries (tombstones dropped) with the delta's sorted
+    /// adds, both ordered by `(z, id)`.  The quantizer, shifts and window are
+    /// *unchanged* — the z-domain is fixed at prepare time, so compaction
+    /// never perturbs frozen z-values.
+    pub(crate) fn compact(&self, delta: &DeltaOverlay, metrics: &mut JoinMetrics) -> Self {
+        let add_copies = delta_sorted_copies(&self.quantizer, &self.shifts, delta);
+        let copies = self
+            .copies
+            .iter()
+            .zip(&add_copies)
+            .map(|(frozen, adds)| {
+                let dims = frozen.coords.dims();
+                let merged_len = frozen.z.len() - delta.tombstones_len() + adds.z.len();
+                let mut z = Vec::with_capacity(merged_len);
+                let mut ids = Vec::with_capacity(merged_len);
+                let mut coords = CoordMatrix::with_capacity(dims, merged_len);
+                let (mut f, mut a) = (0usize, 0usize);
+                while f < frozen.z.len() || a < adds.z.len() {
+                    if f < frozen.z.len() && delta.is_tombstoned(frozen.ids[f]) {
+                        f += 1;
+                        continue;
+                    }
+                    let take_frozen = match (f < frozen.z.len(), a < adds.z.len()) {
+                        (true, true) => (frozen.z[f], frozen.ids[f]) <= (adds.z[a], adds.ids[a]),
+                        (have_frozen, _) => have_frozen,
+                    };
+                    if take_frozen {
+                        z.push(frozen.z[f]);
+                        ids.push(frozen.ids[f]);
+                        coords.push_row(frozen.coords.row(f));
+                        f += 1;
+                    } else {
+                        z.push(adds.z[a]);
+                        ids.push(adds.ids[a]);
+                        coords.push_row(adds.coords.row(a));
+                        a += 1;
+                    }
+                }
+                metrics.compacted_points += z.len() as u64;
+                SortedCopy { z, ids, coords }
+            })
+            .collect();
+        Self {
+            quantizer: self.quantizer.clone(),
+            shifts: self.shifts.clone(),
+            window: self.window,
+            copies,
+        }
+    }
+}
+
+/// Builds one `(z, id)`-sorted index of the overlay's adds per shift, using
+/// the prepared quantizer so delta entries live in the same z-domain as the
+/// frozen copies (frozen z-values and windows stay bit-identical).
+fn delta_sorted_copies(
+    quantizer: &ZQuantizer,
+    shifts: &[Vec<f64>],
+    delta: &DeltaOverlay,
+) -> Vec<SortedCopy> {
+    let dims = quantizer.dims();
+    shifts
+        .iter()
+        .map(|shift| {
+            let mut entries: Vec<(ZValue, PointId, &[f64])> = delta
+                .adds()
+                .map(|(id, coords)| (quantizer.z_value(coords, Some(shift)), id, coords))
+                .collect();
+            entries.sort_unstable_by_key(|(z, id, _)| (*z, *id));
+            let mut z = Vec::with_capacity(entries.len());
+            let mut ids = Vec::with_capacity(entries.len());
+            let mut coords = CoordMatrix::with_capacity(dims, entries.len());
+            for (zv, id, row) in entries {
+                z.push(zv);
+                ids.push(id);
+                coords.push_row(row);
+            }
+            SortedCopy { z, ids, coords }
+        })
+        .collect()
 }
 
 /// Serve reducer: the per-copy candidate windows and the distinct merge, all
-/// against the resident sorted copies.
+/// against the resident sorted copies (merged on the fly with the delta's
+/// sorted adds when an overlay is present).
 struct ZknnServeReducer<'a> {
     prepared: &'a ZknnPrepared,
     k: usize,
     metric: DistanceMetric,
+    /// The overlay plus its per-copy `(z, id)`-sorted add index, quantized
+    /// with the prepared quantizer (see [`delta_sorted_copies`]).
+    delta: Option<(Arc<DeltaOverlay>, Arc<Vec<SortedCopy>>)>,
+}
+
+impl ZknnServeReducer<'_> {
+    /// The delta-merged candidate window for one probe object and one copy:
+    /// the `window` live `(z, id)`-predecessors and `window` live successors
+    /// of `z_r` in the virtual merge of the frozen copy (minus tombstones)
+    /// and the delta adds — exactly the window a cold build over the
+    /// materialized corpus scans.  Tombstoned frozen entries are skipped
+    /// *without* consuming a window slot.  Returns
+    /// `(frozen_kernels, delta_kernels, masked)`.
+    #[allow(clippy::too_many_arguments)]
+    fn merged_window(
+        &self,
+        r_coords: &[f64],
+        z_r: ZValue,
+        frozen: &SortedCopy,
+        adds: &SortedCopy,
+        overlay: &DeltaOverlay,
+        kernel: fn(&[f64], &[f64]) -> f64,
+        list: &mut NeighborList,
+    ) -> (u64, u64, u64) {
+        let window = self.prepared.window;
+        let (mut frozen_kernels, mut delta_kernels, mut masked) = (0u64, 0u64, 0u64);
+        let pos_f = frozen.z.partition_point(|z| *z < z_r);
+        let pos_a = adds.z.partition_point(|z| *z < z_r);
+
+        // Backward merge over the strict predecessors: largest (z, id) first.
+        let (mut f, mut a) = (pos_f, pos_a);
+        let mut taken = 0usize;
+        while taken < window && (f > 0 || a > 0) {
+            let take_frozen = match (f > 0, a > 0) {
+                (true, true) => {
+                    (frozen.z[f - 1], frozen.ids[f - 1]) >= (adds.z[a - 1], adds.ids[a - 1])
+                }
+                (have_frozen, _) => have_frozen,
+            };
+            if take_frozen {
+                f -= 1;
+                if overlay.is_tombstoned(frozen.ids[f]) {
+                    masked += 1;
+                    continue;
+                }
+                list.offer(frozen.ids[f], kernel(r_coords, frozen.coords.row(f)));
+                frozen_kernels += 1;
+            } else {
+                a -= 1;
+                list.offer(adds.ids[a], kernel(r_coords, adds.coords.row(a)));
+                delta_kernels += 1;
+            }
+            taken += 1;
+        }
+
+        // Forward merge over the successors (z ≥ z_r): smallest (z, id) first.
+        let (mut f, mut a) = (pos_f, pos_a);
+        let mut taken = 0usize;
+        while taken < window && (f < frozen.z.len() || a < adds.z.len()) {
+            let take_frozen = match (f < frozen.z.len(), a < adds.z.len()) {
+                (true, true) => (frozen.z[f], frozen.ids[f]) <= (adds.z[a], adds.ids[a]),
+                (have_frozen, _) => have_frozen,
+            };
+            if take_frozen {
+                if overlay.is_tombstoned(frozen.ids[f]) {
+                    masked += 1;
+                    f += 1;
+                    continue;
+                }
+                list.offer(frozen.ids[f], kernel(r_coords, frozen.coords.row(f)));
+                frozen_kernels += 1;
+                f += 1;
+            } else {
+                list.offer(adds.ids[a], kernel(r_coords, adds.coords.row(a)));
+                delta_kernels += 1;
+                a += 1;
+            }
+            taken += 1;
+        }
+        (frozen_kernels, delta_kernels, masked)
+    }
 }
 
 impl Reducer for ZknnServeReducer<'_> {
@@ -666,20 +845,51 @@ impl Reducer for ZknnServeReducer<'_> {
             let r_obj = value.decode().point;
             let mut lists = Vec::with_capacity(self.prepared.copies.len());
             let mut computations = 0u64;
-            for (copy, shift) in self.prepared.copies.iter().zip(&self.prepared.shifts) {
+            let mut delta_computations = 0u64;
+            let mut masked = 0u64;
+            for (i, (copy, shift)) in self
+                .prepared
+                .copies
+                .iter()
+                .zip(&self.prepared.shifts)
+                .enumerate()
+            {
                 let z_r = self.prepared.quantizer.z_value(&r_obj.coords, Some(shift));
-                let pos = copy.z.partition_point(|z| *z < z_r);
-                let lo = pos.saturating_sub(window);
-                let hi = (pos + window).min(copy.z.len());
                 let mut list = NeighborList::new(self.k);
-                for idx in lo..hi {
-                    list.offer(copy.ids[idx], kernel(&r_obj.coords, copy.coords.row(idx)));
+                match &self.delta {
+                    None => {
+                        let pos = copy.z.partition_point(|z| *z < z_r);
+                        let lo = pos.saturating_sub(window);
+                        let hi = (pos + window).min(copy.z.len());
+                        for idx in lo..hi {
+                            list.offer(copy.ids[idx], kernel(&r_obj.coords, copy.coords.row(idx)));
+                        }
+                        computations += (hi - lo) as u64;
+                    }
+                    Some((overlay, add_copies)) => {
+                        let (fk, dk, m) = self.merged_window(
+                            &r_obj.coords,
+                            z_r,
+                            copy,
+                            &add_copies[i],
+                            overlay,
+                            kernel,
+                            &mut list,
+                        );
+                        computations += fk;
+                        delta_computations += dk;
+                        masked += m;
+                    }
                 }
-                computations += (hi - lo) as u64;
                 lists.push(NeighborListValue::new(list.into_sorted()));
             }
             ctx.counters()
                 .add(counters::DISTANCE_COMPUTATIONS, computations);
+            if self.delta.is_some() {
+                ctx.counters()
+                    .add(counters::DELTA_PROBE_COMPUTATIONS, delta_computations);
+                ctx.counters().add(counters::TOMBSTONE_MASKED, masked);
+            }
             ctx.emit(r_obj.id, merge_distinct_candidates(&lists, self.k));
         }
     }

@@ -28,7 +28,7 @@
 use crate::context::ExecutionContext;
 use crate::grouping::GroupingStrategy;
 use crate::pivots::PivotSelectionStrategy;
-use crate::plan::{Algorithm, JoinPlan};
+use crate::plan::{Algorithm, JoinPlan, DEFAULT_DELTA_THRESHOLD};
 use crate::result::{JoinError, JoinResult};
 use geom::{DistanceMetric, PointSet};
 use spatial::RTree;
@@ -60,6 +60,7 @@ pub struct JoinBuilder<'a> {
     z_window: usize,
     combiner: bool,
     seed: u64,
+    delta_threshold: usize,
 }
 
 impl<'a> JoinBuilder<'a> {
@@ -85,6 +86,7 @@ impl<'a> JoinBuilder<'a> {
             z_window: defaults.z_window,
             combiner: defaults.combiner,
             seed: defaults.seed,
+            delta_threshold: DEFAULT_DELTA_THRESHOLD,
         }
     }
 
@@ -189,6 +191,17 @@ impl<'a> JoinBuilder<'a> {
     /// Seeds pivot selection (experiments fix this for reproducibility).
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets how many pending delta entries (adds + tombstones) a
+    /// [`crate::PreparedJoin`] tolerates before a mutation triggers an
+    /// automatic compaction (default
+    /// [`crate::plan::DEFAULT_DELTA_THRESHOLD`]).  Lower values keep probes
+    /// closer to frozen-only cost at the price of compacting more often;
+    /// irrelevant to one-shot [`JoinBuilder::run`] joins.
+    pub fn delta_threshold(mut self, threshold: usize) -> Self {
+        self.delta_threshold = threshold;
         self
     }
 
@@ -297,6 +310,11 @@ impl<'a> JoinBuilder<'a> {
                 "z_window must be at least 1".into(),
             ));
         }
+        if self.delta_threshold == 0 {
+            return Err(JoinError::InvalidConfig(
+                "delta_threshold must be at least 1".into(),
+            ));
+        }
         if self.algorithm == Algorithm::Zknn
             && self.r.dims() as u32 * self.quantization_bits > geom::zorder::MAX_Z_BITS
         {
@@ -328,6 +346,7 @@ impl<'a> JoinBuilder<'a> {
             z_window: self.z_window,
             combiner: self.combiner,
             seed: self.seed,
+            delta_threshold: self.delta_threshold,
         })
     }
 
@@ -560,6 +579,25 @@ mod tests {
         let quality = result.quality_against(&oracle);
         assert!(quality.recall >= 0.9, "recall {}", quality.recall);
         assert!(quality.distance_ratio >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn delta_threshold_resolves_into_the_plan_and_rejects_zero() {
+        let r = uniform(30, 2, 10.0, 30);
+        let plan = JoinBuilder::new(&r, &r).k(2).plan().unwrap();
+        assert_eq!(plan.delta_threshold, DEFAULT_DELTA_THRESHOLD);
+        let plan = JoinBuilder::new(&r, &r)
+            .k(2)
+            .delta_threshold(8)
+            .plan()
+            .unwrap();
+        assert_eq!(plan.delta_threshold, 8);
+        let err = JoinBuilder::new(&r, &r)
+            .k(2)
+            .delta_threshold(0)
+            .plan()
+            .unwrap_err();
+        assert!(matches!(err, JoinError::InvalidConfig(_)), "{err}");
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! The mutable-corpus delta layer: the S-side memtable a
+//! [`crate::PreparedJoin`] accumulates inserts and deletes in.
+//!
+//! The paper's join structures (Voronoi cells + summaries, per-block
+//! R-trees, sorted z-copies) are batch-built: none of them absorbs a
+//! mutation in place.  Instead of rebuilding on every change, the prepared
+//! join follows the log-structured discipline of LSM stores: mutations land
+//! in a small resident [`DeltaOverlay`] — an append log of added points plus
+//! a tombstone set of deleted ids — and every probe merges the overlay with
+//! the frozen structures through the shared top-k accumulator.  When the
+//! overlay outgrows the plan's `delta_threshold`, a *compaction* folds it
+//! into the frozen structures (rebuilding only the affected Voronoi cells /
+//! R-trees / z-runs) and publishes a new epoch with an empty overlay.
+//!
+//! The correctness bar is DBSP-style: a query against the mutated corpus
+//! must be distance-identical to the same query against a cold build over
+//! the materialized corpus (frozen minus tombstones, plus adds).  The
+//! overlay maintains one invariant that makes the live corpus a disjoint
+//! union: an added id is never simultaneously live on the frozen side
+//! (re-inserting a frozen id tombstones the frozen copy first), so
+//!
+//! ```text
+//! live = (frozen \ tombstones) ∪ adds        |live| = |frozen| − t + a
+//! ```
+//!
+//! Epoch/snapshot semantics, the mutation API and compaction live in
+//! [`crate::prepared`]; this module owns the overlay itself and the
+//! observability types.
+
+use geom::PointId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The resident S-delta memtable: points added since the last compaction
+/// (keyed by id, so re-inserts are upserts) plus the tombstoned frozen ids.
+///
+/// The overlay is an immutable snapshot from a reader's point of view:
+/// mutations clone it, apply the change and publish the copy under a new
+/// epoch, so in-flight queries keep scanning the overlay they started with.
+/// Iteration orders (`BTreeMap` / `BTreeSet`) are deterministic, which keeps
+/// the delta-probe counters reproducible for the bench harness.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaOverlay {
+    /// Added (or re-inserted) points: id → coordinates.
+    adds: BTreeMap<PointId, Vec<f64>>,
+    /// Frozen ids masked from every probe until compaction drops them.
+    tombstones: BTreeSet<PointId>,
+}
+
+impl DeltaOverlay {
+    /// Whether the overlay holds no pending work.
+    pub fn is_empty(&self) -> bool {
+        self.adds.is_empty() && self.tombstones.is_empty()
+    }
+
+    /// Pending delta entries (adds plus tombstones) — the quantity compared
+    /// against the plan's `delta_threshold`.
+    pub fn len(&self) -> usize {
+        self.adds.len() + self.tombstones.len()
+    }
+
+    /// Number of added points pending.
+    pub fn adds_len(&self) -> usize {
+        self.adds.len()
+    }
+
+    /// Number of tombstoned frozen ids pending.
+    pub fn tombstones_len(&self) -> usize {
+        self.tombstones.len()
+    }
+
+    /// Whether `id`'s frozen copy is masked.
+    pub fn is_tombstoned(&self, id: PointId) -> bool {
+        self.tombstones.contains(&id)
+    }
+
+    /// Whether `id` is currently an added point.
+    pub fn is_added(&self, id: PointId) -> bool {
+        self.adds.contains_key(&id)
+    }
+
+    /// The added points in ascending id order.
+    pub fn adds(&self) -> impl Iterator<Item = (PointId, &[f64])> + '_ {
+        self.adds.iter().map(|(id, c)| (*id, c.as_slice()))
+    }
+
+    /// The tombstoned ids in ascending order.
+    pub fn tombstones(&self) -> impl Iterator<Item = PointId> + '_ {
+        self.tombstones.iter().copied()
+    }
+
+    /// Adds (or replaces) an added point.
+    pub(crate) fn insert_add(&mut self, id: PointId, coords: Vec<f64>) {
+        self.adds.insert(id, coords);
+    }
+
+    /// Removes an added point, reporting whether it was present.
+    pub(crate) fn remove_add(&mut self, id: PointId) -> bool {
+        self.adds.remove(&id).is_some()
+    }
+
+    /// Tombstones a frozen id, reporting whether it was newly tombstoned.
+    /// Tombstones are only ever cleared by compaction.
+    pub(crate) fn tombstone(&mut self, id: PointId) -> bool {
+        self.tombstones.insert(id)
+    }
+}
+
+/// A snapshot of a [`crate::PreparedJoin`]'s delta layer, for observability
+/// (the mutable-corpus bench and example print these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeltaStats {
+    /// Current corpus epoch (0 at build; every mutation and compaction
+    /// advances it).
+    pub epoch: u64,
+    /// Added points pending in the overlay.
+    pub pending_adds: usize,
+    /// Tombstoned frozen ids pending in the overlay.
+    pub pending_tombstones: usize,
+    /// Compactions run since the join was prepared.
+    pub compactions: u64,
+    /// Points re-laid-out into frozen structures by those compactions.
+    pub compacted_points: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlay_tracks_adds_and_tombstones_independently() {
+        let mut d = DeltaOverlay::default();
+        assert!(d.is_empty());
+        d.insert_add(7, vec![1.0, 2.0]);
+        d.insert_add(3, vec![0.0, 0.0]);
+        d.tombstone(9);
+        assert_eq!(d.len(), 3);
+        assert_eq!((d.adds_len(), d.tombstones_len()), (2, 1));
+        assert!(d.is_added(7) && !d.is_added(9));
+        assert!(d.is_tombstoned(9) && !d.is_tombstoned(7));
+        // Deterministic ascending-id iteration.
+        let ids: Vec<PointId> = d.adds().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![3, 7]);
+        // Upsert replaces in place.
+        d.insert_add(7, vec![5.0, 5.0]);
+        assert_eq!(d.adds_len(), 2);
+        assert!(d.remove_add(7));
+        assert!(!d.remove_add(7));
+        // Tombstoning twice reports only the first as new.
+        assert!(!d.tombstone(9));
+        assert!(d.tombstone(10));
+    }
+}

@@ -5,6 +5,7 @@
 //! distance computations.  It is used by tests and benchmarks as ground truth
 //! and as the centralized baseline that motivates distributing the join.
 
+use crate::delta::DeltaOverlay;
 use crate::metrics::{phases, JoinMetrics};
 use crate::result::{JoinError, JoinResult, JoinRow};
 use geom::{CoordMatrix, DistanceMetric, NeighborList, PointSet};
@@ -79,23 +80,47 @@ impl NestedLoopPrepared {
         prepared
     }
 
-    /// Scans the resident flat `S` for every probe object.
+    /// Scans the resident flat `S` (minus tombstones, plus the memtable's
+    /// adds when a delta overlay is present) for every probe object.  This
+    /// path is driver-side, so the delta counters land directly in
+    /// `metrics` instead of travelling through job counters.
     pub(crate) fn probe(
         &self,
         r: &PointSet,
         k: usize,
         metric: DistanceMetric,
+        delta: Option<&DeltaOverlay>,
         metrics: &mut JoinMetrics,
     ) -> Vec<JoinRow> {
         let start = Instant::now();
         let kernel = metric.kernel();
         let mut rows = Vec::with_capacity(r.len());
         let mut computations = 0u64;
+        let mut delta_computations = 0u64;
+        let mut masked = 0u64;
         for r_obj in r {
             let mut list = NeighborList::new(k);
-            for (i, row) in self.coords.rows().enumerate() {
-                list.offer(self.ids[i], kernel(&r_obj.coords, row));
-                computations += 1;
+            match delta {
+                None => {
+                    for (i, row) in self.coords.rows().enumerate() {
+                        list.offer(self.ids[i], kernel(&r_obj.coords, row));
+                        computations += 1;
+                    }
+                }
+                Some(overlay) => {
+                    for (i, row) in self.coords.rows().enumerate() {
+                        if overlay.is_tombstoned(self.ids[i]) {
+                            masked += 1;
+                            continue;
+                        }
+                        list.offer(self.ids[i], kernel(&r_obj.coords, row));
+                        computations += 1;
+                    }
+                    for (id, coords) in overlay.adds() {
+                        list.offer(id, kernel(&r_obj.coords, coords));
+                        delta_computations += 1;
+                    }
+                }
             }
             rows.push(JoinRow {
                 r_id: r_obj.id,
@@ -103,8 +128,17 @@ impl NestedLoopPrepared {
             });
         }
         metrics.distance_computations += computations;
+        metrics.delta_probe_computations += delta_computations;
+        metrics.tombstone_masked += masked;
         metrics.record_phase(phases::KNN_JOIN, start.elapsed());
         rows
+    }
+
+    /// Re-flattens the materialized corpus (same layout a cold build over it
+    /// would produce).
+    pub(crate) fn compact(materialized: &PointSet, metrics: &mut JoinMetrics) -> Self {
+        metrics.compacted_points += materialized.len() as u64;
+        Self::build(materialized, metrics)
     }
 }
 

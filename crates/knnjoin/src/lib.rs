@@ -50,6 +50,15 @@
 //! one-shot path.  [`JoinSession`] adds an LRU cache of prepared joins keyed
 //! by corpus / algorithm / metric / `k` for multi-corpus serving layers.
 //!
+//! The prepared corpus is *mutable*: [`PreparedJoin::insert`] and
+//! [`PreparedJoin::delete`] land in an LSM-style delta memtable
+//! ([`DeltaOverlay`]) that every probe path merges with the frozen
+//! structures, and a threshold-triggered compaction
+//! ([`JoinPlan::delta_threshold`], [`PreparedJoin::compact`]) folds the
+//! overlay back into the frozen state — queries always observe one
+//! consistent epoch, and results stay distance-identical to a cold build
+//! over the materialized corpus.
+//!
 //! # The algorithms behind it
 //!
 //! [`Algorithm`] selects among six implementations at runtime — five exact,
@@ -83,6 +92,7 @@ pub mod algorithms;
 pub mod bounds;
 pub mod builder;
 pub mod context;
+pub mod delta;
 pub mod exact;
 pub mod grouping;
 pub mod metrics;
@@ -102,6 +112,7 @@ pub use context::{
     ExecutionContext, ExecutionContextBuilder, MemoryMetricsSink, MetricsSink, NullMetricsSink,
     RecordedJoin, ServingStats,
 };
+pub use delta::{DeltaOverlay, DeltaStats};
 pub use exact::NestedLoopJoin;
 pub use geom::DistanceMetric;
 pub use grouping::{GroupingStrategy, PartitionGrouping};

@@ -35,6 +35,15 @@ pub mod counters {
     /// total) and shares it across the row of reducer cells; a regression to
     /// one-per-cell shows up here as a jump to `⌊√N⌋²`.
     pub const INDEX_BUILDS: &str = "index_builds";
+    /// Distance computations spent scanning the resident S-delta memtable of
+    /// a mutated [`crate::PreparedJoin`] (see [`crate::delta`]).  Kept apart
+    /// from [`DISTANCE_COMPUTATIONS`] so the frozen-structure cost stays
+    /// directly comparable with an unmutated corpus.
+    pub const DELTA_PROBE_COMPUTATIONS: &str = "delta_probe_computations";
+    /// Frozen-structure candidates discarded because their id is tombstoned
+    /// in the delta overlay — the per-query overhead deletions impose until
+    /// the next compaction folds the tombstones in.
+    pub const TOMBSTONE_MASKED: &str = "tombstone_masked";
 }
 
 /// Phase names used by the harness; kept as constants so experiment tables use
@@ -56,6 +65,11 @@ pub mod phases {
     /// [`crate::PreparedJoin`] (spatial indexes, sorted z-copies, flat
     /// blocks).  Only appears in build metrics, never in per-query metrics.
     pub const PREPARE_BUILD: &str = "prepare build";
+    /// Folding a [`crate::delta::DeltaOverlay`] into the frozen serving
+    /// structures of a [`crate::PreparedJoin`].  Appears in the cumulative
+    /// metrics (and the sink record emitted per compaction), never in
+    /// per-query metrics.
+    pub const COMPACTION: &str = "compaction";
 }
 
 /// Metrics of one kNN-join execution.
@@ -94,6 +108,16 @@ pub struct JoinMetrics {
     pub combine_input_records: u64,
     /// Records the combiners let through to the shuffle.
     pub combine_output_records: u64,
+    /// Distance computations spent scanning the S-delta memtable of a mutated
+    /// [`crate::PreparedJoin`]; zero whenever the delta overlay is empty.
+    pub delta_probe_computations: u64,
+    /// Frozen-structure candidates masked by tombstones before ranking; zero
+    /// whenever the delta overlay is empty.
+    pub tombstone_masked: u64,
+    /// Delta compactions performed (mutation path only).
+    pub compactions: u64,
+    /// Points re-laid-out into frozen serving structures by compactions.
+    pub compacted_points: u64,
     /// |R| of the join that produced these metrics.
     pub r_size: usize,
     /// |S| of the join that produced these metrics.
@@ -124,6 +148,8 @@ impl JoinMetrics {
         self.r_records_shuffled += job.counters.get(counters::R_RECORDS);
         self.s_records_shuffled += job.counters.get(counters::S_RECORDS);
         self.index_builds += job.counters.get(counters::INDEX_BUILDS);
+        self.delta_probe_computations += job.counters.get(counters::DELTA_PROBE_COMPUTATIONS);
+        self.tombstone_masked += job.counters.get(counters::TOMBSTONE_MASKED);
     }
 
     /// Folds another join's metrics into this one: counters and shuffle
@@ -144,6 +170,10 @@ impl JoinMetrics {
         self.shuffle_records += other.shuffle_records;
         self.combine_input_records += other.combine_input_records;
         self.combine_output_records += other.combine_output_records;
+        self.delta_probe_computations += other.delta_probe_computations;
+        self.tombstone_masked += other.tombstone_masked;
+        self.compactions += other.compactions;
+        self.compacted_points += other.compacted_points;
         if self.r_size == 0 {
             self.r_size = other.r_size;
         }
@@ -245,6 +275,8 @@ mod tests {
         job.counters.add(counters::PIVOT_ASSIGNMENT_COMPUTATIONS, 5);
         job.counters.add(counters::R_RECORDS, 40);
         job.counters.add(counters::INDEX_BUILDS, 3);
+        job.counters.add(counters::DELTA_PROBE_COMPUTATIONS, 9);
+        job.counters.add(counters::TOMBSTONE_MASKED, 2);
         join.absorb_job(&job);
         join.absorb_job(&job); // a second job of the same algorithm
         assert_eq!(join.shuffle_records, 200);
@@ -256,6 +288,8 @@ mod tests {
         assert_eq!(join.r_records_shuffled, 80);
         assert_eq!(join.s_records_shuffled, 0);
         assert_eq!(join.index_builds, 6);
+        assert_eq!(join.delta_probe_computations, 18);
+        assert_eq!(join.tombstone_masked, 4);
     }
 
     #[test]
@@ -269,6 +303,10 @@ mod tests {
             pivot_selections: 1,
             shuffle_bytes: 100,
             shuffle_records: 5,
+            delta_probe_computations: 7,
+            tombstone_masked: 3,
+            compactions: 1,
+            compacted_points: 12,
             r_size: 30,
             s_size: 40,
             ..Default::default()
@@ -283,6 +321,10 @@ mod tests {
         assert_eq!(total.pivot_selections, 2);
         assert_eq!(total.shuffle_bytes, 200);
         assert_eq!(total.shuffle_records, 10);
+        assert_eq!(total.delta_probe_computations, 14);
+        assert_eq!(total.tombstone_masked, 6);
+        assert_eq!(total.compactions, 2);
+        assert_eq!(total.compacted_points, 24);
         assert_eq!(total.phase(phases::KNN_JOIN), Duration::from_millis(4));
         assert_eq!((total.r_size, total.s_size), (30, 40));
     }

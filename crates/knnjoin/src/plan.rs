@@ -136,7 +136,15 @@ pub struct JoinPlan {
     pub combiner: bool,
     /// Seed driving pivot selection.
     pub seed: u64,
+    /// Maximum resident delta-overlay size (adds + tombstones) of a
+    /// [`crate::PreparedJoin`] before a mutation triggers an automatic
+    /// compaction (see [`crate::delta`]).  Irrelevant to cold joins.
+    pub delta_threshold: usize,
 }
+
+/// Default [`JoinPlan::delta_threshold`]: mutations beyond this many pending
+/// delta entries compact the prepared join's serving structures.
+pub const DEFAULT_DELTA_THRESHOLD: usize = 1024;
 
 impl JoinPlan {
     /// Instantiates the planned algorithm as a trait object, so callers can
@@ -222,6 +230,7 @@ impl Default for JoinPlan {
             z_window: zknn.z_window,
             combiner: pgbj.combiner,
             seed: pgbj.seed,
+            delta_threshold: DEFAULT_DELTA_THRESHOLD,
         }
     }
 }

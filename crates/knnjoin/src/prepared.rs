@@ -44,11 +44,13 @@
 
 use crate::algorithms::{BroadcastPrepared, HbrjPrepared, PbjPrepared, PgbjPrepared, ZknnPrepared};
 use crate::context::{ExecutionContext, ServingStats};
+use crate::delta::{DeltaOverlay, DeltaStats};
 use crate::exact::NestedLoopPrepared;
-use crate::metrics::JoinMetrics;
+use crate::metrics::{phases, JoinMetrics};
 use crate::plan::{Algorithm, JoinPlan};
 use crate::result::{JoinError, JoinResult, JoinRow, ResultSink};
-use geom::{DistanceMetric, Point, PointSet};
+use geom::{DistanceMetric, Point, PointId, PointSet};
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -65,18 +67,106 @@ enum PreparedState {
     NestedLoop(NestedLoopPrepared),
 }
 
+impl PreparedState {
+    /// Rebuilds the frozen structures with the overlay folded in.  The
+    /// partition-based algorithms rebuild only the affected Voronoi cells /
+    /// R-tree blocks / z-runs and share the rest; pivots, the quantizer and
+    /// every other calibrated artifact are reused unchanged, so compaction
+    /// never re-plans.
+    fn compact(
+        &self,
+        materialized: &PointSet,
+        delta: &DeltaOverlay,
+        plan: &JoinPlan,
+        metrics: &mut JoinMetrics,
+    ) -> Self {
+        match self {
+            PreparedState::Pgbj(p) => PreparedState::Pgbj(p.compact(delta, plan, metrics)),
+            PreparedState::Pbj(p) => PreparedState::Pbj(p.compact(delta, plan, metrics)),
+            PreparedState::Hbrj(p) => {
+                PreparedState::Hbrj(p.compact(materialized, delta, plan, metrics))
+            }
+            PreparedState::Zknn(p) => PreparedState::Zknn(p.compact(delta, metrics)),
+            PreparedState::Broadcast(_) => {
+                PreparedState::Broadcast(BroadcastPrepared::compact(materialized, metrics))
+            }
+            PreparedState::NestedLoop(_) => {
+                PreparedState::NestedLoop(NestedLoopPrepared::compact(materialized, metrics))
+            }
+        }
+    }
+}
+
+/// One immutable version of the corpus: the frozen structures plus the
+/// resident delta overlay.  Queries clone the `Arc` once and run entirely
+/// against that snapshot, so a concurrent mutation or compaction (which
+/// *publishes a new* `Epoch` rather than touching this one) can never tear a
+/// probe batch.
+#[derive(Debug)]
+struct Epoch {
+    /// Monotonic version, bumped by every effective mutation and compaction.
+    number: u64,
+    state: Arc<PreparedState>,
+    /// The corpus the frozen structures were built over (pre-delta).
+    frozen: Arc<PointSet>,
+    /// Ids present in `frozen`, for upsert/delete classification.
+    frozen_ids: Arc<BTreeSet<PointId>>,
+    delta: Arc<DeltaOverlay>,
+}
+
+impl Epoch {
+    /// Number of live objects: `|frozen| − |tombstones| + |adds|`.
+    fn live_len(&self) -> usize {
+        self.frozen.len() - self.delta.tombstones_len() + self.delta.adds_len()
+    }
+}
+
 #[derive(Debug)]
 struct Inner {
     plan: JoinPlan,
     ctx: ExecutionContext,
-    s_len: usize,
     s_dims: usize,
-    state: PreparedState,
+    /// The current corpus version; replaced wholesale on mutation.  Held
+    /// only long enough to clone the `Arc`.
+    epoch: Mutex<Arc<Epoch>>,
+    /// Serializes mutations (insert/delete/compact) so overlay updates and
+    /// epoch publication are atomic with respect to each other.  Queries
+    /// never take this lock.
+    mutate: Mutex<()>,
     build_metrics: JoinMetrics,
     build_time: Duration,
     queries: AtomicU64,
     query_nanos: AtomicU64,
     cumulative: Mutex<JoinMetrics>,
+    compactions: AtomicU64,
+    compacted_points: AtomicU64,
+}
+
+impl Inner {
+    fn snapshot(&self) -> Arc<Epoch> {
+        Arc::clone(&self.epoch.lock().expect("epoch lock"))
+    }
+
+    fn publish(&self, epoch: Epoch) {
+        *self.epoch.lock().expect("epoch lock") = Arc::new(epoch);
+    }
+}
+
+/// The corpus an epoch represents, as a cold build would receive it: the
+/// frozen points in their original order minus tombstones, then the overlay's
+/// adds in ascending id order.
+fn materialize(frozen: &PointSet, delta: &DeltaOverlay) -> PointSet {
+    let live = frozen.len() - delta.tombstones_len() + delta.adds_len();
+    let mut points = Vec::with_capacity(live);
+    for p in frozen.iter() {
+        if !delta.is_tombstoned(p.id) {
+            points.push(p.clone());
+        }
+    }
+    for (id, coords) in delta.adds() {
+        points.push(Point::new(id, coords.to_vec()));
+    }
+    PointSet::from_points(points)
 }
 
 /// A join whose S-side state has been built once and can serve arbitrary `R`
@@ -138,18 +228,27 @@ impl PreparedJoin {
             }
         };
         let build_time = start.elapsed();
+        let epoch = Epoch {
+            number: 0,
+            state: Arc::new(state),
+            frozen_ids: Arc::new(s.iter().map(|p| p.id).collect()),
+            frozen: Arc::new(s.clone()),
+            delta: Arc::new(DeltaOverlay::default()),
+        };
         Ok(Self {
             inner: Arc::new(Inner {
-                s_len: s.len(),
                 s_dims: s.dims(),
                 ctx: ctx.clone(),
                 plan,
-                state,
+                epoch: Mutex::new(Arc::new(epoch)),
+                mutate: Mutex::new(()),
                 build_metrics,
                 build_time,
                 queries: AtomicU64::new(0),
                 query_nanos: AtomicU64::new(0),
                 cumulative: Mutex::new(JoinMetrics::default()),
+                compactions: AtomicU64::new(0),
+                compacted_points: AtomicU64::new(0),
             }),
         })
     }
@@ -174,9 +273,155 @@ impl PreparedJoin {
         self.inner.plan.metric
     }
 
-    /// Size of the resident `S` corpus.
+    /// Number of *live* resident `S` objects:
+    /// `|frozen| − |tombstones| + |adds|`.
     pub fn s_len(&self) -> usize {
-        self.inner.s_len
+        self.inner.snapshot().live_len()
+    }
+
+    /// The current corpus version.  Starts at 0 and is bumped by every
+    /// effective [`PreparedJoin::insert`], [`PreparedJoin::delete`] and
+    /// compaction, so a cached handle whose epoch moved is detectably stale
+    /// (see [`SessionKey::epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.inner.snapshot().number
+    }
+
+    /// The delta layer's current shape: pending overlay sizes plus lifetime
+    /// compaction totals.
+    pub fn delta_stats(&self) -> DeltaStats {
+        let epoch = self.inner.snapshot();
+        DeltaStats {
+            epoch: epoch.number,
+            pending_adds: epoch.delta.adds_len(),
+            pending_tombstones: epoch.delta.tombstones_len(),
+            compactions: self.inner.compactions.load(Ordering::Relaxed),
+            compacted_points: self.inner.compacted_points.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The live corpus as a cold [`crate::JoinBuilder::run`] would receive
+    /// it: frozen points in their original order minus tombstones, then the
+    /// pending adds in ascending id order.  This is the oracle input for the
+    /// mutated-equals-cold guarantee.
+    pub fn materialized_corpus(&self) -> PointSet {
+        let epoch = self.inner.snapshot();
+        materialize(&epoch.frozen, &epoch.delta)
+    }
+
+    /// Inserts (or upserts) one `S` object into the resident corpus via the
+    /// delta memtable.  If `point.id` is already live its coordinates are
+    /// replaced; existing handles keep serving their snapshot and the next
+    /// query observes the new point.  Triggers a compaction when the overlay
+    /// outgrows [`crate::JoinPlan::delta_threshold`].
+    ///
+    /// # Errors
+    /// Returns [`JoinError::DimensionalityMismatch`] when the point's
+    /// dimensionality differs from the corpus.
+    pub fn insert(&self, point: Point) -> Result<(), JoinError> {
+        if point.coords.len() != self.inner.s_dims {
+            return Err(JoinError::DimensionalityMismatch {
+                r_dims: point.coords.len(),
+                s_dims: self.inner.s_dims,
+            });
+        }
+        let _guard = self.inner.mutate.lock().expect("mutate lock");
+        let epoch = self.inner.snapshot();
+        let mut delta = (*epoch.delta).clone();
+        if epoch.frozen_ids.contains(&point.id) {
+            // Upsert over a frozen object: mask the frozen copy, serve the
+            // new coordinates from the memtable.
+            delta.tombstone(point.id);
+        }
+        delta.insert_add(point.id, point.coords);
+        self.commit(&epoch, delta);
+        Ok(())
+    }
+
+    /// Deletes one `S` object by id, returning whether it was live.  The
+    /// frozen structures are untouched: the id joins the tombstone set and
+    /// every probe path masks it before ranking.
+    pub fn delete(&self, id: PointId) -> bool {
+        let _guard = self.inner.mutate.lock().expect("mutate lock");
+        let epoch = self.inner.snapshot();
+        let mut delta = (*epoch.delta).clone();
+        let in_adds = delta.remove_add(id);
+        let newly_tombstoned = epoch.frozen_ids.contains(&id) && delta.tombstone(id);
+        if !in_adds && !newly_tombstoned {
+            // Nothing changed: don't publish a new epoch for a no-op.
+            return false;
+        }
+        self.commit(&epoch, delta);
+        true
+    }
+
+    /// Forces a compaction of the pending overlay into a new frozen epoch,
+    /// returning whether one ran (`false` when the overlay is empty or the
+    /// corpus has no live objects to rebuild over).
+    pub fn compact(&self) -> bool {
+        let _guard = self.inner.mutate.lock().expect("mutate lock");
+        let epoch = self.inner.snapshot();
+        if epoch.delta.is_empty() || epoch.live_len() == 0 {
+            return false;
+        }
+        let compacted = self.run_compaction(&epoch, (*epoch.delta).clone());
+        self.inner.publish(compacted);
+        true
+    }
+
+    /// Publishes `delta` as the next epoch, compacting first when the
+    /// overlay crossed the plan's threshold.  Caller holds the mutate lock.
+    fn commit(&self, epoch: &Epoch, delta: DeltaOverlay) {
+        let live = epoch.frozen.len() - delta.tombstones_len() + delta.adds_len();
+        if delta.len() > self.inner.plan.delta_threshold && live > 0 {
+            let compacted = self.run_compaction(epoch, delta);
+            self.inner.publish(compacted);
+        } else {
+            self.inner.publish(Epoch {
+                number: epoch.number + 1,
+                state: Arc::clone(&epoch.state),
+                frozen: Arc::clone(&epoch.frozen),
+                frozen_ids: Arc::clone(&epoch.frozen_ids),
+                delta: Arc::new(delta),
+            });
+        }
+    }
+
+    /// Folds `delta` into `epoch`'s frozen structures: partition-local
+    /// rebuilds against the materialized corpus, reported through
+    /// [`JoinMetrics`] (a `compaction` phase with `compactions = 1`) into
+    /// the cumulative metrics and the context's serving log.  Caller holds
+    /// the mutate lock.
+    fn run_compaction(&self, epoch: &Epoch, delta: DeltaOverlay) -> Epoch {
+        let inner = &*self.inner;
+        let start = Instant::now();
+        let materialized = materialize(&epoch.frozen, &delta);
+        let mut metrics = JoinMetrics {
+            s_size: materialized.len(),
+            compactions: 1,
+            ..Default::default()
+        };
+        let state = epoch
+            .state
+            .compact(&materialized, &delta, &inner.plan, &mut metrics);
+        metrics.record_phase(phases::COMPACTION, start.elapsed());
+        inner.compactions.fetch_add(1, Ordering::Relaxed);
+        inner
+            .compacted_points
+            .fetch_add(metrics.compacted_points, Ordering::Relaxed);
+        inner
+            .cumulative
+            .lock()
+            .expect("metrics lock")
+            .absorb(&metrics);
+        inner.ctx.record_join(inner.plan.algorithm.name(), &metrics);
+        Epoch {
+            number: epoch.number + 1,
+            state: Arc::new(state),
+            frozen_ids: Arc::new(materialized.iter().map(|p| p.id).collect()),
+            frozen: Arc::new(materialized),
+            delta: Arc::new(DeltaOverlay::default()),
+        }
     }
 
     /// The metrics of the build phase (pivot selection, partitioning, index
@@ -202,7 +447,10 @@ impl PreparedJoin {
     }
 
     /// Validates a probe batch against the prepared corpus, then runs the
-    /// algorithm's probe.
+    /// algorithm's probe against one epoch snapshot.  The `Arc<Epoch>` is
+    /// cloned once up front, so `query`, `query_one` and `query_into` all
+    /// observe a single consistent corpus version even while concurrent
+    /// mutations publish new epochs mid-probe.
     fn run_probe(&self, r: &PointSet) -> Result<(Vec<JoinRow>, JoinMetrics), JoinError> {
         if r.is_empty() {
             return Err(JoinError::EmptyInput("R"));
@@ -222,21 +470,32 @@ impl PreparedJoin {
             });
         }
         let inner = &*self.inner;
+        let epoch = inner.snapshot();
+        // An empty overlay probes the frozen structures through exactly the
+        // pre-delta code path (`None`, not `Some(empty)`), keeping counters
+        // and candidate traversal bit-identical to an immutable corpus.
+        let delta = (!epoch.delta.is_empty()).then_some(&epoch.delta);
         let mut metrics = JoinMetrics {
             r_size: r.len(),
-            s_size: inner.s_len,
+            s_size: epoch.live_len(),
             ..Default::default()
         };
         let start = Instant::now();
-        let mut rows = match &inner.state {
-            PreparedState::Pgbj(p) => p.probe(r, &inner.plan, &inner.ctx, &mut metrics)?,
-            PreparedState::Pbj(p) => p.probe(r, &inner.plan, &inner.ctx, &mut metrics)?,
-            PreparedState::Hbrj(p) => p.probe(r, &inner.plan, &inner.ctx, &mut metrics)?,
-            PreparedState::Zknn(p) => p.probe(r, &inner.plan, &inner.ctx, &mut metrics)?,
-            PreparedState::Broadcast(p) => p.probe(r, &inner.plan, &inner.ctx, &mut metrics)?,
-            PreparedState::NestedLoop(p) => {
-                p.probe(r, inner.plan.k, inner.plan.metric, &mut metrics)
+        let mut rows = match &*epoch.state {
+            PreparedState::Pgbj(p) => p.probe(r, &inner.plan, &inner.ctx, delta, &mut metrics)?,
+            PreparedState::Pbj(p) => p.probe(r, &inner.plan, &inner.ctx, delta, &mut metrics)?,
+            PreparedState::Hbrj(p) => p.probe(r, &inner.plan, &inner.ctx, delta, &mut metrics)?,
+            PreparedState::Zknn(p) => p.probe(r, &inner.plan, &inner.ctx, delta, &mut metrics)?,
+            PreparedState::Broadcast(p) => {
+                p.probe(r, &inner.plan, &inner.ctx, delta, &mut metrics)?
             }
+            PreparedState::NestedLoop(p) => p.probe(
+                r,
+                inner.plan.k,
+                inner.plan.metric,
+                delta.map(|d| &**d),
+                &mut metrics,
+            ),
         };
         let elapsed = start.elapsed();
         rows.sort_by_key(|row| row.r_id);
@@ -300,7 +559,8 @@ impl PreparedJoin {
 }
 
 /// The key a [`JoinSession`] caches prepared joins under: a caller-chosen
-/// corpus label plus the query-compatibility knobs (algorithm, metric, `k`).
+/// corpus label plus the query-compatibility knobs (algorithm, metric, `k`)
+/// and the corpus epoch the entry was cached at.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SessionKey {
     /// Caller-chosen corpus label (which `S` the state was built over).
@@ -311,6 +571,22 @@ pub struct SessionKey {
     pub metric: DistanceMetric,
     /// `k` of the cached state.
     pub k: usize,
+    /// [`PreparedJoin::epoch`] at the moment the entry was cached.  A handle
+    /// mutated after caching no longer matches its stored key, so the
+    /// session treats it as stale and rebuilds instead of serving a corpus
+    /// the caller's label no longer describes.
+    pub epoch: u64,
+}
+
+impl SessionKey {
+    /// Whether `other` asks for the same corpus label and query shape,
+    /// ignoring the cached epoch (unknowable at request time).
+    fn matches_request(&self, other: &SessionKey) -> bool {
+        self.corpus == other.corpus
+            && self.algorithm == other.algorithm
+            && self.metric == other.metric
+            && self.k == other.k
+    }
 }
 
 /// An LRU cache of [`PreparedJoin`]s keyed by corpus and query shape, for
@@ -375,11 +651,16 @@ impl JoinSession {
             algorithm: plan.algorithm,
             metric: plan.metric,
             k: plan.k,
+            epoch: 0,
         };
+        // A hit must match the request shape, carry an identical resolved
+        // plan, *and* still sit at the epoch it was cached at — a handle
+        // mutated through `insert`/`delete`/`compact` since caching serves a
+        // different corpus than its label promised, so it is stale.
         let take_exact_hit = |entries: &mut Vec<(SessionKey, Arc<PreparedJoin>)>| {
-            let pos = entries
-                .iter()
-                .position(|(k, handle)| *k == key && *handle.plan() == plan)?;
+            let pos = entries.iter().position(|(k, handle)| {
+                k.matches_request(&key) && *handle.plan() == plan && handle.epoch() == k.epoch
+            })?;
             let entry = entries.remove(pos);
             let handle = Arc::clone(&entry.1);
             entries.push(entry);
@@ -401,14 +682,20 @@ impl JoinSession {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(handle);
         }
-        // A same-key entry with a different plan is stale for this request:
-        // evict it rather than leave two entries answering one key.
-        if let Some(pos) = entries.iter().position(|(k, _)| *k == key) {
+        // A same-request entry with a different plan or a moved epoch is
+        // stale: evict it rather than leave two entries answering one key.
+        if let Some(pos) = entries.iter().position(|(k, _)| k.matches_request(&key)) {
             entries.remove(pos);
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        entries.push((key, Arc::clone(&prepared)));
+        entries.push((
+            SessionKey {
+                epoch: prepared.epoch(),
+                ..key
+            },
+            Arc::clone(&prepared),
+        ));
         if entries.len() > self.capacity {
             entries.remove(0);
             self.evictions.fetch_add(1, Ordering::Relaxed);

@@ -75,10 +75,10 @@ pub mod prelude {
         Pgbj, PgbjConfig, Zknn, ZknnConfig,
     };
     pub use knnjoin::{
-        Algorithm, ExecutionContext, GroupingStrategy, JoinBuilder, JoinError, JoinErrorKind,
-        JoinPlan, JoinResult, JoinRow, JoinSession, MemoryMetricsSink, MetricsSink, NestedLoopJoin,
-        NullMetricsSink, PivotSelectionStrategy, PreparedJoin, QualityReport, ResultSink,
-        ServingStats,
+        Algorithm, DeltaOverlay, DeltaStats, ExecutionContext, GroupingStrategy, JoinBuilder,
+        JoinError, JoinErrorKind, JoinPlan, JoinResult, JoinRow, JoinSession, MemoryMetricsSink,
+        MetricsSink, NestedLoopJoin, NullMetricsSink, PivotSelectionStrategy, PreparedJoin,
+        QualityReport, ResultSink, ServingStats,
     };
 }
 

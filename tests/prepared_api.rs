@@ -346,6 +346,47 @@ fn join_session_never_serves_a_different_configuration() {
     assert_eq!(session.hits(), 1);
 }
 
+/// A cached handle mutated after caching (its corpus epoch moved) is stale:
+/// the session must rebuild instead of serving a corpus the caller's label
+/// no longer describes, counting the eviction and the rebuild miss.
+#[test]
+fn join_session_evicts_handles_mutated_since_caching() {
+    let r = clustered(60, 2, 40);
+    let s = clustered(100, 2, 41);
+    let session = JoinSession::new(ExecutionContext::default(), 4);
+    let cached = session
+        .get_or_prepare("pois", builder_for(&r, &s, Algorithm::Pgbj, 4))
+        .expect("prepare");
+    assert_eq!((session.hits(), session.misses()), (0, 1));
+
+    // Mutate through the cached handle: its epoch no longer matches the key.
+    cached
+        .insert(Point::new(500_000, vec![1.0, 2.0]))
+        .expect("insert");
+    assert_eq!(cached.epoch(), 1);
+
+    let fresh = session
+        .get_or_prepare("pois", builder_for(&r, &s, Algorithm::Pgbj, 4))
+        .expect("rebuild after mutation");
+    assert!(
+        !Arc::ptr_eq(&cached, &fresh),
+        "a mutated handle must not be served as a hit"
+    );
+    assert_eq!(session.hits(), 0);
+    assert_eq!(session.misses(), 2);
+    assert_eq!(session.evictions(), 1, "the stale entry was replaced");
+    assert_eq!(session.len(), 1);
+    // The fresh handle serves the *label's* corpus (without the mutation).
+    assert_eq!(fresh.s_len(), s.len());
+
+    // Unmutated handles keep hitting.
+    let again = session
+        .get_or_prepare("pois", builder_for(&r, &s, Algorithm::Pgbj, 4))
+        .expect("reuse");
+    assert!(Arc::ptr_eq(&fresh, &again));
+    assert_eq!(session.hits(), 1);
+}
+
 /// Prepared queries report to the context's metrics sink like any other
 /// join, so serving observability needs no extra plumbing.
 #[test]

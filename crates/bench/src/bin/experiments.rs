@@ -8,21 +8,23 @@
 //! ```
 //!
 //! where `<id>` is one of `table2 table3 fig6 fig7 fig8 fig9 fig10 fig11
-//! fig12 perf_baseline mutable_corpus`.  Without `--quick` the full
-//! (report) scale is used;
+//! fig12 perf_baseline mutable_corpus serving_slo`.  Without `--quick` the
+//! full (report) scale is used;
 //! with it, a much smaller smoke-test scale.  Tables are always printed to
 //! stdout; `--markdown`/`--json` additionally write them to files.
 //!
 //! `--check` compares the run's rows against a committed reference JSON and
-//! exits non-zero on any drift in the *deterministic* quantities.  Two
+//! exits non-zero on any drift in the *deterministic* quantities.  Three
 //! experiments carry committed references: `perf_baseline` (keyed by
 //! `algorithm`; e.g. `BENCH_baseline_quick.json` — distance computations,
 //! pivot-assignment computations, index builds, shuffle volume, recall and
-//! distance ratio) and `mutable_corpus` (keyed by `label`; e.g.
-//! `BENCH_mutable.json` — delta-layer probe/tombstone/compaction counters).
-//! Wall times are machine-dependent and never compared.  CI runs both on
-//! every push, so an unexplained counter regression fails the build instead
-//! of silently shifting the baseline.
+//! distance ratio), `mutable_corpus` (keyed by `label`; e.g.
+//! `BENCH_mutable.json` — delta-layer probe/tombstone/compaction counters)
+//! and `serving_slo` (keyed by `label`; e.g. `BENCH_serving_quick.json` —
+//! request/response/rejection accounting of the concurrent server).  Wall
+//! times and latency percentiles are machine-dependent and never compared.
+//! CI runs all three on every push, so an unexplained counter regression
+//! fails the build instead of silently shifting the baseline.
 
 use bench::experiments::{run_by_id, ExperimentOutput, ALL_EXPERIMENTS};
 use bench::json::Value;
@@ -60,12 +62,27 @@ const MUTABLE_FIELDS: [&str; 6] = [
     "live_points",
 ];
 
+/// The serving-SLO fields that must be exact for a fixed configuration.
+/// A drift in `responses` or `rows` means requests were dropped or
+/// duplicated under concurrency; a drift in `rejected` on the overload row
+/// means admission control stopped being deterministic.  The latency
+/// percentiles and `qps` are machine-dependent and deliberately absent.
+const SERVING_FIELDS: [&str; 6] = [
+    "clients",
+    "requests",
+    "responses",
+    "result_errors",
+    "rejected",
+    "rows",
+];
+
 /// Which experiments carry a committed reference, which field uniquely keys
 /// their rows, and which columns must match bit-for-bit.
 fn check_spec(id: &str) -> Option<(&'static str, &'static [&'static str])> {
     match id {
         "perf_baseline" => Some(("algorithm", &BASELINE_FIELDS)),
         "mutable_corpus" => Some(("label", &MUTABLE_FIELDS)),
+        "serving_slo" => Some(("label", &SERVING_FIELDS)),
         _ => None,
     }
 }
@@ -255,7 +272,7 @@ fn main() -> ExitCode {
         if checked == 0 {
             eprintln!(
                 "--check requires a checkable experiment (one of: perf_baseline, \
-                 mutable_corpus) to have run with reference rows in {path}"
+                 mutable_corpus, serving_slo) to have run with reference rows in {path}"
             );
             return ExitCode::FAILURE;
         }
@@ -288,7 +305,8 @@ fn print_usage() {
     );
     eprintln!("  ids: {}", ALL_EXPERIMENTS.join(" "));
     eprintln!(
-        "  --check: diff the deterministic counters of perf_baseline and/or \
-         mutable_corpus against a committed reference; non-zero exit on drift"
+        "  --check: diff the deterministic counters of perf_baseline, \
+         mutable_corpus and/or serving_slo against a committed reference; \
+         non-zero exit on drift"
     );
 }

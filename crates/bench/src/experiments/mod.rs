@@ -6,12 +6,14 @@ mod effect_of_k;
 mod mutable_corpus;
 mod parameter_study;
 mod perf_baseline;
+mod serving_slo;
 mod sweeps;
 
 pub use effect_of_k::{fig8, fig9};
 pub use mutable_corpus::{mutable_corpus, MutableRow};
 pub use parameter_study::{fig6, fig7, table2, table3};
 pub use perf_baseline::{perf_baseline, BaselineRow, PREPARED_QUERIES};
+pub use serving_slo::{serving_slo, ServingRow};
 pub use sweeps::{fig10, fig11, fig12};
 
 use crate::json::Value;
@@ -45,9 +47,9 @@ impl ExperimentOutput {
     }
 }
 
-/// All experiment ids, in paper order; `perf_baseline` and
-/// `mutable_corpus` (not paper artifacts) regenerate the committed
-/// `BENCH_baseline.json` and `BENCH_mutable.json`.
+/// All experiment ids, in paper order; `perf_baseline`, `mutable_corpus`
+/// and `serving_slo` (not paper artifacts) regenerate the committed
+/// `BENCH_baseline.json`, `BENCH_mutable.json` and `BENCH_serving.json`.
 pub const ALL_EXPERIMENTS: &[&str] = &[
     "table2",
     "table3",
@@ -60,6 +62,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "fig12",
     "perf_baseline",
     "mutable_corpus",
+    "serving_slo",
 ];
 
 /// Runs one experiment by id.  Returns `None` for an unknown id.
@@ -76,6 +79,7 @@ pub fn run_by_id(id: &str, scale: ExperimentScale) -> Option<ExperimentOutput> {
         "fig12" => fig12(scale),
         "perf_baseline" => perf_baseline(scale),
         "mutable_corpus" => mutable_corpus(scale),
+        "serving_slo" => serving_slo(scale),
         _ => return None,
     };
     Some(out)

@@ -12,7 +12,9 @@
 
 use crate::metrics::JoinMetrics;
 use mapreduce::InMemoryDfs;
-use std::sync::{Arc, Mutex};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Session-scoped serving statistics of one [`crate::PreparedJoin`]: how
@@ -91,11 +93,36 @@ pub struct RecordedJoin {
     pub metrics: JoinMetrics,
 }
 
+/// Lock shards in a [`MemoryMetricsSink`].  Small power of two: enough to
+/// keep a handful of serving workers off each other's lock, cheap to merge.
+const SINK_SHARDS: usize = 8;
+
 /// A sink that keeps every record in memory; used by the experiment harness
 /// and by tests that assert on executed-join history.
-#[derive(Debug, Default)]
+///
+/// Storage is *sharded*: each record lands in one of eight
+/// independently-locked vectors (picked round-robin by a global sequence
+/// counter), so concurrent serving workers reporting query metrics don't
+/// serialize on one mutex.  Every record carries its sequence number, and
+/// [`MemoryMetricsSink::snapshot`] merges the shards back into execution
+/// order — the sharding is invisible to readers.
+#[derive(Debug)]
 pub struct MemoryMetricsSink {
-    records: Mutex<Vec<RecordedJoin>>,
+    shards: [Mutex<Vec<(u64, RecordedJoin)>>; SINK_SHARDS],
+    /// Global arrival order; also selects the shard (`seq % SINK_SHARDS`).
+    seq: AtomicU64,
+    /// Records currently held (kept separately so `len` takes no lock).
+    count: AtomicUsize,
+}
+
+impl Default for MemoryMetricsSink {
+    fn default() -> Self {
+        Self {
+            shards: std::array::from_fn(|_| Mutex::new(Vec::new())),
+            seq: AtomicU64::new(0),
+            count: AtomicUsize::new(0),
+        }
+    }
 }
 
 impl MemoryMetricsSink {
@@ -106,7 +133,7 @@ impl MemoryMetricsSink {
 
     /// Number of joins recorded so far.
     pub fn len(&self) -> usize {
-        self.records.lock().expect("sink lock").len()
+        self.count.load(Ordering::Acquire)
     }
 
     /// Whether nothing has been recorded.
@@ -114,23 +141,42 @@ impl MemoryMetricsSink {
         self.len() == 0
     }
 
-    /// A copy of everything recorded so far, in execution order.
+    /// A copy of everything recorded so far, in execution order (the order
+    /// in which `record` calls claimed their sequence numbers).
     pub fn snapshot(&self) -> Vec<RecordedJoin> {
-        self.records.lock().expect("sink lock").clone()
+        let mut tagged: Vec<(u64, RecordedJoin)> = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            tagged.extend(shard.lock().iter().cloned());
+        }
+        tagged.sort_by_key(|(seq, _)| *seq);
+        tagged.into_iter().map(|(_, record)| record).collect()
     }
 
     /// Clears the history.
     pub fn clear(&self) {
-        self.records.lock().expect("sink lock").clear();
+        for shard in &self.shards {
+            let removed = {
+                let mut shard = shard.lock();
+                let n = shard.len();
+                shard.clear();
+                n
+            };
+            self.count.fetch_sub(removed, Ordering::AcqRel);
+        }
     }
 }
 
 impl MetricsSink for MemoryMetricsSink {
     fn record(&self, algorithm: &str, metrics: &JoinMetrics) {
-        self.records.lock().expect("sink lock").push(RecordedJoin {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let record = RecordedJoin {
             algorithm: algorithm.to_string(),
             metrics: metrics.clone(),
-        });
+        };
+        self.shards[(seq % SINK_SHARDS as u64) as usize]
+            .lock()
+            .push((seq, record));
+        self.count.fetch_add(1, Ordering::AcqRel);
     }
 }
 

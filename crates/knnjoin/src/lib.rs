@@ -101,6 +101,7 @@ pub mod pivots;
 pub mod plan;
 pub mod prepared;
 pub mod result;
+pub mod serving;
 pub mod summary;
 
 pub use algorithms::{
@@ -122,4 +123,5 @@ pub use pivots::{select_pivots, PivotSelectionStrategy};
 pub use plan::{Algorithm, JoinPlan};
 pub use prepared::{JoinSession, PreparedJoin, SessionKey};
 pub use result::{JoinError, JoinErrorKind, JoinResult, JoinRow, QualityReport, ResultSink};
+pub use serving::{LatencyHistogram, Server, ServerConfig, ServerStats, Ticket};
 pub use summary::{RPartitionSummary, SPartitionSummary, SummaryTables};

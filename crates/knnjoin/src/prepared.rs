@@ -50,9 +50,12 @@ use crate::metrics::{phases, JoinMetrics};
 use crate::plan::{Algorithm, JoinPlan};
 use crate::result::{JoinError, JoinResult, JoinRow, ResultSink};
 use geom::{DistanceMetric, Point, PointId, PointSet};
+use parking_lot::{Mutex, RwLock};
+use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeSet;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The per-algorithm S-side state (see each algorithm module's `*Prepared`
@@ -126,9 +129,11 @@ struct Inner {
     plan: JoinPlan,
     ctx: ExecutionContext,
     s_dims: usize,
-    /// The current corpus version; replaced wholesale on mutation.  Held
-    /// only long enough to clone the `Arc`.
-    epoch: Mutex<Arc<Epoch>>,
+    /// The current corpus version; replaced wholesale on mutation.  A
+    /// read-write lock because the serving hot path only ever *reads* it (one
+    /// `Arc` clone per query): concurrent probes never contend with each
+    /// other, only (briefly) with an epoch publication.
+    epoch: RwLock<Arc<Epoch>>,
     /// Serializes mutations (insert/delete/compact) so overlay updates and
     /// epoch publication are atomic with respect to each other.  Queries
     /// never take this lock.
@@ -144,11 +149,11 @@ struct Inner {
 
 impl Inner {
     fn snapshot(&self) -> Arc<Epoch> {
-        Arc::clone(&self.epoch.lock().expect("epoch lock"))
+        Arc::clone(&self.epoch.read())
     }
 
     fn publish(&self, epoch: Epoch) {
-        *self.epoch.lock().expect("epoch lock") = Arc::new(epoch);
+        *self.epoch.write() = Arc::new(epoch);
     }
 }
 
@@ -240,7 +245,7 @@ impl PreparedJoin {
                 s_dims: s.dims(),
                 ctx: ctx.clone(),
                 plan,
-                epoch: Mutex::new(Arc::new(epoch)),
+                epoch: RwLock::new(Arc::new(epoch)),
                 mutate: Mutex::new(()),
                 build_metrics,
                 build_time,
@@ -271,6 +276,11 @@ impl PreparedJoin {
     /// The distance metric.
     pub fn metric(&self) -> DistanceMetric {
         self.inner.plan.metric
+    }
+
+    /// Dimensionality of the prepared corpus (every probe point must match).
+    pub fn dims(&self) -> usize {
+        self.inner.s_dims
     }
 
     /// Number of *live* resident `S` objects:
@@ -325,7 +335,7 @@ impl PreparedJoin {
                 s_dims: self.inner.s_dims,
             });
         }
-        let _guard = self.inner.mutate.lock().expect("mutate lock");
+        let _guard = self.inner.mutate.lock();
         let epoch = self.inner.snapshot();
         let mut delta = (*epoch.delta).clone();
         if epoch.frozen_ids.contains(&point.id) {
@@ -342,7 +352,7 @@ impl PreparedJoin {
     /// frozen structures are untouched: the id joins the tombstone set and
     /// every probe path masks it before ranking.
     pub fn delete(&self, id: PointId) -> bool {
-        let _guard = self.inner.mutate.lock().expect("mutate lock");
+        let _guard = self.inner.mutate.lock();
         let epoch = self.inner.snapshot();
         let mut delta = (*epoch.delta).clone();
         let in_adds = delta.remove_add(id);
@@ -359,7 +369,7 @@ impl PreparedJoin {
     /// returning whether one ran (`false` when the overlay is empty or the
     /// corpus has no live objects to rebuild over).
     pub fn compact(&self) -> bool {
-        let _guard = self.inner.mutate.lock().expect("mutate lock");
+        let _guard = self.inner.mutate.lock();
         let epoch = self.inner.snapshot();
         if epoch.delta.is_empty() || epoch.live_len() == 0 {
             return false;
@@ -409,11 +419,7 @@ impl PreparedJoin {
         inner
             .compacted_points
             .fetch_add(metrics.compacted_points, Ordering::Relaxed);
-        inner
-            .cumulative
-            .lock()
-            .expect("metrics lock")
-            .absorb(&metrics);
+        inner.cumulative.lock().absorb(&metrics);
         inner.ctx.record_join(inner.plan.algorithm.name(), &metrics);
         Epoch {
             number: epoch.number + 1,
@@ -443,7 +449,7 @@ impl PreparedJoin {
     /// The session-wide accumulation of every query's [`JoinMetrics`]
     /// (shared across clones of the handle).
     pub fn cumulative_metrics(&self) -> JoinMetrics {
-        self.inner.cumulative.lock().expect("metrics lock").clone()
+        self.inner.cumulative.lock().clone()
     }
 
     /// Validates a probe batch against the prepared corpus, then runs the
@@ -506,11 +512,7 @@ impl PreparedJoin {
         inner
             .query_nanos
             .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
-        inner
-            .cumulative
-            .lock()
-            .expect("metrics lock")
-            .absorb(&metrics);
+        inner.cumulative.lock().absorb(&metrics);
         inner.ctx.record_join(inner.plan.algorithm.name(), &metrics);
         Ok((rows, metrics))
     }
@@ -589,6 +591,20 @@ impl SessionKey {
     }
 }
 
+/// Lock shards in a [`JoinSession`].  Requests for different corpora /
+/// shapes hash to different shards and never contend; a small power of two
+/// keeps the (rare, miss-path-only) cross-shard eviction scan cheap.
+const SESSION_SHARDS: usize = 8;
+
+/// One cached prepared join plus its logical-clock LRU stamp.
+#[derive(Debug)]
+struct SessionEntry {
+    key: SessionKey,
+    handle: Arc<PreparedJoin>,
+    /// Tick of the last hit or insert, from the session's global clock.
+    last_used: u64,
+}
+
 /// An LRU cache of [`PreparedJoin`]s keyed by corpus and query shape, for
 /// serving layers that juggle several corpora / algorithms / `k` values.
 ///
@@ -597,15 +613,38 @@ impl SessionKey {
 /// *and* an identical resolved [`JoinPlan`] (every tuning knob) — and
 /// builds + caches it otherwise, evicting the least-recently-used entry
 /// beyond `capacity`.
+///
+/// The cache is *sharded* by request-key hash: the serving hot path (a hit)
+/// locks only the one shard its key lives in, so concurrent lookups for
+/// different corpora / shapes never serialize on a single mutex.  Recency is
+/// a global logical clock (an atomic tick stamped on every hit/insert), and
+/// `capacity` stays a *global* bound: when an insert overflows it, the
+/// globally least-recently-used entry is found by a cross-shard minimum-tick
+/// scan — a miss-path-only cost, taken after a prepare that is orders of
+/// magnitude more expensive.
 #[derive(Debug)]
 pub struct JoinSession {
     ctx: ExecutionContext,
     capacity: usize,
-    /// LRU order: least-recently-used first.
-    entries: Mutex<Vec<(SessionKey, Arc<PreparedJoin>)>>,
+    shards: [Mutex<Vec<SessionEntry>>; SESSION_SHARDS],
+    /// Global logical clock ordering hits/inserts across shards.
+    clock: AtomicU64,
+    /// Total cached entries across shards (so `len` takes no lock).
+    len: AtomicUsize,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+}
+
+/// The shard a request key lives in (ignores the epoch, which is unknowable
+/// at request time and must not move an entry between shards).
+fn session_shard(key: &SessionKey) -> usize {
+    let mut hasher = DefaultHasher::new();
+    key.corpus.hash(&mut hasher);
+    key.algorithm.hash(&mut hasher);
+    key.metric.hash(&mut hasher);
+    key.k.hash(&mut hasher);
+    (hasher.finish() % SESSION_SHARDS as u64) as usize
 }
 
 impl JoinSession {
@@ -615,7 +654,9 @@ impl JoinSession {
         Self {
             ctx,
             capacity: capacity.max(1),
-            entries: Mutex::new(Vec::new()),
+            shards: std::array::from_fn(|_| Mutex::new(Vec::new())),
+            clock: AtomicU64::new(0),
+            len: AtomicUsize::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -625,6 +666,10 @@ impl JoinSession {
     /// The execution context the session prepares and serves from.
     pub fn context(&self) -> &ExecutionContext {
         &self.ctx
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Returns the cached [`PreparedJoin`] compatible with `builder` over
@@ -653,21 +698,22 @@ impl JoinSession {
             k: plan.k,
             epoch: 0,
         };
+        let shard = &self.shards[session_shard(&key)];
         // A hit must match the request shape, carry an identical resolved
         // plan, *and* still sit at the epoch it was cached at — a handle
         // mutated through `insert`/`delete`/`compact` since caching serves a
         // different corpus than its label promised, so it is stale.
-        let take_exact_hit = |entries: &mut Vec<(SessionKey, Arc<PreparedJoin>)>| {
-            let pos = entries.iter().position(|(k, handle)| {
-                k.matches_request(&key) && *handle.plan() == plan && handle.epoch() == k.epoch
+        let take_exact_hit = |entries: &mut Vec<SessionEntry>| {
+            let entry = entries.iter_mut().find(|e| {
+                e.key.matches_request(&key)
+                    && *e.handle.plan() == plan
+                    && e.handle.epoch() == e.key.epoch
             })?;
-            let entry = entries.remove(pos);
-            let handle = Arc::clone(&entry.1);
-            entries.push(entry);
-            Some(handle)
+            entry.last_used = self.tick();
+            Some(Arc::clone(&entry.handle))
         };
         {
-            let mut entries = self.entries.lock().expect("session lock");
+            let mut entries = shard.lock();
             if let Some(handle) = take_exact_hit(&mut entries) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(handle);
@@ -677,30 +723,66 @@ impl JoinSession {
         // preparer of the same plan may win the re-check below, in which
         // case its handle is reused and this build is dropped.
         let prepared = Arc::new(builder.prepare(&self.ctx)?);
-        let mut entries = self.entries.lock().expect("session lock");
-        if let Some(handle) = take_exact_hit(&mut entries) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(handle);
+        {
+            let mut entries = shard.lock();
+            if let Some(handle) = take_exact_hit(&mut entries) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(handle);
+            }
+            // A same-request entry with a different plan or a moved epoch is
+            // stale: evict it rather than leave two entries answering one
+            // key (it necessarily lives in this shard — epoch is excluded
+            // from the shard hash).
+            if let Some(pos) = entries.iter().position(|e| e.key.matches_request(&key)) {
+                entries.remove(pos);
+                self.len.fetch_sub(1, Ordering::AcqRel);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            entries.push(SessionEntry {
+                key: SessionKey {
+                    epoch: prepared.epoch(),
+                    ..key
+                },
+                handle: Arc::clone(&prepared),
+                last_used: self.tick(),
+            });
+            self.len.fetch_add(1, Ordering::AcqRel);
         }
-        // A same-request entry with a different plan or a moved epoch is
-        // stale: evict it rather than leave two entries answering one key.
-        if let Some(pos) = entries.iter().position(|(k, _)| k.matches_request(&key)) {
-            entries.remove(pos);
-            self.evictions.fetch_add(1, Ordering::Relaxed);
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        entries.push((
-            SessionKey {
-                epoch: prepared.epoch(),
-                ..key
-            },
-            Arc::clone(&prepared),
-        ));
-        if entries.len() > self.capacity {
-            entries.remove(0);
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+        // Global capacity bound: evict the globally least-recently-used
+        // entry (minimum tick across shards) while over.  Bounded retries:
+        // a concurrent hit may refresh the candidate between scan and
+        // removal, in which case the scan reruns.
+        let mut attempts = 0;
+        while self.len.load(Ordering::Acquire) > self.capacity && attempts < 16 {
+            attempts += 1;
+            self.evict_lru();
         }
         Ok(prepared)
+    }
+
+    /// Removes the entry with the globally minimal `last_used` tick, if any.
+    /// Shards are locked one at a time (scan), then the owning shard is
+    /// re-locked for the removal; a concurrent touch in between makes this a
+    /// no-op and the caller rescans.
+    fn evict_lru(&self) {
+        let mut candidate: Option<(usize, u64)> = None;
+        for (index, shard) in self.shards.iter().enumerate() {
+            for entry in shard.lock().iter() {
+                if candidate.is_none_or(|(_, tick)| entry.last_used < tick) {
+                    candidate = Some((index, entry.last_used));
+                }
+            }
+        }
+        let Some((index, tick)) = candidate else {
+            return;
+        };
+        let mut entries = self.shards[index].lock();
+        if let Some(pos) = entries.iter().position(|e| e.last_used == tick) {
+            entries.remove(pos);
+            self.len.fetch_sub(1, Ordering::AcqRel);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Cache hits so far.
@@ -720,7 +802,7 @@ impl JoinSession {
 
     /// Number of cached prepared joins.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("session lock").len()
+        self.len.load(Ordering::Acquire)
     }
 
     /// Whether nothing is cached.

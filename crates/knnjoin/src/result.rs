@@ -16,7 +16,10 @@ use mapreduce::JobError;
 ///   (`InvalidConfig`);
 /// * **substrate** — the MapReduce runtime itself failed (`Substrate`, which
 ///   chains the engine's [`JobError`] through
-///   [`std::error::Error::source`]).
+///   [`std::error::Error::source`]);
+/// * **serving** — the concurrent serving front-end declined the request
+///   (`Overloaded` under admission control, `ServerShutdown` during drain);
+///   the join itself is fine and the request may be retried.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum JoinError {
     /// `k` was zero.
@@ -67,6 +70,19 @@ pub enum JoinError {
         /// The engine error, chained via [`std::error::Error::source`].
         source: JobError,
     },
+    /// The serving front-end's admission queue is at capacity: the request
+    /// was rejected immediately instead of queueing unboundedly
+    /// (back-pressure, see [`crate::serving::Server`]).  Retry later or shed
+    /// load upstream.
+    Overloaded {
+        /// Requests queued when the request was rejected.
+        depth: usize,
+        /// The configured queue-depth cap.
+        capacity: usize,
+    },
+    /// The serving front-end is shutting down and no longer admits requests
+    /// (in-flight requests still drain).
+    ServerShutdown,
 }
 
 /// Which family of the [`JoinError`] taxonomy an error belongs to.
@@ -78,6 +94,9 @@ pub enum JoinErrorKind {
     Configuration,
     /// The MapReduce substrate failed at runtime.
     Substrate,
+    /// The serving front-end declined the request (overload or shutdown);
+    /// retryable, unlike the other families.
+    Serving,
 }
 
 impl JoinError {
@@ -101,6 +120,7 @@ impl JoinError {
             | JoinError::ZeroMapTasks => JoinErrorKind::PlanValidation,
             JoinError::InvalidConfig(_) => JoinErrorKind::Configuration,
             JoinError::Substrate { .. } => JoinErrorKind::Substrate,
+            JoinError::Overloaded { .. } | JoinError::ServerShutdown => JoinErrorKind::Serving,
         }
     }
 }
@@ -137,6 +157,11 @@ impl std::fmt::Display for JoinError {
             JoinError::Substrate { job, source } => {
                 write!(f, "MapReduce job '{job}' failed: {source}")
             }
+            JoinError::Overloaded { depth, capacity } => write!(
+                f,
+                "serving queue overloaded: {depth} requests queued, capacity {capacity}"
+            ),
+            JoinError::ServerShutdown => write!(f, "server is shutting down"),
         }
     }
 }
@@ -651,6 +676,13 @@ mod tests {
         assert!(ragged.to_string().contains("index 7"));
         let substrate = JoinError::substrate("pgbj-join", mapreduce::JobError::NoReducers);
         assert!(substrate.to_string().contains("pgbj-join"));
+        let overloaded = JoinError::Overloaded {
+            depth: 128,
+            capacity: 128,
+        };
+        assert!(overloaded.to_string().contains("128"));
+        assert!(overloaded.to_string().contains("overloaded"));
+        assert!(JoinError::ServerShutdown.to_string().contains("shut"));
     }
 
     #[test]
@@ -684,6 +716,16 @@ mod tests {
         }
         let config = JoinError::InvalidConfig("x".into());
         assert_eq!(config.kind(), JoinErrorKind::Configuration);
+        for e in [
+            JoinError::Overloaded {
+                depth: 4,
+                capacity: 4,
+            },
+            JoinError::ServerShutdown,
+        ] {
+            assert_eq!(e.kind(), JoinErrorKind::Serving, "{e}");
+            assert!(e.source().is_none());
+        }
         let substrate = JoinError::substrate("job", mapreduce::JobError::NoMapTasks);
         assert_eq!(substrate.kind(), JoinErrorKind::Substrate);
         // The engine error is reachable through the std error chain.

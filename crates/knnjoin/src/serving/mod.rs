@@ -1,0 +1,818 @@
+//! A concurrent in-process serving front-end over a [`PreparedJoin`].
+//!
+//! The prepared (build/probe) split makes one corpus cheap to query, but a
+//! serving system answers *many clients at once* — and single-point queries
+//! issued one at a time waste the probe machinery, which amortizes its
+//! per-batch work (θ bounds, grouping, job setup) over every point in the
+//! batch.  The [`Server`] closes that gap with three classic serving-layer
+//! mechanisms:
+//!
+//! * **Coalescing** — waiting single-point queries are batched into one probe
+//!   (flush at [`ServerConfig::max_batch`] points or when the oldest waiter
+//!   has aged past [`ServerConfig::max_wait`]), and the batch's per-request
+//!   rows are handed back to each caller with its original point id restored.
+//!   Coalesced answers are bit-identical (in the repo's distance-exact sense,
+//!   see [`crate::JoinResult::mismatch_against`]) to uncoalesced
+//!   [`PreparedJoin::query_one`] calls because every probe algorithm ranks
+//!   each `R` point independently by its coordinates alone.
+//! * **Admission control** — the queue is depth-capped; a submit over the cap
+//!   returns [`JoinError::Overloaded`] *immediately* instead of queueing
+//!   unboundedly, so overload surfaces as typed back-pressure rather than
+//!   latency collapse.
+//! * **Bounded workers + mergeable latency histograms** — a fixed pool of
+//!   worker threads drains the queue; each records per-request latency into
+//!   its own [`LatencyHistogram`], merged on demand by [`Server::stats`]
+//!   into p50/p95/p99 and QPS.
+//!
+//! The corpus stays fully mutable underneath: writers call
+//! [`PreparedJoin::insert`] / [`PreparedJoin::delete`] /
+//! [`PreparedJoin::compact`] on the shared handle while the server probes it,
+//! and every answer is snapshot-consistent with one published epoch.
+//!
+//! ```
+//! use datagen::uniform;
+//! use knnjoin::serving::{Server, ServerConfig};
+//! use knnjoin::{Algorithm, ExecutionContext, JoinBuilder};
+//!
+//! let corpus = uniform(400, 2, 100.0, 1);
+//! let queries = uniform(8, 2, 100.0, 2);
+//! let ctx = ExecutionContext::default();
+//! let prepared = JoinBuilder::new(&queries, &corpus)
+//!     .k(3)
+//!     .algorithm(Algorithm::Pgbj)
+//!     .prepare(&ctx)
+//!     .unwrap();
+//!
+//! let server = Server::start(prepared, ServerConfig::default());
+//! for point in queries.iter() {
+//!     let row = server.query_one(point.clone()).unwrap();
+//!     assert_eq!(row.r_id, point.id);
+//!     assert_eq!(row.neighbors.len(), 3);
+//! }
+//! let stats = server.shutdown();
+//! assert_eq!(stats.completed, 8);
+//! ```
+
+mod histogram;
+
+pub use histogram::LatencyHistogram;
+
+use crate::prepared::PreparedJoin;
+use crate::result::{JoinError, JoinResult, JoinRow};
+use geom::{Point, PointSet};
+use parking_lot::Mutex as ShardMutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of a [`Server`].
+///
+/// The defaults suit the repo's test corpora; production values depend on the
+/// probe cost of the prepared algorithm (coalescing pays off exactly when a
+/// probe batch is cheaper than `max_batch` independent probes, which holds
+/// for every algorithm in this crate).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads draining the queue (clamped to ≥ 1).
+    pub workers: usize,
+    /// Coalescer size trigger: flush waiting single-point queries once this
+    /// many are queued (clamped to ≥ 1; `1` disables coalescing).
+    pub max_batch: usize,
+    /// Coalescer time trigger: flush once the oldest waiting single-point
+    /// query has waited this long, even if the batch is not full.
+    pub max_wait: Duration,
+    /// Admission cap: maximum queued (not yet executing) requests; a submit
+    /// beyond this returns [`JoinError::Overloaded`].
+    pub queue_depth: usize,
+    /// Start with the workers paused (requests queue but do not execute
+    /// until [`Server::resume`]).  For deterministic overload and
+    /// flush-trigger tests; defaults to `false`.
+    pub start_paused: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            max_batch: 16,
+            max_wait: Duration::from_micros(500),
+            queue_depth: 1024,
+            start_paused: false,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Sets the worker-thread count.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the coalescer's size trigger.
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Sets the coalescer's time trigger.
+    pub fn max_wait(mut self, max_wait: Duration) -> Self {
+        self.max_wait = max_wait;
+        self
+    }
+
+    /// Sets the admission queue-depth cap.
+    pub fn queue_depth(mut self, queue_depth: usize) -> Self {
+        self.queue_depth = queue_depth;
+        self
+    }
+
+    /// Starts the server paused (see [`ServerConfig::start_paused`]).
+    pub fn start_paused(mut self, paused: bool) -> Self {
+        self.start_paused = paused;
+        self
+    }
+}
+
+/// A one-shot rendezvous cell: the worker delivers exactly one result, the
+/// ticket holder blocks on it.
+#[derive(Debug)]
+struct Slot<T> {
+    cell: Mutex<Option<Result<T, JoinError>>>,
+    ready: Condvar,
+}
+
+impl<T> Slot<T> {
+    fn new() -> Self {
+        Self {
+            cell: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn deliver(&self, value: Result<T, JoinError>) {
+        *self.cell.lock().expect("slot lock") = Some(value);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Result<T, JoinError> {
+        let mut cell = self.cell.lock().expect("slot lock");
+        loop {
+            match cell.take() {
+                Some(value) => return value,
+                None => cell = self.ready.wait(cell).expect("slot wait"),
+            }
+        }
+    }
+}
+
+/// A claim on an admitted request's eventual answer; redeem it with
+/// [`Ticket::wait`].  Produced by [`Server::submit_one`] / [`Server::submit`]
+/// so a client can pipeline several requests before blocking.
+#[derive(Debug)]
+pub struct Ticket<T> {
+    slot: Arc<Slot<T>>,
+}
+
+impl<T> Ticket<T> {
+    /// Blocks until the server answers this request.
+    pub fn wait(self) -> Result<T, JoinError> {
+        self.slot.wait()
+    }
+}
+
+#[derive(Debug)]
+struct SingleRequest {
+    point: Point,
+    submitted: Instant,
+    slot: Arc<Slot<JoinRow>>,
+}
+
+#[derive(Debug)]
+struct BatchRequest {
+    points: PointSet,
+    submitted: Instant,
+    slot: Arc<Slot<JoinResult>>,
+}
+
+/// Queued-but-not-yet-executing work, under the server's one `std` mutex.
+/// (`parking_lot`'s vendored shim has no `Condvar`, and the queue needs one;
+/// the sharded `parking_lot` locks live where no waiting is needed — the
+/// per-worker histograms here, the metrics-sink and session shards.)
+#[derive(Debug, Default)]
+struct Queue {
+    singles: VecDeque<SingleRequest>,
+    batches: VecDeque<BatchRequest>,
+    /// No new admissions; workers exit once both queues are empty.
+    draining: bool,
+    /// Workers idle (admissions continue); cleared by [`Server::resume`].
+    paused: bool,
+}
+
+impl Queue {
+    fn depth(&self) -> usize {
+        self.singles.len() + self.batches.len()
+    }
+}
+
+#[derive(Debug)]
+struct Shared {
+    queue: Mutex<Queue>,
+    work: Condvar,
+    max_batch: usize,
+    max_wait: Duration,
+    queue_cap: usize,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    failed: AtomicU64,
+    coalesced_batches: AtomicU64,
+    coalesced_points: AtomicU64,
+    batch_requests: AtomicU64,
+    /// One histogram per worker: the hot path locks only its own shard, the
+    /// aggregate is a merge (associative, so grouping doesn't matter).
+    histograms: Vec<ShardMutex<LatencyHistogram>>,
+}
+
+/// One unit of work a worker pulled off the queue.
+enum Work {
+    /// Coalesced single-point queries, in submission order.
+    Coalesced(Vec<SingleRequest>),
+    /// A client-provided batch, passed through unsplit.
+    Batch(BatchRequest),
+    /// Drain complete: the worker exits.
+    Exit,
+}
+
+/// A concurrent serving front-end: many client threads submit single-point
+/// and small-batch kNN queries against one shared [`PreparedJoin`]; a bounded
+/// worker pool answers them with coalescing, admission control and per-request
+/// latency tracking.  See the [module docs](self) for the dataflow.
+#[derive(Debug)]
+pub struct Server {
+    shared: Arc<Shared>,
+    prepared: PreparedJoin,
+    started: Instant,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Starts the worker pool over `prepared`.  The corpus handle stays
+    /// shareable: clone it before (or take it from [`Server::prepared`]) to
+    /// mutate the corpus while the server runs.
+    pub fn start(prepared: PreparedJoin, config: ServerConfig) -> Self {
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                paused: config.start_paused,
+                ..Queue::default()
+            }),
+            work: Condvar::new(),
+            max_batch: config.max_batch.max(1),
+            max_wait: config.max_wait,
+            queue_cap: config.queue_depth.max(1),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            coalesced_batches: AtomicU64::new(0),
+            coalesced_points: AtomicU64::new(0),
+            batch_requests: AtomicU64::new(0),
+            histograms: (0..workers)
+                .map(|_| ShardMutex::new(LatencyHistogram::new()))
+                .collect(),
+        });
+        let handles = (0..workers)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                let prepared = prepared.clone();
+                std::thread::Builder::new()
+                    .name(format!("knnjoin-serve-{index}"))
+                    .spawn(move || worker_loop(&shared, &prepared, index))
+                    .expect("spawn serving worker")
+            })
+            .collect();
+        Self {
+            shared,
+            prepared,
+            started: Instant::now(),
+            workers: Mutex::new(handles),
+        }
+    }
+
+    /// The prepared join being served.  Mutating it (insert/delete/compact)
+    /// is safe while the server runs: every probe observes one published
+    /// epoch.
+    pub fn prepared(&self) -> &PreparedJoin {
+        &self.prepared
+    }
+
+    /// Requests currently queued (admitted, not yet executing).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.lock().expect("queue lock").depth()
+    }
+
+    /// Admits one single-point query, returning a [`Ticket`] immediately.
+    /// The point keeps its id: the answered row's `r_id` is `point.id` even
+    /// when the query is coalesced into a batch with other clients' points.
+    ///
+    /// # Errors
+    /// [`JoinError::DimensionalityMismatch`] when the point doesn't match the
+    /// corpus, [`JoinError::Overloaded`] when the queue is at capacity,
+    /// [`JoinError::ServerShutdown`] after [`Server::shutdown`] began.
+    pub fn submit_one(&self, point: Point) -> Result<Ticket<JoinRow>, JoinError> {
+        let s_dims = self.prepared.dims();
+        if point.coords.len() != s_dims {
+            return Err(JoinError::DimensionalityMismatch {
+                r_dims: point.coords.len(),
+                s_dims,
+            });
+        }
+        let slot = Arc::new(Slot::new());
+        {
+            let mut queue = self.shared.queue.lock().expect("queue lock");
+            self.admit(&queue)?;
+            queue.singles.push_back(SingleRequest {
+                point,
+                submitted: Instant::now(),
+                slot: Arc::clone(&slot),
+            });
+            self.shared.work.notify_one();
+        }
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        Ok(Ticket { slot })
+    }
+
+    /// Admits one batch query (executed unsplit, never merged with other
+    /// clients' points), returning a [`Ticket`] immediately.
+    ///
+    /// # Errors
+    /// The [`PreparedJoin::query`] validation errors (empty, ragged, wrong
+    /// dimensionality) surface here synchronously; [`JoinError::Overloaded`] /
+    /// [`JoinError::ServerShutdown`] as for [`Server::submit_one`].
+    pub fn submit(&self, points: PointSet) -> Result<Ticket<JoinResult>, JoinError> {
+        if points.is_empty() {
+            return Err(JoinError::EmptyInput("R"));
+        }
+        if let Some((index, dims)) = points.first_dim_mismatch() {
+            return Err(JoinError::RaggedInput {
+                dataset: "R",
+                index,
+                dims,
+                expected: points.dims(),
+            });
+        }
+        let s_dims = self.prepared.dims();
+        if points.dims() != s_dims {
+            return Err(JoinError::DimensionalityMismatch {
+                r_dims: points.dims(),
+                s_dims,
+            });
+        }
+        let slot = Arc::new(Slot::new());
+        {
+            let mut queue = self.shared.queue.lock().expect("queue lock");
+            self.admit(&queue)?;
+            queue.batches.push_back(BatchRequest {
+                points,
+                submitted: Instant::now(),
+                slot: Arc::clone(&slot),
+            });
+            self.shared.work.notify_one();
+        }
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        self.shared.batch_requests.fetch_add(1, Ordering::Relaxed);
+        Ok(Ticket { slot })
+    }
+
+    /// Answers one single-point query, blocking until the result is ready.
+    pub fn query_one(&self, point: Point) -> Result<JoinRow, JoinError> {
+        self.submit_one(point)?.wait()
+    }
+
+    /// Answers one batch query, blocking until the result is ready.
+    pub fn query(&self, points: PointSet) -> Result<JoinResult, JoinError> {
+        self.submit(points)?.wait()
+    }
+
+    /// Admission control: reject when draining or at the queue-depth cap.
+    fn admit(&self, queue: &Queue) -> Result<(), JoinError> {
+        if queue.draining {
+            return Err(JoinError::ServerShutdown);
+        }
+        let depth = queue.depth();
+        if depth >= self.shared.queue_cap {
+            self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(JoinError::Overloaded {
+                depth,
+                capacity: self.shared.queue_cap,
+            });
+        }
+        Ok(())
+    }
+
+    /// Unpauses the workers (no-op when not paused).
+    pub fn resume(&self) {
+        let mut queue = self.shared.queue.lock().expect("queue lock");
+        queue.paused = false;
+        self.shared.work.notify_all();
+    }
+
+    /// A point-in-time view of the serving counters and the merged latency
+    /// histogram.
+    pub fn stats(&self) -> ServerStats {
+        let shared = &*self.shared;
+        let mut latency = LatencyHistogram::new();
+        for shard in &shared.histograms {
+            latency.merge(&shard.lock());
+        }
+        ServerStats {
+            submitted: shared.submitted.load(Ordering::Relaxed),
+            completed: shared.completed.load(Ordering::Relaxed),
+            rejected: shared.rejected.load(Ordering::Relaxed),
+            failed: shared.failed.load(Ordering::Relaxed),
+            coalesced_batches: shared.coalesced_batches.load(Ordering::Relaxed),
+            coalesced_points: shared.coalesced_points.load(Ordering::Relaxed),
+            batch_requests: shared.batch_requests.load(Ordering::Relaxed),
+            latency,
+            uptime: self.started.elapsed(),
+        }
+    }
+
+    /// Stops admitting requests, drains everything already queued (every
+    /// outstanding [`Ticket`] is answered — drained work still executes, it
+    /// is never dropped), joins the workers, and returns the final stats.
+    /// Idempotent; also invoked by `Drop`.
+    pub fn shutdown(&self) -> ServerStats {
+        {
+            let mut queue = self.shared.queue.lock().expect("queue lock");
+            queue.draining = true;
+            // Drain even if the server was paused: shutdown must not strand
+            // admitted requests.
+            queue.paused = false;
+            self.shared.work.notify_all();
+        }
+        let handles = std::mem::take(&mut *self.workers.lock().expect("workers lock"));
+        for handle in handles {
+            handle.join().expect("serving worker panicked");
+        }
+        self.stats()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Pulls one unit of work, applying the coalescing policy: client batches
+/// pass through as-is; waiting singles flush when the batch is full
+/// (`max_batch`), the oldest waiter aged past `max_wait`, or the server is
+/// draining.  Blocks (with a deadline at the oldest waiter's flush time)
+/// otherwise.
+fn next_work(shared: &Shared) -> Work {
+    let mut queue = shared.queue.lock().expect("queue lock");
+    loop {
+        if queue.paused {
+            queue = shared.work.wait(queue).expect("queue wait");
+            continue;
+        }
+        if let Some(batch) = queue.batches.pop_front() {
+            // More work may remain; wake a peer before running this batch.
+            if queue.depth() > 0 {
+                shared.work.notify_one();
+            }
+            return Work::Batch(batch);
+        }
+        if let Some(oldest) = queue.singles.front() {
+            let age = oldest.submitted.elapsed();
+            if queue.singles.len() >= shared.max_batch || age >= shared.max_wait || queue.draining {
+                let take = queue.singles.len().min(shared.max_batch);
+                let requests: Vec<SingleRequest> = queue.singles.drain(..take).collect();
+                if queue.depth() > 0 {
+                    shared.work.notify_one();
+                }
+                return Work::Coalesced(requests);
+            }
+            // Sleep exactly until the oldest waiter's flush deadline (or an
+            // earlier submit/drain notification).
+            let deadline = shared.max_wait - age;
+            let (q, _) = shared
+                .work
+                .wait_timeout(queue, deadline)
+                .expect("queue wait");
+            queue = q;
+            continue;
+        }
+        if queue.draining {
+            return Work::Exit;
+        }
+        queue = shared.work.wait(queue).expect("queue wait");
+    }
+}
+
+fn worker_loop(shared: &Shared, prepared: &PreparedJoin, index: usize) {
+    loop {
+        match next_work(shared) {
+            Work::Coalesced(requests) => run_coalesced(shared, prepared, index, requests),
+            Work::Batch(request) => run_batch(shared, prepared, index, request),
+            Work::Exit => return,
+        }
+    }
+}
+
+/// Probes a coalesced batch of single-point queries as one `R` set.
+///
+/// The clients' points are re-labelled with dense temporary ids `0..n` (in
+/// submission order) so two clients querying the same id can share a batch;
+/// every probe algorithm ranks each `R` point by its coordinates alone, so
+/// the relabelling cannot change any row's neighbours.  Rows come back sorted
+/// by the temporary id — i.e. in submission order — and each client's row is
+/// returned with its original point id restored.
+fn run_coalesced(
+    shared: &Shared,
+    prepared: &PreparedJoin,
+    index: usize,
+    requests: Vec<SingleRequest>,
+) {
+    let probe = PointSet::from_points(
+        requests
+            .iter()
+            .enumerate()
+            .map(|(i, request)| Point::new(i as u64, request.point.coords.clone()))
+            .collect(),
+    );
+    shared.coalesced_batches.fetch_add(1, Ordering::Relaxed);
+    shared
+        .coalesced_points
+        .fetch_add(requests.len() as u64, Ordering::Relaxed);
+    match prepared.query(&probe) {
+        Ok(result) => {
+            debug_assert_eq!(result.len(), requests.len());
+            for (mut row, request) in result.rows.into_iter().zip(requests) {
+                row.r_id = request.point.id;
+                finish(shared, index, request.submitted, Ok(()));
+                request.slot.deliver(Ok(row));
+            }
+        }
+        Err(error) => {
+            for request in requests {
+                finish(shared, index, request.submitted, Err(()));
+                request.slot.deliver(Err(error.clone()));
+            }
+        }
+    }
+}
+
+fn run_batch(shared: &Shared, prepared: &PreparedJoin, index: usize, request: BatchRequest) {
+    let outcome = prepared.query(&request.points);
+    finish(
+        shared,
+        index,
+        request.submitted,
+        outcome.as_ref().map(|_| ()).map_err(|_| ()),
+    );
+    request.slot.deliver(outcome);
+}
+
+/// Books one answered request: latency into this worker's histogram shard,
+/// completed/failed counters.
+fn finish(shared: &Shared, index: usize, submitted: Instant, outcome: Result<(), ()>) {
+    shared.histograms[index].lock().record(submitted.elapsed());
+    match outcome {
+        Ok(()) => shared.completed.fetch_add(1, Ordering::Relaxed),
+        Err(()) => shared.failed.fetch_add(1, Ordering::Relaxed),
+    };
+}
+
+/// A snapshot of a [`Server`]'s counters and merged latency histogram.
+#[derive(Debug, Clone)]
+pub struct ServerStats {
+    /// Requests admitted (singles + batches; excludes rejected).
+    pub submitted: u64,
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Requests refused by admission control ([`JoinError::Overloaded`]).
+    pub rejected: u64,
+    /// Admitted requests answered with an error.
+    pub failed: u64,
+    /// Probe batches formed by the coalescer.
+    pub coalesced_batches: u64,
+    /// Single-point queries that went through the coalescer.
+    pub coalesced_points: u64,
+    /// Client-provided batch requests (served unsplit).
+    pub batch_requests: u64,
+    /// Per-request latencies of all answered requests (merged across
+    /// workers); p50/p95/p99 via [`LatencyHistogram::p50`] etc.
+    pub latency: LatencyHistogram,
+    /// Time since [`Server::start`].
+    pub uptime: Duration,
+}
+
+impl ServerStats {
+    /// Successfully answered requests per second of uptime.
+    pub fn qps(&self) -> f64 {
+        let secs = self.uptime.as_secs_f64();
+        if secs > 0.0 {
+            self.completed as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean points per coalesced probe batch (1.0 when nothing coalesced).
+    pub fn mean_coalesced_batch(&self) -> f64 {
+        if self.coalesced_batches == 0 {
+            1.0
+        } else {
+            self.coalesced_points as f64 / self.coalesced_batches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ExecutionContext;
+    use crate::plan::Algorithm;
+    use crate::JoinBuilder;
+    use datagen::uniform;
+
+    fn serve_fixture(n: usize, k: usize) -> (PreparedJoin, PointSet) {
+        let corpus = uniform(n, 3, 100.0, 11);
+        let queries = uniform(32, 3, 100.0, 12);
+        let ctx = ExecutionContext::default();
+        let prepared = JoinBuilder::new(&queries, &corpus)
+            .k(k)
+            .algorithm(Algorithm::Pgbj)
+            .pivot_count(8)
+            .reducers(2)
+            .seed(7)
+            .prepare(&ctx)
+            .unwrap();
+        (prepared, queries)
+    }
+
+    #[test]
+    fn server_answers_singles_with_original_ids() {
+        let (prepared, queries) = serve_fixture(300, 4);
+        let server = Server::start(prepared.clone(), ServerConfig::default().workers(2));
+        for point in queries.iter() {
+            let row = server.query_one(point.clone()).unwrap();
+            assert_eq!(row.r_id, point.id);
+            let direct = prepared.query_one(point).unwrap();
+            assert_eq!(row.neighbors.len(), direct.neighbors.len());
+            for (a, b) in row.neighbors.iter().zip(&direct.neighbors) {
+                assert_eq!(a.distance, b.distance);
+            }
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, queries.len() as u64);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.latency.count(), queries.len() as u64);
+    }
+
+    #[test]
+    fn server_passes_batches_through() {
+        let (prepared, queries) = serve_fixture(300, 4);
+        let server = Server::start(prepared.clone(), ServerConfig::default());
+        let via_server = server.query(queries.clone()).unwrap();
+        let direct = prepared.query(&queries).unwrap();
+        assert!(via_server.matches(&direct, 0.0));
+        let stats = server.shutdown();
+        assert_eq!(stats.batch_requests, 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn paused_server_queues_then_overloads_deterministically() {
+        let (prepared, queries) = serve_fixture(200, 2);
+        let cap = 4;
+        let server = Server::start(
+            prepared,
+            ServerConfig::default()
+                .workers(1)
+                .queue_depth(cap)
+                .start_paused(true),
+        );
+        let mut tickets = Vec::new();
+        let mut rejected = 0usize;
+        for point in queries.iter() {
+            match server.submit_one(point.clone()) {
+                Ok(ticket) => tickets.push((point.id, ticket)),
+                Err(JoinError::Overloaded { depth, capacity }) => {
+                    assert_eq!(depth, cap);
+                    assert_eq!(capacity, cap);
+                    rejected += 1;
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert_eq!(tickets.len(), cap);
+        assert_eq!(rejected, queries.len() - cap);
+        assert_eq!(server.queue_depth(), cap);
+        server.resume();
+        for (id, ticket) in tickets {
+            assert_eq!(ticket.wait().unwrap().r_id, id);
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.rejected, rejected as u64);
+        assert_eq!(stats.completed, cap as u64);
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_refused() {
+        let (prepared, queries) = serve_fixture(200, 2);
+        let server = Server::start(prepared, ServerConfig::default().workers(1));
+        server.shutdown();
+        let err = server.query_one(queries.iter().next().unwrap().clone());
+        assert_eq!(err.unwrap_err(), JoinError::ServerShutdown);
+        let err = server.query(queries.clone());
+        assert_eq!(err.unwrap_err(), JoinError::ServerShutdown);
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected_at_submit() {
+        let (prepared, _) = serve_fixture(200, 2);
+        let server = Server::start(prepared, ServerConfig::default().workers(1));
+        let wrong_dims = Point::new(1, vec![1.0, 2.0]);
+        assert!(matches!(
+            server.submit_one(wrong_dims),
+            Err(JoinError::DimensionalityMismatch {
+                r_dims: 2,
+                s_dims: 3
+            })
+        ));
+        assert!(matches!(
+            server.submit(PointSet::from_points(vec![])),
+            Err(JoinError::EmptyInput("R"))
+        ));
+        let ragged = PointSet::from_points(vec![
+            Point::new(1, vec![1.0, 2.0, 3.0]),
+            Point::new(2, vec![1.0]),
+        ]);
+        assert!(matches!(
+            server.submit(ragged),
+            Err(JoinError::RaggedInput { index: 1, .. })
+        ));
+        let stats = server.shutdown();
+        // Submit-time validation failures are neither admitted nor counted
+        // as overload rejections.
+        assert_eq!(stats.submitted, 0);
+        assert_eq!(stats.rejected, 0);
+    }
+
+    #[test]
+    fn drain_answers_every_admitted_request() {
+        let (prepared, queries) = serve_fixture(200, 2);
+        // Paused server with a long max_wait: nothing flushes on its own;
+        // shutdown's drain must still answer every ticket.
+        let server = Server::start(
+            prepared,
+            ServerConfig::default()
+                .workers(2)
+                .max_wait(Duration::from_secs(3600))
+                .start_paused(true),
+        );
+        let tickets: Vec<_> = queries
+            .iter()
+            .map(|p| (p.id, server.submit_one(p.clone()).unwrap()))
+            .collect();
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, queries.len() as u64);
+        for (id, ticket) in tickets {
+            assert_eq!(ticket.wait().unwrap().r_id, id);
+        }
+    }
+
+    #[test]
+    fn stats_expose_throughput_and_coalescing_shape() {
+        let (prepared, queries) = serve_fixture(300, 3);
+        let server = Server::start(
+            prepared,
+            ServerConfig::default()
+                .workers(1)
+                .max_batch(8)
+                .start_paused(true),
+        );
+        let tickets: Vec<_> = queries
+            .iter()
+            .map(|p| server.submit_one(p.clone()).unwrap())
+            .collect();
+        server.resume();
+        for ticket in tickets {
+            ticket.wait().unwrap();
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.coalesced_points, queries.len() as u64);
+        // 32 queued singles, size trigger 8 ⇒ at least 4 probe batches.
+        assert!(stats.coalesced_batches >= 4);
+        assert!(stats.mean_coalesced_batch() > 1.0);
+        assert!(stats.qps() > 0.0);
+        assert!(stats.latency.p50() <= stats.latency.p99());
+    }
+}

@@ -76,9 +76,10 @@ pub mod prelude {
     };
     pub use knnjoin::{
         Algorithm, DeltaOverlay, DeltaStats, ExecutionContext, GroupingStrategy, JoinBuilder,
-        JoinError, JoinErrorKind, JoinPlan, JoinResult, JoinRow, JoinSession, MemoryMetricsSink,
-        MetricsSink, NestedLoopJoin, NullMetricsSink, PivotSelectionStrategy, PreparedJoin,
-        QualityReport, ResultSink, ServingStats,
+        JoinError, JoinErrorKind, JoinPlan, JoinResult, JoinRow, JoinSession, LatencyHistogram,
+        MemoryMetricsSink, MetricsSink, NestedLoopJoin, NullMetricsSink, PivotSelectionStrategy,
+        PreparedJoin, QualityReport, ResultSink, Server, ServerConfig, ServerStats, ServingStats,
+        Ticket,
     };
 }
 

@@ -407,3 +407,121 @@ fn prepared_queries_flow_into_the_metrics_sink() {
     assert!(records.iter().all(|rec| rec.algorithm == "PBJ"));
     assert!(records.iter().all(|rec| rec.metrics.pivot_selections == 0));
 }
+
+/// Sharded-session regression: the hit/miss/eviction counters stay exact
+/// when many threads hammer the LRU at once.  With capacity ≥ distinct keys
+/// every key is built at most... exactly once (a concurrent duplicate build
+/// loses the insert re-check and converts to a hit), nothing is evicted, and
+/// hits + misses account for every request.
+#[test]
+fn sharded_session_counters_survive_concurrent_hammering() {
+    const THREADS: usize = 4;
+    const ROUNDS: usize = 30;
+    let r = clustered(50, 2, 90);
+    let s = clustered(80, 2, 91);
+    let labels = ["a", "b", "c", "d", "e", "f"];
+    let session = JoinSession::new(ExecutionContext::default(), labels.len());
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let session = &session;
+            let (r, s) = (&r, &s);
+            scope.spawn(move || {
+                for round in 0..ROUNDS {
+                    let label = labels[(t + round) % labels.len()];
+                    let handle = session
+                        .get_or_prepare(label, builder_for(r, s, Algorithm::Pbj, 3))
+                        .expect("get_or_prepare");
+                    assert_eq!(handle.k(), 3);
+                }
+            });
+        }
+    });
+    let total = (THREADS * ROUNDS) as u64;
+    assert_eq!(session.hits() + session.misses(), total);
+    // Each of the 6 keys was built at least once; duplicate concurrent
+    // builds resolve to hits, so the cache holds exactly one entry per key.
+    assert!(session.misses() >= labels.len() as u64);
+    assert_eq!(session.len(), labels.len());
+    assert_eq!(session.evictions(), 0);
+}
+
+/// With capacity below the working set, the global LRU bound holds across
+/// shards: the cache never ends over capacity, and the eviction counter
+/// satisfies the exact conservation law `evictions = misses − len` (every
+/// miss inserts one entry; entries leave only by eviction).
+#[test]
+fn sharded_session_global_capacity_bound_under_concurrency() {
+    const THREADS: usize = 4;
+    const ROUNDS: usize = 18;
+    const CAPACITY: usize = 3;
+    let r = clustered(50, 2, 92);
+    let s = clustered(80, 2, 93);
+    let labels = ["u", "v", "w", "x", "y", "z"];
+    let session = JoinSession::new(ExecutionContext::default(), CAPACITY);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let session = &session;
+            let (r, s) = (&r, &s);
+            scope.spawn(move || {
+                for round in 0..ROUNDS {
+                    let label = labels[(t * 2 + round) % labels.len()];
+                    session
+                        .get_or_prepare(label, builder_for(r, s, Algorithm::Pbj, 3))
+                        .expect("get_or_prepare");
+                }
+            });
+        }
+    });
+    assert!(
+        session.len() <= CAPACITY,
+        "over capacity: {}",
+        session.len()
+    );
+    assert_eq!(session.hits() + session.misses(), (THREADS * ROUNDS) as u64);
+    assert_eq!(session.evictions(), session.misses() - session.len() as u64);
+}
+
+/// Epoch-staleness eviction (PR 6) holds in every shard: labels hashing to
+/// different shards each detect their own handle's mutation, rebuild, and
+/// count exactly one eviction — with no cross-shard interference on the
+/// other cached entries.
+#[test]
+fn sharded_session_epoch_staleness_holds_per_shard() {
+    let r = clustered(50, 2, 94);
+    let s = clustered(80, 2, 95);
+    let labels = ["north", "south", "east", "west", "up"];
+    let session = JoinSession::new(ExecutionContext::default(), labels.len());
+    let handles: Vec<_> = labels
+        .iter()
+        .map(|label| {
+            session
+                .get_or_prepare(label, builder_for(&r, &s, Algorithm::Pgbj, 4))
+                .expect("prepare")
+        })
+        .collect();
+    assert_eq!(session.misses(), labels.len() as u64);
+    assert_eq!(session.len(), labels.len());
+
+    for (i, (label, cached)) in labels.iter().zip(&handles).enumerate() {
+        // Mutate this label's handle: its cached epoch is now stale.
+        cached
+            .insert(Point::new(900_000 + i as u64, vec![1.0, 2.0]))
+            .expect("insert");
+        let fresh = session
+            .get_or_prepare(label, builder_for(&r, &s, Algorithm::Pgbj, 4))
+            .expect("rebuild stale");
+        assert!(
+            !Arc::ptr_eq(cached, &fresh),
+            "{label}: mutated handle served as a hit"
+        );
+        assert_eq!(session.evictions(), i as u64 + 1);
+        assert_eq!(session.len(), labels.len(), "{label}: entry not replaced");
+        // The other labels' entries are untouched: still hits.
+        let other = labels[(i + 1) % labels.len()];
+        let before = session.hits();
+        session
+            .get_or_prepare(other, builder_for(&r, &s, Algorithm::Pgbj, 4))
+            .expect("neighbour label");
+        assert_eq!(session.hits(), before + 1, "{other}: expected a hit");
+    }
+}

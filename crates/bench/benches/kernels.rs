@@ -98,6 +98,155 @@ fn bench_kernel_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// One query against a block of candidate rows: the scalar kernel loop (the
+/// `Exact` hot path) against the multi-accumulator batch kernel that the
+/// `Fast` mode streams [`kernels::PROBE_TILE`]-row tiles through.  The
+/// acceptance bar for the batch layer was ≥ 2× the scalar loop on the
+/// 10-dimensional squared-Euclidean workload.
+fn bench_batch_kernel_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_kernel_throughput");
+    group.sample_size(200);
+    for dims in [4usize, 10, 32] {
+        let candidates = CoordMatrix::from_point_set(&datagen::uniform(2048, dims, 100.0, 31));
+        let query: Vec<f64> = datagen::uniform(1, dims, 100.0, 32).points()[0]
+            .coords
+            .clone();
+        let mut out = vec![0.0f64; candidates.len()];
+        // The pairwise kernels are consumed through hoisted function
+        // pointers (`DistanceMetric::kernel()` / `fast_kernel()`) in every
+        // join path, so the row-at-a-time baselines go through one too —
+        // a direct call would let LLVM inline and specialize the loop in a
+        // way no real consumer sees.
+        let scalar: kernels::Kernel = kernels::squared_euclidean;
+        let fast: kernels::Kernel = kernels::squared_euclidean_fast;
+        group.bench_with_input(
+            BenchmarkId::new("scalar_squared_euclidean", dims),
+            &candidates,
+            |b, m| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for row in m.rows() {
+                        acc += scalar(black_box(&query), row);
+                    }
+                    acc
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fast_squared_euclidean", dims),
+            &candidates,
+            |b, m| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for row in m.rows() {
+                        acc += fast(black_box(&query), row);
+                    }
+                    acc
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("squared_euclidean_batch", dims),
+            &candidates,
+            |b, m| {
+                b.iter(|| {
+                    kernels::squared_euclidean_batch(
+                        black_box(&query),
+                        m.as_slice(),
+                        dims,
+                        &mut out,
+                    );
+                    out.iter().sum::<f64>()
+                });
+            },
+        );
+        // The tiled shape the probe paths actually use: PROBE_TILE rows per
+        // call into a stack-sized scratch.
+        group.bench_with_input(
+            BenchmarkId::new("squared_euclidean_batch_tiled", dims),
+            &candidates,
+            |b, m| {
+                b.iter(|| {
+                    let rows = m.as_slice();
+                    let mut scratch = [0.0f64; kernels::PROBE_TILE];
+                    let mut acc = 0.0;
+                    let mut t0 = 0;
+                    while t0 < m.len() {
+                        let t1 = (t0 + kernels::PROBE_TILE).min(m.len());
+                        let tile = &mut scratch[..t1 - t0];
+                        kernels::squared_euclidean_batch(
+                            black_box(&query),
+                            &rows[t0 * dims..t1 * dims],
+                            dims,
+                            tile,
+                        );
+                        acc += tile.iter().sum::<f64>();
+                        t0 = t1;
+                    }
+                    acc
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Satellite of the batch-kernel PR: the early-exit check cadence is chosen
+/// from the dimensionality (`bounded_check_cadence`), because at d ≤ 8 the
+/// bound branch costs more than the arithmetic it can skip.  Compares the
+/// historical fixed-cadence-8 kernel against the dimension-aware choice on a
+/// realistic pruning workload (bound = the k-th smallest distance, so most
+/// rows can exit early when a check runs at all).
+fn bench_bounded_cadence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bounded_cadence");
+    group.sample_size(100);
+    for dims in [4usize, 10, 48, 192] {
+        let candidates = CoordMatrix::from_point_set(&datagen::uniform(2048, dims, 100.0, 41));
+        let query: Vec<f64> = datagen::uniform(1, dims, 100.0, 42).points()[0]
+            .coords
+            .clone();
+        // A tight-but-realistic bound: the 10th smallest squared distance.
+        let mut dists: Vec<f64> = candidates
+            .rows()
+            .map(|row| kernels::squared_euclidean(&query, row))
+            .collect();
+        dists.sort_unstable_by(f64::total_cmp);
+        let bound = dists[10];
+        // Both sides go through a hoisted function pointer — exactly how the
+        // bounded scans consume these kernels — so the comparison isolates
+        // the cadence choice rather than call-site inlining.
+        let fixed: fn(&[f64], &[f64], f64) -> f64 = kernels::squared_euclidean_bounded;
+        group.bench_with_input(
+            BenchmarkId::new("fixed_cadence_8", dims),
+            &candidates,
+            |b, m| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for row in m.rows() {
+                        acc += fixed(black_box(&query), row, black_box(bound));
+                    }
+                    acc
+                });
+            },
+        );
+        let dim_aware = DistanceMetric::Euclidean.rank_kernel_bounded_for_dim(dims);
+        group.bench_with_input(
+            BenchmarkId::new("dim_aware_cadence", dims),
+            &candidates,
+            |b, m| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for row in m.rows() {
+                        acc += dim_aware(black_box(&query), row, black_box(bound));
+                    }
+                    acc
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_pivot_assignment(c: &mut Criterion) {
     // Both of the paper's dataset shapes: Forest-like (10-d, clustered) and
     // OSM-like (2-d, skewed geographic).
@@ -231,6 +380,8 @@ fn bench_bounded_scan(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_kernel_throughput,
+    bench_batch_kernel_throughput,
+    bench_bounded_cadence,
     bench_pivot_assignment,
     bench_bounded_scan
 );

@@ -30,11 +30,69 @@ pub type Kernel = fn(&[f64], &[f64]) -> f64;
 /// as the result is proven to be at least `bound`, the exact value otherwise.
 pub type BoundedKernel = fn(&[f64], &[f64], f64) -> f64;
 
+/// A one-query-vs-many-rows kernel: `f(q, rows, dim, out)` where `rows` is a
+/// flat row-major block of `out.len()` rows of `dim` coordinates (a
+/// [`crate::CoordMatrix`] sub-slice) and `out[i]` receives the *rank* of
+/// `(q, rows[i])` — the squared distance for L2, the distance itself for
+/// L1/L∞.  Batch kernels accumulate with the multi-accumulator [`KernelMode::Fast`]
+/// order, so their values agree with the scalar kernels to ~1e-9 relative,
+/// not bit for bit.
+pub type BatchKernel = fn(&[f64], &[f64], usize, &mut [f64]);
+
+/// The `f32` counterpart of [`BatchKernel`], used by the
+/// [`KernelMode::RankF32`] candidate-filtering path.
+pub type BatchKernelF32 = fn(&[f32], &[f32], usize, &mut [f32]);
+
+/// How many rows of a flat coordinate block the tiled probe loops evaluate
+/// per batch-kernel call.  256 rows × 16 dims × 8 bytes = 32 KiB, so a tile
+/// plus its rank scratch stays L1/L2-resident while the batch kernel streams
+/// it; consumers re-slice larger S blocks into `PROBE_TILE`-row tiles.
+pub const PROBE_TILE: usize = 256;
+
 /// How many accumulation steps run between early-exit bound checks.  Checking
 /// every element costs more than it saves at low dimensionality; a small
 /// block keeps the check amortised while still cutting high-dimensional scans
 /// short.
 const CHECK_EVERY: usize = 8;
+
+/// Which kernel family the distance hot loops use.  The default preserves
+/// the repo's bit-identical baseline; the other two trade bit-stability (not
+/// correctness of the *neighbour sets*) for throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KernelMode {
+    /// Today's scalar left-to-right kernels: results and deterministic
+    /// counters are bit-identical to the committed baselines.
+    #[default]
+    Exact,
+    /// Multi-accumulator SIMD-friendly kernels and tiled batch probes.
+    /// Floating-point addition is reordered, so distances agree with
+    /// [`KernelMode::Exact`] to ~1e-9 relative rather than bit for bit, and
+    /// pruning counters may differ (the tiled scans re-evaluate bounds per
+    /// tile instead of per candidate).
+    Fast,
+    /// `f32` ranks filter candidates; every distance that survives into a
+    /// result row is refined in `f64`.  Approximate: a candidate whose `f32`
+    /// rank rounds past the running threshold can be missed, so recall is
+    /// reported through the QualityReport machinery.  Consumers without an
+    /// `f32` shadow path fall back to [`KernelMode::Fast`].
+    RankF32,
+}
+
+impl KernelMode {
+    /// Human-readable label used by the bench harness when naming rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelMode::Exact => "exact",
+            KernelMode::Fast => "fast",
+            KernelMode::RankF32 => "rank-f32",
+        }
+    }
+
+    /// Whether this mode guarantees bit-identical results and counters.
+    pub fn is_exact(&self) -> bool {
+        matches!(self, KernelMode::Exact)
+    }
+}
 
 /// Squared Euclidean distance `Σ (aᵢ − bᵢ)²` — the L2 argmin workhorse.
 ///
@@ -80,6 +138,594 @@ pub fn chebyshev(a: &[f64], b: &[f64]) -> f64 {
     }
     acc
 }
+
+// ---------------------------------------------------------------------------
+// Fast (multi-accumulator) pairwise kernels
+// ---------------------------------------------------------------------------
+
+/// [`squared_euclidean`] with four independent partial sums over
+/// `chunks_exact(4)`.  Breaking the loop-carried addition chain lets stable
+/// rustc keep several FMAs in flight (and autovectorize the chunk body), at
+/// the price of a different — but deterministic — accumulation order: values
+/// agree with the scalar kernel to ~1e-9 relative, not bit for bit.
+#[inline]
+pub fn squared_euclidean_fast(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dimensionality mismatch");
+    let head = a.len() & !3;
+    let (a_head, a_tail) = a.split_at(head);
+    let (b_head, b_tail) = b.split_at(head);
+    let mut acc = [0.0f64; 4];
+    for (ca, cb) in a_head.chunks_exact(4).zip(b_head.chunks_exact(4)) {
+        let d0 = ca[0] - cb[0];
+        let d1 = ca[1] - cb[1];
+        let d2 = ca[2] - cb[2];
+        let d3 = ca[3] - cb[3];
+        acc[0] += d0 * d0;
+        acc[1] += d1 * d1;
+        acc[2] += d2 * d2;
+        acc[3] += d3 * d3;
+    }
+    let mut tail = 0.0;
+    for (x, y) in a_tail.iter().zip(b_tail) {
+        let d = x - y;
+        tail += d * d;
+    }
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + tail
+}
+
+/// Fast Euclidean distance: `sqrt` of [`squared_euclidean_fast`].
+#[inline]
+pub fn euclidean_fast(a: &[f64], b: &[f64]) -> f64 {
+    squared_euclidean_fast(a, b).sqrt()
+}
+
+/// [`manhattan`] with four independent partial sums (see
+/// [`squared_euclidean_fast`] for the accumulation-order caveat).
+#[inline]
+pub fn manhattan_fast(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dimensionality mismatch");
+    let head = a.len() & !3;
+    let (a_head, a_tail) = a.split_at(head);
+    let (b_head, b_tail) = b.split_at(head);
+    let mut acc = [0.0f64; 4];
+    for (ca, cb) in a_head.chunks_exact(4).zip(b_head.chunks_exact(4)) {
+        acc[0] += (ca[0] - cb[0]).abs();
+        acc[1] += (ca[1] - cb[1]).abs();
+        acc[2] += (ca[2] - cb[2]).abs();
+        acc[3] += (ca[3] - cb[3]).abs();
+    }
+    let mut tail = 0.0;
+    for (x, y) in a_tail.iter().zip(b_tail) {
+        tail += (x - y).abs();
+    }
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + tail
+}
+
+/// [`chebyshev`] with four independent running maxima.  `max` is insensitive
+/// to evaluation order (all inputs pass through `abs`, so signed zeros cannot
+/// differ), making this the one fast kernel that stays bit-identical to its
+/// scalar twin.
+#[inline]
+pub fn chebyshev_fast(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dimensionality mismatch");
+    let head = a.len() & !3;
+    let (a_head, a_tail) = a.split_at(head);
+    let (b_head, b_tail) = b.split_at(head);
+    let mut acc = [0.0f64; 4];
+    for (ca, cb) in a_head.chunks_exact(4).zip(b_head.chunks_exact(4)) {
+        acc[0] = acc[0].max((ca[0] - cb[0]).abs());
+        acc[1] = acc[1].max((ca[1] - cb[1]).abs());
+        acc[2] = acc[2].max((ca[2] - cb[2]).abs());
+        acc[3] = acc[3].max((ca[3] - cb[3]).abs());
+    }
+    let mut m = acc[0].max(acc[1]).max(acc[2].max(acc[3]));
+    for (x, y) in a_tail.iter().zip(b_tail) {
+        m = m.max((x - y).abs());
+    }
+    m
+}
+
+// ---------------------------------------------------------------------------
+// Batch (one query vs many rows) kernels
+// ---------------------------------------------------------------------------
+
+/// Explicit SIMD batch kernels for x86-64, selected at runtime with
+/// `is_x86_feature_detected!` (the workspace builds for the baseline
+/// `x86-64` target, which only guarantees SSE2 — wide vectors must be opted
+/// into per function).  Four rows are kept in flight, each with its own
+/// 256-bit accumulator, the ragged `dim % 4` tail is covered by a masked
+/// load (masked-out lanes read as 0.0 and contribute nothing), and the four
+/// accumulators horizontally reduce into four output slots at once.
+///
+/// Accumulation groups every 4th dimension per lane — the same shape as the
+/// `*_fast` kernels — and the squared-Euclidean variant fuses
+/// multiply-and-add into FMA, so results agree with the scalar twins to
+/// ~1e-9 relative (measured ~4e-16) but are *not* bit-identical, and may
+/// differ in the last bits between CPUs with and without AVX2.  `Exact`
+/// mode never routes through these.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    #[inline]
+    pub(super) fn have_avx2_fma() -> bool {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+
+    #[inline]
+    pub(super) fn have_avx2() -> bool {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+
+    macro_rules! avx2_batch_kernel {
+        ($name:ident, $features:literal, $scalar_rem:path,
+         ($($mask_decl:tt)*), |$qv:ident, $xv:ident, $acc:ident| $step:expr,
+         |$a0:ident, $a1:ident, $a2:ident, $a3:ident| $reduce:expr) => {
+            /// # Safety
+            /// Caller must verify the `$features` CPU features at runtime and
+            /// uphold `q.len() == dim && rows.len() == dim * out.len()`.
+            #[target_feature(enable = $features)]
+            pub(super) unsafe fn $name(q: &[f64], rows: &[f64], dim: usize, out: &mut [f64]) {
+                use std::arch::x86_64::*;
+                let n = out.len();
+                let full = dim & !3;
+                let rem = dim - full;
+                // Top-bit-set lanes of the mask select the tail elements.
+                let tail_mask = _mm256_setr_epi64x(
+                    if rem > 0 { -1 } else { 0 },
+                    if rem > 1 { -1 } else { 0 },
+                    if rem > 2 { -1 } else { 0 },
+                    0,
+                );
+                $($mask_decl)*
+                let qp = q.as_ptr();
+                let mut r0 = rows.as_ptr();
+                let mut i = 0;
+                while i + 4 <= n {
+                    let r1 = r0.add(dim);
+                    let r2 = r1.add(dim);
+                    let r3 = r2.add(dim);
+                    let mut $a0 = _mm256_setzero_pd();
+                    let mut $a1 = _mm256_setzero_pd();
+                    let mut $a2 = _mm256_setzero_pd();
+                    let mut $a3 = _mm256_setzero_pd();
+                    let mut d = 0;
+                    while d < full {
+                        let $qv = _mm256_loadu_pd(qp.add(d));
+                        {
+                            let $xv = _mm256_loadu_pd(r0.add(d));
+                            let $acc = &mut $a0;
+                            $step;
+                        }
+                        {
+                            let $xv = _mm256_loadu_pd(r1.add(d));
+                            let $acc = &mut $a1;
+                            $step;
+                        }
+                        {
+                            let $xv = _mm256_loadu_pd(r2.add(d));
+                            let $acc = &mut $a2;
+                            $step;
+                        }
+                        {
+                            let $xv = _mm256_loadu_pd(r3.add(d));
+                            let $acc = &mut $a3;
+                            $step;
+                        }
+                        d += 4;
+                    }
+                    if rem > 0 {
+                        let $qv = _mm256_maskload_pd(qp.add(full), tail_mask);
+                        {
+                            let $xv = _mm256_maskload_pd(r0.add(full), tail_mask);
+                            let $acc = &mut $a0;
+                            $step;
+                        }
+                        {
+                            let $xv = _mm256_maskload_pd(r1.add(full), tail_mask);
+                            let $acc = &mut $a1;
+                            $step;
+                        }
+                        {
+                            let $xv = _mm256_maskload_pd(r2.add(full), tail_mask);
+                            let $acc = &mut $a2;
+                            $step;
+                        }
+                        {
+                            let $xv = _mm256_maskload_pd(r3.add(full), tail_mask);
+                            let $acc = &mut $a3;
+                            $step;
+                        }
+                    }
+                    let sums: __m256d = $reduce;
+                    _mm256_storeu_pd(out.as_mut_ptr().add(i), sums);
+                    r0 = r3.add(dim);
+                    i += 4;
+                }
+                while i < n {
+                    out[i] = $scalar_rem(q, &rows[i * dim..(i + 1) * dim]);
+                    i += 1;
+                }
+            }
+        };
+    }
+
+    avx2_batch_kernel!(
+        squared_euclidean_batch_avx2,
+        "avx2,fma",
+        super::squared_euclidean_fast,
+        (),
+        |qv, xv, acc| {
+            let diff = _mm256_sub_pd(qv, xv);
+            *acc = _mm256_fmadd_pd(diff, diff, *acc);
+        },
+        |a0, a1, a2, a3| {
+            // 4x4 horizontal sum: hadd pairs rows (0,1) and (2,3), the two
+            // 128-bit cross permutes realign the lane halves, and one add
+            // yields [Σa0, Σa1, Σa2, Σa3].
+            let h01 = _mm256_hadd_pd(a0, a1);
+            let h23 = _mm256_hadd_pd(a2, a3);
+            let lo = _mm256_permute2f128_pd(h01, h23, 0x20);
+            let hi = _mm256_permute2f128_pd(h01, h23, 0x31);
+            _mm256_add_pd(lo, hi)
+        }
+    );
+
+    avx2_batch_kernel!(
+        manhattan_batch_avx2,
+        "avx2",
+        super::manhattan_fast,
+        (let abs_mask = _mm256_castsi256_pd(_mm256_set1_epi64x(i64::MAX));),
+        |qv, xv, acc| {
+            let diff = _mm256_sub_pd(qv, xv);
+            *acc = _mm256_add_pd(_mm256_and_pd(diff, abs_mask), *acc);
+        },
+        |a0, a1, a2, a3| {
+            let h01 = _mm256_hadd_pd(a0, a1);
+            let h23 = _mm256_hadd_pd(a2, a3);
+            let lo = _mm256_permute2f128_pd(h01, h23, 0x20);
+            let hi = _mm256_permute2f128_pd(h01, h23, 0x31);
+            _mm256_add_pd(lo, hi)
+        }
+    );
+
+    avx2_batch_kernel!(
+        chebyshev_batch_avx2,
+        "avx2",
+        super::chebyshev_fast,
+        (let abs_mask = _mm256_castsi256_pd(_mm256_set1_epi64x(i64::MAX));),
+        |qv, xv, acc| {
+            let diff = _mm256_sub_pd(qv, xv);
+            *acc = _mm256_max_pd(_mm256_and_pd(diff, abs_mask), *acc);
+        },
+        |a0, a1, a2, a3| {
+            // 4x4 horizontal max via the same pairing shape: unpack keeps
+            // (row, lane-half) pairs together, the cross permutes realign,
+            // and two max ops finish [max a0, max a1, max a2, max a3].
+            let u01 = _mm256_unpacklo_pd(a0, a1);
+            let v01 = _mm256_unpackhi_pd(a0, a1);
+            let m01 = _mm256_max_pd(u01, v01);
+            let u23 = _mm256_unpacklo_pd(a2, a3);
+            let v23 = _mm256_unpackhi_pd(a2, a3);
+            let m23 = _mm256_max_pd(u23, v23);
+            let lo = _mm256_permute2f128_pd(m01, m23, 0x20);
+            let hi = _mm256_permute2f128_pd(m01, m23, 0x31);
+            _mm256_max_pd(lo, hi)
+        }
+    );
+}
+
+/// Expands to a 4-row-blocked batch kernel: rows are processed four at a
+/// time with the per-dimension loop innermost, so the four per-row
+/// accumulator chains are independent and the CPU (or the autovectorizer)
+/// overlaps them.  Each row's *own* accumulation stays in plain dimension
+/// order — cross-row blocking needs no reassociation — so every output slot
+/// is bit-identical to the scalar `$scalar` kernel; the under-four remainder
+/// goes through `$scalar` directly.
+macro_rules! row_blocked_batch {
+    ($q:ident, $rows:ident, $dim:ident, $out:ident, $scalar:ident,
+     |$qd:ident, $x:ident, $acc:ident| $step:expr) => {{
+        assert_eq!($q.len(), $dim, "query dimensionality mismatch");
+        assert_eq!($rows.len(), $dim * $out.len(), "ragged batch block");
+        const BLOCK: usize = 8;
+        let mut blocks = $rows.chunks_exact(BLOCK * $dim);
+        let mut slots = $out.chunks_exact_mut(BLOCK);
+        for (block, slot) in blocks.by_ref().zip(slots.by_ref()) {
+            // One subslice per row so the inner loads are provably in
+            // bounds (`d < dim = row.len()`): the bounds checks vanish and
+            // the 8 accumulator chains stay independent.
+            let rows_in_block: [&[f64]; BLOCK] =
+                core::array::from_fn(|r| &block[r * $dim..(r + 1) * $dim]);
+            let mut acc = [0.0f64; BLOCK];
+            for d in 0..$dim {
+                let $qd = $q[d];
+                for r in 0..BLOCK {
+                    let $x = rows_in_block[r][d];
+                    let $acc = &mut acc[r];
+                    $step;
+                }
+            }
+            slot.copy_from_slice(&acc);
+        }
+        for (row, slot) in blocks
+            .remainder()
+            .chunks_exact($dim)
+            .zip(slots.into_remainder())
+        {
+            *slot = $scalar($q, row);
+        }
+    }};
+}
+
+/// Squared Euclidean ranks of `q` against every row of a flat row-major
+/// coordinate block: `out[i] = Σ_d (q[d] − rows[i·dim + d])²`.  One call
+/// streams a whole [`PROBE_TILE`]-sized tile through multiple independent
+/// accumulator chains instead of paying a call and a serial dependency chain
+/// per row: on x86-64 with AVX2+FMA (runtime-detected) four rows are kept in
+/// flight with a 256-bit FMA accumulator each; elsewhere rows are blocked
+/// eight at a time with the dimension loop innermost.  Consumers must only
+/// rely on the documented ~1e-9 agreement with the scalar twin, not on bit
+/// equality — the accumulation shape differs between the two paths.
+///
+/// # Panics
+/// Panics if `q.len() != dim` or `rows.len() != dim * out.len()`.
+#[inline]
+pub fn squared_euclidean_batch(q: &[f64], rows: &[f64], dim: usize, out: &mut [f64]) {
+    assert_eq!(q.len(), dim, "query dimensionality mismatch");
+    assert_eq!(rows.len(), dim * out.len(), "ragged batch block");
+    #[cfg(target_arch = "x86_64")]
+    if dim > 0 && x86::have_avx2_fma() {
+        // SAFETY: required CPU features verified at runtime; slice
+        // invariants asserted above.
+        unsafe { x86::squared_euclidean_batch_avx2(q, rows, dim, out) };
+        return;
+    }
+    row_blocked_batch!(q, rows, dim, out, squared_euclidean, |qd, x, acc| {
+        let d = qd - x;
+        *acc += d * d;
+    });
+}
+
+/// Euclidean distances of `q` against every row: [`squared_euclidean_batch`]
+/// followed by a vectorizable `sqrt` sweep over `out`.
+#[inline]
+pub fn euclidean_batch(q: &[f64], rows: &[f64], dim: usize, out: &mut [f64]) {
+    squared_euclidean_batch(q, rows, dim, out);
+    for v in out.iter_mut() {
+        *v = v.sqrt();
+    }
+}
+
+/// Manhattan ranks (= distances) of `q` against every row of a flat block,
+/// 4-row-blocked (see [`squared_euclidean_batch`]).
+#[inline]
+pub fn manhattan_batch(q: &[f64], rows: &[f64], dim: usize, out: &mut [f64]) {
+    assert_eq!(q.len(), dim, "query dimensionality mismatch");
+    assert_eq!(rows.len(), dim * out.len(), "ragged batch block");
+    #[cfg(target_arch = "x86_64")]
+    if dim > 0 && x86::have_avx2() {
+        // SAFETY: required CPU features verified at runtime; slice
+        // invariants asserted above.
+        unsafe { x86::manhattan_batch_avx2(q, rows, dim, out) };
+        return;
+    }
+    row_blocked_batch!(q, rows, dim, out, manhattan, |qd, x, acc| {
+        *acc += (qd - x).abs();
+    });
+}
+
+/// Chebyshev ranks (= distances) of `q` against every row of a flat block,
+/// 4-row-blocked (see [`squared_euclidean_batch`]).
+#[inline]
+pub fn chebyshev_batch(q: &[f64], rows: &[f64], dim: usize, out: &mut [f64]) {
+    assert_eq!(q.len(), dim, "query dimensionality mismatch");
+    assert_eq!(rows.len(), dim * out.len(), "ragged batch block");
+    #[cfg(target_arch = "x86_64")]
+    if dim > 0 && x86::have_avx2() {
+        // SAFETY: required CPU features verified at runtime; slice
+        // invariants asserted above.
+        unsafe { x86::chebyshev_batch_avx2(q, rows, dim, out) };
+        return;
+    }
+    row_blocked_batch!(q, rows, dim, out, chebyshev, |qd, x, acc| {
+        *acc = (*acc).max((qd - x).abs());
+    });
+}
+
+/// Rank argmin of `q` over every row of a flat block without materialising
+/// the ranks: returns `(row_index, rank)` of the first row attaining the
+/// minimum (first-index-wins, matching the scalar argmin loops).  `rank_fn`
+/// is one of the fast pairwise rank kernels.
+///
+/// # Panics
+/// Panics if the block is empty or ragged.
+#[inline]
+pub fn batch_rank_argmin(q: &[f64], rows: &[f64], dim: usize, rank_fn: Kernel) -> (usize, f64) {
+    assert!(dim > 0 && !rows.is_empty(), "empty batch block");
+    assert_eq!(rows.len() % dim, 0, "ragged batch block");
+    let mut best = 0usize;
+    let mut best_rank = f64::INFINITY;
+    for (i, row) in rows.chunks_exact(dim).enumerate() {
+        let rank = rank_fn(q, row);
+        if rank < best_rank {
+            best_rank = rank;
+            best = i;
+        }
+    }
+    (best, best_rank)
+}
+
+// ---------------------------------------------------------------------------
+// f32 batch kernels (the RankF32 candidate filter)
+// ---------------------------------------------------------------------------
+
+/// Converts an `f64` coordinate slice to `f32`, appending to `dst`.
+#[inline]
+pub fn downcast_coords(src: &[f64], dst: &mut Vec<f32>) {
+    dst.extend(src.iter().map(|&v| v as f32));
+}
+
+/// `f32` squared-Euclidean ranks of `q` against every row of a flat `f32`
+/// block — eight independent accumulators (f32 lanes are twice as wide).
+/// Filter-only: callers refine surviving candidates in `f64`.
+///
+/// # Panics
+/// Panics if `q.len() != dim` or `rows.len() != dim * out.len()`.
+#[inline]
+pub fn squared_euclidean_batch_f32(q: &[f32], rows: &[f32], dim: usize, out: &mut [f32]) {
+    assert_eq!(q.len(), dim, "query dimensionality mismatch");
+    assert_eq!(rows.len(), dim * out.len(), "ragged batch block");
+    for (row, slot) in rows.chunks_exact(dim).zip(out.iter_mut()) {
+        let head = dim & !7;
+        let mut acc = [0.0f32; 8];
+        for (cq, cr) in q[..head].chunks_exact(8).zip(row[..head].chunks_exact(8)) {
+            for l in 0..8 {
+                let d = cq[l] - cr[l];
+                acc[l] += d * d;
+            }
+        }
+        let mut tail = 0.0f32;
+        for (x, y) in q[head..].iter().zip(&row[head..]) {
+            let d = x - y;
+            tail += d * d;
+        }
+        *slot = ((acc[0] + acc[1]) + (acc[2] + acc[3]))
+            + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
+            + tail;
+    }
+}
+
+/// `f32` Manhattan ranks of `q` against every row of a flat `f32` block.
+#[inline]
+pub fn manhattan_batch_f32(q: &[f32], rows: &[f32], dim: usize, out: &mut [f32]) {
+    assert_eq!(q.len(), dim, "query dimensionality mismatch");
+    assert_eq!(rows.len(), dim * out.len(), "ragged batch block");
+    for (row, slot) in rows.chunks_exact(dim).zip(out.iter_mut()) {
+        let head = dim & !7;
+        let mut acc = [0.0f32; 8];
+        for (cq, cr) in q[..head].chunks_exact(8).zip(row[..head].chunks_exact(8)) {
+            for l in 0..8 {
+                acc[l] += (cq[l] - cr[l]).abs();
+            }
+        }
+        let mut tail = 0.0f32;
+        for (x, y) in q[head..].iter().zip(&row[head..]) {
+            tail += (x - y).abs();
+        }
+        *slot = ((acc[0] + acc[1]) + (acc[2] + acc[3]))
+            + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
+            + tail;
+    }
+}
+
+/// `f32` Chebyshev ranks of `q` against every row of a flat `f32` block.
+#[inline]
+pub fn chebyshev_batch_f32(q: &[f32], rows: &[f32], dim: usize, out: &mut [f32]) {
+    assert_eq!(q.len(), dim, "query dimensionality mismatch");
+    assert_eq!(rows.len(), dim * out.len(), "ragged batch block");
+    for (row, slot) in rows.chunks_exact(dim).zip(out.iter_mut()) {
+        let head = dim & !7;
+        let mut acc = [0.0f32; 8];
+        for (cq, cr) in q[..head].chunks_exact(8).zip(row[..head].chunks_exact(8)) {
+            for l in 0..8 {
+                acc[l] = acc[l].max((cq[l] - cr[l]).abs());
+            }
+        }
+        let mut m = acc[0]
+            .max(acc[1])
+            .max(acc[2].max(acc[3]))
+            .max(acc[4].max(acc[5]).max(acc[6].max(acc[7])));
+        for (x, y) in q[head..].iter().zip(&row[head..]) {
+            m = m.max((x - y).abs());
+        }
+        *slot = m;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dimension-aware early-exit cadence
+// ---------------------------------------------------------------------------
+
+/// The `*_bounded` check cadence suited to `dim`, picked once at kernel-hoist
+/// time: `0` means "never check" below 96 dims, 16 beyond.  Measured (see the
+/// `bounded_cadence` bench group): up to ~48 dims completing the row through
+/// the branchless plain kernel beats any early exit — the exit branch
+/// mispredicts whenever the bound is neither trivially tight nor trivially
+/// loose, costing more than the arithmetic it saves — break-even sits near
+/// 96 dims, and very wide rows gain a few percent from a rare cadence-16
+/// check.  Completed results are bit-identical across cadences — the cadence
+/// only decides *where* the partial sum is compared against the bound, never
+/// the accumulation order.
+pub fn bounded_check_cadence(dim: usize) -> usize {
+    match dim {
+        0..=95 => 0,
+        _ => 16,
+    }
+}
+
+macro_rules! bounded_cadence_kernels {
+    ($plain:ident, $cadence16:ident, $unchecked:ident, |$x:ident, $y:ident, $acc:ident| $step:expr) => {
+        /// Cadence-16 variant of the bounded kernel, for wide rows (see
+        /// [`bounded_check_cadence`]).  Same contract: exact (bit-identical
+        /// to the plain kernel) when not cut short, `≥ bound` otherwise.
+        #[inline]
+        pub fn $cadence16(a: &[f64], b: &[f64], bound: f64) -> f64 {
+            debug_assert_eq!(a.len(), b.len(), "dimensionality mismatch");
+            let n = a.len();
+            const CADENCE: usize = 16;
+            if n <= CADENCE {
+                return $plain(a, b);
+            }
+            let mut $acc = 0.0f64;
+            let mut i = 0;
+            while n - i > CADENCE {
+                for k in 0..CADENCE {
+                    let $x = a[i + k];
+                    let $y = b[i + k];
+                    $step;
+                }
+                i += CADENCE;
+                if $acc >= bound {
+                    return $acc;
+                }
+            }
+            while i < n {
+                let $x = a[i];
+                let $y = b[i];
+                $step;
+                i += 1;
+            }
+            $acc
+        }
+
+        /// Bound-ignoring adapter with the [`BoundedKernel`] signature, for
+        /// dimensionalities where checking is never worth the branch.
+        #[inline]
+        pub fn $unchecked(a: &[f64], b: &[f64], _bound: f64) -> f64 {
+            $plain(a, b)
+        }
+    };
+}
+
+bounded_cadence_kernels!(
+    squared_euclidean,
+    squared_euclidean_bounded_wide,
+    squared_euclidean_unchecked,
+    |x, y, acc| {
+        let d = x - y;
+        acc += d * d;
+    }
+);
+bounded_cadence_kernels!(
+    manhattan,
+    manhattan_bounded_wide,
+    manhattan_unchecked,
+    |x, y, acc| acc += (x - y).abs()
+);
+bounded_cadence_kernels!(
+    chebyshev,
+    chebyshev_bounded_wide,
+    chebyshev_unchecked,
+    |x, y, acc| acc = acc.max((x - y).abs())
+);
 
 /// [`squared_euclidean`] with an early exit once the partial sum reaches
 /// `bound` (partial sums of squares only grow).  Short rows skip the bound
@@ -181,6 +827,27 @@ mod tests {
     }
 
     #[test]
+    fn kernel_mode_labels_and_default() {
+        assert_eq!(KernelMode::default(), KernelMode::Exact);
+        assert!(KernelMode::Exact.is_exact());
+        assert!(!KernelMode::Fast.is_exact());
+        assert!(!KernelMode::RankF32.is_exact());
+        assert_eq!(KernelMode::Exact.name(), "exact");
+        assert_eq!(KernelMode::Fast.name(), "fast");
+        assert_eq!(KernelMode::RankF32.name(), "rank-f32");
+    }
+
+    #[test]
+    fn cadence_tracks_dimensionality() {
+        assert_eq!(bounded_check_cadence(2), 0);
+        assert_eq!(bounded_check_cadence(10), 0);
+        assert_eq!(bounded_check_cadence(48), 0);
+        assert_eq!(bounded_check_cadence(95), 0);
+        assert_eq!(bounded_check_cadence(96), 16);
+        assert_eq!(bounded_check_cadence(384), 16);
+    }
+
+    #[test]
     fn bounded_variants_report_at_least_bound_when_exceeding() {
         // 16 dims so the early exit actually triggers mid-scan.
         let a: Vec<f64> = (0..16).map(|i| i as f64).collect();
@@ -227,6 +894,154 @@ mod tests {
                 squared_euclidean(a, b).sqrt().to_bits(),
                 euclidean(a, b).to_bits()
             );
+        }
+
+        /// Every fast/batch kernel agrees with its scalar twin within 1e-9
+        /// *relative* on adversarial inputs: mixed magnitudes, denormals and
+        /// the dimensionalities the tile loops monomorphize over.
+        #[test]
+        fn fast_and_batch_kernels_match_their_scalar_twins(
+            dim_idx in 0usize..8,
+            rows in 1usize..9,
+            seed in proptest::collection::vec(-1e3f64..1e3, 300),
+        ) {
+            let dim = [1usize, 2, 3, 4, 7, 8, 16, 33][dim_idx];
+            // Turn the uniform seed adversarial deterministically: every 4th
+            // value is rescaled to huge magnitude, every 4th-plus-one down to
+            // denormal-adjacent magnitude, every 4th-plus-two zeroed — so the
+            // summation mixes magnitudes, exact zeros and subnormals.
+            let take = |offset: usize, n: usize| -> Vec<f64> {
+                (0..n)
+                    .map(|i| {
+                        let v = seed[(offset + i) % seed.len()];
+                        match i % 4 {
+                            0 => v * 1e5,
+                            1 => v * 1e-305,
+                            2 => 0.0,
+                            _ => v,
+                        }
+                    })
+                    .collect()
+            };
+            let q = take(0, dim);
+            let block = take(dim, dim * rows);
+            let close = |got: f64, want: f64| -> bool {
+                (got - want).abs() <= 1e-9 * want.abs().max(1.0)
+            };
+
+            for (fast, scalar) in [
+                (squared_euclidean_fast as Kernel, squared_euclidean as Kernel),
+                (manhattan_fast as Kernel, manhattan as Kernel),
+                (euclidean_fast as Kernel, euclidean as Kernel),
+            ] {
+                let row = &block[..dim];
+                prop_assert!(
+                    close(fast(&q, row), scalar(&q, row)),
+                    "fast {} vs scalar {}", fast(&q, row), scalar(&q, row)
+                );
+            }
+            // The max-based kernel is exactly order-insensitive.
+            prop_assert_eq!(
+                chebyshev_fast(&q, &block[..dim]).to_bits(),
+                chebyshev(&q, &block[..dim]).to_bits()
+            );
+
+            let mut out = vec![0.0f64; rows];
+            for (batch, scalar) in [
+                (squared_euclidean_batch as BatchKernel, squared_euclidean as Kernel),
+                (manhattan_batch as BatchKernel, manhattan as Kernel),
+                (chebyshev_batch as BatchKernel, chebyshev as Kernel),
+                (euclidean_batch as BatchKernel, euclidean as Kernel),
+            ] {
+                batch(&q, &block, dim, &mut out);
+                for (i, row) in block.chunks_exact(dim).enumerate() {
+                    prop_assert!(
+                        close(out[i], scalar(&q, row)),
+                        "batch row {i}: {} vs scalar {}", out[i], scalar(&q, row)
+                    );
+                }
+            }
+
+            // Argmin agrees with a scalar first-index-wins argmin.
+            let (got_idx, got_rank) =
+                batch_rank_argmin(&q, &block, dim, squared_euclidean_fast);
+            let mut want_idx = 0;
+            let mut want = f64::INFINITY;
+            for (i, row) in block.chunks_exact(dim).enumerate() {
+                let rank = squared_euclidean_fast(&q, row);
+                if rank < want {
+                    want = rank;
+                    want_idx = i;
+                }
+            }
+            prop_assert_eq!(got_idx, want_idx);
+            prop_assert_eq!(got_rank.to_bits(), want.to_bits());
+        }
+
+        /// The f32 filter kernels track the f64 scalar twin within f32
+        /// round-off on moderate magnitudes (their only job is candidate
+        /// filtering; final distances are refined in f64).
+        #[test]
+        fn f32_batch_kernels_track_the_f64_twins(
+            dim_idx in 0usize..8,
+            rows in 1usize..9,
+            seed in proptest::collection::vec(-1e3f64..1e3, 300),
+        ) {
+            let dim = [1usize, 2, 3, 4, 7, 8, 16, 33][dim_idx];
+            let take = |offset: usize, n: usize| -> Vec<f64> {
+                (0..n).map(|i| seed[(offset + i) % seed.len()]).collect()
+            };
+            let q = take(0, dim);
+            let block = take(dim, dim * rows);
+            let mut q32 = Vec::new();
+            let mut block32 = Vec::new();
+            downcast_coords(&q, &mut q32);
+            downcast_coords(&block, &mut block32);
+            let mut out32 = vec![0.0f32; rows];
+            for (batch32, scalar) in [
+                (squared_euclidean_batch_f32 as BatchKernelF32, squared_euclidean as Kernel),
+                (manhattan_batch_f32 as BatchKernelF32, manhattan as Kernel),
+                (chebyshev_batch_f32 as BatchKernelF32, chebyshev as Kernel),
+            ] {
+                batch32(&q32, &block32, dim, &mut out32);
+                for (i, row) in block.chunks_exact(dim).enumerate() {
+                    let want = scalar(&q, row);
+                    prop_assert!(
+                        (out32[i] as f64 - want).abs() <= 1e-3 * want.abs().max(1.0),
+                        "f32 row {i}: {} vs f64 {}", out32[i], want
+                    );
+                }
+            }
+        }
+
+        /// The cadence-16 and unchecked bounded variants keep the bounded
+        /// contract: bit-identical to the plain kernel when not cut short,
+        /// `≥ bound` otherwise — for every cadence the dimension-aware
+        /// selection can pick.
+        #[test]
+        fn cadence_variants_keep_the_bounded_contract(
+            a in proptest::collection::vec(-1e3f64..1e3, 1..40),
+            b in proptest::collection::vec(-1e3f64..1e3, 1..40),
+            frac in 0.0f64..2.0,
+        ) {
+            let n = a.len().min(b.len());
+            let (a, b) = (&a[..n], &b[..n]);
+            for (full, bounded) in [
+                (squared_euclidean as Kernel, squared_euclidean_bounded_wide as BoundedKernel),
+                (squared_euclidean as Kernel, squared_euclidean_unchecked as BoundedKernel),
+                (manhattan as Kernel, manhattan_bounded_wide as BoundedKernel),
+                (manhattan as Kernel, manhattan_unchecked as BoundedKernel),
+                (chebyshev as Kernel, chebyshev_bounded_wide as BoundedKernel),
+                (chebyshev as Kernel, chebyshev_unchecked as BoundedKernel),
+            ] {
+                let exact = full(a, b);
+                let loose = bounded(a, b, exact * 2.0 + 1.0);
+                prop_assert_eq!(loose.to_bits(), exact.to_bits());
+                let got = bounded(a, b, exact * frac);
+                if got < exact * frac {
+                    prop_assert_eq!(got.to_bits(), exact.to_bits());
+                }
+            }
         }
 
         /// A bounded kernel that is not cut short returns the exact value,

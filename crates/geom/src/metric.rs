@@ -6,7 +6,7 @@
 //! here; every algorithm in the workspace is parameterised by a
 //! [`DistanceMetric`].
 
-use crate::kernels::{self, BoundedKernel, Kernel};
+use crate::kernels::{self, BatchKernel, BatchKernelF32, BoundedKernel, Kernel};
 use crate::point::Point;
 
 /// A metric on the `n`-dimensional space `D`.
@@ -74,14 +74,105 @@ impl DistanceMetric {
         }
     }
 
+    /// The dimension-aware early-exit rank kernel: same contract as
+    /// [`DistanceMetric::rank_kernel_bounded`], but the bound-check cadence is
+    /// picked from `dim` at hoist time ([`kernels::bounded_check_cadence`]) —
+    /// no checks at all below 96 dims (the branchless plain kernel is
+    /// measurably cheaper than a mispredictable exit branch), cadence 16
+    /// beyond.  Completed results stay bit-identical to
+    /// [`DistanceMetric::rank_kernel`] for every cadence; only where the scan
+    /// may be cut short differs.
+    pub fn rank_kernel_bounded_for_dim(&self, dim: usize) -> BoundedKernel {
+        match (self, kernels::bounded_check_cadence(dim)) {
+            (DistanceMetric::Euclidean, 0) => kernels::squared_euclidean_unchecked,
+            (DistanceMetric::Euclidean, _) => kernels::squared_euclidean_bounded_wide,
+            (DistanceMetric::Manhattan, 0) => kernels::manhattan_unchecked,
+            (DistanceMetric::Manhattan, _) => kernels::manhattan_bounded_wide,
+            (DistanceMetric::Chebyshev, 0) => kernels::chebyshev_unchecked,
+            (DistanceMetric::Chebyshev, _) => kernels::chebyshev_bounded_wide,
+        }
+    }
+
+    /// The multi-accumulator fast kernel computing this metric's true
+    /// distance (the [`crate::kernels::KernelMode::Fast`] pairwise path).
+    /// Agrees with [`DistanceMetric::kernel`] to ~1e-9 relative, not bit for
+    /// bit — see the accumulation-order caveat in [`crate::kernels`].
+    pub fn fast_kernel(&self) -> Kernel {
+        match self {
+            DistanceMetric::Euclidean => kernels::euclidean_fast,
+            DistanceMetric::Manhattan => kernels::manhattan_fast,
+            DistanceMetric::Chebyshev => kernels::chebyshev_fast,
+        }
+    }
+
+    /// The multi-accumulator fast kernel computing this metric's comparison
+    /// rank (squared distance for L2).
+    pub fn fast_rank_kernel(&self) -> Kernel {
+        match self {
+            DistanceMetric::Euclidean => kernels::squared_euclidean_fast,
+            DistanceMetric::Manhattan => kernels::manhattan_fast,
+            DistanceMetric::Chebyshev => kernels::chebyshev_fast,
+        }
+    }
+
+    /// The one-query-vs-many-rows rank kernel streaming a flat coordinate
+    /// tile per call (see [`BatchKernel`]).  Convert the ranks back with
+    /// [`DistanceMetric::ranks_to_distances`].
+    pub fn batch_rank_kernel(&self) -> BatchKernel {
+        match self {
+            DistanceMetric::Euclidean => kernels::squared_euclidean_batch,
+            DistanceMetric::Manhattan => kernels::manhattan_batch,
+            DistanceMetric::Chebyshev => kernels::chebyshev_batch,
+        }
+    }
+
+    /// The `f32` batch rank kernel used by the RankF32 candidate filter.
+    pub fn batch_rank_kernel_f32(&self) -> BatchKernelF32 {
+        match self {
+            DistanceMetric::Euclidean => kernels::squared_euclidean_batch_f32,
+            DistanceMetric::Manhattan => kernels::manhattan_batch_f32,
+            DistanceMetric::Chebyshev => kernels::chebyshev_batch_f32,
+        }
+    }
+
     /// Converts a rank produced by [`DistanceMetric::rank_kernel`] back to the
     /// true distance.  For L2 this is the `sqrt` the rank kernel skipped, so
     /// `rank_to_distance(rank_kernel(a, b))` is bit-identical to
     /// [`DistanceMetric::distance_coords`].
+    ///
+    /// The round trip only runs *rank → distance*: the reverse mapping
+    /// (squaring a distance to obtain a rank) is **not** the bit-exact
+    /// inverse — `sqrt` rounds, so `rank_to_distance(d * d)` may differ from
+    /// `d` in the last ulp, and thresholds must therefore never be squared
+    /// into rank space for exact comparisons (see ARCHITECTURE.md).  What
+    /// every rank-space consumer may rely on is *order preservation*:
+    /// `rank_to_distance` is monotone non-decreasing, so an argmin/top-k over
+    /// ranks is an argmin/top-k over distances (pinned by the
+    /// `rank_ordering_matches_distance_ordering` proptest).
+    ///
+    /// # Panics
+    /// Debug builds panic on a negative rank (ranks are sums/maxima of
+    /// non-negative terms; a negative one indicates a caller bug that would
+    /// silently become `NaN` under L2).
     pub fn rank_to_distance(&self, rank: f64) -> f64 {
+        debug_assert!(
+            rank >= 0.0 || rank.is_nan(),
+            "negative rank {rank} passed to rank_to_distance"
+        );
         match self {
             DistanceMetric::Euclidean => rank.sqrt(),
             DistanceMetric::Manhattan | DistanceMetric::Chebyshev => rank,
+        }
+    }
+
+    /// In-place [`DistanceMetric::rank_to_distance`] over a rank tile: the
+    /// vectorizable `sqrt` sweep for L2, a no-op for L1/L∞.
+    pub fn ranks_to_distances(&self, ranks: &mut [f64]) {
+        if matches!(self, DistanceMetric::Euclidean) {
+            for r in ranks.iter_mut() {
+                debug_assert!(*r >= 0.0 || r.is_nan(), "negative rank {r}");
+                *r = r.sqrt();
+            }
         }
     }
 
@@ -161,6 +252,64 @@ mod tests {
     }
 
     proptest! {
+        /// The invariant the whole rank path (and the f32 filter built on
+        /// it) leans on: comparing ranks decides exactly like comparing true
+        /// distances.  Strict rank order implies non-decreasing distance
+        /// order (`sqrt` can collapse adjacent ranks onto one distance);
+        /// strict distance order implies strict rank order; equal ranks map
+        /// to bit-equal distances.
+        #[test]
+        fn rank_ordering_matches_distance_ordering(
+            a in proptest::collection::vec(-1e3f64..1e3, 1..16),
+            b in proptest::collection::vec(-1e3f64..1e3, 1..16),
+            c in proptest::collection::vec(-1e3f64..1e3, 1..16),
+            d in proptest::collection::vec(-1e3f64..1e3, 1..16),
+            which in 0usize..3,
+        ) {
+            let m = [DistanceMetric::Euclidean, DistanceMetric::Manhattan, DistanceMetric::Chebyshev][which];
+            let n = a.len().min(b.len()).min(c.len()).min(d.len());
+            let rank = m.rank_kernel();
+            let (r1, r2) = (rank(&a[..n], &b[..n]), rank(&c[..n], &d[..n]));
+            let (d1, d2) = (m.rank_to_distance(r1), m.rank_to_distance(r2));
+            prop_assert_eq!(d1.to_bits(), m.distance_coords(&a[..n], &b[..n]).to_bits());
+            if r1 < r2 {
+                prop_assert!(d1 <= d2, "rank order {r1} < {r2} but distances {d1} > {d2}");
+            }
+            if d1 < d2 {
+                prop_assert!(r1 < r2, "distance order {d1} < {d2} but ranks {r1} >= {r2}");
+            }
+            if r1 == r2 {
+                prop_assert_eq!(d1.to_bits(), d2.to_bits());
+            }
+            // The in-place tile conversion is the same function applied
+            // element-wise.
+            let mut tile = [r1, r2];
+            m.ranks_to_distances(&mut tile);
+            prop_assert_eq!(tile[0].to_bits(), d1.to_bits());
+            prop_assert_eq!(tile[1].to_bits(), d2.to_bits());
+        }
+
+        /// The dimension-aware bounded kernel keeps the bounded contract at
+        /// every dimensionality class (unchecked / cadence 8 / cadence 16).
+        #[test]
+        fn dim_aware_bounded_kernels_keep_the_contract(
+            a in proptest::collection::vec(-1e3f64..1e3, 1..40),
+            b in proptest::collection::vec(-1e3f64..1e3, 1..40),
+            frac in 0.0f64..2.0,
+            which in 0usize..3,
+        ) {
+            let m = [DistanceMetric::Euclidean, DistanceMetric::Manhattan, DistanceMetric::Chebyshev][which];
+            let n = a.len().min(b.len());
+            let (a, b) = (&a[..n], &b[..n]);
+            let exact = (m.rank_kernel())(a, b);
+            let bounded = m.rank_kernel_bounded_for_dim(n);
+            prop_assert_eq!(bounded(a, b, exact * 2.0 + 1.0).to_bits(), exact.to_bits());
+            let got = bounded(a, b, exact * frac);
+            if got < exact * frac {
+                prop_assert_eq!(got.to_bits(), exact.to_bits());
+            }
+        }
+
         /// Distance axioms: non-negativity, identity, symmetry, triangle
         /// inequality — these underpin every pruning rule in the paper.
         #[test]

@@ -8,14 +8,18 @@
 //! the shuffle-cost comparisons.  A single job suffices (no merge phase),
 //! since every reducer sees all of `S`.
 
-use crate::algorithms::common::{counters, EncodedRecord};
+use crate::algorithms::common::{
+    counters, flat_block_scan, DeltaBlock, EncodedRecord, TileScratch,
+};
 use crate::algorithms::KnnJoinAlgorithm;
 use crate::context::ExecutionContext;
 use crate::delta::DeltaOverlay;
-use crate::exact::validate_inputs;
+use crate::exact::{shadow_coords, validate_inputs};
 use crate::metrics::{phases, JoinMetrics};
 use crate::result::{JoinError, JoinResult, JoinRow};
-use geom::{CoordMatrix, DistanceMetric, Neighbor, NeighborList, Point, PointSet, RecordKind};
+use geom::{
+    CoordMatrix, DistanceMetric, KernelMode, Neighbor, NeighborList, Point, PointSet, RecordKind,
+};
 use mapreduce::{IdentityPartitioner, JobBuilder, MapContext, Mapper, ReduceContext, Reducer};
 use std::sync::Arc;
 use std::time::Instant;
@@ -27,6 +31,8 @@ pub struct BroadcastJoinConfig {
     pub reducers: usize,
     /// Number of map tasks.
     pub map_tasks: usize,
+    /// How the reducers evaluate distances (see [`KernelMode`]).
+    pub kernel_mode: KernelMode,
 }
 
 impl Default for BroadcastJoinConfig {
@@ -34,6 +40,7 @@ impl Default for BroadcastJoinConfig {
         Self {
             reducers: 4,
             map_tasks: 8,
+            kernel_mode: KernelMode::default(),
         }
     }
 }
@@ -105,7 +112,11 @@ impl KnnJoinAlgorithm for BroadcastJoin {
                 &BroadcastMapper {
                     reducers: self.config.reducers,
                 },
-                &BroadcastReducer { k, metric },
+                &BroadcastReducer {
+                    k,
+                    metric,
+                    mode: self.config.kernel_mode,
+                },
                 &IdentityPartitioner,
             )
             .map_err(|e| JoinError::substrate("broadcast-join", e))?;
@@ -151,10 +162,12 @@ impl Mapper for BroadcastMapper {
     }
 }
 
-/// Reducer: exhaustive scan of the full `S` for every local `r`.
+/// Reducer: exhaustive scan of the full `S` for every local `r` — the scalar
+/// loop in `Exact` mode, the tiled batch-kernel scan otherwise.
 struct BroadcastReducer {
     k: usize,
     metric: DistanceMetric,
+    mode: KernelMode,
 }
 
 impl Reducer for BroadcastReducer {
@@ -181,6 +194,28 @@ impl Reducer for BroadcastReducer {
         // Flatten S once: the block is scanned |R_block| times, so the
         // columnar layout and hoisted kernel pay for themselves immediately.
         let s_coords = CoordMatrix::from_points(&s_block);
+        if !self.mode.is_exact() {
+            let s_ids: Vec<u64> = s_block.iter().map(|p| p.id).collect();
+            let s_coords32 = shadow_coords(&s_coords, self.mode);
+            let mut scratch = TileScratch::new();
+            for r_obj in &r_block {
+                let (neighbors, counts) = flat_block_scan(
+                    &r_obj.coords,
+                    &s_ids,
+                    &s_coords,
+                    s_coords32.as_deref(),
+                    self.k,
+                    self.metric,
+                    None,
+                    None,
+                    &mut scratch,
+                );
+                ctx.counters()
+                    .add(counters::DISTANCE_COMPUTATIONS, counts.frozen);
+                ctx.emit(r_obj.id, neighbors);
+            }
+            return;
+        }
         let kernel = self.metric.kernel();
         for r_obj in &r_block {
             let mut list = NeighborList::new(self.k);
@@ -206,15 +241,22 @@ impl Reducer for BroadcastReducer {
 pub(crate) struct BroadcastPrepared {
     ids: Vec<geom::PointId>,
     coords: CoordMatrix,
+    /// `f32` shadow of `coords`, present only in `RankF32` mode.
+    coords32: Option<Vec<f32>>,
+    mode: KernelMode,
 }
 
 impl BroadcastPrepared {
-    /// Flattens `S`.
-    pub(crate) fn build(s: &PointSet, metrics: &mut JoinMetrics) -> Self {
+    /// Flattens `S` (and downcasts the `f32` shadow when `mode` wants one).
+    pub(crate) fn build(s: &PointSet, mode: KernelMode, metrics: &mut JoinMetrics) -> Self {
         let start = Instant::now();
+        let coords = CoordMatrix::from_point_set(s);
+        let coords32 = shadow_coords(&coords, mode);
         let prepared = Self {
             ids: s.iter().map(|p| p.id).collect(),
-            coords: CoordMatrix::from_point_set(s),
+            coords,
+            coords32,
+            mode,
         };
         metrics.record_phase(phases::PREPARE_BUILD, start.elapsed());
         prepared
@@ -247,6 +289,12 @@ impl BroadcastPrepared {
                 k: plan.k,
                 metric: plan.metric,
                 delta: delta.map(Arc::clone),
+                delta_block: if self.mode.is_exact() {
+                    None
+                } else {
+                    delta
+                        .and_then(|d| DeltaBlock::from_overlay(d, self.coords.dims()).map(Arc::new))
+                },
             },
             metrics,
         )
@@ -255,10 +303,10 @@ impl BroadcastPrepared {
     /// Re-flattens the materialized corpus (frozen survivors in arrival
     /// order, then adds in ascending id order — the canonical
     /// materialization order, so the compacted scan is bit-identical to a
-    /// cold build over the same corpus).
-    pub(crate) fn compact(materialized: &PointSet, metrics: &mut JoinMetrics) -> Self {
+    /// cold build over the same corpus), keeping this epoch's kernel mode.
+    pub(crate) fn compact(&self, materialized: &PointSet, metrics: &mut JoinMetrics) -> Self {
         metrics.compacted_points += materialized.len() as u64;
-        Self::build(materialized, metrics)
+        Self::build(materialized, self.mode, metrics)
     }
 }
 
@@ -270,6 +318,9 @@ struct BroadcastServeReducer<'a> {
     k: usize,
     metric: DistanceMetric,
     delta: Option<Arc<DeltaOverlay>>,
+    /// The overlay's adds in flat layout, gathered once per probe so the
+    /// non-exact scan streams them through the batch kernels.
+    delta_block: Option<Arc<DeltaBlock>>,
 }
 
 impl Reducer for BroadcastServeReducer<'_> {
@@ -284,6 +335,31 @@ impl Reducer for BroadcastServeReducer<'_> {
         values: &[EncodedRecord],
         ctx: &mut ReduceContext<u64, Vec<Neighbor>>,
     ) {
+        if !self.prepared.mode.is_exact() {
+            let mut scratch = TileScratch::new();
+            for value in values {
+                let r_obj = value.decode().point;
+                let (neighbors, counts) = flat_block_scan(
+                    &r_obj.coords,
+                    &self.prepared.ids,
+                    &self.prepared.coords,
+                    self.prepared.coords32.as_deref(),
+                    self.k,
+                    self.metric,
+                    self.delta.as_deref(),
+                    self.delta_block.as_deref(),
+                    &mut scratch,
+                );
+                ctx.counters()
+                    .add(counters::DISTANCE_COMPUTATIONS, counts.frozen);
+                ctx.counters()
+                    .add(counters::DELTA_PROBE_COMPUTATIONS, counts.delta);
+                ctx.counters()
+                    .add(counters::TOMBSTONE_MASKED, counts.masked);
+                ctx.emit(r_obj.id, neighbors);
+            }
+            return;
+        }
         let kernel = self.metric.kernel();
         for value in values {
             let r_obj = value.decode().point;
@@ -353,6 +429,32 @@ mod tests {
     }
 
     #[test]
+    fn fast_and_rank_f32_modes_match_exact_mode() {
+        let r = uniform(120, 4, 40.0, 21);
+        let s = uniform(300, 4, 40.0, 22);
+        for metric in [
+            DistanceMetric::Euclidean,
+            DistanceMetric::Manhattan,
+            DistanceMetric::Chebyshev,
+        ] {
+            let exact = BroadcastJoin::default().join(&r, &s, 5, metric).unwrap();
+            for mode in [KernelMode::Fast, KernelMode::RankF32] {
+                let got = BroadcastJoin::new(BroadcastJoinConfig {
+                    kernel_mode: mode,
+                    ..Default::default()
+                })
+                .join(&r, &s, 5, metric)
+                .unwrap();
+                assert!(
+                    got.matches(&exact, 1e-9),
+                    "{metric:?}/{mode:?}: {:?}",
+                    got.mismatch_against(&exact, 1e-9)
+                );
+            }
+        }
+    }
+
+    #[test]
     fn shuffle_cost_is_r_plus_n_times_s() {
         // The defining property of the basic strategy (Section 3).
         let r = uniform(100, 2, 50.0, 3);
@@ -410,7 +512,7 @@ mod tests {
         assert!(matches!(
             BroadcastJoin::new(BroadcastJoinConfig {
                 reducers: 0,
-                map_tasks: 1
+                ..Default::default()
             })
             .join(&r, &s, 2, DistanceMetric::Euclidean)
             .unwrap_err(),
@@ -419,7 +521,8 @@ mod tests {
         assert!(matches!(
             BroadcastJoin::new(BroadcastJoinConfig {
                 reducers: 1,
-                map_tasks: 0
+                map_tasks: 0,
+                ..Default::default()
             })
             .join(&r, &s, 2, DistanceMetric::Euclidean)
             .unwrap_err(),
@@ -443,7 +546,11 @@ mod tests {
             let s = uniform(n_s, 2, 40.0, seed ^ 0x31);
             let metric = DistanceMetric::Euclidean;
             let exact = NestedLoopJoin.join(&r, &s, k, metric).unwrap();
-            let got = BroadcastJoin::new(BroadcastJoinConfig { reducers, map_tasks: 2 })
+            let got = BroadcastJoin::new(BroadcastJoinConfig {
+                reducers,
+                map_tasks: 2,
+                ..Default::default()
+            })
                 .join(&r, &s, k, metric)
                 .unwrap();
             prop_assert!(got.matches(&exact, 1e-9));

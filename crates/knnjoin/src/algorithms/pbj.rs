@@ -11,8 +11,8 @@
 
 use crate::algorithms::blocks::run_block_framework;
 use crate::algorithms::common::{
-    bounded_knn_scan, counters, order_s_partitions, split_reducer_records, EncodedRecord,
-    FlatPartition, NeighborListValue,
+    bounded_knn_scan, bounded_knn_scan_tiled, counters, order_s_partitions, split_reducer_records,
+    DeltaBlock, EncodedRecord, FlatPartition, NeighborListValue,
 };
 use crate::algorithms::KnnJoinAlgorithm;
 use crate::bounds::upper_bound;
@@ -21,10 +21,10 @@ use crate::delta::DeltaOverlay;
 use crate::exact::validate_inputs;
 use crate::metrics::{phases, JoinMetrics};
 use crate::partition::VoronoiPartitioner;
-use crate::pivots::{select_pivots, PivotSelectionStrategy};
+use crate::pivots::{select_pivots_with_mode, PivotSelectionStrategy};
 use crate::result::{JoinError, JoinResult};
 use crate::summary::SummaryTables;
-use geom::{DistanceMetric, PointSet, RecordKind};
+use geom::{DistanceMetric, KernelMode, PointSet, RecordKind};
 use mapreduce::{ReduceContext, Reducer};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -49,6 +49,9 @@ pub struct PbjConfig {
     pub combiner: bool,
     /// Seed for pivot selection.
     pub seed: u64,
+    /// How distance kernels run (see [`KernelMode`]); `Exact` is the
+    /// bit-identical default.
+    pub kernel_mode: KernelMode,
 }
 
 impl Default for PbjConfig {
@@ -61,6 +64,7 @@ impl Default for PbjConfig {
             map_tasks: 8,
             combiner: true,
             seed: 0xC0FFEE,
+            kernel_mode: KernelMode::default(),
         }
     }
 }
@@ -122,20 +126,22 @@ impl KnnJoinAlgorithm for Pbj {
 
         // ---- Preprocessing: pivot selection --------------------------------
         let start = Instant::now();
-        let pivots = select_pivots(
+        let pivots = select_pivots_with_mode(
             r,
             cfg.pivot_count,
             cfg.pivot_strategy,
             cfg.pivot_sample_size,
             metric,
             cfg.seed,
+            cfg.kernel_mode,
         );
         metrics.record_phase(phases::PIVOT_SELECTION, start.elapsed());
         metrics.pivot_selections = 1;
 
         // ---- Partitioning (first job of the paper, run as a driver-side scan)
         let start = Instant::now();
-        let partitioner = VoronoiPartitioner::new(pivots.clone(), metric);
+        let partitioner =
+            VoronoiPartitioner::new_with_mode(pivots.clone(), metric, cfg.kernel_mode);
         let partitioned_r = partitioner.partition(r);
         let partitioned_s = partitioner.partition(s);
         metrics.record_phase(phases::DATA_PARTITIONING, start.elapsed());
@@ -174,6 +180,7 @@ impl KnnJoinAlgorithm for Pbj {
             tables: Arc::clone(&tables),
             k,
             metric,
+            mode: cfg.kernel_mode,
         };
         let rows = run_block_framework(
             input,
@@ -198,6 +205,7 @@ struct PbjCellReducer {
     tables: Arc<SummaryTables>,
     k: usize,
     metric: DistanceMetric,
+    mode: KernelMode,
 }
 
 impl PbjCellReducer {
@@ -241,17 +249,34 @@ impl Reducer for PbjCellReducer {
             let s_order = order_s_partitions(&s_parts, i, &self.tables);
             let theta_i = self.local_theta(i, &s_parts);
             for (r_obj, r_pivot_dist) in r_bucket {
-                let (neighbors, computations) = bounded_knn_scan(
-                    r_obj,
-                    *r_pivot_dist,
-                    i,
-                    &s_parts,
-                    &s_order,
-                    &self.tables,
-                    theta_i,
-                    self.k,
-                    self.metric,
-                );
+                let (neighbors, computations) = if self.mode.is_exact() {
+                    bounded_knn_scan(
+                        r_obj,
+                        *r_pivot_dist,
+                        i,
+                        &s_parts,
+                        &s_order,
+                        &self.tables,
+                        theta_i,
+                        self.k,
+                        self.metric,
+                    )
+                } else {
+                    let (neighbors, counts) = bounded_knn_scan_tiled(
+                        r_obj,
+                        *r_pivot_dist,
+                        i,
+                        &s_parts,
+                        &s_order,
+                        &self.tables,
+                        theta_i,
+                        self.k,
+                        self.metric,
+                        None,
+                        None,
+                    );
+                    (neighbors, counts.frozen)
+                };
                 ctx.counters()
                     .add(counters::DISTANCE_COMPUTATIONS, computations);
                 ctx.emit(r_obj.id, NeighborListValue::new(neighbors));
@@ -282,19 +307,25 @@ impl PbjPrepared {
         metrics: &mut JoinMetrics,
     ) -> Self {
         let start = Instant::now();
-        let pivots = select_pivots(
+        let pivots = select_pivots_with_mode(
             calibration_r,
             plan.pivot_count,
             plan.pivot_strategy,
             plan.pivot_sample_size,
             plan.metric,
             plan.seed,
+            plan.kernel_mode,
         );
         metrics.record_phase(phases::PIVOT_SELECTION, start.elapsed());
         metrics.pivot_selections = 1;
         let start = Instant::now();
-        let core =
-            crate::algorithms::common::VoronoiServeState::build(pivots, plan.metric, s, plan.k);
+        let core = crate::algorithms::common::VoronoiServeState::build(
+            pivots,
+            plan.metric,
+            s,
+            plan.k,
+            plan.kernel_mode,
+        );
         metrics.record_phase(phases::DATA_PARTITIONING, start.elapsed());
         Self { core }
     }
@@ -349,6 +380,15 @@ impl PbjPrepared {
                 k: plan.k,
                 metric: plan.metric,
                 delta: delta.map(Arc::clone),
+                mode: self.core.mode,
+                delta_block: if self.core.mode.is_exact() {
+                    None
+                } else {
+                    delta.and_then(|d| {
+                        DeltaBlock::from_overlay(d, self.core.partitioner.pivot_matrix().dims())
+                            .map(Arc::new)
+                    })
+                },
             },
             metrics,
         )

@@ -42,7 +42,9 @@ use crate::exact::validate_inputs;
 use crate::metrics::{phases, JoinMetrics};
 use crate::result::{JoinError, JoinResult, JoinRow};
 use geom::zorder::{random_shifts, ZQuantizer, ZValue, MAX_Z_BITS};
-use geom::{CoordMatrix, DistanceMetric, NeighborList, Point, PointId, PointSet, RecordKind};
+use geom::{
+    CoordMatrix, DistanceMetric, KernelMode, NeighborList, Point, PointId, PointSet, RecordKind,
+};
 use mapreduce::{IdentityPartitioner, JobBuilder, MapContext, Mapper, ReduceContext, Reducer};
 use std::sync::Arc;
 use std::time::Instant;
@@ -77,6 +79,14 @@ pub struct ZknnConfig {
     pub combiner: bool,
     /// Seed for the random shift vectors.
     pub seed: u64,
+    /// How the candidate windows evaluate distances.  `Exact` keeps the
+    /// scalar kernel loop; any other mode streams each contiguous z-window
+    /// through the multi-accumulator batch rank kernels (`RankF32` behaves
+    /// like `Fast` here — the windows hold at most `2·z_window·k` rows, too
+    /// few for a separate `f32` filtering pass to pay off).  The candidate
+    /// *sets* are identical in every mode; only the floating-point
+    /// accumulation order differs.
+    pub kernel_mode: KernelMode,
 }
 
 impl Default for ZknnConfig {
@@ -89,6 +99,7 @@ impl Default for ZknnConfig {
             map_tasks: 8,
             combiner: true,
             seed: 0x5EED,
+            kernel_mode: KernelMode::default(),
         }
     }
 }
@@ -193,6 +204,7 @@ impl KnnJoinAlgorithm for Zknn {
                     shared: Arc::clone(&shared),
                     k,
                     metric,
+                    mode: cfg.kernel_mode,
                 },
                 &IdentityPartitioner,
             )
@@ -408,6 +420,7 @@ struct ZSlabReducer {
     shared: Arc<ZknnShared>,
     k: usize,
     metric: DistanceMetric,
+    mode: KernelMode,
 }
 
 impl Reducer for ZSlabReducer {
@@ -447,6 +460,10 @@ impl Reducer for ZSlabReducer {
             s_coords.push_row(&p.coords);
         }
         let kernel = self.metric.kernel();
+        let batch = self.metric.batch_rank_kernel();
+        let dims = self.shared.quantizer.dims();
+        // Scratch for the batched window evaluation: at most 2·window rows.
+        let mut ranks: Vec<f64> = Vec::new();
 
         let window = self.shared.window;
         for (z_r, r_obj) in &r_block {
@@ -455,8 +472,28 @@ impl Reducer for ZSlabReducer {
             let lo = pos.saturating_sub(window);
             let hi = (pos + window).min(s_z.len());
             let mut list = NeighborList::new(self.k);
-            for (idx, id) in s_ids.iter().enumerate().take(hi).skip(lo) {
-                list.offer(*id, kernel(&r_obj.coords, s_coords.row(idx)));
+            if self.mode.is_exact() {
+                for (idx, id) in s_ids.iter().enumerate().take(hi).skip(lo) {
+                    list.offer(*id, kernel(&r_obj.coords, s_coords.row(idx)));
+                }
+            } else {
+                // The window is one contiguous run of sorted-S rows: a single
+                // batch call covers it, and the monotone rank→distance map
+                // restores true distances before the bounded offer.
+                let m = hi - lo;
+                if ranks.len() < m {
+                    ranks.resize(m, 0.0);
+                }
+                batch(
+                    &r_obj.coords,
+                    &s_coords.as_slice()[lo * dims..hi * dims],
+                    dims,
+                    &mut ranks[..m],
+                );
+                self.metric.ranks_to_distances(&mut ranks[..m]);
+                for (off, id) in s_ids[lo..hi].iter().enumerate() {
+                    list.offer(*id, ranks[off]);
+                }
             }
             ctx.counters()
                 .add(counters::DISTANCE_COMPUTATIONS, (hi - lo) as u64);
@@ -560,6 +597,10 @@ pub(crate) struct ZknnPrepared {
     /// Candidate z-neighbours per side: `z_window · k`.
     window: usize,
     copies: Vec<SortedCopy>,
+    /// The plan's [`KernelMode`], fixed at prepare time (see
+    /// [`ZknnConfig::kernel_mode`] for the `RankF32`-behaves-as-`Fast`
+    /// caveat).
+    mode: KernelMode,
 }
 
 impl ZknnPrepared {
@@ -607,6 +648,7 @@ impl ZknnPrepared {
             shifts,
             window: plan.z_window.saturating_mul(plan.k),
             copies,
+            mode: plan.kernel_mode,
         }
     }
 
@@ -703,6 +745,7 @@ impl ZknnPrepared {
             shifts: self.shifts.clone(),
             window: self.window,
             copies,
+            mode: self.mode,
         }
     }
 }
@@ -839,7 +882,18 @@ impl Reducer for ZknnServeReducer<'_> {
         values: &[EncodedRecord],
         ctx: &mut ReduceContext<u64, Vec<geom::Neighbor>>,
     ) {
-        let kernel = self.metric.kernel();
+        let mode = self.prepared.mode;
+        // The delta-merged windows interleave frozen and add rows, so they
+        // stay pairwise; in a non-exact mode they use the fast (reassociated)
+        // scalar kernel to match the batch kernels' accumulation style.
+        let kernel = if mode.is_exact() {
+            self.metric.kernel()
+        } else {
+            self.metric.fast_kernel()
+        };
+        let batch = self.metric.batch_rank_kernel();
+        let dims = self.prepared.quantizer.dims();
+        let mut ranks: Vec<f64> = Vec::new();
         let window = self.prepared.window;
         for value in values {
             let r_obj = value.decode().point;
@@ -861,8 +915,30 @@ impl Reducer for ZknnServeReducer<'_> {
                         let pos = copy.z.partition_point(|z| *z < z_r);
                         let lo = pos.saturating_sub(window);
                         let hi = (pos + window).min(copy.z.len());
-                        for idx in lo..hi {
-                            list.offer(copy.ids[idx], kernel(&r_obj.coords, copy.coords.row(idx)));
+                        if mode.is_exact() {
+                            for idx in lo..hi {
+                                list.offer(
+                                    copy.ids[idx],
+                                    kernel(&r_obj.coords, copy.coords.row(idx)),
+                                );
+                            }
+                        } else {
+                            // One contiguous run of sorted-S rows: a single
+                            // batch call plus the monotone rank→distance map.
+                            let m = hi - lo;
+                            if ranks.len() < m {
+                                ranks.resize(m, 0.0);
+                            }
+                            batch(
+                                &r_obj.coords,
+                                &copy.coords.as_slice()[lo * dims..hi * dims],
+                                dims,
+                                &mut ranks[..m],
+                            );
+                            self.metric.ranks_to_distances(&mut ranks[..m]);
+                            for (off, rank) in ranks[..m].iter().enumerate() {
+                                list.offer(copy.ids[lo + off], *rank);
+                            }
                         }
                         computations += (hi - lo) as u64;
                     }
@@ -1029,6 +1105,39 @@ mod tests {
             .phase_times
             .iter()
             .any(|(n, _)| n == phases::RESULT_MERGING));
+    }
+
+    #[test]
+    fn fast_and_rank_f32_modes_match_the_exact_mode_run() {
+        // The candidate windows are mode-independent (same z-order, same
+        // cuts), so a Fast/RankF32 run must reproduce the Exact-mode run's
+        // rows — only the accumulation order of each distance differs.
+        let r = clustered(180, 3, 41);
+        let s = clustered(220, 3, 42);
+        for metric in [
+            DistanceMetric::Euclidean,
+            DistanceMetric::Manhattan,
+            DistanceMetric::Chebyshev,
+        ] {
+            let exact = Zknn::default().join(&r, &s, 6, metric).unwrap();
+            for mode in [KernelMode::Fast, KernelMode::RankF32] {
+                let got = Zknn::new(ZknnConfig {
+                    kernel_mode: mode,
+                    ..Default::default()
+                })
+                .join(&r, &s, 6, metric)
+                .unwrap();
+                assert!(
+                    got.matches(&exact, 1e-9),
+                    "{metric:?}/{mode:?}: {:?}",
+                    got.mismatch_against(&exact, 1e-9)
+                );
+                assert_eq!(
+                    got.metrics.distance_computations, exact.metrics.distance_computations,
+                    "{metric:?}/{mode:?}: candidate windows must be mode-independent"
+                );
+            }
+        }
     }
 
     #[test]

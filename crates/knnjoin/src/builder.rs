@@ -30,7 +30,7 @@ use crate::grouping::GroupingStrategy;
 use crate::pivots::PivotSelectionStrategy;
 use crate::plan::{Algorithm, JoinPlan, DEFAULT_DELTA_THRESHOLD};
 use crate::result::{JoinError, JoinResult};
-use geom::{DistanceMetric, PointSet};
+use geom::{DistanceMetric, KernelMode, PointSet};
 use spatial::RTree;
 
 /// Default number of reducers when the caller does not choose one.
@@ -61,6 +61,7 @@ pub struct JoinBuilder<'a> {
     combiner: bool,
     seed: u64,
     delta_threshold: usize,
+    kernel_mode: KernelMode,
 }
 
 impl<'a> JoinBuilder<'a> {
@@ -87,6 +88,7 @@ impl<'a> JoinBuilder<'a> {
             combiner: defaults.combiner,
             seed: defaults.seed,
             delta_threshold: DEFAULT_DELTA_THRESHOLD,
+            kernel_mode: defaults.kernel_mode,
         }
     }
 
@@ -202,6 +204,17 @@ impl<'a> JoinBuilder<'a> {
     /// irrelevant to one-shot [`JoinBuilder::run`] joins.
     pub fn delta_threshold(mut self, threshold: usize) -> Self {
         self.delta_threshold = threshold;
+        self
+    }
+
+    /// Selects how the distance hot loops evaluate kernels (default
+    /// [`KernelMode::Exact`], which preserves the scalar loops bit for bit).
+    /// [`KernelMode::Fast`] streams candidates through the multi-accumulator
+    /// batch kernels — same neighbours within accumulation-order round-off —
+    /// and [`KernelMode::RankF32`] additionally filters candidates in `f32`
+    /// before refining the survivors in `f64`.
+    pub fn kernel_mode(mut self, mode: KernelMode) -> Self {
+        self.kernel_mode = mode;
         self
     }
 
@@ -347,6 +360,7 @@ impl<'a> JoinBuilder<'a> {
             combiner: self.combiner,
             seed: self.seed,
             delta_threshold: self.delta_threshold,
+            kernel_mode: self.kernel_mode,
         })
     }
 
@@ -598,6 +612,22 @@ mod tests {
             .plan()
             .unwrap_err();
         assert!(matches!(err, JoinError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn kernel_mode_resolves_into_the_plan_and_defaults_to_exact() {
+        use geom::KernelMode;
+        let r = uniform(30, 2, 10.0, 31);
+        let plan = JoinBuilder::new(&r, &r).k(2).plan().unwrap();
+        assert_eq!(plan.kernel_mode, KernelMode::Exact);
+        for mode in [KernelMode::Fast, KernelMode::RankF32] {
+            let plan = JoinBuilder::new(&r, &r)
+                .k(2)
+                .kernel_mode(mode)
+                .plan()
+                .unwrap();
+            assert_eq!(plan.kernel_mode, mode);
+        }
     }
 
     #[test]

@@ -5,10 +5,11 @@
 //! distance computations.  It is used by tests and benchmarks as ground truth
 //! and as the centralized baseline that motivates distributing the join.
 
+use crate::algorithms::common::{flat_block_scan, DeltaBlock, TileScratch};
 use crate::delta::DeltaOverlay;
 use crate::metrics::{phases, JoinMetrics};
 use crate::result::{JoinError, JoinResult, JoinRow};
-use geom::{CoordMatrix, DistanceMetric, NeighborList, PointSet};
+use geom::{CoordMatrix, DistanceMetric, KernelMode, NeighborList, PointSet};
 use std::time::Instant;
 
 /// The exact nested-loop kNN join.
@@ -58,6 +59,76 @@ impl NestedLoopJoin {
         result.normalize();
         Ok(result)
     }
+
+    /// [`Self::join`] with an explicit [`KernelMode`].  `Exact` is the
+    /// untouched scalar loop above; `Fast` streams `S` through the tiled
+    /// batch rank kernels; `RankF32` additionally filters each tile in `f32`
+    /// and refines only the survivors in `f64` (so its
+    /// `distance_computations` counter reflects the refinements alone).
+    ///
+    /// # Errors
+    /// Same contract as [`Self::join`].
+    pub fn join_with_mode(
+        &self,
+        r: &PointSet,
+        s: &PointSet,
+        k: usize,
+        metric: DistanceMetric,
+        mode: KernelMode,
+    ) -> Result<JoinResult, JoinError> {
+        if mode.is_exact() {
+            return self.join(r, s, k, metric);
+        }
+        validate_inputs(r, s, k)?;
+        let start = Instant::now();
+        let s_coords = CoordMatrix::from_point_set(s);
+        let s_ids: Vec<u64> = s.iter().map(|p| p.id).collect();
+        let s_coords32 = shadow_coords(&s_coords, mode);
+        let mut scratch = TileScratch::new();
+        let mut rows = Vec::with_capacity(r.len());
+        let mut computations = 0u64;
+        for r_obj in r {
+            let (neighbors, counts) = flat_block_scan(
+                &r_obj.coords,
+                &s_ids,
+                &s_coords,
+                s_coords32.as_deref(),
+                k,
+                metric,
+                None,
+                None,
+                &mut scratch,
+            );
+            computations += counts.frozen;
+            rows.push(JoinRow {
+                r_id: r_obj.id,
+                neighbors,
+            });
+        }
+        let mut metrics = JoinMetrics {
+            distance_computations: computations,
+            r_size: r.len(),
+            s_size: s.len(),
+            ..Default::default()
+        };
+        metrics.record_phase(phases::KNN_JOIN, start.elapsed());
+        let mut result = JoinResult { rows, metrics };
+        result.normalize();
+        Ok(result)
+    }
+}
+
+/// The `f32` shadow copy of a flat block, built only when `mode` is
+/// [`KernelMode::RankF32`] (the other modes never read it).
+pub(crate) fn shadow_coords(coords: &CoordMatrix, mode: KernelMode) -> Option<Vec<f32>> {
+    match mode {
+        KernelMode::RankF32 => {
+            let mut shadow = Vec::with_capacity(coords.as_slice().len());
+            geom::kernels::downcast_coords(coords.as_slice(), &mut shadow);
+            Some(shadow)
+        }
+        KernelMode::Exact | KernelMode::Fast => None,
+    }
 }
 
 /// The prepared nested-loop state: `S` flattened once; every probe batch is
@@ -66,15 +137,22 @@ impl NestedLoopJoin {
 pub(crate) struct NestedLoopPrepared {
     ids: Vec<u64>,
     coords: CoordMatrix,
+    /// `f32` shadow of `coords`, present only in `RankF32` mode.
+    coords32: Option<Vec<f32>>,
+    mode: KernelMode,
 }
 
 impl NestedLoopPrepared {
-    /// Flattens `S`.
-    pub(crate) fn build(s: &PointSet, metrics: &mut JoinMetrics) -> Self {
+    /// Flattens `S` (and downcasts the `f32` shadow when `mode` wants one).
+    pub(crate) fn build(s: &PointSet, mode: KernelMode, metrics: &mut JoinMetrics) -> Self {
         let start = Instant::now();
+        let coords = CoordMatrix::from_point_set(s);
+        let coords32 = shadow_coords(&coords, mode);
         let prepared = Self {
             ids: s.iter().map(|p| p.id).collect(),
-            coords: CoordMatrix::from_point_set(s),
+            coords,
+            coords32,
+            mode,
         };
         metrics.record_phase(phases::PREPARE_BUILD, start.elapsed());
         prepared
@@ -93,6 +171,39 @@ impl NestedLoopPrepared {
         metrics: &mut JoinMetrics,
     ) -> Vec<JoinRow> {
         let start = Instant::now();
+        if !self.mode.is_exact() {
+            let delta_block = delta.and_then(|d| DeltaBlock::from_overlay(d, self.coords.dims()));
+            let mut scratch = TileScratch::new();
+            let mut rows = Vec::with_capacity(r.len());
+            let mut computations = 0u64;
+            let mut delta_computations = 0u64;
+            let mut masked = 0u64;
+            for r_obj in r {
+                let (neighbors, counts) = flat_block_scan(
+                    &r_obj.coords,
+                    &self.ids,
+                    &self.coords,
+                    self.coords32.as_deref(),
+                    k,
+                    metric,
+                    delta,
+                    delta_block.as_ref(),
+                    &mut scratch,
+                );
+                computations += counts.frozen;
+                delta_computations += counts.delta;
+                masked += counts.masked;
+                rows.push(JoinRow {
+                    r_id: r_obj.id,
+                    neighbors,
+                });
+            }
+            metrics.distance_computations += computations;
+            metrics.delta_probe_computations += delta_computations;
+            metrics.tombstone_masked += masked;
+            metrics.record_phase(phases::KNN_JOIN, start.elapsed());
+            return rows;
+        }
         let kernel = metric.kernel();
         let mut rows = Vec::with_capacity(r.len());
         let mut computations = 0u64;
@@ -135,10 +246,10 @@ impl NestedLoopPrepared {
     }
 
     /// Re-flattens the materialized corpus (same layout a cold build over it
-    /// would produce).
-    pub(crate) fn compact(materialized: &PointSet, metrics: &mut JoinMetrics) -> Self {
+    /// would produce), keeping this epoch's kernel mode.
+    pub(crate) fn compact(&self, materialized: &PointSet, metrics: &mut JoinMetrics) -> Self {
         metrics.compacted_points += materialized.len() as u64;
-        Self::build(materialized, metrics)
+        Self::build(materialized, self.mode, metrics)
     }
 }
 
@@ -291,6 +402,49 @@ mod tests {
                 expected: 2
             }
         );
+    }
+
+    #[test]
+    fn fast_and_rank_f32_modes_match_the_scalar_loop() {
+        let r = uniform(60, 5, 25.0, 11);
+        let s = uniform(700, 5, 25.0, 12);
+        for metric in [
+            DistanceMetric::Euclidean,
+            DistanceMetric::Manhattan,
+            DistanceMetric::Chebyshev,
+        ] {
+            let exact = NestedLoopJoin.join(&r, &s, 6, metric).unwrap();
+            let fast = NestedLoopJoin
+                .join_with_mode(&r, &s, 6, metric, KernelMode::Fast)
+                .unwrap();
+            assert!(
+                fast.matches(&exact, 1e-9),
+                "{metric:?}: {:?}",
+                fast.mismatch_against(&exact, 1e-9)
+            );
+            // Fast ranks every row, so the counter still bills |R|·|S|.
+            assert_eq!(fast.metrics.distance_computations, 60 * 700);
+            let rank32 = NestedLoopJoin
+                .join_with_mode(&r, &s, 6, metric, KernelMode::RankF32)
+                .unwrap();
+            // Uniform data is nowhere near f32 resolution, so the filter
+            // keeps every true neighbour and the f64 refinement makes the
+            // reported distances exact.
+            assert!(
+                rank32.matches(&exact, 1e-9),
+                "{metric:?}: {:?}",
+                rank32.mismatch_against(&exact, 1e-9)
+            );
+            // The f32 filter's whole point: far fewer f64 kernel calls.
+            assert!(rank32.metrics.distance_computations < fast.metrics.distance_computations / 2);
+        }
+        let exact_via_mode = NestedLoopJoin
+            .join_with_mode(&r, &s, 6, DistanceMetric::Euclidean, KernelMode::Exact)
+            .unwrap();
+        let exact = NestedLoopJoin
+            .join(&r, &s, 6, DistanceMetric::Euclidean)
+            .unwrap();
+        assert!(exact_via_mode.matches(&exact, 0.0));
     }
 
     #[test]

@@ -90,11 +90,11 @@ impl PreparedState {
                 PreparedState::Hbrj(p.compact(materialized, delta, plan, metrics))
             }
             PreparedState::Zknn(p) => PreparedState::Zknn(p.compact(delta, metrics)),
-            PreparedState::Broadcast(_) => {
-                PreparedState::Broadcast(BroadcastPrepared::compact(materialized, metrics))
+            PreparedState::Broadcast(p) => {
+                PreparedState::Broadcast(p.compact(materialized, metrics))
             }
-            PreparedState::NestedLoop(_) => {
-                PreparedState::NestedLoop(NestedLoopPrepared::compact(materialized, metrics))
+            PreparedState::NestedLoop(p) => {
+                PreparedState::NestedLoop(p.compact(materialized, metrics))
             }
         }
     }
@@ -225,12 +225,16 @@ impl PreparedJoin {
                 &plan,
                 &mut build_metrics,
             )),
-            Algorithm::BroadcastJoin => {
-                PreparedState::Broadcast(BroadcastPrepared::build(s, &mut build_metrics))
-            }
-            Algorithm::NestedLoopJoin => {
-                PreparedState::NestedLoop(NestedLoopPrepared::build(s, &mut build_metrics))
-            }
+            Algorithm::BroadcastJoin => PreparedState::Broadcast(BroadcastPrepared::build(
+                s,
+                plan.kernel_mode,
+                &mut build_metrics,
+            )),
+            Algorithm::NestedLoopJoin => PreparedState::NestedLoop(NestedLoopPrepared::build(
+                s,
+                plan.kernel_mode,
+                &mut build_metrics,
+            )),
         };
         let build_time = start.elapsed();
         let epoch = Epoch {

@@ -11,7 +11,7 @@
 //! paper's *computation selectivity* metric.
 
 use crate::rect::Rect;
-use geom::{CoordMatrix, DistanceMetric, Neighbor, NeighborList, Point, PointId};
+use geom::{CoordMatrix, DistanceMetric, KernelMode, Neighbor, NeighborList, Point, PointId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -81,6 +81,14 @@ pub struct RTree {
     fanout: usize,
     len: usize,
     height: usize,
+    /// How leaf scans evaluate distances: `Exact` walks each leaf row through
+    /// the scalar kernel with a per-row threshold check; the non-exact modes
+    /// rank the whole leaf block through the batch kernels first and check
+    /// thresholds on the converted distances.  Traversal order, MBR pruning
+    /// and the best-first heap are identical in every mode.  `RankF32` has no
+    /// dedicated tree path and behaves as `Fast` (the leaves are too small
+    /// for a separate `f32` filter pass to pay off).
+    mode: KernelMode,
 }
 
 /// Priority-queue entry for best-first traversal: either a node or a point,
@@ -135,6 +143,20 @@ impl RTree {
         metric: DistanceMetric,
         fanout: usize,
     ) -> Self {
+        Self::bulk_load_with_mode(points, metric, fanout, KernelMode::Exact)
+    }
+
+    /// [`RTree::bulk_load_with_fanout`] with an explicit [`KernelMode`] for
+    /// the leaf scans (see the `mode` field for the semantics).
+    ///
+    /// # Panics
+    /// Panics if `fanout < 2`.
+    pub fn bulk_load_with_mode(
+        points: Vec<Point>,
+        metric: DistanceMetric,
+        fanout: usize,
+        mode: KernelMode,
+    ) -> Self {
         assert!(fanout >= 2, "fanout must be at least 2");
         let len = points.len();
         if points.is_empty() {
@@ -144,6 +166,7 @@ impl RTree {
                 fanout,
                 len: 0,
                 height: 0,
+                mode,
             };
         }
         let dims = points[0].dims().max(1);
@@ -160,6 +183,7 @@ impl RTree {
             fanout,
             len,
             height,
+            mode,
         }
     }
 
@@ -186,6 +210,11 @@ impl RTree {
     /// The configured fanout.
     pub fn fanout(&self) -> usize {
         self.fanout
+    }
+
+    /// The leaf-scan kernel mode the tree was built with.
+    pub fn kernel_mode(&self) -> KernelMode {
+        self.mode
     }
 
     /// The `k` nearest neighbours of `query`, sorted by ascending distance.
@@ -223,6 +252,15 @@ impl RTree {
             return 0;
         }
         let kernel = self.metric.kernel();
+        let batch = self.metric.batch_rank_kernel();
+        let dims = query.coords.len();
+        // Reused across every leaf this query visits; leaves hold at most
+        // `fanout` rows, so the non-exact path sizes it once up front.
+        let mut ranks = if self.mode.is_exact() {
+            Vec::new()
+        } else {
+            vec![0.0f64; self.fanout]
+        };
         let mut distance_computations = 0u64;
         let mut heap: BinaryHeap<Prioritized<'_>> = BinaryHeap::new();
         let root = self.root.as_ref().expect("checked above");
@@ -241,6 +279,25 @@ impl RTree {
                     result.offer(id, d);
                 }
                 QueueEntry::Node(Node::Leaf { ids, coords, .. }) => {
+                    if !self.mode.is_exact() {
+                        // Rank the whole leaf block in one batch-kernel call,
+                        // convert, then offer straight into the accumulator.
+                        // Skipping the per-point heap round-trip saves a
+                        // push+pop per candidate and tightens the threshold
+                        // immediately, pruning later subtrees harder.  The
+                        // final k best are unchanged: a candidate the heap
+                        // would deliver later is offered now at the same
+                        // distance, and the threshold only shrinks toward
+                        // the same kth distance.
+                        let m = ids.len();
+                        batch(&query.coords, coords.as_slice(), dims, &mut ranks[..m]);
+                        self.metric.ranks_to_distances(&mut ranks[..m]);
+                        distance_computations += m as u64;
+                        for (i, &d) in ranks[..m].iter().enumerate() {
+                            result.offer(ids[i], d);
+                        }
+                        continue;
+                    }
                     for (i, row) in coords.rows().enumerate() {
                         let d = kernel(&query.coords, row);
                         distance_computations += 1;
@@ -472,6 +529,37 @@ mod tests {
     #[should_panic(expected = "fanout")]
     fn tiny_fanout_panics() {
         let _ = RTree::bulk_load_with_fanout(random_points(10, 2, 0), DistanceMetric::Euclidean, 1);
+    }
+
+    #[test]
+    fn fast_mode_leaf_scans_match_exact_mode() {
+        for metric in [
+            DistanceMetric::Euclidean,
+            DistanceMetric::Manhattan,
+            DistanceMetric::Chebyshev,
+        ] {
+            let pts = random_points(800, 4, 17);
+            let exact = RTree::bulk_load_with_fanout(pts.clone(), metric, 8);
+            for mode in [KernelMode::Fast, KernelMode::RankF32] {
+                let fast = RTree::bulk_load_with_mode(pts.clone(), metric, 8, mode);
+                assert_eq!(fast.kernel_mode(), mode);
+                let mut rng = StdRng::seed_from_u64(99);
+                for _ in 0..25 {
+                    let q =
+                        Point::new(u64::MAX, (0..4).map(|_| rng.gen::<f64>() * 100.0).collect());
+                    let want = exact.knn(&q, 7);
+                    let got = fast.knn(&q, 7);
+                    assert_eq!(
+                        want.iter().map(|n| n.id).collect::<Vec<_>>(),
+                        got.iter().map(|n| n.id).collect::<Vec<_>>(),
+                        "{metric:?}/{mode:?}"
+                    );
+                    for (w, g) in want.iter().zip(&got) {
+                        assert!((w.distance - g.distance).abs() <= 1e-9 * w.distance.max(1.0));
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! Integration tests of the `kernel_mode` plan knob: `Fast` reproduces the
+//! `Exact` results within 1e-9 on every algorithm and metric, `RankF32`'s
+//! recall is measured by the existing [`QualityReport`] machinery, and the
+//! prepared/delta serving path honours the mode across mutations and
+//! compaction.
+
+use pgbj::prelude::*;
+
+fn forest(n: usize, seed: u64) -> PointSet {
+    datagen::forest_like(
+        &datagen::ForestConfig {
+            n_points: n,
+            dims: 10,
+            n_clusters: 7,
+        },
+        seed,
+    )
+}
+
+fn run_mode(
+    ctx: &ExecutionContext,
+    algorithm: Algorithm,
+    r: &PointSet,
+    s: &PointSet,
+    k: usize,
+    metric: DistanceMetric,
+    mode: KernelMode,
+) -> JoinResult {
+    Join::new(r, s)
+        .k(k)
+        .metric(metric)
+        .algorithm(algorithm)
+        .pivot_count(24)
+        .reducers(6)
+        .kernel_mode(mode)
+        .run(ctx)
+        .expect("join should succeed")
+}
+
+#[test]
+fn fast_mode_matches_exact_mode_on_every_algorithm_and_metric() {
+    let r = forest(350, 1);
+    let s = forest(420, 2);
+    let k = 8;
+    let ctx = ExecutionContext::default();
+    for metric in [
+        DistanceMetric::Euclidean,
+        DistanceMetric::Manhattan,
+        DistanceMetric::Chebyshev,
+    ] {
+        for algorithm in Algorithm::ALL {
+            let exact = run_mode(&ctx, algorithm, &r, &s, k, metric, KernelMode::Exact);
+            let fast = run_mode(&ctx, algorithm, &r, &s, k, metric, KernelMode::Fast);
+            assert!(
+                fast.matches(&exact, 1e-9),
+                "{algorithm}/{metric:?}: Fast deviates from Exact: {:?}",
+                fast.mismatch_against(&exact, 1e-9)
+            );
+        }
+    }
+}
+
+#[test]
+fn rank_f32_recall_is_measured_by_the_quality_report() {
+    // RankF32 is approximate by contract (the f32 filter may drop a candidate
+    // whose rank rounds past the guard band), so its deviation is *measured*,
+    // not asserted to be zero — exactly how the H-zkNNJ recall is handled.
+    let r = forest(350, 3);
+    let s = forest(420, 4);
+    let k = 8;
+    let ctx = ExecutionContext::default();
+    for metric in [
+        DistanceMetric::Euclidean,
+        DistanceMetric::Manhattan,
+        DistanceMetric::Chebyshev,
+    ] {
+        for algorithm in Algorithm::ALL.into_iter().filter(|a| a.is_exact()) {
+            let exact = run_mode(&ctx, algorithm, &r, &s, k, metric, KernelMode::Exact);
+            let ranked = run_mode(&ctx, algorithm, &r, &s, k, metric, KernelMode::RankF32);
+            assert_eq!(ranked.rows.len(), exact.rows.len());
+            let quality = ranked.quality_against(&exact);
+            assert!(
+                quality.recall >= 0.999,
+                "{algorithm}/{metric:?}: RankF32 recall {}",
+                quality.recall
+            );
+            assert!(
+                (1.0 - 1e-9..1.0 + 1e-6).contains(&quality.distance_ratio),
+                "{algorithm}/{metric:?}: RankF32 distance ratio {}",
+                quality.distance_ratio
+            );
+        }
+    }
+}
+
+#[test]
+fn prepared_serving_honours_the_mode_across_mutations_and_compaction() {
+    // The delta layer must flow through the same batch kernels: a Fast
+    // prepared join tracks its Exact twin through inserts, deletes and the
+    // explicit compaction, batch for batch.
+    let r = forest(150, 5);
+    let s = forest(300, 6);
+    let k = 6;
+    let ctx = ExecutionContext::default();
+    for algorithm in [
+        Algorithm::Pgbj,
+        Algorithm::Pbj,
+        Algorithm::Hbrj,
+        Algorithm::BroadcastJoin,
+        Algorithm::NestedLoopJoin,
+    ] {
+        let build = |mode: KernelMode| {
+            Join::new(&r, &s)
+                .k(k)
+                .algorithm(algorithm)
+                .pivot_count(20)
+                .reducers(4)
+                .kernel_mode(mode)
+                .prepare(&ctx)
+                .expect("prepare")
+        };
+        let exact = build(KernelMode::Exact);
+        let fast = build(KernelMode::Fast);
+        let victims: Vec<u64> = s.iter().take(3).map(|p| p.id).collect();
+        for prepared in [&exact, &fast] {
+            for i in 0..8u64 {
+                prepared
+                    .insert(Point::new(
+                        1_000_000 + i,
+                        (0..s.dims()).map(|d| (i + d as u64) as f64 * 3.5).collect(),
+                    ))
+                    .expect("insert");
+            }
+            for id in &victims {
+                assert!(prepared.delete(*id));
+            }
+        }
+        let want = exact.query(&r).expect("exact overlay query");
+        let got = fast.query(&r).expect("fast overlay query");
+        assert!(
+            got.matches(&want, 1e-9),
+            "{algorithm}: Fast overlay serving deviates: {:?}",
+            got.mismatch_against(&want, 1e-9)
+        );
+        // Compaction folds the overlay while keeping the epoch's mode.
+        assert!(exact.compact(), "{algorithm}: exact compaction ran");
+        assert!(fast.compact(), "{algorithm}: fast compaction ran");
+        let want = exact.query(&r).expect("exact compacted query");
+        let got = fast.query(&r).expect("fast compacted query");
+        assert!(
+            got.matches(&want, 1e-9),
+            "{algorithm}: Fast compacted serving deviates: {:?}",
+            got.mismatch_against(&want, 1e-9)
+        );
+    }
+}

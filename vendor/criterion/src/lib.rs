@@ -154,7 +154,14 @@ impl Criterion {
     }
 
     fn report(&mut self, label: &str, mean_secs: f64) {
-        println!("{label:<60} {:>12.3} ms/iter", mean_secs * 1e3);
+        // Sub-millisecond benches (the kernel microbenchmarks) need more
+        // resolution than a fixed 3-decimal ms column can show.
+        let (value, unit) = if mean_secs < 1e-3 {
+            (mean_secs * 1e6, "us")
+        } else {
+            (mean_secs * 1e3, "ms")
+        };
+        println!("{label:<60} {value:>12.3} {unit}/iter");
         self.results.push((label.to_string(), mean_secs));
     }
 }

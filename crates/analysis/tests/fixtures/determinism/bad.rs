@@ -1,0 +1,12 @@
+// Known-bad: a hash container inside the determinism perimeter — its
+// iteration order would leak into counter values.
+
+use std::collections::HashMap;
+
+pub fn count(words: &[String]) -> usize {
+    let mut seen: HashMap<&str, usize> = HashMap::new();
+    for w in words {
+        *seen.entry(w).or_insert(0) += 1;
+    }
+    seen.len()
+}

@@ -1,0 +1,7 @@
+// Known-bad: a lock guard stays live across a probe-side call.
+
+pub fn probe_under_guard(table: &Lock, join: &Prepared, q: &Query) {
+    let guard = table.lock();
+    join.query(q);
+    drop(guard);
+}

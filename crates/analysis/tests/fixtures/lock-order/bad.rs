@@ -1,0 +1,7 @@
+// Known-bad: acquiring a lower-ranked lock while a higher-ranked guard is
+// held — an inversion of the declared lock-order table.
+
+pub fn inverted(low: &Lock, high: &Lock) {
+    let _outer = high.lock();
+    let _inner = low.lock();
+}

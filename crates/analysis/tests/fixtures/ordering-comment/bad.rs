@@ -1,0 +1,8 @@
+// Known-bad: a bare `Ordering::Relaxed` with no adjacent `// ORDERING:`
+// comment arguing why relaxed is sufficient.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,5 @@
+// Known-bad: `.unwrap()` on a user-reachable library path.
+
+pub fn first(v: &[u32]) -> u32 {
+    v.first().copied().unwrap()
+}

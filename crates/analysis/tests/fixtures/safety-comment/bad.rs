@@ -1,0 +1,6 @@
+// Known-bad: an `unsafe` block inside the kernel perimeter with no
+// `// SAFETY:` argument.
+
+pub fn touch(p: *const u8) -> u8 {
+    unsafe { *p }
+}

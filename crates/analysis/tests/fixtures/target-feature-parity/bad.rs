@@ -1,0 +1,9 @@
+// Known-bad: an accelerated kernel with no scalar twin (and therefore no
+// parity test naming one).
+
+/// # Safety
+/// Caller must verify AVX2 support at runtime.
+#[target_feature(enable = "avx2")]
+pub unsafe fn sum_avx2(xs: &[f64]) -> f64 {
+    xs.iter().sum()
+}

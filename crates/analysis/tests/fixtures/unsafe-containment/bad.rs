@@ -1,0 +1,5 @@
+// Known-bad: `unsafe` outside the declared kernel perimeter.
+
+pub fn touch(p: *const u8) -> u8 {
+    unsafe { *p }
+}

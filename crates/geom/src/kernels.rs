@@ -251,6 +251,8 @@ mod x86 {
     }
 
     #[inline]
+    // lint: allow(target-feature-parity) -- CPU-feature probe, not an
+    // accelerated kernel; it has no scalar twin by design.
     pub(super) fn have_avx2() -> bool {
         std::arch::is_x86_feature_detected!("avx2")
     }

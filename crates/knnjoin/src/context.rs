@@ -11,8 +11,8 @@
 //! re-plumbing pool sizes and metrics collection for every run.
 
 use crate::metrics::JoinMetrics;
+use mapreduce::sync::{ranks, RankedMutex};
 use mapreduce::InMemoryDfs;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -108,7 +108,7 @@ const SINK_SHARDS: usize = 8;
 /// order — the sharding is invisible to readers.
 #[derive(Debug)]
 pub struct MemoryMetricsSink {
-    shards: [Mutex<Vec<(u64, RecordedJoin)>>; SINK_SHARDS],
+    shards: [RankedMutex<Vec<(u64, RecordedJoin)>>; SINK_SHARDS],
     /// Global arrival order; also selects the shard (`seq % SINK_SHARDS`).
     seq: AtomicU64,
     /// Records currently held (kept separately so `len` takes no lock).
@@ -118,7 +118,9 @@ pub struct MemoryMetricsSink {
 impl Default for MemoryMetricsSink {
     fn default() -> Self {
         Self {
-            shards: std::array::from_fn(|_| Mutex::new(Vec::new())),
+            shards: std::array::from_fn(|_| {
+                RankedMutex::new(ranks::SINK_SHARD, "sink.shard", Vec::new())
+            }),
             seq: AtomicU64::new(0),
             count: AtomicUsize::new(0),
         }
@@ -168,11 +170,17 @@ impl MemoryMetricsSink {
 
 impl MetricsSink for MemoryMetricsSink {
     fn record(&self, algorithm: &str, metrics: &JoinMetrics) {
+        // ORDERING: Relaxed — fetch_add is atomic at any ordering, so each
+        // record still claims a unique sequence number; the record's payload
+        // is published by the shard lock below, and snapshot order comes
+        // from sorting by seq, not from cross-thread memory ordering.
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let record = RecordedJoin {
             algorithm: algorithm.to_string(),
             metrics: metrics.clone(),
         };
+        // lint: allow(panic-freedom) -- `% SINK_SHARDS` keeps the index in
+        // range for the fixed-size shard array.
         self.shards[(seq % SINK_SHARDS as u64) as usize]
             .lock()
             .push((seq, record));

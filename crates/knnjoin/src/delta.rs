@@ -103,6 +103,32 @@ impl DeltaOverlay {
     pub(crate) fn tombstone(&mut self, id: PointId) -> bool {
         self.tombstones.insert(id)
     }
+
+    /// Structural invariant audit, asserted on every mutation commit under
+    /// `cfg(test)` and the `debug-invariants` feature:
+    ///
+    /// 1. an added id never duplicates a *live* frozen id (re-inserting a
+    ///    frozen id must tombstone the frozen copy first, or `live_len`
+    ///    arithmetic and probe masking both break), and
+    /// 2. tombstones only name frozen ids (a tombstone for a never-frozen id
+    ///    would make `|frozen| − t + a` undercount the live corpus).
+    #[cfg(any(test, feature = "debug-invariants"))]
+    pub(crate) fn audit(&self, frozen_ids: &BTreeSet<PointId>) {
+        for (id, _) in self.adds.iter() {
+            assert!(
+                !frozen_ids.contains(id) || self.tombstones.contains(id),
+                "delta invariant violated: add {id} duplicates a live frozen id \
+                 (frozen copy not tombstoned)"
+            );
+        }
+        for id in &self.tombstones {
+            assert!(
+                frozen_ids.contains(id),
+                "delta invariant violated: tombstone {id} names an id absent \
+                 from the frozen corpus"
+            );
+        }
+    }
 }
 
 /// A snapshot of a [`crate::PreparedJoin`]'s delta layer, for observability

@@ -50,7 +50,7 @@ use crate::metrics::{phases, JoinMetrics};
 use crate::plan::{Algorithm, JoinPlan};
 use crate::result::{JoinError, JoinResult, JoinRow, ResultSink};
 use geom::{DistanceMetric, Point, PointId, PointSet};
-use parking_lot::{Mutex, RwLock};
+use mapreduce::sync::{ranks, RankedMutex, RankedRwLock};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeSet;
 use std::hash::{Hash, Hasher};
@@ -133,16 +133,21 @@ struct Inner {
     /// read-write lock because the serving hot path only ever *reads* it (one
     /// `Arc` clone per query): concurrent probes never contend with each
     /// other, only (briefly) with an epoch publication.
-    epoch: RwLock<Arc<Epoch>>,
+    epoch: RankedRwLock<Arc<Epoch>>,
+    /// Lock-free mirror of the published epoch's `number`, so
+    /// [`PreparedJoin::epoch`] (called by the session cache *while holding a
+    /// shard lock*) never has to acquire the epoch lock — which would invert
+    /// the declared `prepared.epoch < session.shard` order.
+    epoch_number: AtomicU64,
     /// Serializes mutations (insert/delete/compact) so overlay updates and
     /// epoch publication are atomic with respect to each other.  Queries
     /// never take this lock.
-    mutate: Mutex<()>,
+    mutate: RankedMutex<()>,
     build_metrics: JoinMetrics,
     build_time: Duration,
     queries: AtomicU64,
     query_nanos: AtomicU64,
-    cumulative: Mutex<JoinMetrics>,
+    cumulative: RankedMutex<JoinMetrics>,
     compactions: AtomicU64,
     compacted_points: AtomicU64,
 }
@@ -153,7 +158,15 @@ impl Inner {
     }
 
     fn publish(&self, epoch: Epoch) {
-        *self.epoch.write() = Arc::new(epoch);
+        let number = epoch.number;
+        let mut current = self.epoch.write();
+        *current = Arc::new(epoch);
+        // ORDERING: Release pairs with the Acquire load in
+        // `PreparedJoin::epoch`, so a reader that observes the new number
+        // also observes every write that produced the epoch; the store
+        // happens under the write guard so the mirror can never run ahead of
+        // the lock-protected pointer.
+        self.epoch_number.store(number, Ordering::Release);
     }
 }
 
@@ -249,13 +262,18 @@ impl PreparedJoin {
                 s_dims: s.dims(),
                 ctx: ctx.clone(),
                 plan,
-                epoch: RwLock::new(Arc::new(epoch)),
-                mutate: Mutex::new(()),
+                epoch: RankedRwLock::new(ranks::PREPARED_EPOCH, "prepared.epoch", Arc::new(epoch)),
+                epoch_number: AtomicU64::new(0),
+                mutate: RankedMutex::new(ranks::PREPARED_MUTATE, "prepared.mutate", ()),
                 build_metrics,
                 build_time,
                 queries: AtomicU64::new(0),
                 query_nanos: AtomicU64::new(0),
-                cumulative: Mutex::new(JoinMetrics::default()),
+                cumulative: RankedMutex::new(
+                    ranks::PREPARED_CUMULATIVE,
+                    "prepared.cumulative",
+                    JoinMetrics::default(),
+                ),
                 compactions: AtomicU64::new(0),
                 compacted_points: AtomicU64::new(0),
             }),
@@ -297,8 +315,13 @@ impl PreparedJoin {
     /// effective [`PreparedJoin::insert`], [`PreparedJoin::delete`] and
     /// compaction, so a cached handle whose epoch moved is detectably stale
     /// (see [`SessionKey::epoch`]).
+    ///
+    /// Reads a lock-free mirror of the published epoch's number, so callers
+    /// holding other locks (the session cache's shard mutex in particular)
+    /// can poll staleness without acquiring the epoch lock.
     pub fn epoch(&self) -> u64 {
-        self.inner.snapshot().number
+        // ORDERING: Acquire pairs with the Release store in `Inner::publish`.
+        self.inner.epoch_number.load(Ordering::Acquire)
     }
 
     /// The delta layer's current shape: pending overlay sizes plus lifetime
@@ -309,6 +332,8 @@ impl PreparedJoin {
             epoch: epoch.number,
             pending_adds: epoch.delta.adds_len(),
             pending_tombstones: epoch.delta.tombstones_len(),
+            // ORDERING: Relaxed — monotonic lifetime totals read for
+            // observability; no other memory depends on their value.
             compactions: self.inner.compactions.load(Ordering::Relaxed),
             compacted_points: self.inner.compacted_points.load(Ordering::Relaxed),
         }
@@ -386,6 +411,8 @@ impl PreparedJoin {
     /// Publishes `delta` as the next epoch, compacting first when the
     /// overlay crossed the plan's threshold.  Caller holds the mutate lock.
     fn commit(&self, epoch: &Epoch, delta: DeltaOverlay) {
+        #[cfg(any(test, feature = "debug-invariants"))]
+        delta.audit(&epoch.frozen_ids);
         let live = epoch.frozen.len() - delta.tombstones_len() + delta.adds_len();
         if delta.len() > self.inner.plan.delta_threshold && live > 0 {
             let compacted = self.run_compaction(epoch, delta);
@@ -407,6 +434,8 @@ impl PreparedJoin {
     /// the cumulative metrics and the context's serving log.  Caller holds
     /// the mutate lock.
     fn run_compaction(&self, epoch: &Epoch, delta: DeltaOverlay) -> Epoch {
+        #[cfg(any(test, feature = "debug-invariants"))]
+        delta.audit(&epoch.frozen_ids);
         let inner = &*self.inner;
         let start = Instant::now();
         let materialized = materialize(&epoch.frozen, &delta);
@@ -419,6 +448,9 @@ impl PreparedJoin {
             .state
             .compact(&materialized, &delta, &inner.plan, &mut metrics);
         metrics.record_phase(phases::COMPACTION, start.elapsed());
+        // ORDERING: Relaxed — monotonic statistics counters; readers only
+        // need eventual totals, never synchronization with the epoch data
+        // (which flows through the epoch lock / its Release mirror).
         inner.compactions.fetch_add(1, Ordering::Relaxed);
         inner
             .compacted_points
@@ -444,6 +476,9 @@ impl PreparedJoin {
     /// time (amortization helpers included).
     pub fn stats(&self) -> ServingStats {
         ServingStats {
+            // ORDERING: Relaxed — the two counters are bumped independently
+            // per query; a snapshot between the two bumps is acceptable for
+            // serving statistics and no other state is guarded by them.
             queries: self.inner.queries.load(Ordering::Relaxed),
             build_time: self.inner.build_time,
             total_query_time: Duration::from_nanos(self.inner.query_nanos.load(Ordering::Relaxed)),
@@ -512,6 +547,9 @@ impl PreparedJoin {
         for row in &mut rows {
             row.neighbors.sort();
         }
+        // ORDERING: Relaxed — independent monotonic serving counters; the
+        // query result itself was produced from the epoch snapshot above and
+        // never synchronizes through these.
         inner.queries.fetch_add(1, Ordering::Relaxed);
         inner
             .query_nanos
@@ -541,7 +579,8 @@ impl PreparedJoin {
     pub fn query_one(&self, point: &Point) -> Result<JoinRow, JoinError> {
         let singleton = PointSet::from_points(vec![point.clone()]);
         let (mut rows, _) = self.run_probe(&singleton)?;
-        Ok(rows.pop().expect("one row per probe object"))
+        rows.pop()
+            .ok_or(JoinError::Internal("probe returned no row for its object"))
     }
 
     /// Streams one probe batch's rows (in `r_id` order) into `sink` instead
@@ -630,7 +669,7 @@ struct SessionEntry {
 pub struct JoinSession {
     ctx: ExecutionContext,
     capacity: usize,
-    shards: [Mutex<Vec<SessionEntry>>; SESSION_SHARDS],
+    shards: [RankedMutex<Vec<SessionEntry>>; SESSION_SHARDS],
     /// Global logical clock ordering hits/inserts across shards.
     clock: AtomicU64,
     /// Total cached entries across shards (so `len` takes no lock).
@@ -658,7 +697,9 @@ impl JoinSession {
         Self {
             ctx,
             capacity: capacity.max(1),
-            shards: std::array::from_fn(|_| Mutex::new(Vec::new())),
+            shards: std::array::from_fn(|_| {
+                RankedMutex::new(ranks::SESSION_SHARD, "session.shard", Vec::new())
+            }),
             clock: AtomicU64::new(0),
             len: AtomicUsize::new(0),
             hits: AtomicU64::new(0),
@@ -673,6 +714,9 @@ impl JoinSession {
     }
 
     fn tick(&self) -> u64 {
+        // ORDERING: Relaxed — the clock only needs uniqueness and rough
+        // recency, both of which fetch_add provides at any ordering; entries
+        // stamped with a tick are themselves protected by their shard lock.
         self.clock.fetch_add(1, Ordering::Relaxed)
     }
 
@@ -702,6 +746,8 @@ impl JoinSession {
             k: plan.k,
             epoch: 0,
         };
+        // lint: allow(panic-freedom) -- `session_shard` reduces the hash
+        // modulo `SESSION_SHARDS`, the array's fixed length.
         let shard = &self.shards[session_shard(&key)];
         // A hit must match the request shape, carry an identical resolved
         // plan, *and* still sit at the epoch it was cached at — a handle
@@ -719,6 +765,7 @@ impl JoinSession {
         {
             let mut entries = shard.lock();
             if let Some(handle) = take_exact_hit(&mut entries) {
+                // ORDERING: Relaxed — monotonic statistics counter only.
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(handle);
             }
@@ -730,6 +777,7 @@ impl JoinSession {
         {
             let mut entries = shard.lock();
             if let Some(handle) = take_exact_hit(&mut entries) {
+                // ORDERING: Relaxed — monotonic statistics counter only.
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(handle);
             }
@@ -739,9 +787,13 @@ impl JoinSession {
             // from the shard hash).
             if let Some(pos) = entries.iter().position(|e| e.key.matches_request(&key)) {
                 entries.remove(pos);
+                // ORDERING: Relaxed for the statistics counters; the `len`
+                // mirror uses AcqRel so the capacity check below observes
+                // every prior insert/remove.
                 self.len.fetch_sub(1, Ordering::AcqRel);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
+            // ORDERING: Relaxed — monotonic statistics counter only.
             self.misses.fetch_add(1, Ordering::Relaxed);
             entries.push(SessionEntry {
                 key: SessionKey {
@@ -781,26 +833,32 @@ impl JoinSession {
         let Some((index, tick)) = candidate else {
             return;
         };
+        // lint: allow(panic-freedom) -- `index` came from enumerating this
+        // same fixed-size shard array above.
         let mut entries = self.shards[index].lock();
         if let Some(pos) = entries.iter().position(|e| e.last_used == tick) {
             entries.remove(pos);
             self.len.fetch_sub(1, Ordering::AcqRel);
+            // ORDERING: Relaxed — monotonic statistics counter only.
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// Cache hits so far.
     pub fn hits(&self) -> u64 {
+        // ORDERING: Relaxed — monotonic statistics read only.
         self.hits.load(Ordering::Relaxed)
     }
 
     /// Cache misses (i.e. builds) so far.
     pub fn misses(&self) -> u64 {
+        // ORDERING: Relaxed — monotonic statistics read only.
         self.misses.load(Ordering::Relaxed)
     }
 
     /// Entries evicted so far.
     pub fn evictions(&self) -> u64 {
+        // ORDERING: Relaxed — monotonic statistics read only.
         self.evictions.load(Ordering::Relaxed)
     }
 

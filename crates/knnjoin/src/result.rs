@@ -19,7 +19,10 @@ use mapreduce::JobError;
 ///   [`std::error::Error::source`]);
 /// * **serving** — the concurrent serving front-end declined the request
 ///   (`Overloaded` under admission control, `ServerShutdown` during drain);
-///   the join itself is fine and the request may be retried.
+///   the join itself is fine and the request may be retried;
+/// * **internal** — an invariant of this crate failed (`Internal`): a bug
+///   here, reported as a typed error instead of a panic so serving paths
+///   stay panic-free.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum JoinError {
     /// `k` was zero.
@@ -83,6 +86,10 @@ pub enum JoinError {
     /// The serving front-end is shutting down and no longer admits requests
     /// (in-flight requests still drain).
     ServerShutdown,
+    /// An internal invariant did not hold (a bug in this crate, not in the
+    /// request).  Surfaced as a typed error instead of a panic so a serving
+    /// process degrades one request rather than a whole worker.
+    Internal(&'static str),
 }
 
 /// Which family of the [`JoinError`] taxonomy an error belongs to.
@@ -97,6 +104,8 @@ pub enum JoinErrorKind {
     /// The serving front-end declined the request (overload or shutdown);
     /// retryable, unlike the other families.
     Serving,
+    /// An internal invariant failed — a bug in this crate.
+    Internal,
 }
 
 impl JoinError {
@@ -121,6 +130,7 @@ impl JoinError {
             JoinError::InvalidConfig(_) => JoinErrorKind::Configuration,
             JoinError::Substrate { .. } => JoinErrorKind::Substrate,
             JoinError::Overloaded { .. } | JoinError::ServerShutdown => JoinErrorKind::Serving,
+            JoinError::Internal(_) => JoinErrorKind::Internal,
         }
     }
 }
@@ -162,6 +172,7 @@ impl std::fmt::Display for JoinError {
                 "serving queue overloaded: {depth} requests queued, capacity {capacity}"
             ),
             JoinError::ServerShutdown => write!(f, "server is shutting down"),
+            JoinError::Internal(what) => write!(f, "internal invariant violated: {what}"),
         }
     }
 }
@@ -225,6 +236,8 @@ impl JoinResult {
         self.rows
             .binary_search_by_key(&r_id, |r| r.r_id)
             .ok()
+            // lint: allow(panic-freedom) -- a successful binary_search index
+            // is in range by definition.
             .map(|i| &self.rows[i])
     }
 
@@ -289,16 +302,18 @@ impl JoinResult {
         let mut ratio_pairs = 0usize;
         let mut rows = 0usize;
         for exact_row in &exact.rows {
-            if exact_row.neighbors.is_empty() {
+            // Skips empty oracle rows; for every other row `last()` is the
+            // oracle's k-th neighbour.
+            let Some(kth_neighbor) = exact_row.neighbors.last() else {
                 continue;
-            }
+            };
             rows += 1;
             let Some(mine) = self.row(exact_row.r_id) else {
                 continue;
             };
             // A reported neighbour is a hit if it is at least as close as the
             // oracle's k-th distance (id-agnostic, so ties don't penalise).
-            let kth = exact_row.neighbors.last().expect("non-empty").distance;
+            let kth = kth_neighbor.distance;
             let hits = mine
                 .neighbors
                 .iter()
@@ -731,5 +746,13 @@ mod tests {
         // The engine error is reachable through the std error chain.
         let source = substrate.source().expect("chained source");
         assert!(source.to_string().contains("map task"));
+        // Internal invariant failures surface as a typed error (so serving
+        // degrades one request, not a worker thread) with the what-string in
+        // the message.
+        let internal = JoinError::Internal("probe returned no row for its object");
+        assert_eq!(internal.kind(), JoinErrorKind::Internal);
+        assert!(internal.source().is_none());
+        assert!(internal.to_string().contains("invariant"));
+        assert!(internal.to_string().contains("no row"));
     }
 }

@@ -60,12 +60,40 @@ pub use histogram::LatencyHistogram;
 use crate::prepared::PreparedJoin;
 use crate::result::{JoinError, JoinResult, JoinRow};
 use geom::{Point, PointSet};
-use parking_lot::Mutex as ShardMutex;
+use mapreduce::sync::{ranks, RankedMutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Locks a `std` mutex, tolerating poison: a client thread that panicked
+/// mid-submit must not cascade panics into every other client and worker of
+/// the server.  The protected state (queues of requests, result cells) stays
+/// structurally valid across any panic point, so continuing with the inner
+/// value is sound — the same policy the vendored `parking_lot` shim applies
+/// workspace-wide.
+fn lock_tolerant<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait`] with the same poison tolerance as [`lock_tolerant`].
+fn wait_tolerant<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    condvar.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait_timeout`] with the same poison tolerance (the timeout
+/// flag is dropped — callers re-check their predicate either way).
+fn wait_timeout_tolerant<'a, T>(
+    condvar: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> MutexGuard<'a, T> {
+    match condvar.wait_timeout(guard, timeout) {
+        Ok((guard, _)) => guard,
+        Err(poisoned) => poisoned.into_inner().0,
+    }
+}
 
 /// Tuning knobs of a [`Server`].
 ///
@@ -153,16 +181,16 @@ impl<T> Slot<T> {
     }
 
     fn deliver(&self, value: Result<T, JoinError>) {
-        *self.cell.lock().expect("slot lock") = Some(value);
+        *lock_tolerant(&self.cell) = Some(value);
         self.ready.notify_all();
     }
 
     fn wait(&self) -> Result<T, JoinError> {
-        let mut cell = self.cell.lock().expect("slot lock");
+        let mut cell = lock_tolerant(&self.cell);
         loop {
             match cell.take() {
                 Some(value) => return value,
-                None => cell = self.ready.wait(cell).expect("slot wait"),
+                None => cell = wait_tolerant(&self.ready, cell),
             }
         }
     }
@@ -233,7 +261,7 @@ struct Shared {
     batch_requests: AtomicU64,
     /// One histogram per worker: the hot path locks only its own shard, the
     /// aggregate is a merge (associative, so grouping doesn't matter).
-    histograms: Vec<ShardMutex<LatencyHistogram>>,
+    histograms: Vec<RankedMutex<LatencyHistogram>>,
 }
 
 /// One unit of work a worker pulled off the queue.
@@ -281,7 +309,13 @@ impl Server {
             coalesced_points: AtomicU64::new(0),
             batch_requests: AtomicU64::new(0),
             histograms: (0..workers)
-                .map(|_| ShardMutex::new(LatencyHistogram::new()))
+                .map(|_| {
+                    RankedMutex::new(
+                        ranks::SERVING_HISTOGRAM,
+                        "serving.histogram",
+                        LatencyHistogram::new(),
+                    )
+                })
                 .collect(),
         });
         let handles = (0..workers)
@@ -291,6 +325,8 @@ impl Server {
                 std::thread::Builder::new()
                     .name(format!("knnjoin-serve-{index}"))
                     .spawn(move || worker_loop(&shared, &prepared, index))
+                    // lint: allow(panic-freedom) -- OS thread exhaustion at
+                    // startup has no graceful fallback from this constructor.
                     .expect("spawn serving worker")
             })
             .collect();
@@ -311,7 +347,7 @@ impl Server {
 
     /// Requests currently queued (admitted, not yet executing).
     pub fn queue_depth(&self) -> usize {
-        self.shared.queue.lock().expect("queue lock").depth()
+        lock_tolerant(&self.shared.queue).depth()
     }
 
     /// Admits one single-point query, returning a [`Ticket`] immediately.
@@ -332,7 +368,7 @@ impl Server {
         }
         let slot = Arc::new(Slot::new());
         {
-            let mut queue = self.shared.queue.lock().expect("queue lock");
+            let mut queue = lock_tolerant(&self.shared.queue);
             self.admit(&queue)?;
             queue.singles.push_back(SingleRequest {
                 point,
@@ -341,6 +377,7 @@ impl Server {
             });
             self.shared.work.notify_one();
         }
+        // ORDERING: Relaxed — monotonic statistics counter only.
         self.shared.submitted.fetch_add(1, Ordering::Relaxed);
         Ok(Ticket { slot })
     }
@@ -373,7 +410,7 @@ impl Server {
         }
         let slot = Arc::new(Slot::new());
         {
-            let mut queue = self.shared.queue.lock().expect("queue lock");
+            let mut queue = lock_tolerant(&self.shared.queue);
             self.admit(&queue)?;
             queue.batches.push_back(BatchRequest {
                 points,
@@ -382,6 +419,7 @@ impl Server {
             });
             self.shared.work.notify_one();
         }
+        // ORDERING: Relaxed — monotonic statistics counters only.
         self.shared.submitted.fetch_add(1, Ordering::Relaxed);
         self.shared.batch_requests.fetch_add(1, Ordering::Relaxed);
         Ok(Ticket { slot })
@@ -404,6 +442,7 @@ impl Server {
         }
         let depth = queue.depth();
         if depth >= self.shared.queue_cap {
+            // ORDERING: Relaxed — monotonic statistics counter only.
             self.shared.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(JoinError::Overloaded {
                 depth,
@@ -415,7 +454,7 @@ impl Server {
 
     /// Unpauses the workers (no-op when not paused).
     pub fn resume(&self) {
-        let mut queue = self.shared.queue.lock().expect("queue lock");
+        let mut queue = lock_tolerant(&self.shared.queue);
         queue.paused = false;
         self.shared.work.notify_all();
     }
@@ -429,6 +468,9 @@ impl Server {
             latency.merge(&shard.lock());
         }
         ServerStats {
+            // ORDERING: Relaxed — the stats snapshot is advisory: each
+            // counter is independently monotonic and nothing downstream
+            // synchronizes on their relative order.
             submitted: shared.submitted.load(Ordering::Relaxed),
             completed: shared.completed.load(Ordering::Relaxed),
             rejected: shared.rejected.load(Ordering::Relaxed),
@@ -447,15 +489,17 @@ impl Server {
     /// Idempotent; also invoked by `Drop`.
     pub fn shutdown(&self) -> ServerStats {
         {
-            let mut queue = self.shared.queue.lock().expect("queue lock");
+            let mut queue = lock_tolerant(&self.shared.queue);
             queue.draining = true;
             // Drain even if the server was paused: shutdown must not strand
             // admitted requests.
             queue.paused = false;
             self.shared.work.notify_all();
         }
-        let handles = std::mem::take(&mut *self.workers.lock().expect("workers lock"));
+        let handles = std::mem::take(&mut *lock_tolerant(&self.workers));
         for handle in handles {
+            // lint: allow(panic-freedom) -- a panicked worker is a bug in
+            // this crate; re-raising it beats returning silently torn stats.
             handle.join().expect("serving worker panicked");
         }
         self.stats()
@@ -474,10 +518,10 @@ impl Drop for Server {
 /// draining.  Blocks (with a deadline at the oldest waiter's flush time)
 /// otherwise.
 fn next_work(shared: &Shared) -> Work {
-    let mut queue = shared.queue.lock().expect("queue lock");
+    let mut queue = lock_tolerant(&shared.queue);
     loop {
         if queue.paused {
-            queue = shared.work.wait(queue).expect("queue wait");
+            queue = wait_tolerant(&shared.work, queue);
             continue;
         }
         if let Some(batch) = queue.batches.pop_front() {
@@ -500,17 +544,13 @@ fn next_work(shared: &Shared) -> Work {
             // Sleep exactly until the oldest waiter's flush deadline (or an
             // earlier submit/drain notification).
             let deadline = shared.max_wait - age;
-            let (q, _) = shared
-                .work
-                .wait_timeout(queue, deadline)
-                .expect("queue wait");
-            queue = q;
+            queue = wait_timeout_tolerant(&shared.work, queue, deadline);
             continue;
         }
         if queue.draining {
             return Work::Exit;
         }
-        queue = shared.work.wait(queue).expect("queue wait");
+        queue = wait_tolerant(&shared.work, queue);
     }
 }
 
@@ -545,6 +585,7 @@ fn run_coalesced(
             .map(|(i, request)| Point::new(i as u64, request.point.coords.clone()))
             .collect(),
     );
+    // ORDERING: Relaxed — monotonic statistics counters only.
     shared.coalesced_batches.fetch_add(1, Ordering::Relaxed);
     shared
         .coalesced_points
@@ -581,7 +622,10 @@ fn run_batch(shared: &Shared, prepared: &PreparedJoin, index: usize, request: Ba
 /// Books one answered request: latency into this worker's histogram shard,
 /// completed/failed counters.
 fn finish(shared: &Shared, index: usize, submitted: Instant, outcome: Result<(), ()>) {
-    shared.histograms[index].lock().record(submitted.elapsed());
+    if let Some(shard) = shared.histograms.get(index) {
+        shard.lock().record(submitted.elapsed());
+    }
+    // ORDERING: Relaxed — monotonic statistics counters only.
     match outcome {
         Ok(()) => shared.completed.fetch_add(1, Ordering::Relaxed),
         Err(()) => shared.failed.fetch_add(1, Ordering::Relaxed),

@@ -5,7 +5,7 @@
 //! completes.  The kNN-join crate uses counters to report the paper's
 //! *computation selectivity* and *replication* metrics.
 
-use parking_lot::Mutex;
+use crate::sync::{ranks, RankedMutex};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -32,9 +32,21 @@ pub mod builtin {
 ///
 /// Cloning a `Counters` handle is cheap and all clones share the same state,
 /// mirroring how Hadoop aggregates task counters into job counters.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Counters {
-    inner: Arc<Mutex<BTreeMap<String, u64>>>,
+    inner: Arc<RankedMutex<BTreeMap<String, u64>>>,
+}
+
+impl Default for Counters {
+    fn default() -> Self {
+        Self {
+            inner: Arc::new(RankedMutex::new(
+                ranks::ENGINE_COUNTERS,
+                "engine.counters",
+                BTreeMap::new(),
+            )),
+        }
+    }
 }
 
 impl Counters {

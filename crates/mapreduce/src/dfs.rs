@@ -15,8 +15,8 @@
 //! the same invariants HDFS does: immutable closed files, block-granular
 //! placement, and failure when replication exceeds the number of DataNodes.
 
+use crate::sync::{ranks, RankedRwLock};
 use bytes::Bytes;
-use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -95,7 +95,7 @@ struct NameNode {
 #[derive(Debug, Clone)]
 pub struct InMemoryDfs {
     config: DfsConfig,
-    name_node: Arc<RwLock<NameNode>>,
+    name_node: Arc<RankedRwLock<NameNode>>,
 }
 
 impl InMemoryDfs {
@@ -123,11 +123,15 @@ impl InMemoryDfs {
             )));
         }
         Ok(Self {
-            name_node: Arc::new(RwLock::new(NameNode {
-                files: BTreeMap::new(),
-                node_usage: vec![0; config.data_nodes],
-                next_node: 0,
-            })),
+            name_node: Arc::new(RankedRwLock::new(
+                ranks::DFS_NAME_NODE,
+                "dfs.name_node",
+                NameNode {
+                    files: BTreeMap::new(),
+                    node_usage: vec![0; config.data_nodes],
+                    next_node: 0,
+                },
+            )),
             config,
         })
     }

@@ -32,7 +32,7 @@ use crate::job::{
     Reducer,
 };
 use crate::metrics::{JobMetrics, PhaseTimings};
-use parking_lot::Mutex;
+use crate::sync::{ranks, RankedMutex};
 use std::collections::{BTreeMap, VecDeque};
 use std::time::Instant;
 
@@ -59,8 +59,17 @@ where
             .map(|(i, t)| f(i, t))
             .collect();
     }
-    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
-    let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    // The task closure `f` runs with the slot guard held and may take the
+    // counters lock (rank engine.counters > engine.slot), so the nesting
+    // queue < slot < counters stays within the declared order.
+    let queue: RankedMutex<VecDeque<(usize, T)>> = RankedMutex::new(
+        ranks::ENGINE_QUEUE,
+        "engine.queue",
+        items.into_iter().enumerate().collect(),
+    );
+    let slots: Vec<RankedMutex<Option<U>>> = (0..n)
+        .map(|_| RankedMutex::new(ranks::ENGINE_SLOT, "engine.slot", None))
+        .collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {

@@ -70,6 +70,7 @@ pub mod dfs;
 pub mod engine;
 pub mod job;
 pub mod metrics;
+pub mod sync;
 
 pub use bytesize::ByteSize;
 pub use counters::Counters;
@@ -82,3 +83,4 @@ pub use job::{
     Partitioner, ReduceContext, Reducer,
 };
 pub use metrics::{JobMetrics, PhaseTimings};
+pub use sync::{RankedMutex, RankedRwLock};
